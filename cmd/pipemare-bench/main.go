@@ -1,0 +1,58 @@
+// Command pipemare-bench regenerates the tables and figures of the
+// PipeMare paper's evaluation. Run with no arguments to list experiments,
+// with experiment names to run them, or with "all" for everything.
+//
+//	pipemare-bench               # list experiments
+//	pipemare-bench table1 fig3a  # run selected experiments (quick scale)
+//	pipemare-bench -full table2  # reference-scale run
+//	pipemare-bench all           # every experiment at quick scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pipemare/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at reference (paper) scale instead of quick scale")
+	flag.Parse()
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("usage: pipemare-bench [-full] <experiment>... | all")
+		fmt.Println("\navailable experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-11s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	var selected []experiments.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range args {
+			e, ok := experiments.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pipemare-bench: unknown experiment %q (run without arguments to list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
+		start := time.Now()
+		e.Run(os.Stdout, scale)
+		fmt.Printf("--- %s done in %.1fs ---\n", e.Name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,62 @@
+// Command pipeviz renders the bubble-free pipeline schedule of §2 as
+// ASCII (Figure 1): which microbatch each stage is forwarding and
+// backwarding at every slot, and the weight version it reads.
+//
+//	pipeviz -p 4 -n 2 -slots 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"pipemare/internal/pipeline"
+)
+
+func main() {
+	p := flag.Int("p", 4, "pipeline stages")
+	n := flag.Int("n", 2, "microbatches per minibatch")
+	slots := flag.Int("slots", 20, "time slots to render")
+	flag.Parse()
+
+	clock := pipeline.Clock{P: *p, N: *n}
+	fmt.Printf("bubble-free pipeline: P=%d stages, N=%d microbatches/minibatch\n", *p, *n)
+	fmt.Printf("forward of microbatch s at stage i occupies slot s+i-1; backward slot s+2P-i\n\n")
+
+	header := "stage |"
+	for t := 0; t < *slots; t++ {
+		header += fmt.Sprintf("%8d", t)
+	}
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for i1 := 1; i1 <= *p; i1++ {
+		row := fmt.Sprintf("%5d |", i1)
+		for t := 0; t < *slots; t++ {
+			fwd, bwd := "  ", "  "
+			if s := t - i1 + 1; s >= 0 {
+				fwd = fmt.Sprintf("F%d", s%100)
+			}
+			if s := t - 2**p + i1; s >= 0 {
+				bwd = fmt.Sprintf("B%d", s%100)
+			}
+			cell := "."
+			if fwd != "  " || bwd != "  " {
+				cell = strings.TrimSpace(fwd + ":" + bwd)
+			}
+			row += fmt.Sprintf("%8s", cell)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Printf("\nforward delays (Table 1): slot delay 2(P-i)+1, minibatch delay (2(P-i)+1)/N\n")
+	for i1 := 1; i1 <= *p; i1++ {
+		fmt.Printf("  stage %d: %2d slots = %.3f minibatches\n",
+			i1, pipeline.FwdDelaySlots(i1, *p), pipeline.FwdDelay(i1, *p, *n))
+	}
+	s := 6 * *n
+	fmt.Printf("\nweight versions read by microbatch %d (steady state):\n", s)
+	for i1 := 1; i1 <= *p; i1++ {
+		fmt.Printf("  stage %d: forward reads version %d; update consuming its gradient is %d\n",
+			i1, clock.FwdVersion(s, i1), clock.Minibatch(s)+1)
+	}
+}

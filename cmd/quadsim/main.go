@@ -1,0 +1,59 @@
+// Command quadsim explores the PipeMare quadratic stability model from
+// the command line: trajectories of fixed-delay asynchronous SGD, the
+// Lemma 1/2 bounds, and companion-matrix spectral radii, with optional
+// forward/backward delay discrepancy and T2 correction.
+//
+//	quadsim -tau 10 -alpha 0.2                 # Figure 3(a) divergence
+//	quadsim -tau 10 -taub 6 -delta 5 -alpha .12  # Figure 5(a)
+//	quadsim -tau 10 -taub 6 -delta 5 -alpha .12 -t2 -d 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pipemare/internal/poly"
+	"pipemare/internal/quad"
+)
+
+func main() {
+	tau := flag.Int("tau", 10, "forward delay τ_fwd")
+	taub := flag.Int("taub", 0, "backward delay τ_bkwd")
+	alpha := flag.Float64("alpha", 0.2, "step size α")
+	lambda := flag.Float64("lambda", 1, "curvature λ")
+	delta := flag.Float64("delta", 0, "discrepancy sensitivity Δ")
+	noise := flag.Float64("noise", 1, "gradient noise std")
+	steps := flag.Int("steps", 500, "iterations")
+	t2 := flag.Bool("t2", false, "enable T2 discrepancy correction")
+	d := flag.Float64("d", 0.1, "T2 decay hyperparameter D")
+	flag.Parse()
+
+	cfg := quad.Config{
+		Lambda: *lambda, Alpha: *alpha, TauFwd: *tau, TauBkwd: *taub,
+		Delta: *delta, NoiseStd: *noise, Steps: *steps, Seed: 1,
+		T2: *t2, D: *d, LossCap: 1e9,
+	}
+	res := quad.Simulate(cfg)
+	fmt.Printf("trajectory: loss@%d=%.4g  loss@%d=%.4g  diverged=%v\n",
+		*steps/2, res.Loss[*steps/2], *steps-1, res.Loss[*steps-1], res.Diverged)
+
+	fmt.Printf("Lemma 1 bound  (τ=%d): α* = %.6f\n", *tau, quad.Lemma1Bound(*tau, *lambda))
+	if *delta > 0 && *tau > *taub {
+		fmt.Printf("Lemma 2 bound  (Δ=%g): α ≤ %.6f\n", *delta, quad.Lemma2Bound(*tau, *taub, *lambda, *delta))
+	}
+	var p poly.Poly
+	switch {
+	case *t2:
+		gamma := quad.GammaFromD(*d, float64(*tau), float64(*taub))
+		p = quad.CharPolyT2(*tau, *taub, *alpha, *lambda, *delta, gamma)
+	case *delta != 0:
+		p = quad.CharPolyDiscrepancy(*tau, *taub, *alpha, *lambda, *delta)
+	default:
+		p = quad.CharPoly(*tau, *alpha, *lambda)
+	}
+	if r, err := p.SpectralRadius(); err == nil {
+		fmt.Printf("companion spectral radius at α=%g: %.6f (stable iff < 1)\n", *alpha, r)
+	} else {
+		fmt.Printf("root finding failed: %v\n", err)
+	}
+}

@@ -1,0 +1,61 @@
+// ResNet classification: the paper's CIFAR10 scenario, including the
+// failure mode — run with -t1k=0 -t2d=0 to watch raw asynchronous
+// pipeline training blow up its parameter norm exactly as in Figure 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pipemare"
+	"pipemare/internal/data"
+	"pipemare/internal/metrics"
+	"pipemare/internal/model"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 52, "residual blocks (stages = 2*blocks + 3)")
+	t1k := flag.Int("t1k", 480, "T1 annealing steps (0 disables)")
+	t2d := flag.Float64("t2d", 0.5, "T2 correction decay D (0 disables)")
+	epochs := flag.Int("epochs", 40, "training epochs")
+	flag.Parse()
+
+	images := data.NewImages(data.ImagesConfig{
+		Classes: 10, C: 3, H: 4, W: 4,
+		Train: 1024, Test: 512, Noise: 0.9, LabelFlip: 0.05, Seed: 1,
+	})
+	task := model.NewResNetMLP(images, 16, *blocks, 7)
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	opt := optim.NewSGD(ps, 0.9, 5e-4)
+	sched := optim.StepDecay{Base: 0.05, DropEvery: 40 * 16, Factor: 0.1}
+	tr, err := pipemare.NewTrainer(task, opt, sched, pipemare.Config{
+		Method: pipemare.PipeMare, BatchSize: 64, MicrobatchSize: 8,
+		T1K: *t1k, T2D: *t2d, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PipeMare: %d stages, τ_fwd(first stage) = %.2f minibatches, T1K=%d, D=%g\n",
+		tr.Stages(), tr.Taus()[0], *t1k, *t2d)
+	run := &metrics.Run{}
+	for done := 0; done < *epochs; done += 5 {
+		step := 5
+		if done+step > *epochs {
+			step = *epochs - done
+		}
+		tr.TrainEpochs(step, run)
+		n := run.Epochs()
+		fmt.Printf("epoch %3d  loss %8.3f  acc %5.1f%%  |w| %.3g\n",
+			n, run.Loss[n-1], run.Metric[n-1], run.ParamNorm[n-1])
+		if run.Diverged {
+			fmt.Println("diverged (loss exceeded the cap)")
+			return
+		}
+	}
+	fmt.Printf("best accuracy %.1f%%\n", run.Best())
+}

@@ -1,0 +1,47 @@
+package pipemare
+
+import (
+	"math"
+	"testing"
+
+	"pipemare/internal/data"
+	"pipemare/internal/model"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+)
+
+func TestFacadeTrainsEndToEnd(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 128, Test: 64, Noise: 0.4, Seed: 1})
+	task := model.NewResNetMLP(images, 12, 5, 2)
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	opt := optim.NewSGD(ps, 0.9, 0)
+	tr, err := NewTrainer(task, opt, optim.Constant(0.05), Config{
+		Method: PipeMare, BatchSize: 32, MicrobatchSize: 8, T1K: 20, T2D: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := tr.TrainEpochs(10, nil)
+	if run.Diverged {
+		t.Fatal("facade training diverged")
+	}
+	if run.Best() < 70 {
+		t.Fatalf("facade best accuracy %.1f%%", run.Best())
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if got := FwdDelay(1, 8, 4); math.Abs(got-15.0/4) > 1e-15 {
+		t.Fatalf("FwdDelay = %g", got)
+	}
+	if got := Lemma1Bound(0, 1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Lemma1Bound(0,1) = %g, want 2", got)
+	}
+	if GPipe.String() != "GPipe" || PipeMare.String() != "PipeMare" || PipeDream.String() != "PipeDream" {
+		t.Fatal("method constants wrong")
+	}
+}

@@ -1,0 +1,78 @@
+// Package bleu implements corpus-level BLEU (Papineni et al., 2002) with
+// modified n-gram precision and brevity penalty, used to score the
+// synthetic translation task exactly as the paper scores IWSLT14/WMT17.
+package bleu
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxOrder is the standard BLEU n-gram order.
+const MaxOrder = 4
+
+// Corpus computes corpus BLEU (0..100) for candidate token sequences
+// against single references. Sequences shorter than MaxOrder simply
+// contribute no higher-order n-grams.
+func Corpus(candidates, references [][]int) float64 {
+	if len(candidates) != len(references) {
+		panic(fmt.Sprintf("bleu: %d candidates vs %d references", len(candidates), len(references)))
+	}
+	matches := make([]int, MaxOrder)
+	totals := make([]int, MaxOrder)
+	candLen, refLen := 0, 0
+	for i := range candidates {
+		cand, ref := candidates[i], references[i]
+		candLen += len(cand)
+		refLen += len(ref)
+		for n := 1; n <= MaxOrder; n++ {
+			cc := ngramCounts(cand, n)
+			rc := ngramCounts(ref, n)
+			for g, c := range cc {
+				totals[n-1] += c
+				if r := rc[g]; r > 0 {
+					if c < r {
+						matches[n-1] += c
+					} else {
+						matches[n-1] += r
+					}
+				}
+			}
+		}
+	}
+	logSum := 0.0
+	for n := 0; n < MaxOrder; n++ {
+		if totals[n] == 0 || matches[n] == 0 {
+			return 0
+		}
+		logSum += math.Log(float64(matches[n]) / float64(totals[n]))
+	}
+	precision := math.Exp(logSum / MaxOrder)
+	bp := 1.0
+	if candLen < refLen && candLen > 0 {
+		bp = math.Exp(1 - float64(refLen)/float64(candLen))
+	}
+	if candLen == 0 {
+		return 0
+	}
+	return 100 * bp * precision
+}
+
+// Sentence computes BLEU for a single sentence pair; with single sentences
+// BLEU is noisy but useful in tests.
+func Sentence(candidate, reference []int) float64 {
+	return Corpus([][]int{candidate}, [][]int{reference})
+}
+
+// ngramCounts returns the multiset of n-grams of s encoded as strings.
+func ngramCounts(s []int, n int) map[string]int {
+	out := make(map[string]int)
+	for i := 0; i+n <= len(s); i++ {
+		key := ""
+		for j := i; j < i+n; j++ {
+			key += fmt.Sprintf("%d,", s[j])
+		}
+		out[key]++
+	}
+	return out
+}

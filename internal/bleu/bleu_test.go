@@ -1,0 +1,105 @@
+package bleu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerfectMatchIs100(t *testing.T) {
+	s := []int{1, 2, 3, 4, 5, 6}
+	if got := Sentence(s, s); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("perfect match BLEU = %g, want 100", got)
+	}
+}
+
+func TestNoOverlapIsZero(t *testing.T) {
+	if got := Sentence([]int{1, 2, 3, 4, 5}, []int{6, 7, 8, 9, 10}); got != 0 {
+		t.Fatalf("disjoint BLEU = %g, want 0", got)
+	}
+}
+
+func TestMissingHighOrderNgramIsZero(t *testing.T) {
+	// Unigrams match but no 4-gram does: geometric mean collapses to 0.
+	cand := []int{1, 9, 2, 9, 3, 9, 4}
+	ref := []int{1, 2, 3, 4, 5, 6, 7}
+	if got := Sentence(cand, ref); got != 0 {
+		t.Fatalf("BLEU = %g, want 0 without any 4-gram match", got)
+	}
+}
+
+func TestBrevityPenalty(t *testing.T) {
+	// Candidate is a correct prefix of half the reference length:
+	// precisions are 1, BP = exp(1 - refLen/candLen) = exp(-1).
+	ref := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	cand := []int{1, 2, 3, 4}
+	want := 100 * math.Exp(1-8.0/4.0)
+	if got := Sentence(cand, ref); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BLEU = %g, want %g (brevity penalty)", got, want)
+	}
+}
+
+func TestNoBrevityPenaltyWhenLonger(t *testing.T) {
+	// A longer candidate fully containing the reference is penalized only
+	// through precision, never through BP.
+	ref := []int{1, 2, 3, 4, 5}
+	cand := []int{1, 2, 3, 4, 5, 9}
+	got := Sentence(cand, ref)
+	// Precisions: 5/6, 4/5, 3/4, 2/3; BP = 1.
+	want := 100 * math.Exp((math.Log(5.0/6)+math.Log(4.0/5)+math.Log(3.0/4)+math.Log(2.0/3))/4)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BLEU = %g, want %g", got, want)
+	}
+}
+
+func TestClippedCounts(t *testing.T) {
+	// Candidate repeats a token more often than the reference: unigram
+	// matches are clipped to the reference count.
+	ref := []int{7, 1, 2, 3, 4, 5, 6}
+	cand := []int{7, 7, 7, 7, 7, 7, 7}
+	got := Sentence(cand, ref)
+	if got != 0 { // no bigram matches at all
+		t.Fatalf("BLEU = %g, want 0", got)
+	}
+	// Verify clipping directly on unigram counts.
+	cc := ngramCounts(cand, 1)
+	if cc["7,"] != 7 {
+		t.Fatalf("candidate 7-count = %d", cc["7,"])
+	}
+}
+
+func TestCorpusPoolsStatistics(t *testing.T) {
+	// Corpus BLEU pools n-gram counts rather than averaging sentence BLEU:
+	// a corpus of one perfect and one disjoint sentence is strictly between
+	// 0 and 100.
+	cands := [][]int{{1, 2, 3, 4, 5}, {9, 9, 9, 9, 9}}
+	refs := [][]int{{1, 2, 3, 4, 5}, {6, 7, 8, 10, 11}}
+	got := Corpus(cands, refs)
+	if got <= 0 || got >= 100 {
+		t.Fatalf("pooled corpus BLEU = %g, want in (0, 100)", got)
+	}
+}
+
+func TestCorpusLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Corpus([][]int{{1}}, [][]int{{1}, {2}})
+}
+
+func TestEmptyCandidate(t *testing.T) {
+	if got := Sentence(nil, []int{1, 2, 3}); got != 0 {
+		t.Fatalf("empty candidate BLEU = %g, want 0", got)
+	}
+}
+
+func TestBLEUOrdering(t *testing.T) {
+	// More correct tokens in order → higher BLEU.
+	ref := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	good := []int{1, 2, 3, 4, 5, 6, 7, 9}
+	bad := []int{1, 2, 3, 4, 9, 9, 9, 9}
+	if Corpus([][]int{good}, [][]int{ref}) <= Corpus([][]int{bad}, [][]int{ref}) {
+		t.Fatal("BLEU must rank the closer candidate higher")
+	}
+}

@@ -1,0 +1,461 @@
+// Package core implements the PipeMare training system (§3 of the paper):
+// asynchronous pipeline-parallel SGD with Technique 1 (learning-rate
+// rescheduling), Technique 2 (discrepancy correction) and Technique 3
+// (synchronous warmup epochs), plus the two baselines it is compared
+// against — GPipe-style synchronous training and PipeDream-style weight
+// stashing — and the recompute delay path of Appendix D.
+//
+// The trainer simulates the pipeline at microbatch granularity using the
+// timing model of package pipeline: for every microbatch it installs the
+// stage-appropriate delayed weight version for the forward pass, a
+// method-dependent version for the backward pass, runs real backprop
+// through the task's model, and commits optimizer updates at minibatch
+// boundaries — the same "queue of weights per pipeline stage" simulation
+// the paper describes in Appendix C.4.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipemare/internal/data"
+	"pipemare/internal/metrics"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+	"pipemare/internal/pipeline"
+	"pipemare/internal/tensor"
+)
+
+// Method selects the pipeline-parallel training method.
+type Method int
+
+// The three methods of Table 1.
+const (
+	// GPipe is synchronous training: no delay, pipeline bubbles.
+	GPipe Method = iota
+	// PipeDream stashes forward weights so τ_fwd = τ_bkwd = (2(P−i)+1)/N.
+	PipeDream
+	// PipeMare runs fully asynchronously: τ_fwd = (2(P−i)+1)/N, τ_bkwd = 0.
+	PipeMare
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case GPipe:
+		return "GPipe"
+	case PipeDream:
+		return "PipeDream"
+	case PipeMare:
+		return "PipeMare"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Task abstracts a model + loss over an indexed training set. Forward and
+// Backward are split so the trainer can install different weight versions
+// between them.
+type Task interface {
+	// Groups returns the model's parameters in topological order, grouped
+	// so that weights that must share a stage stay together.
+	Groups() []pipeline.ParamGroup
+	// NumTrain returns the training-set size.
+	NumTrain() int
+	// Forward computes the mean loss on the given sample indices, caching
+	// activations for Backward.
+	Forward(idx []int) float64
+	// Backward backpropagates from the last Forward, accumulating
+	// parameter gradients.
+	Backward()
+	// EvalTest returns the task metric on the held-out set (accuracy in
+	// percent, or BLEU) using the current forward weights.
+	EvalTest() float64
+}
+
+// Config configures a training run.
+type Config struct {
+	Method         Method
+	Stages         int // P; 0 means one stage per weight group (fine-grained maximum)
+	BatchSize      int
+	MicrobatchSize int
+
+	// T1: learning-rate rescheduling annealing length in optimizer steps
+	// (0 disables T1).
+	T1K int
+	// T2: discrepancy-correction decay hyperparameter D (0 disables T2).
+	T2D float64
+	// T3: number of initial synchronous (GPipe-style) warmup epochs.
+	WarmupEpochs int
+
+	// RecomputeSegments enables the Appendix D recompute delay path with
+	// the given number of gradient-checkpoint segments (0 disables it).
+	RecomputeSegments int
+
+	ClipNorm float64 // global gradient-norm clip (0 disables)
+	LossCap  float64 // divergence threshold (0 = 1e6)
+	Seed     int64
+}
+
+// Trainer drives pipeline-parallel training of a Task.
+type Trainer struct {
+	task  Task
+	opt   optim.Optimizer
+	sched optim.Schedule
+	cfg   Config
+
+	part   *pipeline.Partition
+	clock  pipeline.Clock
+	store  *pipeline.VersionStore
+	params []*nn.Param // in forward order (matches optimizer order)
+	stage1 []int       // 1-indexed stage per param
+	taus   []float64   // per-param τ_fwd in minibatch units
+
+	// T2 state: per-param velocity accumulator δ and the materialized
+	// corrected backward weights (master − τ·δ).
+	delta     []*tensor.Tensor
+	corrected []*tensor.Tensor
+	gamma     []float64
+	prev      []*tensor.Tensor // master weights before the last update
+
+	// Recompute state: segment end (1-indexed stage) per stage, and the
+	// per-param recompute-corrected buffers.
+	segEnd1 []int
+
+	rng      *rand.Rand
+	micro    int // global microbatch counter s
+	step     int // optimizer step counter (minibatches committed)
+	epoch    int
+	diverged bool
+}
+
+// New validates the configuration and builds a Trainer. The optimizer must
+// have been constructed over exactly the parameters of task.Groups() in
+// order (use Params on the returned trainer's partition, or build the
+// optimizer from the same group traversal).
+func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Trainer, error) {
+	groups := task.Groups()
+	p := cfg.Stages
+	if p == 0 {
+		p = len(groups)
+	}
+	part, err := pipeline.PartitionGroups(groups, p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize <= 0 || cfg.MicrobatchSize <= 0 || cfg.BatchSize%cfg.MicrobatchSize != 0 {
+		return nil, fmt.Errorf("core: batch size %d must be a positive multiple of microbatch size %d", cfg.BatchSize, cfg.MicrobatchSize)
+	}
+	n := cfg.BatchSize / cfg.MicrobatchSize
+	if cfg.LossCap == 0 {
+		cfg.LossCap = 1e6
+	}
+	if got, want := len(opt.Params()), len(part.Params()); got != want {
+		return nil, fmt.Errorf("core: optimizer has %d params, partition has %d", got, want)
+	}
+	t := &Trainer{
+		task: task, opt: opt, sched: sched, cfg: cfg,
+		part:  part,
+		clock: pipeline.Clock{P: p, N: n},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	t.params = part.Params()
+	for s, ps := range part.Stages {
+		for range ps {
+			t.stage1 = append(t.stage1, s+1)
+		}
+	}
+	t.taus = make([]float64, len(t.params))
+	for i := range t.params {
+		t.taus[i] = pipeline.FwdDelay(t.stage1[i], p, n)
+	}
+	keep := (2*p+n)/n + 3
+	t.store = pipeline.NewVersionStore(part.Stages, keep)
+
+	if cfg.T2D > 0 {
+		t.delta = make([]*tensor.Tensor, len(t.params))
+		t.corrected = make([]*tensor.Tensor, len(t.params))
+		t.gamma = make([]float64, len(t.params))
+		t.prev = make([]*tensor.Tensor, len(t.params))
+		for i, pm := range t.params {
+			t.delta[i] = tensor.New(pm.Data.Shape...)
+			t.corrected[i] = pm.Data.Clone()
+			t.prev[i] = pm.Data.Clone()
+			// τ_bkwd = 0 for PipeMare, so γ_i = D^{1/τ_fwd,i}.
+			t.gamma[i] = gammaFromD(cfg.T2D, t.taus[i])
+		}
+	}
+	if cfg.RecomputeSegments > 0 {
+		t.segEnd1 = segmentEnds(p, cfg.RecomputeSegments)
+	}
+	return t, nil
+}
+
+// gammaFromD mirrors quad.GammaFromD for τ_bkwd = 0 without importing the
+// theory package into the trainer.
+func gammaFromD(d, tauFwd float64) float64 {
+	if tauFwd <= 0 || d <= 0 {
+		return 0
+	}
+	return math.Pow(d, 1/tauFwd)
+}
+
+// segmentEnds returns, for each 0-indexed stage, the 1-indexed last stage
+// of its recompute segment, for segments of near-equal length.
+func segmentEnds(p, segments int) []int {
+	if segments > p {
+		segments = p
+	}
+	ends := make([]int, p)
+	for s := 0; s < p; s++ {
+		seg := s * segments / p
+		// Last stage of segment seg is the largest s' with s'·segments/p == seg.
+		end := (seg+1)*p/segments - 1
+		if end >= p {
+			end = p - 1
+		}
+		ends[s] = end + 1 // 1-indexed
+	}
+	return ends
+}
+
+// Taus returns the per-parameter forward delays in minibatch units.
+func (t *Trainer) Taus() []float64 { return t.taus }
+
+// Stages returns the number of pipeline stages.
+func (t *Trainer) Stages() int { return t.clock.P }
+
+// Microbatches returns N, the number of microbatches per minibatch.
+func (t *Trainer) Microbatches() int { return t.clock.N }
+
+// Diverged reports whether training was aborted on a non-finite or
+// capped loss.
+func (t *Trainer) Diverged() bool { return t.diverged }
+
+// Partition exposes the stage partition (for the memory model).
+func (t *Trainer) Partition() *pipeline.Partition { return t.part }
+
+// synchronous reports whether the current epoch runs synchronously
+// (GPipe method, or a T3 warmup epoch).
+func (t *Trainer) synchronous() bool {
+	return t.cfg.Method == GPipe || t.epoch < t.cfg.WarmupEpochs
+}
+
+// installForward points every parameter's forward weights at the delayed
+// snapshot its stage sees at global microbatch s.
+func (t *Trainer) installForward(s int) {
+	for i, pm := range t.params {
+		v := t.clock.FwdVersion(s, t.stage1[i])
+		snap := t.store.Get(t.stage1[i]-1, v)
+		pm.Data = snapTensor(snap, t.part.Stages[t.stage1[i]-1], pm)
+	}
+}
+
+// snapTensor finds pm's snapshot tensor within its stage snapshot.
+func snapTensor(snap []*tensor.Tensor, stage []*nn.Param, pm *nn.Param) *tensor.Tensor {
+	for j, q := range stage {
+		if q == pm {
+			return snap[j]
+		}
+	}
+	panic("core: parameter not found in its stage")
+}
+
+// trainMinibatch runs one minibatch (N microbatches) through the pipeline
+// simulation and commits one optimizer update. It returns the mean
+// microbatch loss and false if training diverged.
+func (t *Trainer) trainMinibatch(batch []int, masters []*tensor.Tensor) (float64, bool) {
+	micros := data.Microbatches(batch, t.cfg.MicrobatchSize)
+	sync := t.synchronous()
+	lossSum := 0.0
+	for _, mb := range micros {
+		s := t.micro
+		if !sync {
+			t.installForward(s)
+			switch t.cfg.Method {
+			case PipeDream:
+				// Backward uses the stashed forward weights: Bwd stays nil
+				// so BwdData falls back to the installed snapshot.
+			case PipeMare:
+				for i, pm := range t.params {
+					if t.corrected != nil {
+						pm.Bwd = t.corrected[i]
+					} else {
+						pm.Bwd = masters[i]
+					}
+				}
+			}
+		}
+		loss := t.task.Forward(mb)
+		lossSum += loss
+		if !sync && t.segEnd1 != nil {
+			// Recompute pass: activations are regenerated with weights
+			// delayed by the recompute path before backprop (Appendix D).
+			t.installRecompute(s)
+			t.task.Forward(mb)
+		}
+		if math.IsNaN(loss) || loss > t.cfg.LossCap {
+			t.restoreMasters(masters)
+			t.diverged = true
+			return math.Inf(1), false
+		}
+		t.task.Backward()
+		t.restoreMasters(masters)
+		t.micro++
+	}
+	// Average the accumulated microbatch-mean gradients.
+	n := float64(len(micros))
+	for _, pm := range t.params {
+		for j := range pm.Grad.Data {
+			pm.Grad.Data[j] /= n
+		}
+	}
+	if t.cfg.ClipNorm > 0 {
+		nn.ClipGradNorm(t.params, t.cfg.ClipNorm)
+	}
+	lrs := t.learningRates()
+	if t.prev != nil {
+		for i, pm := range t.params {
+			t.prev[i].CopyFrom(pm.Data)
+		}
+	}
+	t.opt.Step(lrs)
+	nn.ZeroGrads(t.params)
+	t.afterStep()
+	t.step++
+	return lossSum / n, true
+}
+
+// restoreMasters points every parameter back at its live master weights
+// and clears the backward decoupling.
+func (t *Trainer) restoreMasters(masters []*tensor.Tensor) {
+	for i, pm := range t.params {
+		pm.Data = masters[i]
+		pm.Bwd = nil
+	}
+}
+
+// learningRates computes the per-parameter rates: plain schedule while
+// synchronous, T1-rescheduled once asynchronous (with the annealing clock
+// starting at the async switch, so warmup epochs do not consume it).
+func (t *Trainer) learningRates() []float64 {
+	if t.synchronous() || t.cfg.T1K <= 0 {
+		return optim.UniformLR(t.sched.LR(t.step), len(t.params))
+	}
+	async := t.step - t.warmupSteps()
+	if async < 0 {
+		async = 0
+	}
+	// T1 uses the base schedule at the true step but anneals on async time.
+	base := t.sched.LR(t.step)
+	out := make([]float64, len(t.params))
+	p := 1 - math.Min(float64(async)/float64(t.cfg.T1K), 1)
+	for i, tau := range t.taus {
+		if tau < 1 {
+			tau = 1
+		}
+		out[i] = base / math.Pow(tau, p)
+	}
+	return out
+}
+
+// warmupSteps returns the number of optimizer steps spent in T3 warmup.
+func (t *Trainer) warmupSteps() int {
+	perEpoch := t.task.NumTrain() / t.cfg.BatchSize
+	return t.cfg.WarmupEpochs * perEpoch
+}
+
+// afterStep updates the version store and the T2 accumulators after an
+// optimizer update.
+func (t *Trainer) afterStep() {
+	t.store.Push()
+	if t.delta == nil {
+		return
+	}
+	for i, pm := range t.params {
+		g := t.gamma[i]
+		d := t.delta[i]
+		for j := range d.Data {
+			d.Data[j] = g*d.Data[j] + (1-g)*(pm.Data.Data[j]-t.prev[i].Data[j])
+		}
+		// Corrected backward weights: u_bkwd = w − (τ_fwd − τ_bkwd)·δ.
+		c := t.corrected[i]
+		tau := t.taus[i]
+		for j := range c.Data {
+			c.Data[j] = pm.Data.Data[j] - tau*d.Data[j]
+		}
+	}
+}
+
+// installRecompute points the forward weights of every stage at the
+// version its recompute pass would read (Appendix D): stage i in a segment
+// ending at stage e reads weights delayed by 2(e−i)+1 slots, corrected by
+// the T2 accumulator when enabled.
+func (t *Trainer) installRecompute(s int) {
+	for i, pm := range t.params {
+		st1 := t.stage1[i]
+		e1 := t.segEnd1[st1-1]
+		v := t.recompVersion(s, st1, e1)
+		snap := snapTensor(t.store.Get(st1-1, v), t.part.Stages[st1-1], pm)
+		if t.delta != nil {
+			// u_recomp = w_{t−τr} − (τ_fwd − τ_recomp)·δ.
+			tauR := float64(2*(e1-st1)+1) / float64(t.clock.N)
+			coef := t.taus[i] - tauR
+			buf := tensor.New(snap.Shape...)
+			for j := range buf.Data {
+				buf.Data[j] = snap.Data[j] - coef*t.delta[i].Data[j]
+			}
+			pm.Data = buf
+		} else {
+			pm.Data = snap
+		}
+	}
+}
+
+// recompVersion returns the number of updates committed at stage i
+// (1-indexed) before the recompute slot of microbatch s for a segment
+// ending at stage e1: the recompute of stage i runs 2(e−i)+1 slots before
+// the gradient is applied.
+func (t *Trainer) recompVersion(s, stage1, e1 int) int {
+	num := s + 2*stage1 - 2*e1 - t.clock.N
+	if num < 0 {
+		return 0
+	}
+	return num/t.clock.N + 1
+}
+
+// TrainEpochs trains for the given number of epochs, recording one entry
+// per epoch in run. Training stops early on divergence. It returns run for
+// chaining.
+func (t *Trainer) TrainEpochs(epochs int, run *metrics.Run) *metrics.Run {
+	if run == nil {
+		run = &metrics.Run{}
+	}
+	masters := make([]*tensor.Tensor, len(t.params))
+	for i, pm := range t.params {
+		masters[i] = pm.Data
+	}
+	for e := 0; e < epochs; e++ {
+		t.epoch = e
+		epochLoss, batches := 0.0, 0
+		for _, batch := range data.Batches(t.task.NumTrain(), t.cfg.BatchSize, t.rng) {
+			if len(batch) < t.cfg.BatchSize {
+				continue // keep N constant; drop the final short batch
+			}
+			loss, ok := t.trainMinibatch(batch, masters)
+			if !ok {
+				run.Record(math.Inf(1), 0, nn.ParamNorm(t.params))
+				run.Diverged = true
+				return run
+			}
+			epochLoss += loss
+			batches++
+		}
+		if batches == 0 {
+			panic("core: training set smaller than one batch")
+		}
+		metric := t.task.EvalTest()
+		run.Record(epochLoss/float64(batches), metric, nn.ParamNorm(t.params))
+	}
+	return run
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pipemare/internal/data"
+	"pipemare/internal/metrics"
+	"pipemare/internal/model"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+	"pipemare/internal/pipeline"
+)
+
+// probeTask is a fake task with one scalar parameter per group whose
+// Forward/Backward record the weight values the trainer installed. Paired
+// with countingOptimizer (each update adds exactly +1 to every weight),
+// the observed value of a weight IS its version number, so the trainer's
+// version bookkeeping can be checked against the Clock formulas exactly.
+type probeTask struct {
+	groups   []pipeline.ParamGroup
+	params   []*nn.Param
+	numTrain int
+
+	fwdSeen [][]float64 // fwdSeen[s][g]: forward weight seen at microbatch s
+	bwdSeen [][]float64 // bwdSeen[s][g]: backward weight seen at microbatch s
+}
+
+func newProbeTask(groups, numTrain int) *probeTask {
+	t := &probeTask{numTrain: numTrain}
+	for g := 0; g < groups; g++ {
+		p := nn.NewParam("probe", 1)
+		t.params = append(t.params, p)
+		t.groups = append(t.groups, pipeline.ParamGroup{Name: "g", Params: []*nn.Param{p}})
+	}
+	return t
+}
+
+func (t *probeTask) Groups() []pipeline.ParamGroup { return t.groups }
+func (t *probeTask) NumTrain() int                 { return t.numTrain }
+
+func (t *probeTask) Forward(idx []int) float64 {
+	row := make([]float64, len(t.params))
+	for i, p := range t.params {
+		row[i] = p.Data.Data[0]
+	}
+	t.fwdSeen = append(t.fwdSeen, row)
+	return 0.1
+}
+
+func (t *probeTask) Backward() {
+	row := make([]float64, len(t.params))
+	for i, p := range t.params {
+		row[i] = p.BwdData().Data[0]
+	}
+	t.bwdSeen = append(t.bwdSeen, row)
+}
+
+func (t *probeTask) EvalTest() float64 { return 0 }
+
+// countingOptimizer adds exactly 1 to every weight per step, making weight
+// values equal version numbers.
+type countingOptimizer struct{ ps []*nn.Param }
+
+func (c *countingOptimizer) Step([]float64) {
+	for _, p := range c.ps {
+		for i := range p.Data.Data {
+			p.Data.Data[i]++
+		}
+	}
+}
+func (c *countingOptimizer) Params() []*nn.Param { return c.ps }
+func (c *countingOptimizer) StateCopies() int    { return 3 }
+
+func probeTrainer(t *testing.T, method Method, groups, stages, batch, micro, epochs int, t2d float64) (*probeTask, *Trainer) {
+	t.Helper()
+	task := newProbeTask(groups, 4*batch)
+	opt := &countingOptimizer{ps: func() []*nn.Param {
+		var ps []*nn.Param
+		for _, g := range task.groups {
+			ps = append(ps, g.Params...)
+		}
+		return ps
+	}()}
+	tr, err := New(task, opt, optim.Constant(0.1), Config{
+		Method: method, Stages: stages, BatchSize: batch, MicrobatchSize: micro,
+		T2D: t2d, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainEpochs(epochs, nil)
+	return task, tr
+}
+
+func TestPipeMareForwardSeesDelayedVersions(t *testing.T) {
+	const (
+		groups = 6
+		stages = 6
+		batch  = 8
+		micro  = 2 // N = 4
+	)
+	task, tr := probeTrainer(t, PipeMare, groups, stages, batch, micro, 3, 0)
+	clock := pipeline.Clock{P: tr.Stages(), N: tr.Microbatches()}
+	for s, row := range task.fwdSeen {
+		for g, got := range row {
+			stage1 := g + 1 // one group per stage
+			want := float64(clock.FwdVersion(s, stage1))
+			if got != want {
+				t.Fatalf("microbatch %d stage %d: forward saw version %g, want %g", s, stage1, got, want)
+			}
+		}
+	}
+}
+
+func TestPipeMareBackwardSeesMaster(t *testing.T) {
+	task, tr := probeTrainer(t, PipeMare, 5, 5, 8, 2, 3, 0)
+	clock := pipeline.Clock{P: tr.Stages(), N: tr.Microbatches()}
+	for s, row := range task.bwdSeen {
+		want := float64(clock.BwdVersion(s))
+		for g, got := range row {
+			if got != want {
+				t.Fatalf("microbatch %d group %d: backward saw %g, want master version %g (τ_bkwd = 0)", s, g, got, want)
+			}
+		}
+	}
+}
+
+func TestPipeDreamBackwardSeesStashedForwardWeights(t *testing.T) {
+	task, tr := probeTrainer(t, PipeDream, 5, 5, 8, 2, 3, 0)
+	clock := pipeline.Clock{P: tr.Stages(), N: tr.Microbatches()}
+	for s := range task.bwdSeen {
+		for g := range task.bwdSeen[s] {
+			stage1 := g + 1
+			want := float64(clock.FwdVersion(s, stage1))
+			if task.bwdSeen[s][g] != want {
+				t.Fatalf("microbatch %d stage %d: backward saw %g, want stashed forward version %g", s, stage1, task.bwdSeen[s][g], want)
+			}
+			if task.bwdSeen[s][g] != task.fwdSeen[s][g] {
+				t.Fatal("PipeDream must use identical forward and backward weights")
+			}
+		}
+	}
+}
+
+func TestGPipeSeesCurrentWeightsEverywhere(t *testing.T) {
+	task, tr := probeTrainer(t, GPipe, 5, 5, 8, 2, 3, 0)
+	clock := pipeline.Clock{P: tr.Stages(), N: tr.Microbatches()}
+	for s := range task.fwdSeen {
+		want := float64(clock.BwdVersion(s)) // = committed updates before s
+		for g := range task.fwdSeen[s] {
+			if task.fwdSeen[s][g] != want || task.bwdSeen[s][g] != want {
+				t.Fatalf("microbatch %d: GPipe saw fwd %g bwd %g, want synchronous %g",
+					s, task.fwdSeen[s][g], task.bwdSeen[s][g], want)
+			}
+		}
+	}
+}
+
+func TestFirstStageDelayEqualsTable1(t *testing.T) {
+	// Measured delay for the first stage must be τ_fwd = (2(P−1)+1)/N
+	// minibatches: in steady state the forward version lags the consuming
+	// update by ⌈(2(P−i)+1 − j)/N⌉ for microbatch j; check the average gap.
+	const stages, batch, micro = 8, 8, 2 // N = 4
+	task, tr := probeTrainer(t, PipeMare, stages, stages, batch, micro, 6, 0)
+	clock := pipeline.Clock{P: tr.Stages(), N: tr.Microbatches()}
+	n := clock.N
+	// Steady-state minibatch index.
+	t0 := len(task.fwdSeen)/n - 2
+	gap := 0.0
+	for j := 0; j < n; j++ {
+		s := t0*n + j
+		consuming := float64(clock.Minibatch(s) + 1)
+		gap += consuming - task.fwdSeen[s][0]
+	}
+	gap /= float64(n)
+	wantMean := float64(2*(stages-1)+n) / float64(n)
+	if math.Abs(gap-wantMean) > 1e-12 {
+		t.Fatalf("measured first-stage delay %g updates, want %g", gap, wantMean)
+	}
+	// And the trainer's τ table must match Table 1 exactly.
+	if tau := tr.Taus()[0]; math.Abs(tau-float64(2*(stages-1)+1)/float64(n)) > 1e-12 {
+		t.Fatalf("τ_fwd[first stage] = %g, want %g", tau, float64(2*(stages-1)+1)/float64(n))
+	}
+}
+
+func TestT2CorrectionExtrapolatesVelocity(t *testing.T) {
+	// With the counting optimizer every update moves each weight by exactly
+	// +1, so δ converges to 1 and the corrected backward weights approach
+	// master − τ_i — i.e. T2 exactly reconstructs the forward-time weights
+	// for a constant-velocity trajectory.
+	const stages, batch, micro = 6, 8, 2
+	task, tr := probeTrainer(t, PipeMare, stages, stages, batch, micro, 30, 0.135)
+	clock := pipeline.Clock{P: tr.Stages(), N: tr.Microbatches()}
+	last := len(task.bwdSeen) - 1
+	master := float64(clock.BwdVersion(last))
+	for g, got := range task.bwdSeen[last] {
+		tau := tr.Taus()[g]
+		want := master - tau
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("stage %d: corrected backward weight %g, want ≈ master−τ = %g", g+1, got, want)
+		}
+	}
+}
+
+func TestSegmentEnds(t *testing.T) {
+	ends := segmentEnds(8, 2)
+	want := []int{4, 4, 4, 4, 8, 8, 8, 8}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("segmentEnds(8,2) = %v, want %v", ends, want)
+		}
+	}
+	// One segment: everything ends at the last stage.
+	for _, e := range segmentEnds(5, 1) {
+		if e != 5 {
+			t.Fatalf("segmentEnds(5,1) = %v", segmentEnds(5, 1))
+		}
+	}
+	// Segments capped at P.
+	ends = segmentEnds(3, 10)
+	for i, e := range ends {
+		if e != i+1 {
+			t.Fatalf("segmentEnds(3,10) = %v", ends)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	task := newProbeTask(4, 64)
+	opt := &countingOptimizer{ps: task.params}
+	if _, err := New(task, opt, optim.Constant(0.1), Config{Stages: 9, BatchSize: 8, MicrobatchSize: 2}); err == nil {
+		t.Fatal("more stages than groups must error")
+	}
+	if _, err := New(task, opt, optim.Constant(0.1), Config{BatchSize: 7, MicrobatchSize: 2}); err == nil {
+		t.Fatal("batch not divisible by microbatch must error")
+	}
+	if _, err := New(task, opt, optim.Constant(0.1), Config{BatchSize: 0, MicrobatchSize: 2}); err == nil {
+		t.Fatal("zero batch must error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if GPipe.String() != "GPipe" || PipeDream.String() != "PipeDream" || PipeMare.String() != "PipeMare" {
+		t.Fatal("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method must still render")
+	}
+}
+
+func TestWarmupEpochsRunSynchronously(t *testing.T) {
+	// With T3 warmup, the first warmup epochs must behave like GPipe
+	// (forward sees the live master everywhere).
+	const stages, batch, micro = 5, 8, 2
+	task := newProbeTask(stages, 4*batch)
+	opt := &countingOptimizer{ps: task.params}
+	tr, err := New(task, opt, optim.Constant(0.1), Config{
+		Method: PipeMare, Stages: stages, BatchSize: batch, MicrobatchSize: micro,
+		WarmupEpochs: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainEpochs(2, nil)
+	clock := pipeline.Clock{P: stages, N: batch / micro}
+	microsPerEpoch := 4 * (batch / micro)
+	for s := 0; s < microsPerEpoch; s++ { // first epoch: synchronous
+		want := float64(clock.BwdVersion(s))
+		for g := range task.fwdSeen[s] {
+			if task.fwdSeen[s][g] != want {
+				t.Fatalf("warmup microbatch %d saw %g, want synchronous %g", s, task.fwdSeen[s][g], want)
+			}
+		}
+	}
+	// Second epoch: stage 1 must now see delayed versions.
+	s := microsPerEpoch + 2*stages // steady-ish state inside epoch 2
+	if task.fwdSeen[s][0] >= float64(clock.BwdVersion(s)) {
+		t.Fatal("after warmup, the first stage must see stale weights")
+	}
+}
+
+func TestGPipeTrainerTrainsRealModel(t *testing.T) {
+	d := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4, Train: 256, Test: 64, Noise: 0.4, Seed: 1})
+	task := model.NewResNetMLP(d, 16, 6, 2)
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	opt := optim.NewSGD(ps, 0.9, 5e-4)
+	tr, err := New(task, opt, optim.Constant(0.05), Config{
+		Method: GPipe, BatchSize: 32, MicrobatchSize: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := tr.TrainEpochs(12, nil)
+	if run.Diverged {
+		t.Fatal("GPipe diverged")
+	}
+	if best := run.Best(); best < 80 {
+		t.Fatalf("GPipe best accuracy %.1f%%, want ≥ 80%%", best)
+	}
+}
+
+func TestPipeMareT1TrainsRealModelAtFineGranularity(t *testing.T) {
+	// The headline behaviour: fully asynchronous fine-grained training
+	// (one stage per weight group) converges once T1 is enabled.
+	d := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4, Train: 256, Test: 64, Noise: 0.4, Seed: 1})
+	task := model.NewResNetMLP(d, 16, 6, 2)
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	opt := optim.NewSGD(ps, 0.9, 5e-4)
+	tr, err := New(task, opt, optim.Constant(0.05), Config{
+		Method: PipeMare, BatchSize: 32, MicrobatchSize: 8,
+		T1K: 40, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := tr.TrainEpochs(15, nil)
+	if run.Diverged {
+		t.Fatal("PipeMare with T1 diverged")
+	}
+	if best := run.Best(); best < 75 {
+		t.Fatalf("PipeMare+T1 best accuracy %.1f%%, want ≥ 75%%", best)
+	}
+}
+
+func TestDivergenceIsDetected(t *testing.T) {
+	d := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4, Train: 128, Test: 32, Noise: 0.4, Seed: 1})
+	task := model.NewResNetMLP(d, 16, 6, 2)
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	opt := optim.NewSGD(ps, 0.9, 0)
+	// Absurdly large step size: must be caught, not crash.
+	tr, err := New(task, opt, optim.Constant(50), Config{
+		Method: PipeMare, BatchSize: 32, MicrobatchSize: 8, Seed: 1, LossCap: 1e4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := tr.TrainEpochs(5, &metrics.Run{})
+	if !run.Diverged || !tr.Diverged() {
+		t.Fatal("divergence must be detected and recorded")
+	}
+}

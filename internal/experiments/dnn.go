@@ -1,0 +1,485 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pipemare/internal/core"
+	"pipemare/internal/metrics"
+)
+
+func init() {
+	register("table2", "End-to-end comparison (best metric, speedup, epochs, throughput, memory)", table2)
+	register("table3", "Ablation study of PipeMare techniques", table3)
+	register("fig2", "Impact of pipeline stages (translation)", fig2)
+	register("fig4", "Incremental techniques at 2x stages", fig4)
+	register("fig7", "Divergence analysis: parameter norms and delay discrepancy", fig7)
+	register("fig9", "ImageNet-like and WMT-like training curves", fig9)
+	register("fig10", "Incremental techniques at 1x stages", fig10)
+	register("fig11", "Deeper model (ResNet152-like): T1 vs T1+T2", fig11)
+	register("fig12", "Sensitivity to annealing epochs (T1 K)", fig12)
+	register("fig13", "Sensitivity to discrepancy-correction decay D", fig13)
+	register("fig14", "Sensitivity to warmup epochs (T3)", fig14)
+	register("fig15", "Impact of pipeline stages (classification)", fig15)
+	register("fig17", "Recompute statistical performance (classification)", fig17)
+	register("fig18", "Recompute statistical performance (translation)", fig18)
+}
+
+// scaleEpochs shrinks a reference epoch budget for Quick runs.
+func scaleEpochs(s Scale, epochs int) int {
+	if s == Full {
+		return epochs
+	}
+	e := epochs / 4
+	if e < 6 {
+		e = 6
+	}
+	return e
+}
+
+// table2 regenerates Table 2: PipeDream vs GPipe vs PipeMare on all four
+// workloads (classification only under Quick).
+func table2(w io.Writer, s Scale) {
+	workloads := []Workload{CIFARLike(), IWSLTLike()}
+	if s == Full {
+		workloads = []Workload{CIFARLike(), ImageNetLike(), IWSLTLike(), WMTLike()}
+	}
+	fmt.Fprintln(w, "Table 2: end-to-end comparison")
+	for _, wl := range workloads {
+		epochs := scaleEpochs(s, wl.Epochs)
+		gp := wl.Run(RunSpec{Method: core.GPipe, Epochs: epochs, Seed: 11})
+		pd := wl.Run(RunSpec{Method: core.PipeDream, Epochs: epochs, Seed: 11})
+		pm := wl.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: true, UseT3: true, WarmupEpochs: -1, Epochs: epochs, Seed: 11})
+		target := wl.Target(gp, pd, pm)
+		gpTime := gp.TimeTo(target, core.GPipe, 0)
+		fmt.Fprintf(w, "\n%s  [%s]  stages=%d N=%d target=%.1f\n", wl.Name, wl.Paper, pm.Stages, pm.N, target)
+		tb := newTable("Method", "Best", "Target", "Speedup", "EpochsToTgt", "Throughput", "Weight+Opt Mem")
+		row := func(name string, r RunResult, m core.Method, warm int) {
+			e := r.Run.EpochsToTarget(target)
+			tt := r.TimeTo(target, m, warm)
+			speed := metrics.Speedup(gpTime, tt)
+			es, ss := "-", "-"
+			if e > 0 {
+				es = fmt.Sprint(e)
+			}
+			if !math.IsInf(tt, 1) && speed > 0 {
+				ss = fmt.Sprintf("%.1fX", speed)
+			}
+			best := fmt.Sprintf("%.1f", r.Run.Best())
+			if r.Run.Diverged {
+				best += " (div)"
+			}
+			tb.add(name, best, fmt.Sprintf("%.1f", target), ss, es,
+				fmt.Sprintf("%.2fX", r.Throughput), fmt.Sprintf("%.2fX", r.MemRatio))
+		}
+		row("PipeDream", pd, core.PipeDream, 0)
+		row("GPipe", gp, core.GPipe, 0)
+		row("PipeMare", pm, core.PipeMare, wl.WarmupEpochs)
+		tb.write(w)
+	}
+}
+
+// table3 regenerates the Table 3 ablation on the classification and
+// translation workloads.
+func table3(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Table 3: ablation study of PipeMare")
+	type abl struct {
+		name       string
+		t1, t2, t3 bool
+	}
+	run := func(wl Workload, rows []abl) {
+		epochs := scaleEpochs(s, wl.Epochs)
+		gp := wl.Run(RunSpec{Method: core.GPipe, Epochs: epochs, Seed: 11})
+		results := make([]RunResult, len(rows))
+		for i, a := range rows {
+			results[i] = wl.Run(RunSpec{Method: core.PipeMare, UseT1: a.t1, UseT2: a.t2, UseT3: a.t3,
+				WarmupEpochs: -1, Epochs: epochs, Seed: 11})
+		}
+		all := append([]RunResult{gp}, results...)
+		target := wl.Target(all...)
+		gpTime := gp.TimeTo(target, core.GPipe, 0)
+		fmt.Fprintf(w, "\n%s  target=%.1f (GPipe best %.1f)\n", wl.Name, target, gp.Run.Best())
+		tb := newTable("Method", "Best", "Speedup", "EpochsToTgt", "Throughput", "Weight+Opt Mem")
+		for i, a := range rows {
+			r := results[i]
+			e := r.Run.EpochsToTarget(target)
+			warm := 0
+			if a.t3 {
+				warm = wl.WarmupEpochs
+			}
+			tt := r.TimeTo(target, core.PipeMare, warm)
+			es, ss := "-", "-"
+			if e > 0 {
+				es = fmt.Sprint(e)
+			}
+			if sp := metrics.Speedup(gpTime, tt); sp > 0 {
+				ss = fmt.Sprintf("%.1fX", sp)
+			}
+			best := fmt.Sprintf("%.1f", r.Run.Best())
+			if r.Run.Diverged {
+				best += " (div)"
+			}
+			tb.add(a.name, best, ss, es, fmt.Sprintf("%.2fX", r.Throughput), fmt.Sprintf("%.2fX", r.MemRatio))
+		}
+		tb.write(w)
+	}
+	run(CIFARLike(), []abl{
+		{"T1 only", true, false, false},
+		{"T2 only", false, true, false},
+		{"T1+T2", true, true, false},
+	})
+	run(IWSLTLike(), []abl{
+		{"T1 only", true, false, false},
+		{"T2 only", false, true, false},
+		{"T1+T2", true, true, false},
+		{"T1+T2+T3", true, true, true},
+	})
+}
+
+// ablationCurves prints the per-epoch metric for Sync / T1 / T1+T2 /
+// T1+T2+T3 — the Figure 4 and Figure 10 series.
+func ablationCurves(w io.Writer, s Scale, wl Workload, stages int, label string) {
+	epochs := scaleEpochs(s, wl.Epochs)
+	specs := []struct {
+		name       string
+		method     core.Method
+		t1, t2, t3 bool
+	}{
+		{"Sync", core.GPipe, false, false, false},
+		{"T1", core.PipeMare, true, false, false},
+		{"T1+T2", core.PipeMare, true, true, false},
+		{"T1+T2+T3", core.PipeMare, true, true, true},
+	}
+	results := make([]RunResult, len(specs))
+	for i, sp := range specs {
+		results[i] = wl.Run(RunSpec{Method: sp.method, Stages: stages, UseT1: sp.t1, UseT2: sp.t2,
+			UseT3: sp.t3, WarmupEpochs: -1, Epochs: epochs, Seed: 11})
+	}
+	fmt.Fprintf(w, "\n%s (%s, stages=%d)\n", label, wl.Name, results[0].Stages)
+	tb := newTable("Epoch", specs[0].name, specs[1].name, specs[2].name, specs[3].name)
+	step := epochs / 6
+	if step < 1 {
+		step = 1
+	}
+	for e := step - 1; e < epochs; e += step {
+		row := []any{e + 1}
+		for _, r := range results {
+			if e < r.Run.Epochs() {
+				row = append(row, fmt.Sprintf("%.1f", r.Run.Metric[e]))
+			} else {
+				row = append(row, "div")
+			}
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+	tb2 := newTable("Variant", "Best", "Diverged")
+	for i, sp := range specs {
+		tb2.add(sp.name, fmt.Sprintf("%.1f", results[i].Run.Best()), results[i].Run.Diverged)
+	}
+	tb2.write(w)
+}
+
+// fig4 runs the ablation at ~2× the fine-grained stage count.
+func fig4(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 4: incremental PipeMare techniques at 2x stages")
+	wl := CIFARLike()
+	wl.NewTask = doubleDepthClassifier(wl)
+	wl.T1K = wl.T1K * 2
+	ablationCurves(w, s, wl, 0, "classification, 213 weight groups")
+	if s == Full {
+		ablationCurves(w, s, IWSLTLike(), 0, "translation, all weight groups")
+	}
+}
+
+// fig10 runs the ablation at the default (1×) stage counts.
+func fig10(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 10: incremental PipeMare techniques at 1x stages")
+	ablationCurves(w, s, CIFARLike(), 0, "classification")
+	if s == Full {
+		ablationCurves(w, s, IWSLTLike(), 0, "translation")
+	}
+}
+
+// fig7 regenerates the divergence probes: parameter norm and accuracy for
+// asynchronous training with and without forward/backward discrepancy.
+func fig7(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 7: divergence analysis (parameter norm, accuracy)")
+	wl := CIFARLike()
+	epochs := scaleEpochs(s, 40)
+	specs := []struct {
+		name   string
+		method core.Method
+		deep   bool
+	}{
+		{"Sync", core.GPipe, false},
+		{"tau_f != tau_b, 107 stages (PipeMare raw)", core.PipeMare, false},
+		{"tau_f = tau_b, 107 stages (PipeDream)", core.PipeDream, false},
+		{"tau_f = tau_b, 213 stages (PipeDream deep)", core.PipeDream, true},
+	}
+	tb := newTable("Run", "norm@5", "norm@end", "best acc", "diverged")
+	for _, sp := range specs {
+		w2 := wl
+		if sp.deep {
+			w2.NewTask = doubleDepthClassifier(wl)
+		}
+		r := w2.Run(RunSpec{Method: sp.method, Epochs: epochs, Seed: 7})
+		n := r.Run.ParamNorm
+		idx5 := 4
+		if idx5 >= len(n) {
+			idx5 = len(n) - 1
+		}
+		tb.add(sp.name, fmt.Sprintf("%.3g", n[idx5]), fmt.Sprintf("%.3g", n[len(n)-1]),
+			fmt.Sprintf("%.1f", r.Run.Best()), r.Run.Diverged || n[len(n)-1] > 1e6)
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "Raw asynchrony blows up the parameter norm; discrepancy (tau_f != tau_b) accelerates it,")
+	fmt.Fprintln(w, "and even discrepancy-free delay (PipeDream) degrades when the stage count doubles.")
+}
+
+// doubleDepthClassifier doubles the residual-block count of the
+// classification workload (213 weight groups).
+func doubleDepthClassifier(wl Workload) func(int64) core.Task {
+	return func(seed int64) core.Task {
+		return classifierWithBlocks(105, seed)
+	}
+}
+
+// fig9 prints the larger-workload curves for Sync / PipeDream / PipeMare.
+func fig9(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 9: ImageNet-like and WMT-like training curves")
+	workloads := []Workload{ImageNetLike()}
+	if s == Full {
+		workloads = append(workloads, WMTLike())
+	}
+	for _, wl := range workloads {
+		epochs := scaleEpochs(s, wl.Epochs)
+		gp := wl.Run(RunSpec{Method: core.GPipe, Epochs: epochs, Seed: 11})
+		pd := wl.Run(RunSpec{Method: core.PipeDream, Epochs: epochs, Seed: 11})
+		pm := wl.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: true, UseT3: true,
+			WarmupEpochs: -1, Epochs: epochs, Seed: 11})
+		fmt.Fprintf(w, "\n%s\n", wl.Name)
+		tb := newTable("Epoch", "Sync", "PipeDream", "PipeMare")
+		step := epochs / 6
+		if step < 1 {
+			step = 1
+		}
+		for e := step - 1; e < epochs; e += step {
+			row := []any{e + 1}
+			for _, r := range []RunResult{gp, pd, pm} {
+				if e < r.Run.Epochs() {
+					row = append(row, fmt.Sprintf("%.1f", r.Run.Metric[e]))
+				} else {
+					row = append(row, "div")
+				}
+			}
+			tb.add(row...)
+		}
+		tb.write(w)
+	}
+}
+
+// fig11 contrasts T1-only and T1+T2 on a ~151-group model.
+func fig11(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 11: deeper classifier (151 weight groups): T1 only vs T1+T2")
+	wl := CIFARLike()
+	wl.NewTask = func(seed int64) core.Task { return classifierWithBlocks(74, seed) }
+	epochs := scaleEpochs(s, wl.Epochs)
+	t1 := wl.Run(RunSpec{Method: core.PipeMare, UseT1: true, Epochs: epochs, Seed: 11})
+	t12 := wl.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: true, Epochs: epochs, Seed: 11})
+	tb := newTable("Variant", "Best", "Final norm", "Diverged")
+	for _, r := range []struct {
+		name string
+		r    RunResult
+	}{{"T1 only", t1}, {"T1+T2 (D=0.5)", t12}} {
+		n := r.r.Run.ParamNorm
+		tb.add(r.name, fmt.Sprintf("%.1f", r.r.Run.Best()), fmt.Sprintf("%.3g", n[len(n)-1]),
+			r.r.Run.Diverged || n[len(n)-1] > 1e6)
+	}
+	tb.write(w)
+}
+
+// fig12 sweeps the T1 annealing length.
+func fig12(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 12: sensitivity to the number of annealing steps K (classification)")
+	wl := CIFARLike()
+	epochs := scaleEpochs(s, wl.Epochs)
+	perEpoch := 16
+	tb := newTable("K (epochs)", "Best", "Final", "Diverged/blown")
+	for _, kEpochs := range []int{5, 20, 30, 60} {
+		w2 := wl
+		w2.T1K = kEpochs * perEpoch
+		r := w2.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: true, Epochs: epochs, Seed: 11})
+		n := r.Run.ParamNorm
+		last := "-"
+		if !r.Run.Diverged {
+			last = fmt.Sprintf("%.1f", r.Run.Metric[r.Run.Epochs()-1])
+		}
+		tb.add(kEpochs, fmt.Sprintf("%.1f", r.Run.Best()), last, r.Run.Diverged || n[len(n)-1] > 1e6)
+	}
+	tb.write(w)
+}
+
+// fig13 sweeps the discrepancy-correction decay D, including D=0 (T1 only).
+func fig13(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 13: sensitivity to correction decay D (classification)")
+	wl := CIFARLike()
+	epochs := scaleEpochs(s, wl.Epochs)
+	tb := newTable("D", "Best", "Final", "Diverged/blown")
+	for _, d := range []float64{0, 0.2, 0.5, 0.7} {
+		w2 := wl
+		w2.T2D = d
+		r := w2.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: d > 0, Epochs: epochs, Seed: 11})
+		n := r.Run.ParamNorm
+		last := "-"
+		if !r.Run.Diverged {
+			last = fmt.Sprintf("%.1f", r.Run.Metric[r.Run.Epochs()-1])
+		}
+		tb.add(fnum(d), fmt.Sprintf("%.1f", r.Run.Best()), last, r.Run.Diverged || n[len(n)-1] > 1e6)
+	}
+	tb.write(w)
+}
+
+// fig14 sweeps the number of synchronous warmup epochs on the translation
+// workload (T3's tradeoff).
+func fig14(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 14: sensitivity to warmup epochs (translation)")
+	wl := IWSLTLike()
+	epochs := scaleEpochs(s, wl.Epochs)
+	tb := newTable("Warmup epochs", "Best", "EpochsToTgt(best-0.4)", "Amortized throughput")
+	runs := []RunResult{}
+	warms := []int{3, 5, 10}
+	for _, m := range warms {
+		r := wl.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: true, UseT3: true,
+			WarmupEpochs: m, Epochs: epochs, Seed: 11})
+		runs = append(runs, r)
+	}
+	target := wl.Target(runs...)
+	for i, m := range warms {
+		r := runs[i]
+		e := r.Run.EpochsToTarget(target)
+		es := "-"
+		if e > 0 {
+			es = fmt.Sprint(e)
+		}
+		tb.add(m, fmt.Sprintf("%.1f", r.Run.Best()), es, fmt.Sprintf("%.2f", r.Throughput))
+	}
+	tb.write(w)
+}
+
+// stageSweep produces the four panels of Figures 2 and 15: normalized
+// throughput, weight+optimizer memory, best metric, and time-to-target as
+// the stage count varies.
+func stageSweep(w io.Writer, s Scale, wl Workload, stages []int, label string) {
+	fmt.Fprintf(w, "%s\n", label)
+	epochs := scaleEpochs(s, wl.Epochs)
+	type row struct {
+		p                   int
+		thrGP, thrPM        float64
+		memGP, memPD, memPM float64
+		bestPM              float64
+		ttGP, ttPM          float64
+	}
+	var rows []row
+	for _, p := range stages {
+		gp := wl.Run(RunSpec{Method: core.GPipe, Stages: p, Epochs: epochs, Seed: 11})
+		pd := wl.Run(RunSpec{Method: core.PipeDream, Stages: p, Epochs: epochs, Seed: 11})
+		pm := wl.Run(RunSpec{Method: core.PipeMare, Stages: p, UseT1: true, UseT2: true, UseT3: true,
+			WarmupEpochs: -1, Epochs: epochs, Seed: 11})
+		target := wl.Target(gp, pd, pm)
+		rows = append(rows, row{
+			p: p,
+			// Absolute throughput grows with P for bubble-free methods
+			// (more parallel stages); GPipe pays the bubble factor.
+			thrGP: float64(p) * 0.3,
+			thrPM: float64(p) * pm.Throughput,
+			memGP: gp.MemRatio, memPD: pd.MemRatio, memPM: pm.MemRatio,
+			bestPM: pm.Run.Best(),
+			ttGP:   gp.TimeTo(target, core.GPipe, 0),
+			ttPM:   pm.TimeTo(target, core.PipeMare, wl.WarmupEpochs),
+		})
+	}
+	tb := newTable("Stages", "Thr GPipe", "Thr PipeMare", "Mem GPipe", "Mem PipeDream", "Mem PipeMare",
+		"Best PipeMare", "TimeToTgt GPipe", "TimeToTgt PipeMare")
+	for _, r := range rows {
+		tt1, tt2 := "Inf", "Inf"
+		if !math.IsInf(r.ttGP, 1) {
+			tt1 = fmt.Sprintf("%.0f", r.ttGP)
+		}
+		if !math.IsInf(r.ttPM, 1) {
+			tt2 = fmt.Sprintf("%.0f", r.ttPM)
+		}
+		tb.add(r.p, fmt.Sprintf("%.1f", r.thrGP), fmt.Sprintf("%.1f", r.thrPM),
+			fmt.Sprintf("%.2fX", r.memGP), fmt.Sprintf("%.2fX", r.memPD), fmt.Sprintf("%.2fX", r.memPM),
+			fmt.Sprintf("%.1f", r.bestPM), tt1, tt2)
+	}
+	tb.write(w)
+}
+
+// fig2 is the translation stage sweep.
+func fig2(w io.Writer, s Scale) {
+	stages := []int{12, 24, 48}
+	if s == Quick {
+		stages = []int{12, 48}
+	}
+	stageSweep(w, s, IWSLTLike(), stages, "Figure 2: translation workload vs pipeline stages")
+}
+
+// fig15 is the classification stage sweep.
+func fig15(w io.Writer, s Scale) {
+	stages := []int{20, 53, 107}
+	if s == Quick {
+		stages = []int{20, 107}
+	}
+	stageSweep(w, s, CIFARLike(), stages, "Figure 15: classification workload vs pipeline stages")
+}
+
+// recomputeCurves runs PipeMare with the recompute delay path for several
+// checkpoint-segment counts.
+func recomputeCurves(w io.Writer, s Scale, wl Workload, segs []int, withT2 bool, label string) {
+	epochs := scaleEpochs(s, wl.Epochs)
+	fmt.Fprintf(w, "\n%s (T2=%v)\n", label, withT2)
+	tb := newTable("Checkpoints", "Best", "Final", "Diverged/blown")
+	for _, seg := range append([]int{0}, segs...) {
+		r := wl.Run(RunSpec{Method: core.PipeMare, UseT1: true, UseT2: withT2,
+			Recompute: seg, Epochs: epochs, Seed: 11})
+		name := "no recompute"
+		if seg > 0 {
+			name = fmt.Sprintf("%d segments", seg)
+		}
+		n := r.Run.ParamNorm
+		last := "-"
+		if !r.Run.Diverged {
+			last = fmt.Sprintf("%.1f", r.Run.Metric[r.Run.Epochs()-1])
+		}
+		tb.add(name, fmt.Sprintf("%.1f", r.Run.Best()), last, r.Run.Diverged || n[len(n)-1] > 1e6)
+	}
+	tb.write(w)
+}
+
+// fig17 is the classification recompute study.
+func fig17(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 17: recompute on the classification workload")
+	wl := CIFARLike()
+	segs := []int{2, 4, 17}
+	if s == Quick {
+		segs = []int{4}
+	}
+	recomputeCurves(w, s, wl, segs, false, "T1 only")
+	recomputeCurves(w, s, wl, segs, true, "T1+T2")
+}
+
+// fig18 is the translation recompute study.
+func fig18(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Figure 18: recompute on the translation workload")
+	wl := IWSLTLike()
+	segs := []int{2, 12}
+	if s == Quick {
+		segs = []int{4}
+	}
+	recomputeCurves(w, s, wl, segs, true, "T1+T2")
+	if s == Full {
+		recomputeCurves(w, s, wl, segs, false, "T1 only")
+	}
+}

@@ -1,0 +1,129 @@
+package hogwild
+
+import (
+	"math"
+	"testing"
+
+	"pipemare/internal/data"
+	"pipemare/internal/model"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+)
+
+func task() (*model.Classification, []*nn.Param) {
+	d := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4, Train: 256, Test: 64, Noise: 0.4, Seed: 1})
+	c := model.NewResNetMLP(d, 16, 5, 2)
+	var ps []*nn.Param
+	for _, g := range c.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	return c, ps
+}
+
+func TestMeanDelayMonotone(t *testing.T) {
+	// Earlier stages must have larger expected delays.
+	p := 10
+	prev := math.Inf(1)
+	for i1 := 1; i1 <= p; i1++ {
+		m := MeanDelay(i1, p, 20, 0.5)
+		if m >= prev {
+			t.Fatalf("mean delay must decrease with stage: stage %d has %g ≥ %g", i1, m, prev)
+		}
+		prev = m
+	}
+	if got := MeanDelay(1, 10, 20, 0.5); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("first-stage mean = %g, want 10", got)
+	}
+}
+
+func TestSampleDelayTruncated(t *testing.T) {
+	c, ps := task()
+	opt := optim.NewSGD(ps, 0, 0)
+	tr, err := New(c, opt, optim.Constant(0.01), Config{BatchSize: 32, TauMax: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		d := tr.sampleDelay(5)
+		if d < 0 || d > 7 {
+			t.Fatalf("delay %d out of [0, 7]", d)
+		}
+	}
+}
+
+func TestHogwildTrainsWithModerateDelay(t *testing.T) {
+	c, ps := task()
+	opt := optim.NewSGD(ps, 0.9, 0)
+	tr, err := New(c, opt, optim.Constant(0.02), Config{
+		BatchSize: 32, TauMax: 4, MeanScale: 0.5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := tr.TrainEpochs(15, nil)
+	if run.Diverged {
+		t.Fatal("moderate-delay Hogwild diverged")
+	}
+	if best := run.Best(); best < 70 {
+		t.Fatalf("Hogwild best accuracy %.1f%%, want ≥ 70%%", best)
+	}
+}
+
+func TestT1ImprovesHogwildAtHighDelay(t *testing.T) {
+	// Figure 19's claim: with large stochastic delays and an aggressive
+	// step size, T1 rescheduling yields a better (or at least as good)
+	// final metric than the unrescheduled baseline.
+	run := func(t1k int, seed int64) (float64, bool) {
+		c, ps := task()
+		opt := optim.NewSGD(ps, 0.9, 0)
+		tr, err := New(c, opt, optim.Constant(0.08), Config{
+			BatchSize: 32, TauMax: 24, MeanScale: 0.8, T1K: t1k, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := tr.TrainEpochs(15, nil)
+		return r.Best(), r.Diverged
+	}
+	baseBest, baseDiv := run(0, 3)
+	t1Best, t1Div := run(60, 3)
+	if t1Div {
+		t.Fatal("T1 run diverged")
+	}
+	if !baseDiv && t1Best < baseBest-2 {
+		t.Fatalf("T1 best %.1f%% clearly below baseline %.1f%%", t1Best, baseBest)
+	}
+	if t1Best < 65 {
+		t.Fatalf("T1 Hogwild best %.1f%%, want ≥ 65%%", t1Best)
+	}
+}
+
+func TestHogwildConfigValidation(t *testing.T) {
+	c, ps := task()
+	opt := optim.NewSGD(ps, 0, 0)
+	if _, err := New(c, opt, optim.Constant(0.01), Config{BatchSize: 0, TauMax: 4}); err == nil {
+		t.Fatal("zero batch must error")
+	}
+	if _, err := New(c, opt, optim.Constant(0.01), Config{BatchSize: 32, TauMax: 0}); err == nil {
+		t.Fatal("zero TauMax must error")
+	}
+}
+
+func TestHogwildTausExposed(t *testing.T) {
+	c, ps := task()
+	opt := optim.NewSGD(ps, 0, 0)
+	tr, err := New(c, opt, optim.Constant(0.01), Config{BatchSize: 32, TauMax: 10, MeanScale: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := tr.Taus()
+	if len(taus) != len(ps) {
+		t.Fatalf("taus length %d, want %d", len(taus), len(ps))
+	}
+	// First parameter (stage 1) carries the largest expected delay.
+	for _, tau := range taus[1:] {
+		if tau > taus[0] {
+			t.Fatal("first stage must have the largest expected delay")
+		}
+	}
+}

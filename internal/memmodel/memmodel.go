@@ -1,0 +1,139 @@
+// Package memmodel implements the weight/optimizer and activation memory
+// models of the PipeMare paper: the Table 1 weight-memory column, the
+// Table 2 weight+optimizer accounting (footnote 2: T2 adds one
+// weight-sized buffer, +33% on SGD and +25% on Adam), the Table 4/5
+// activation-memory formulas with and without PipeMare Recompute, and the
+// per-stage activation footprint of Figure 6.
+package memmodel
+
+import "math"
+
+// WeightOptimizer returns the weight+optimizer memory of a method in
+// weight-sized units (multiples of W).
+//
+//   - optCopies is the optimizer's buffer count including master weights
+//     and gradient (3 for momentum SGD, 4 for Adam; optim.Optimizer's
+//     StateCopies).
+//   - stageSizes are the per-stage scalar weight counts (used for
+//     PipeDream's stash); n is the number of microbatches per minibatch.
+//   - t2 adds the discrepancy-correction buffer (one extra weight copy).
+func WeightOptimizer(m Method, optCopies int, stageSizes []int, n int, t2 bool) float64 {
+	total := 0
+	for _, s := range stageSizes {
+		total += s
+	}
+	w := float64(total)
+	base := float64(optCopies) * w
+	switch m {
+	case PipeDream:
+		return base + float64(StashExact(stageSizes, n))
+	case PipeMare:
+		if t2 {
+			return base + w
+		}
+		return base
+	default: // GPipe
+		return base
+	}
+}
+
+// Method mirrors the pipeline methods for memory lookups.
+type Method int
+
+// Method values.
+const (
+	GPipe Method = iota
+	PipeDream
+	PipeMare
+)
+
+// StashExact returns PipeDream's weight-stash size in scalars: stage i
+// (1-indexed) keeps ⌈(2(P−i)+1)/N⌉ stashed copies of its weights — one per
+// distinct in-flight weight version.
+func StashExact(stageSizes []int, n int) int {
+	p := len(stageSizes)
+	total := 0
+	for i1 := 1; i1 <= p; i1++ {
+		copies := (2*(p-i1) + 1 + n - 1) / n
+		total += stageSizes[i1-1] * copies
+	}
+	return total
+}
+
+// StashTable1 returns the Table 1 closed-form stash approximation W·P/N in
+// scalars.
+func StashTable1(totalWeights, p, n int) float64 {
+	return float64(totalWeights) * float64(p) / float64(n)
+}
+
+// Activation memory, Table 4 (fine-grained regime P = L), in units of M
+// (activation size per microbatch per layer). These are the asymptotic
+// leading terms the paper tabulates.
+
+// ActGPipe is M·P·N.
+func ActGPipe(p, n int) float64 { return float64(p) * float64(n) }
+
+// ActGPipeRecompute is M·P·N^½.
+func ActGPipeRecompute(p, n int) float64 { return float64(p) * math.Sqrt(float64(n)) }
+
+// ActPipeMare is M·P² (also PipeDream's).
+func ActPipeMare(p int) float64 { return float64(p) * float64(p) }
+
+// ActPipeMareRecompute is M·P^{3/2}, attained at segment size S = √P.
+func ActPipeMareRecompute(p int) float64 { return math.Pow(float64(p), 1.5) }
+
+// RecomputeRatio returns the Table 5 activation-memory ratio of PipeMare
+// with recompute to PipeMare without: P^{3/2}/P² = 1/√P
+// (0.097 at P = 107, 0.104 at P = 93, 0.105 at P = 91).
+func RecomputeRatio(p int) float64 { return 1 / math.Sqrt(float64(p)) }
+
+// OptimalSegment returns the segment size minimizing PipeMare-with-
+// recompute activation memory, S = √P (rounded to nearest integer ≥ 1).
+func OptimalSegment(p int) int {
+	s := int(math.Round(math.Sqrt(float64(p))))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// StageActivations returns the Figure 6 per-stage cached-activation counts
+// for a P-stage PipeMare pipeline without recompute: stage i (1-indexed)
+// caches 2(P−i)+1 microbatch activations between its forward and backward.
+func StageActivations(p int) []int {
+	out := make([]int, p)
+	for i1 := 1; i1 <= p; i1++ {
+		out[i1-1] = 2*(p-i1) + 1
+	}
+	return out
+}
+
+// StageActivationsRecompute returns the Figure 6 per-stage counts with
+// PipeMare Recompute and segments of size s: the first stage of each
+// segment additionally caches its segment input for 2(P−b) slots, and
+// stage at offset k within a segment of length L holds a recompute buffer
+// of 2(L−k)−1 microbatches.
+func StageActivationsRecompute(p, s int) []int {
+	out := make([]int, p)
+	for b := 0; b < p; b += s {
+		l := s
+		if b+l > p {
+			l = p - b
+		}
+		for k := 0; k < l; k++ {
+			out[b+k] = 2*(l-k) - 1
+		}
+		out[b] += 2 * (p - (b + 1))
+	}
+	return out
+}
+
+// TotalActivationsRecompute sums StageActivationsRecompute, matching the
+// Appendix A.2 estimate O(M·P·(P/S + S)).
+func TotalActivationsRecompute(p, s int) int {
+	total := 0
+	for _, v := range StageActivationsRecompute(p, s) {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,172 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecomputeRatioMatchesTable5(t *testing.T) {
+	// Table 5: 0.097X at P=107, 0.104X at P=93, 0.105X at P=91.
+	cases := []struct {
+		p    int
+		want float64
+	}{{107, 0.097}, {93, 0.104}, {91, 0.105}}
+	for _, c := range cases {
+		if got := RecomputeRatio(c.p); math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("RecomputeRatio(%d) = %.4f, want %.3f (Table 5)", c.p, got, c.want)
+		}
+	}
+}
+
+func TestOptimalSegmentIsSqrtP(t *testing.T) {
+	if got := OptimalSegment(16); got != 4 {
+		t.Fatalf("OptimalSegment(16) = %d, want 4", got)
+	}
+	if got := OptimalSegment(1); got != 1 {
+		t.Fatalf("OptimalSegment(1) = %d, want 1", got)
+	}
+	// S = √P minimizes the total recompute activation count over segment
+	// sizes (within the integer grid).
+	p := 64
+	best := OptimalSegment(p)
+	bestTotal := TotalActivationsRecompute(p, best)
+	for s := 1; s <= p; s++ {
+		if tot := TotalActivationsRecompute(p, s); tot < bestTotal-p {
+			// Allow small integer-effects slack of one activation per stage.
+			t.Fatalf("segment %d total %d beats √P segment %d total %d", s, tot, best, bestTotal)
+		}
+	}
+}
+
+func TestStageActivationsNoRecompute(t *testing.T) {
+	// Figure 6 orange+green: stage i caches 2(P−i)+1, so first stage of a
+	// 16-stage pipeline caches 31 and the last 1.
+	acts := StageActivations(16)
+	if acts[0] != 31 || acts[15] != 1 {
+		t.Fatalf("StageActivations(16) = %v", acts)
+	}
+	// Strictly decreasing by 2.
+	for i := 1; i < len(acts); i++ {
+		if acts[i] != acts[i-1]-2 {
+			t.Fatal("activation counts must decrease by 2 per stage")
+		}
+	}
+}
+
+func TestStageActivationsRecomputeFigure6(t *testing.T) {
+	// Figure 6 example: 16 stages, 4 segments of 4. Segment heads carry the
+	// long-lived input cache 2(P−b−1)... plus their recompute buffer.
+	acts := StageActivationsRecompute(16, 4)
+	if len(acts) != 16 {
+		t.Fatalf("len = %d", len(acts))
+	}
+	// Within each segment, non-head stages hold 2(L−k)−1 ∈ {5,3,1}.
+	for b := 0; b < 16; b += 4 {
+		if acts[b+1] != 5 || acts[b+2] != 3 || acts[b+3] != 1 {
+			t.Fatalf("segment at %d = %v", b, acts[b:b+4])
+		}
+		wantHead := 2*(4-0) - 1 + 2*(16-(b+1))
+		if acts[b] != wantHead {
+			t.Fatalf("head at %d = %d, want %d", b, acts[b], wantHead)
+		}
+	}
+	// Recompute total must be far below the no-recompute total.
+	tot := TotalActivationsRecompute(16, 4)
+	noRec := 0
+	for _, v := range StageActivations(16) {
+		noRec += v
+	}
+	if tot >= noRec {
+		t.Fatalf("recompute total %d not below plain total %d", tot, noRec)
+	}
+}
+
+func TestTable4AsymptoticOrdering(t *testing.T) {
+	// Table 4 at P = L = 100, N = 16: each recompute variant beats its
+	// plain counterpart, and PipeMare costs more than GPipe within each
+	// variant (P > N).
+	p, n := 100, 16
+	gpr := ActGPipeRecompute(p, n)
+	gp := ActGPipe(p, n)
+	pmr := ActPipeMareRecompute(p)
+	pm := ActPipeMare(p)
+	if !(gpr < gp && pmr < pm && pm > gp && pmr > gpr) {
+		t.Fatalf("ordering violated: gpr=%g gp=%g pmr=%g pm=%g", gpr, gp, pmr, pm)
+	}
+	// Exact values.
+	if gp != 1600 || pm != 10000 {
+		t.Fatalf("GPipe %g want 1600; PipeMare %g want 10000", gp, pm)
+	}
+	if math.Abs(pmr-1000) > 1e-9 {
+		t.Fatalf("PipeMare+recompute = %g, want P^1.5 = 1000", pmr)
+	}
+}
+
+func TestStashExact(t *testing.T) {
+	// P=4 equal stages of 10 weights, N=2: copies per stage are
+	// ⌈7/2⌉,⌈5/2⌉,⌈3/2⌉,⌈1/2⌉ = 4,3,2,1 → 100 scalars.
+	got := StashExact([]int{10, 10, 10, 10}, 2)
+	if got != 100 {
+		t.Fatalf("StashExact = %d, want 100", got)
+	}
+	// N=1 (no microbatching): copies are 7,5,3,1 → 160.
+	if got := StashExact([]int{10, 10, 10, 10}, 1); got != 160 {
+		t.Fatalf("StashExact N=1 = %d, want 160", got)
+	}
+}
+
+func TestStashGrowsWithStagesAndShrinksWithN(t *testing.T) {
+	eq := func(p int) []int {
+		s := make([]int, p)
+		for i := range s {
+			s[i] = 100
+		}
+		return s
+	}
+	if StashExact(eq(16), 4) <= StashExact(eq(8), 4)*3/2 {
+		t.Fatal("stash must grow superlinearly-ish with P at fixed per-stage size")
+	}
+	if StashExact(eq(8), 8) >= StashExact(eq(8), 2) {
+		t.Fatal("stash must shrink with more microbatches")
+	}
+}
+
+func TestStashTable1Approximation(t *testing.T) {
+	// The Table 1 closed form W·P/N approximates the exact stash for
+	// uniform stages within ~1.5×.
+	p, n, per := 32, 4, 100
+	sizes := make([]int, p)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	exact := float64(StashExact(sizes, n))
+	approx := StashTable1(p*per, p, n)
+	if exact < approx*0.8 || exact > approx*1.6 {
+		t.Fatalf("exact %g vs Table 1 approx %g diverge too much", exact, approx)
+	}
+}
+
+func TestWeightOptimizerTable2Ratios(t *testing.T) {
+	// Footnote 2 accounting: with momentum SGD (3 copies), PipeMare+T2 is
+	// 4/3 ≈ 1.33× the GPipe base; with Adam (4 copies) it is 5/4 = 1.25×.
+	sizes := []int{100, 100, 100, 100}
+	gp := WeightOptimizer(GPipe, 3, sizes, 4, false)
+	pmT2 := WeightOptimizer(PipeMare, 3, sizes, 4, true)
+	if r := pmT2 / gp; math.Abs(r-4.0/3) > 1e-12 {
+		t.Fatalf("SGD T2 ratio = %g, want 1.333 (Table 2)", r)
+	}
+	gpA := WeightOptimizer(GPipe, 4, sizes, 4, false)
+	pmA := WeightOptimizer(PipeMare, 4, sizes, 4, true)
+	if r := pmA / gpA; math.Abs(r-1.25) > 1e-12 {
+		t.Fatalf("Adam T2 ratio = %g, want 1.25 (Table 2)", r)
+	}
+	// PipeMare without T2 costs exactly the GPipe base.
+	if WeightOptimizer(PipeMare, 3, sizes, 4, false) != gp {
+		t.Fatal("PipeMare without T2 must equal the base")
+	}
+	// PipeDream exceeds everything.
+	pd := WeightOptimizer(PipeDream, 3, sizes, 4, false)
+	if pd <= pmT2 {
+		t.Fatalf("PipeDream %g must exceed PipeMare+T2 %g", pd, pmT2)
+	}
+}

@@ -1,0 +1,86 @@
+// Package metrics records training curves and computes the paper's
+// evaluation quantities: best metric, epochs-to-target and (together with
+// the throughput model) time-to-target.
+package metrics
+
+import "math"
+
+// Run records one training run's per-epoch measurements.
+type Run struct {
+	Name      string
+	Loss      []float64 // train loss per epoch
+	Metric    []float64 // test accuracy (%) or BLEU per epoch
+	ParamNorm []float64 // global parameter norm per epoch (divergence probe)
+	Diverged  bool
+}
+
+// Record appends one epoch's measurements.
+func (r *Run) Record(loss, metric, paramNorm float64) {
+	r.Loss = append(r.Loss, loss)
+	r.Metric = append(r.Metric, metric)
+	r.ParamNorm = append(r.ParamNorm, paramNorm)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		r.Diverged = true
+	}
+}
+
+// Best returns the best (max) metric over the run, or 0 for an empty run.
+func (r *Run) Best() float64 {
+	best := 0.0
+	for _, m := range r.Metric {
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// EpochsToTarget returns the 1-based epoch at which the metric first
+// reaches target, or -1 if it never does.
+func (r *Run) EpochsToTarget(target float64) int {
+	for i, m := range r.Metric {
+		if m >= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// Epochs returns the number of recorded epochs.
+func (r *Run) Epochs() int { return len(r.Metric) }
+
+// TimeToTarget converts epochs-to-target into normalized time given a
+// per-epoch throughput model: warmupEpochs run at warmupThroughput and the
+// rest at mainThroughput (throughputs are relative to a bubble-free
+// pipeline = 1.0). It returns +Inf when the target is never reached.
+func TimeToTarget(epochsToTarget, warmupEpochs int, warmupThroughput, mainThroughput float64) float64 {
+	if epochsToTarget < 0 {
+		return math.Inf(1)
+	}
+	w := warmupEpochs
+	if w > epochsToTarget {
+		w = epochsToTarget
+	}
+	rest := epochsToTarget - w
+	return float64(w)/warmupThroughput + float64(rest)/mainThroughput
+}
+
+// AmortizedThroughput returns total epochs divided by total normalized
+// time, the quantity reported in the paper's Tables 2–3 throughput column
+// for runs with synchronous warmup.
+func AmortizedThroughput(totalEpochs, warmupEpochs int, warmupThroughput, mainThroughput float64) float64 {
+	t := TimeToTarget(totalEpochs, warmupEpochs, warmupThroughput, mainThroughput)
+	if math.IsInf(t, 1) || t == 0 {
+		return 0
+	}
+	return float64(totalEpochs) / t
+}
+
+// Speedup returns timeBaseline / time, the paper's "Speedup to Target"
+// column; it is 0 when time is infinite.
+func Speedup(timeBaseline, time float64) float64 {
+	if math.IsInf(time, 1) {
+		return 0
+	}
+	return timeBaseline / time
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunRecordAndBest(t *testing.T) {
+	var r Run
+	r.Record(1.0, 50, 10)
+	r.Record(0.5, 80, 11)
+	r.Record(0.4, 75, 12)
+	if r.Epochs() != 3 {
+		t.Fatalf("Epochs = %d", r.Epochs())
+	}
+	if r.Best() != 80 {
+		t.Fatalf("Best = %g, want 80", r.Best())
+	}
+	if r.Diverged {
+		t.Fatal("run should not be marked diverged")
+	}
+}
+
+func TestRunDivergenceDetection(t *testing.T) {
+	var r Run
+	r.Record(math.NaN(), 0, 1e9)
+	if !r.Diverged {
+		t.Fatal("NaN loss must mark the run diverged")
+	}
+	var r2 Run
+	r2.Record(math.Inf(1), 0, 1e12)
+	if !r2.Diverged {
+		t.Fatal("Inf loss must mark the run diverged")
+	}
+}
+
+func TestEpochsToTarget(t *testing.T) {
+	r := Run{Metric: []float64{10, 50, 93.9, 94.0, 95}}
+	if got := r.EpochsToTarget(94); got != 4 {
+		t.Fatalf("EpochsToTarget = %d, want 4", got)
+	}
+	if got := r.EpochsToTarget(99); got != -1 {
+		t.Fatalf("unreached target = %d, want -1", got)
+	}
+}
+
+func TestTimeToTargetPaperCIFAR(t *testing.T) {
+	// Paper Table 2, CIFAR10: GPipe 83 epochs at throughput 0.3 vs
+	// PipeMare 82 epochs at 1.0 (no warmup) → 3.3× speedup.
+	gp := TimeToTarget(83, 0, 0.3, 0.3)
+	pm := TimeToTarget(82, 0, 0.3, 1.0)
+	s := Speedup(gp, pm)
+	if math.Abs(s-83.0/0.3/82.0) > 1e-9 {
+		t.Fatalf("speedup = %g", s)
+	}
+	if s < 3.3 || s > 3.45 {
+		t.Fatalf("CIFAR speedup = %.2f, paper reports 3.3×", s)
+	}
+}
+
+func TestTimeToTargetPaperIWSLT(t *testing.T) {
+	// Paper Table 2, IWSLT14: GPipe 30 epochs at 0.3; PipeMare 35 epochs
+	// with 10 synchronous warmup epochs → 1.7× speedup, 0.6 amortized
+	// throughput.
+	gp := TimeToTarget(30, 0, 0.3, 0.3)
+	pm := TimeToTarget(35, 10, 0.3, 1.0)
+	s := Speedup(gp, pm)
+	if s < 1.65 || s > 1.75 {
+		t.Fatalf("IWSLT speedup = %.2f, paper reports 1.7×", s)
+	}
+	th := AmortizedThroughput(35, 10, 0.3, 1.0)
+	if th < 0.55 || th > 0.65 {
+		t.Fatalf("amortized throughput = %.2f, paper reports 0.6", th)
+	}
+}
+
+func TestTimeToTargetPaperWMT(t *testing.T) {
+	// WMT17: GPipe 50 epochs at 0.3; PipeMare 54 epochs with 4 warmup →
+	// 2.6× speedup, ≈0.9 amortized throughput.
+	gp := TimeToTarget(50, 0, 0.3, 0.3)
+	pm := TimeToTarget(54, 4, 0.3, 1.0)
+	s := Speedup(gp, pm)
+	if s < 2.55 || s > 2.7 {
+		t.Fatalf("WMT speedup = %.2f, paper reports 2.6×", s)
+	}
+	th := AmortizedThroughput(54, 4, 0.3, 1.0)
+	if th < 0.82 || th > 0.92 {
+		t.Fatalf("amortized throughput = %.2f, paper reports ≈0.9", th)
+	}
+}
+
+func TestTimeToTargetUnreached(t *testing.T) {
+	if tt := TimeToTarget(-1, 0, 0.3, 1); !math.IsInf(tt, 1) {
+		t.Fatalf("unreached target time = %g, want +Inf", tt)
+	}
+	if s := Speedup(100, math.Inf(1)); s != 0 {
+		t.Fatalf("speedup against Inf = %g, want 0", s)
+	}
+}
+
+func TestWarmupClamp(t *testing.T) {
+	// Target reached during warmup: all epochs run at warmup throughput.
+	tt := TimeToTarget(5, 10, 0.5, 1.0)
+	if math.Abs(tt-10) > 1e-12 {
+		t.Fatalf("time = %g, want 10 (5 epochs at 0.5)", tt)
+	}
+}

@@ -1,0 +1,168 @@
+// Package model builds the networks and tasks of the PipeMare evaluation:
+// a deep residual MLP and a convolutional ResNet for the image
+// classification substitutes, and an encoder–decoder Transformer for the
+// translation substitute (see DESIGN.md §1 for the substitution table).
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipemare/internal/data"
+	"pipemare/internal/nn"
+	"pipemare/internal/pipeline"
+	"pipemare/internal/tensor"
+)
+
+// Classification is a core.Task for image classification over a layer
+// network whose outputs are class logits.
+type Classification struct {
+	Net    nn.Layer
+	CE     *nn.CrossEntropy
+	groups []pipeline.ParamGroup
+
+	trainX, testX *tensor.Tensor // (N, D) features
+	trainY, testY []int
+}
+
+// NewResNetMLP builds a deep pre-activation residual MLP classifier:
+//
+//	Linear(in→width) · [Residual(LN → ReLU → Linear)]×blocks · LN · Linear(width→classes)
+//
+// One weight group per layer (weight+bias fused), so the maximum stage
+// count is 2·blocks + 4 — analogous to the paper's "one stage per model
+// weight" ResNet50 regime.
+func NewResNetMLP(d *data.Images, width, blocks int, seed int64) *Classification {
+	rng := rand.New(rand.NewSource(seed))
+	in := d.C * d.H * d.W
+	var layers []nn.Layer
+	var groups []pipeline.ParamGroup
+
+	add := func(name string, l nn.Layer) nn.Layer {
+		layers = append(layers, l)
+		if ps := l.Params(); len(ps) > 0 {
+			groups = append(groups, pipeline.ParamGroup{Name: name, Params: ps})
+		}
+		return l
+	}
+	add("stem", nn.NewLinear("stem", in, width, true, rng))
+	for b := 0; b < blocks; b++ {
+		ln := nn.NewLayerNorm(fmt.Sprintf("blk%d.ln", b), width)
+		fc := nn.NewLinear(fmt.Sprintf("blk%d.fc", b), width, width, true, rng)
+		inner := nn.NewSequential(ln, nn.NewReLU(), fc)
+		layers = append(layers, nn.NewResidual(inner))
+		groups = append(groups,
+			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.ln", b), Params: ln.Params()},
+			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.fc", b), Params: fc.Params()},
+		)
+	}
+	add("head.ln", nn.NewLayerNorm("head.ln", width))
+	add("head.fc", nn.NewLinear("head.fc", width, d.Classes, true, rng))
+
+	return &Classification{
+		Net:    nn.NewSequential(layers...),
+		CE:     nn.NewCrossEntropy(),
+		groups: groups,
+		trainX: d.FlatTrain(), testX: d.FlatTest(),
+		trainY: d.TrainY, testY: d.TestY,
+	}
+}
+
+// NewConvNet builds a small convolutional residual classifier over
+// (C, H, W) images:
+//
+//	Conv(C→ch) · GN · ReLU · [Residual(GN → ReLU → Conv)]×blocks · GAP · Linear
+func NewConvNet(d *data.Images, channels, blocks, groupsPerNorm int, seed int64) *Classification {
+	rng := rand.New(rand.NewSource(seed))
+	var layers []nn.Layer
+	var pgroups []pipeline.ParamGroup
+
+	stem := nn.NewConv2d("stem", d.C, channels, 3, 1, 1, true, rng)
+	gn0 := nn.NewGroupNorm("stem.gn", channels, groupsPerNorm)
+	layers = append(layers, stem, gn0, nn.NewReLU())
+	pgroups = append(pgroups,
+		pipeline.ParamGroup{Name: "stem", Params: stem.Params()},
+		pipeline.ParamGroup{Name: "stem.gn", Params: gn0.Params()},
+	)
+	for b := 0; b < blocks; b++ {
+		gn := nn.NewGroupNorm(fmt.Sprintf("blk%d.gn", b), channels, groupsPerNorm)
+		cv := nn.NewConv2d(fmt.Sprintf("blk%d.conv", b), channels, channels, 3, 1, 1, true, rng)
+		layers = append(layers, nn.NewResidual(nn.NewSequential(gn, nn.NewReLU(), cv)))
+		pgroups = append(pgroups,
+			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.gn", b), Params: gn.Params()},
+			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.conv", b), Params: cv.Params()},
+		)
+	}
+	head := nn.NewLinear("head", channels, d.Classes, true, rng)
+	layers = append(layers, nn.NewGlobalAvgPool(), head)
+	pgroups = append(pgroups, pipeline.ParamGroup{Name: "head", Params: head.Params()})
+
+	c := &Classification{
+		Net:    nn.NewSequential(layers...),
+		CE:     nn.NewCrossEntropy(),
+		groups: pgroups,
+		trainY: d.TrainY, testY: d.TestY,
+	}
+	// Conv nets consume (N, C, H, W) tensors directly.
+	c.trainX = d.TrainX
+	c.testX = d.TestX
+	return c
+}
+
+// Groups returns the model's weight groups in forward order.
+func (c *Classification) Groups() []pipeline.ParamGroup { return c.groups }
+
+// NumTrain returns the training-set size.
+func (c *Classification) NumTrain() int { return len(c.trainY) }
+
+// Forward computes the mean cross-entropy loss on the indexed samples.
+func (c *Classification) Forward(idx []int) float64 {
+	x := gatherRows(c.trainX, idx)
+	labels := make([]int, len(idx))
+	for i, ix := range idx {
+		labels[i] = c.trainY[ix]
+	}
+	logits := c.Net.Forward(x)
+	return c.CE.Forward(logits, labels)
+}
+
+// Backward backpropagates from the last Forward.
+func (c *Classification) Backward() {
+	c.Net.Backward(c.CE.Backward())
+}
+
+// EvalTest returns test accuracy in percent.
+func (c *Classification) EvalTest() float64 {
+	n := len(c.testY)
+	const chunk = 256
+	correct := 0
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		idx := make([]int, e-s)
+		for i := range idx {
+			idx[i] = s + i
+		}
+		x := gatherRows(c.testX, idx)
+		logits := c.Net.Forward(x)
+		for i := range idx {
+			if logits.ArgMaxRow(i) == c.testY[idx[i]] {
+				correct++
+			}
+		}
+	}
+	return 100 * float64(correct) / float64(n)
+}
+
+// gatherRows selects rows (first axis) of x at the given indices.
+func gatherRows(x *tensor.Tensor, idx []int) *tensor.Tensor {
+	rowLen := x.Size() / x.Shape[0]
+	shape := append([]int{len(idx)}, x.Shape[1:]...)
+	out := tensor.New(shape...)
+	for i, ix := range idx {
+		copy(out.Data[i*rowLen:(i+1)*rowLen], x.Data[ix*rowLen:(ix+1)*rowLen])
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipemare/internal/bleu"
+	"pipemare/internal/data"
+	"pipemare/internal/nn"
+	"pipemare/internal/pipeline"
+	"pipemare/internal/tensor"
+)
+
+// encLayer is one pre-LN Transformer encoder layer.
+type encLayer struct {
+	ln1  *nn.LayerNorm
+	attn *nn.SelfAttention
+	ln2  *nn.LayerNorm
+	ff1  *nn.Linear
+	act  *nn.GELU
+	ff2  *nn.Linear
+}
+
+func (e *encLayer) forward(x *tensor.Tensor) *tensor.Tensor {
+	x = tensor.Add(x, e.attn.Forward(e.ln1.Forward(x)))
+	h := e.ff2.Forward(e.act.Forward(e.ff1.Forward(e.ln2.Forward(x))))
+	return tensor.Add(x, h)
+}
+
+func (e *encLayer) backward(dy *tensor.Tensor) *tensor.Tensor {
+	dh := e.ln2.Backward(e.ff1.Backward(e.act.Backward(e.ff2.Backward(dy))))
+	dx := tensor.Add(dy, dh)
+	da := e.ln1.Backward(e.attn.Backward(dx))
+	return tensor.Add(dx, da)
+}
+
+// decLayer is one pre-LN Transformer decoder layer with causal
+// self-attention and cross-attention over the encoder memory.
+type decLayer struct {
+	ln1   *nn.LayerNorm
+	self  *nn.SelfAttention
+	ln2   *nn.LayerNorm
+	cross *nn.MultiHeadAttention
+	ln3   *nn.LayerNorm
+	ff1   *nn.Linear
+	act   *nn.GELU
+	ff2   *nn.Linear
+}
+
+func (d *decLayer) forward(x, mem *tensor.Tensor) *tensor.Tensor {
+	x = tensor.Add(x, d.self.Forward(d.ln1.Forward(x)))
+	x = tensor.Add(x, d.cross.ForwardQKV(d.ln2.Forward(x), mem))
+	h := d.ff2.Forward(d.act.Forward(d.ff1.Forward(d.ln3.Forward(x))))
+	return tensor.Add(x, h)
+}
+
+// backward returns (dx, dmem).
+func (d *decLayer) backward(dy *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	dh := d.ln3.Backward(d.ff1.Backward(d.act.Backward(d.ff2.Backward(dy))))
+	dx := tensor.Add(dy, dh)
+	dq, dmem := d.cross.BackwardQKV(dx)
+	dx = tensor.Add(dx, d.ln2.Backward(dq))
+	ds := d.ln1.Backward(d.self.Backward(dx))
+	return tensor.Add(dx, ds), dmem
+}
+
+// Translation is a core.Task: an encoder–decoder Transformer trained with
+// teacher forcing on the synthetic translation dataset and evaluated with
+// greedy decoding + corpus BLEU.
+type Translation struct {
+	ds *data.Translation
+
+	srcEmb *nn.Embedding
+	srcPos *nn.PositionalEncoding
+	tgtEmb *nn.Embedding
+	tgtPos *nn.PositionalEncoding
+	enc    []*encLayer
+	dec    []*decLayer
+	lnf    *nn.LayerNorm
+	out    *nn.Linear
+	ce     *nn.CrossEntropy
+
+	groups []pipeline.ParamGroup
+	d      int
+}
+
+// TransformerConfig sizes the Translation model.
+type TransformerConfig struct {
+	Dim       int // model width (divisible by Heads)
+	Heads     int
+	EncLayers int
+	DecLayers int
+	FFMult    int // feed-forward width multiplier (default 2)
+	Seed      int64
+}
+
+// NewTranslation builds the Transformer translation task over ds.
+func NewTranslation(ds *data.Translation, cfg TransformerConfig) *Translation {
+	if cfg.FFMult == 0 {
+		cfg.FFMult = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Translation{ds: ds, d: cfg.Dim, ce: nn.NewCrossEntropy()}
+	grp := func(name string, ps []*nn.Param) {
+		t.groups = append(t.groups, pipeline.ParamGroup{Name: name, Params: ps})
+	}
+
+	t.srcEmb = nn.NewEmbedding("src.emb", ds.Vocab, cfg.Dim, rng)
+	t.srcPos = nn.NewPositionalEncoding("src.pos", ds.SrcLen, cfg.Dim, rng)
+	grp("src.emb", t.srcEmb.Params())
+	grp("src.pos", t.srcPos.Params())
+	ff := cfg.Dim * cfg.FFMult
+	for i := 0; i < cfg.EncLayers; i++ {
+		e := &encLayer{
+			ln1:  nn.NewLayerNorm(fmt.Sprintf("enc%d.ln1", i), cfg.Dim),
+			attn: nn.NewSelfAttention(fmt.Sprintf("enc%d.attn", i), cfg.Dim, cfg.Heads, ds.SrcLen, false, rng),
+			ln2:  nn.NewLayerNorm(fmt.Sprintf("enc%d.ln2", i), cfg.Dim),
+			ff1:  nn.NewLinear(fmt.Sprintf("enc%d.ff1", i), cfg.Dim, ff, true, rng),
+			act:  nn.NewGELU(),
+			ff2:  nn.NewLinear(fmt.Sprintf("enc%d.ff2", i), ff, cfg.Dim, true, rng),
+		}
+		t.enc = append(t.enc, e)
+		grp(fmt.Sprintf("enc%d.ln1", i), e.ln1.Params())
+		m := e.attn.MHA
+		grp(fmt.Sprintf("enc%d.q", i), m.Wq.Params())
+		grp(fmt.Sprintf("enc%d.k", i), m.Wk.Params())
+		grp(fmt.Sprintf("enc%d.v", i), m.Wv.Params())
+		grp(fmt.Sprintf("enc%d.o", i), m.Wo.Params())
+		grp(fmt.Sprintf("enc%d.ln2", i), e.ln2.Params())
+		grp(fmt.Sprintf("enc%d.ff1", i), e.ff1.Params())
+		grp(fmt.Sprintf("enc%d.ff2", i), e.ff2.Params())
+	}
+	t.tgtEmb = nn.NewEmbedding("tgt.emb", ds.Vocab, cfg.Dim, rng)
+	t.tgtPos = nn.NewPositionalEncoding("tgt.pos", ds.TgtLen, cfg.Dim, rng)
+	grp("tgt.emb", t.tgtEmb.Params())
+	grp("tgt.pos", t.tgtPos.Params())
+	for i := 0; i < cfg.DecLayers; i++ {
+		d := &decLayer{
+			ln1:   nn.NewLayerNorm(fmt.Sprintf("dec%d.ln1", i), cfg.Dim),
+			self:  nn.NewSelfAttention(fmt.Sprintf("dec%d.self", i), cfg.Dim, cfg.Heads, ds.TgtLen, true, rng),
+			ln2:   nn.NewLayerNorm(fmt.Sprintf("dec%d.ln2", i), cfg.Dim),
+			cross: nn.NewMultiHeadAttention(fmt.Sprintf("dec%d.cross", i), cfg.Dim, cfg.Heads, ds.TgtLen, ds.SrcLen, false, rng),
+			ln3:   nn.NewLayerNorm(fmt.Sprintf("dec%d.ln3", i), cfg.Dim),
+			ff1:   nn.NewLinear(fmt.Sprintf("dec%d.ff1", i), cfg.Dim, ff, true, rng),
+			act:   nn.NewGELU(),
+			ff2:   nn.NewLinear(fmt.Sprintf("dec%d.ff2", i), ff, cfg.Dim, true, rng),
+		}
+		t.dec = append(t.dec, d)
+		grp(fmt.Sprintf("dec%d.ln1", i), d.ln1.Params())
+		m := d.self.MHA
+		grp(fmt.Sprintf("dec%d.self.q", i), m.Wq.Params())
+		grp(fmt.Sprintf("dec%d.self.k", i), m.Wk.Params())
+		grp(fmt.Sprintf("dec%d.self.v", i), m.Wv.Params())
+		grp(fmt.Sprintf("dec%d.self.o", i), m.Wo.Params())
+		grp(fmt.Sprintf("dec%d.ln2", i), d.ln2.Params())
+		grp(fmt.Sprintf("dec%d.cross.q", i), d.cross.Wq.Params())
+		grp(fmt.Sprintf("dec%d.cross.k", i), d.cross.Wk.Params())
+		grp(fmt.Sprintf("dec%d.cross.v", i), d.cross.Wv.Params())
+		grp(fmt.Sprintf("dec%d.cross.o", i), d.cross.Wo.Params())
+		grp(fmt.Sprintf("dec%d.ln3", i), d.ln3.Params())
+		grp(fmt.Sprintf("dec%d.ff1", i), d.ff1.Params())
+		grp(fmt.Sprintf("dec%d.ff2", i), d.ff2.Params())
+	}
+	t.lnf = nn.NewLayerNorm("out.ln", cfg.Dim)
+	t.out = nn.NewLinear("out.proj", cfg.Dim, ds.Vocab, true, rng)
+	grp("out.ln", t.lnf.Params())
+	grp("out.proj", t.out.Params())
+	return t
+}
+
+// Groups returns the weight groups in forward order.
+func (t *Translation) Groups() []pipeline.ParamGroup { return t.groups }
+
+// NumTrain returns the training-set size.
+func (t *Translation) NumTrain() int { return t.ds.TrainSrc.Shape[0] }
+
+// encode runs the encoder on a (B, SrcLen) token tensor.
+func (t *Translation) encode(src *tensor.Tensor) *tensor.Tensor {
+	x := t.srcPos.Forward(t.srcEmb.Forward(src))
+	for _, e := range t.enc {
+		x = e.forward(x)
+	}
+	return x
+}
+
+// decode runs the decoder on (B, TgtLen) tokens over the encoder memory,
+// returning (B*TgtLen, Vocab) logits.
+func (t *Translation) decode(dst, mem *tensor.Tensor) *tensor.Tensor {
+	x := t.tgtPos.Forward(t.tgtEmb.Forward(dst))
+	for _, d := range t.dec {
+		x = d.forward(x, mem)
+	}
+	return t.out.Forward(t.lnf.Forward(x))
+}
+
+// Forward computes the teacher-forced cross-entropy on the indexed
+// training pairs.
+func (t *Translation) Forward(idx []int) float64 {
+	src := gatherRows(t.ds.TrainSrc, idx)
+	dst := gatherRows(t.ds.TrainDst, idx)
+	labels := make([]int, len(idx)*t.ds.TgtLen)
+	for i, ix := range idx {
+		copy(labels[i*t.ds.TgtLen:(i+1)*t.ds.TgtLen], t.ds.TrainLbl[ix])
+	}
+	mem := t.encode(src)
+	logits := t.decode(dst, mem)
+	return t.ce.Forward(logits, labels)
+}
+
+// Backward backpropagates from the last Forward through the decoder, the
+// cross-attention memory path, and the encoder.
+func (t *Translation) Backward() {
+	dy := t.ce.Backward()
+	dx := t.lnf.Backward(t.out.Backward(dy))
+	var dmem *tensor.Tensor
+	for i := len(t.dec) - 1; i >= 0; i-- {
+		var dm *tensor.Tensor
+		dx, dm = t.dec[i].backward(dx)
+		if dmem == nil {
+			dmem = dm
+		} else {
+			tensor.AddInto(dmem, dm)
+		}
+	}
+	t.tgtEmb.Backward(t.tgtPos.Backward(dx))
+	de := dmem
+	for i := len(t.enc) - 1; i >= 0; i-- {
+		de = t.enc[i].backward(de)
+	}
+	t.srcEmb.Backward(t.srcPos.Backward(de))
+}
+
+// EvalTest greedy-decodes the test set and returns corpus BLEU against the
+// reference translations (content tokens up to EOS).
+func (t *Translation) EvalTest() float64 {
+	n := t.ds.TestSrc.Shape[0]
+	const chunk = 64
+	var cands, refs [][]int
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		idx := make([]int, e-s)
+		for i := range idx {
+			idx[i] = s + i
+		}
+		src := gatherRows(t.ds.TestSrc, idx)
+		mem := t.encode(src)
+		b := len(idx)
+		dst := tensor.New(b, t.ds.TgtLen)
+		for i := 0; i < b; i++ {
+			dst.Data[i*t.ds.TgtLen] = data.BOS
+		}
+		pred := make([][]int, b)
+		for step := 0; step < t.ds.TgtLen; step++ {
+			logits := t.decode(dst, mem)
+			for i := 0; i < b; i++ {
+				tok := logits.ArgMaxRow(i*t.ds.TgtLen + step)
+				pred[i] = append(pred[i], tok)
+				if step+1 < t.ds.TgtLen {
+					dst.Data[i*t.ds.TgtLen+step+1] = float64(tok)
+				}
+			}
+		}
+		for i := 0; i < b; i++ {
+			cands = append(cands, trimEOS(pred[i]))
+			refs = append(refs, trimEOS(t.ds.TestLbl[idx[i]]))
+		}
+	}
+	return bleu.Corpus(cands, refs)
+}
+
+// trimEOS cuts a token sequence at the first EOS (exclusive).
+func trimEOS(toks []int) []int {
+	for i, tk := range toks {
+		if tk == data.EOS {
+			return toks[:i]
+		}
+	}
+	return toks
+}

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"pipemare/internal/tensor"
+)
+
+// MultiHeadAttention implements scaled dot-product attention with separate
+// query/key/value/output projections. Activations are (B*T, D) matrices
+// with a fixed sequence length per side, matching the synthetic translation
+// task. The projections are Linear layers, so the decoupled-weight
+// machinery applies to them automatically; the attention core itself is
+// weightless.
+type MultiHeadAttention struct {
+	Wq, Wk, Wv, Wo *Linear
+	Heads, D       int
+	QLen, KLen     int  // sequence lengths on the query and key/value sides
+	Causal         bool // mask future positions (QLen must equal KLen)
+
+	batch   int
+	q, k, v *tensor.Tensor   // cached post-projection activations
+	probs   []*tensor.Tensor // cached softmax probabilities per (batch, head)
+}
+
+// NewMultiHeadAttention returns an attention block over dimension d with
+// the given number of heads. qLen and kLen are the fixed query-side and
+// key-side sequence lengths.
+func NewMultiHeadAttention(name string, d, heads, qLen, kLen int, causal bool, rng *rand.Rand) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic("nn: attention dimension must be divisible by heads")
+	}
+	if causal && qLen != kLen {
+		panic("nn: causal attention requires qLen == kLen")
+	}
+	return &MultiHeadAttention{
+		Wq:    NewLinear(name+".q", d, d, true, rng),
+		Wk:    NewLinear(name+".k", d, d, true, rng),
+		Wv:    NewLinear(name+".v", d, d, true, rng),
+		Wo:    NewLinear(name+".o", d, d, true, rng),
+		Heads: heads, D: d, QLen: qLen, KLen: kLen, Causal: causal,
+	}
+}
+
+// ForwardQKV runs attention with queries from xq and keys/values from xkv.
+// xq has shape (B*QLen, D) and xkv has shape (B*KLen, D).
+func (m *MultiHeadAttention) ForwardQKV(xq, xkv *tensor.Tensor) *tensor.Tensor {
+	m.batch = xq.Shape[0] / m.QLen
+	m.q = m.Wq.Forward(xq)
+	m.k = m.Wk.Forward(xkv)
+	m.v = m.Wv.Forward(xkv)
+	dk := m.D / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	y := tensor.New(m.batch*m.QLen, m.D)
+	m.probs = m.probs[:0]
+	for b := 0; b < m.batch; b++ {
+		for h := 0; h < m.Heads; h++ {
+			qh := m.sliceHead(m.q, b, h, m.QLen)
+			kh := m.sliceHead(m.k, b, h, m.KLen)
+			vh := m.sliceHead(m.v, b, h, m.KLen)
+			s := tensor.MatMulT2(qh, kh)
+			for i := range s.Data {
+				s.Data[i] *= scale
+			}
+			if m.Causal {
+				for i := 0; i < m.QLen; i++ {
+					for j := i + 1; j < m.KLen; j++ {
+						s.Data[i*m.KLen+j] = math.Inf(-1)
+					}
+				}
+			}
+			p := tensor.SoftmaxRows(s)
+			m.probs = append(m.probs, p)
+			yh := tensor.MatMul(p, vh)
+			m.scatterHead(y, yh, b, h, m.QLen)
+		}
+	}
+	return m.Wo.Forward(y)
+}
+
+// BackwardQKV backpropagates dy through the attention block, returning the
+// gradients with respect to xq and xkv.
+func (m *MultiHeadAttention) BackwardQKV(dy *tensor.Tensor) (dxq, dxkv *tensor.Tensor) {
+	dYall := m.Wo.Backward(dy)
+	dk := m.D / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	dQ := tensor.New(m.batch*m.QLen, m.D)
+	dK := tensor.New(m.batch*m.KLen, m.D)
+	dV := tensor.New(m.batch*m.KLen, m.D)
+	for b := 0; b < m.batch; b++ {
+		for h := 0; h < m.Heads; h++ {
+			p := m.probs[b*m.Heads+h]
+			qh := m.sliceHead(m.q, b, h, m.QLen)
+			kh := m.sliceHead(m.k, b, h, m.KLen)
+			vh := m.sliceHead(m.v, b, h, m.KLen)
+			dyh := m.sliceHead(dYall, b, h, m.QLen)
+			dvh := tensor.MatMulT1(p, dyh)
+			dp := tensor.MatMulT2(dyh, vh)
+			// Softmax backward: ds = p ⊙ (dp − rowsum(dp ⊙ p)).
+			ds := tensor.New(m.QLen, m.KLen)
+			for i := 0; i < m.QLen; i++ {
+				dot := 0.0
+				for j := 0; j < m.KLen; j++ {
+					dot += dp.Data[i*m.KLen+j] * p.Data[i*m.KLen+j]
+				}
+				for j := 0; j < m.KLen; j++ {
+					ds.Data[i*m.KLen+j] = p.Data[i*m.KLen+j] * (dp.Data[i*m.KLen+j] - dot) * scale
+				}
+			}
+			dqh := tensor.MatMul(ds, kh)
+			dkh := tensor.MatMulT1(ds, qh)
+			m.scatterHead(dQ, dqh, b, h, m.QLen)
+			m.scatterHead(dK, dkh, b, h, m.KLen)
+			m.scatterHead(dV, dvh, b, h, m.KLen)
+		}
+	}
+	dxq = m.Wq.Backward(dQ)
+	dxkv = m.Wk.Backward(dK)
+	tensor.AddInto(dxkv, m.Wv.Backward(dV))
+	return dxq, dxkv
+}
+
+// sliceHead extracts the (seqLen, dk) block for batch b and head h from a
+// (B*seqLen, D) activation.
+func (m *MultiHeadAttention) sliceHead(x *tensor.Tensor, b, h, seqLen int) *tensor.Tensor {
+	dk := m.D / m.Heads
+	out := tensor.New(seqLen, dk)
+	for t := 0; t < seqLen; t++ {
+		src := x.Data[(b*seqLen+t)*m.D+h*dk:]
+		copy(out.Data[t*dk:(t+1)*dk], src[:dk])
+	}
+	return out
+}
+
+// scatterHead adds the (seqLen, dk) block for batch b and head h into a
+// (B*seqLen, D) activation.
+func (m *MultiHeadAttention) scatterHead(dst, src *tensor.Tensor, b, h, seqLen int) {
+	dk := m.D / m.Heads
+	for t := 0; t < seqLen; t++ {
+		d := dst.Data[(b*seqLen+t)*m.D+h*dk:]
+		s := src.Data[t*dk : (t+1)*dk]
+		for j := range s {
+			d[j] += s[j]
+		}
+	}
+}
+
+// Params returns all projection parameters in q, k, v, o order.
+func (m *MultiHeadAttention) Params() []*Param {
+	var ps []*Param
+	for _, l := range []*Linear{m.Wq, m.Wk, m.Wv, m.Wo} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SelfAttention adapts MultiHeadAttention to the Layer interface with
+// queries, keys and values all drawn from the same input.
+type SelfAttention struct {
+	MHA *MultiHeadAttention
+}
+
+// NewSelfAttention returns a self-attention layer.
+func NewSelfAttention(name string, d, heads, seqLen int, causal bool, rng *rand.Rand) *SelfAttention {
+	return &SelfAttention{MHA: NewMultiHeadAttention(name, d, heads, seqLen, seqLen, causal, rng)}
+}
+
+// Forward runs self-attention on x.
+func (s *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return s.MHA.ForwardQKV(x, x)
+}
+
+// Backward sums the query-side and key/value-side input gradients.
+func (s *SelfAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dxq, dxkv := s.MHA.BackwardQKV(dy)
+	return tensor.Add(dxq, dxkv)
+}
+
+// Params returns the projection parameters.
+func (s *SelfAttention) Params() []*Param { return s.MHA.Params() }

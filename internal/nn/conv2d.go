@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math/rand"
+
+	"pipemare/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution over (B, C, H, W) inputs with square kernels,
+// implemented via im2col lowering so forward and backward are matrix
+// multiplies against the (possibly decoupled) kernel weights.
+type Conv2d struct {
+	W *Param // kernel, shape (outC, inC, K, K)
+	B *Param // per-output-channel bias, nil when disabled
+
+	InC, OutC, K, Stride, Pad int
+
+	cols       *tensor.Tensor // cached im2col of the forward input
+	b, h, w    int            // cached input geometry
+	oh, ow     int            // cached output geometry
+	outCKernel int            // InC*K*K
+}
+
+// NewConv2d returns a Conv2d with He-initialized kernel weights.
+func NewConv2d(name string, inC, outC, k, stride, pad int, bias bool, rng *rand.Rand) *Conv2d {
+	c := &Conv2d{
+		W:   NewParam(name+".W", outC, inC, k, k),
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		outCKernel: inC * k * k,
+	}
+	c.W.InitHe(rng, inC*k*k)
+	if bias {
+		c.B = NewParam(name+".b", outC)
+	}
+	return c
+}
+
+// Forward computes the convolution and caches the lowered input.
+func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.b, c.h, c.w = x.Shape[0], x.Shape[2], x.Shape[3]
+	c.oh = tensor.ConvOutSize(c.h, c.K, c.Stride, c.Pad)
+	c.ow = tensor.ConvOutSize(c.w, c.K, c.Stride, c.Pad)
+	c.cols = tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad)
+	wm := c.W.Data.Reshape(c.OutC, c.outCKernel)
+	// rows are (b, oy, ox); columns are output channels.
+	res := tensor.MatMulT2(c.cols, wm)
+	out := tensor.New(c.b, c.OutC, c.oh, c.ow)
+	hw := c.oh * c.ow
+	for n := 0; n < c.b; n++ {
+		for p := 0; p < hw; p++ {
+			row := res.Data[(n*hw+p)*c.OutC : (n*hw+p+1)*c.OutC]
+			for o := 0; o < c.OutC; o++ {
+				v := row[o]
+				if c.B != nil {
+					v += c.B.Data.Data[o]
+				}
+				out.Data[(n*c.OutC+o)*hw+p] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel/bias gradients from the cached lowered input
+// and returns the input gradient computed with the backward weights.
+func (c *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	hw := c.oh * c.ow
+	// Rearrange dy (B, outC, OH, OW) into (B*OH*OW, outC) matching cols rows.
+	dyr := tensor.New(c.b*hw, c.OutC)
+	for n := 0; n < c.b; n++ {
+		for o := 0; o < c.OutC; o++ {
+			base := (n*c.OutC + o) * hw
+			for p := 0; p < hw; p++ {
+				dyr.Data[(n*hw+p)*c.OutC+o] = dy.Data[base+p]
+			}
+		}
+	}
+	// dW = dyrᵀ @ cols, shape (outC, inC*K*K).
+	dW := tensor.MatMulT1(dyr, c.cols)
+	tensor.AddInto(c.W.Grad.Reshape(c.OutC, c.outCKernel), dW)
+	if c.B != nil {
+		for r := 0; r < dyr.Shape[0]; r++ {
+			row := dyr.Data[r*c.OutC : (r+1)*c.OutC]
+			for o := 0; o < c.OutC; o++ {
+				c.B.Grad.Data[o] += row[o]
+			}
+		}
+	}
+	// dcols = dyr @ W_bwd, then scatter back to image space.
+	wb := c.W.BwdData().Reshape(c.OutC, c.outCKernel)
+	dcols := tensor.MatMul(dyr, wb)
+	return tensor.Col2Im(dcols, c.b, c.InC, c.h, c.w, c.K, c.K, c.Stride, c.Pad)
+}
+
+// Params returns the kernel and, if present, the bias.
+func (c *Conv2d) Params() []*Param {
+	if c.B != nil {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math/rand"
+
+	"pipemare/internal/tensor"
+)
+
+// Embedding maps integer token ids (carried in a float64 tensor of shape
+// (B, T)) to dense vectors, producing (B*T, D). The token id tensor is not
+// differentiable; Backward returns a zero tensor of the input shape.
+type Embedding struct {
+	W *Param // table, shape (V, D)
+
+	ids   []int
+	inShp []int
+}
+
+// NewEmbedding returns an embedding table with N(0, 0.02²) initialization.
+func NewEmbedding(name string, vocab, d int, rng *rand.Rand) *Embedding {
+	e := &Embedding{W: NewParam(name+".W", vocab, d)}
+	e.W.InitNormal(rng, 0.02)
+	return e
+}
+
+// Forward gathers rows of the table for each token id.
+func (e *Embedding) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Size()
+	d := e.W.Data.Shape[1]
+	e.ids = make([]int, n)
+	e.inShp = append([]int(nil), x.Shape...)
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		id := int(x.Data[i])
+		e.ids[i] = id
+		copy(out.Data[i*d:(i+1)*d], e.W.Data.Data[id*d:(id+1)*d])
+	}
+	return out
+}
+
+// Backward scatter-adds dy rows into the table gradient.
+func (e *Embedding) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	d := e.W.Data.Shape[1]
+	for i, id := range e.ids {
+		row := dy.Data[i*d : (i+1)*d]
+		g := e.W.Grad.Data[id*d : (id+1)*d]
+		for j := range row {
+			g[j] += row[j]
+		}
+	}
+	return tensor.New(e.inShp...)
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }
+
+// PositionalEncoding adds a learned position embedding of shape (T, D) to a
+// (B*T, D) activation with fixed sequence length T.
+type PositionalEncoding struct {
+	W      *Param // (T, D)
+	SeqLen int
+}
+
+// NewPositionalEncoding returns a learned positional encoding.
+func NewPositionalEncoding(name string, seqLen, d int, rng *rand.Rand) *PositionalEncoding {
+	p := &PositionalEncoding{W: NewParam(name+".W", seqLen, d), SeqLen: seqLen}
+	p.W.InitNormal(rng, 0.02)
+	return p
+}
+
+// Forward adds the position embedding row-cyclically.
+func (p *PositionalEncoding) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, d := x.Shape[0], x.Shape[1]
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		t := i % p.SeqLen
+		for j := 0; j < d; j++ {
+			out.Data[i*d+j] = x.Data[i*d+j] + p.W.Data.Data[t*d+j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates the position gradient and passes dy through.
+func (p *PositionalEncoding) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, d := dy.Shape[0], dy.Shape[1]
+	for i := 0; i < n; i++ {
+		t := i % p.SeqLen
+		for j := 0; j < d; j++ {
+			p.W.Grad.Data[t*d+j] += dy.Data[i*d+j]
+		}
+	}
+	return dy
+}
+
+// Params returns the position table.
+func (p *PositionalEncoding) Params() []*Param { return []*Param{p.W} }

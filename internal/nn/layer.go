@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"math"
+
+	"pipemare/internal/tensor"
+)
+
+// Layer is a differentiable module. Forward caches whatever it needs for
+// the subsequent Backward call; Backward consumes the upstream gradient dy,
+// accumulates parameter gradients into Param.Grad using cached forward
+// activations, and returns the gradient with respect to the layer input,
+// computed with the layer's backward weights (Param.BwdData).
+//
+// Layers are single-use per step: Forward then Backward. They are not safe
+// for concurrent use.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a Sequential over the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies each layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward applies each layer's backward in reverse order.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns the concatenated parameters in forward order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(x, 0).
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward gates dy by the forward activation mask.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// GELU is the Gaussian error linear unit (tanh approximation).
+type GELU struct {
+	x *tensor.Tensor
+}
+
+// NewGELU returns a GELU layer.
+func NewGELU() *GELU { return &GELU{} }
+
+const geluC = 0.7978845608028654 // sqrt(2/π)
+
+// Forward computes 0.5x(1 + tanh(√(2/π)(x + 0.044715x³))).
+func (g *GELU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	g.x = x.Clone()
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		u := geluC * (v + 0.044715*v*v*v)
+		out.Data[i] = 0.5 * v * (1 + math.Tanh(u))
+	}
+	return out
+}
+
+// Backward computes the GELU derivative times dy.
+func (g *GELU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(dy.Shape...)
+	for i, v := range g.x.Data {
+		u := geluC * (v + 0.044715*v*v*v)
+		t := math.Tanh(u)
+		du := geluC * (1 + 3*0.044715*v*v)
+		d := 0.5*(1+t) + 0.5*v*(1-t*t)*du
+		out.Data[i] = dy.Data[i] * d
+	}
+	return out
+}
+
+// Params returns nil: GELU has no parameters.
+func (g *GELU) Params() []*Param { return nil }
+
+// Residual wraps an inner layer as y = x + f(x). The inner layer must
+// preserve shape.
+type Residual struct {
+	Inner Layer
+}
+
+// NewResidual returns a residual wrapper around inner.
+func NewResidual(inner Layer) *Residual { return &Residual{Inner: inner} }
+
+// Forward computes x + Inner(x).
+func (r *Residual) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Add(x, r.Inner.Forward(x))
+}
+
+// Backward routes dy through the inner layer and adds the skip gradient.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return tensor.Add(dy, r.Inner.Backward(dy))
+}
+
+// Params returns the inner layer's parameters.
+func (r *Residual) Params() []*Param { return r.Inner.Params() }
+
+// Flatten reshapes (B, ...) to (B, rest).
+type Flatten struct {
+	shape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all trailing axes into one.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.shape = append(f.shape[:0], x.Shape...)
+	b := x.Shape[0]
+	return x.Reshape(b, x.Size()/b)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.shape...)
+}
+
+// Params returns nil: Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// GlobalAvgPool averages a (B,C,H,W) tensor over its spatial axes,
+// producing (B,C).
+type GlobalAvgPool struct {
+	b, c, h, w int
+}
+
+// NewGlobalAvgPool returns a GlobalAvgPool layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages over H and W.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	g.b, g.c, g.h, g.w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(g.b, g.c)
+	hw := float64(g.h * g.w)
+	for n := 0; n < g.b; n++ {
+		for c := 0; c < g.c; c++ {
+			s := 0.0
+			base := (n*g.c + c) * g.h * g.w
+			for i := 0; i < g.h*g.w; i++ {
+				s += x.Data[base+i]
+			}
+			out.Data[n*g.c+c] = s / hw
+		}
+	}
+	return out
+}
+
+// Backward spreads dy uniformly over the pooled positions.
+func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(g.b, g.c, g.h, g.w)
+	hw := float64(g.h * g.w)
+	for n := 0; n < g.b; n++ {
+		for c := 0; c < g.c; c++ {
+			v := dy.Data[n*g.c+c] / hw
+			base := (n*g.c + c) * g.h * g.w
+			for i := 0; i < g.h*g.w; i++ {
+				out.Data[base+i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }

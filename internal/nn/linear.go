@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math/rand"
+
+	"pipemare/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·Wᵀ + b with W of shape (out, in).
+type Linear struct {
+	W *Param
+	B *Param // nil when constructed without bias
+
+	x *tensor.Tensor // cached forward input
+}
+
+// NewLinear returns a Linear layer with Xavier-initialized weights and,
+// when bias is true, a zero-initialized bias.
+func NewLinear(name string, in, out int, bias bool, rng *rand.Rand) *Linear {
+	l := &Linear{W: NewParam(name+".W", out, in)}
+	l.W.InitXavier(rng, in, out)
+	if bias {
+		l.B = NewParam(name+".b", out)
+	}
+	return l
+}
+
+// Forward computes x·Wᵀ + b and caches x.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	out := tensor.MatMulT2(x, l.W.Data)
+	if l.B != nil {
+		rows, cols := out.Shape[0], out.Shape[1]
+		for i := 0; i < rows; i++ {
+			row := out.Data[i*cols : (i+1)*cols]
+			for j := 0; j < cols; j++ {
+				row[j] += l.B.Data.Data[j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = dyᵀ·x and db = Σrows(dy) into the gradients and
+// returns dx = dy·W computed with the backward weights.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	// Parameter gradients use the cached forward input.
+	dW := tensor.MatMulT1(dy, l.x)
+	tensor.AddInto(l.W.Grad, dW)
+	if l.B != nil {
+		rows, cols := dy.Shape[0], dy.Shape[1]
+		for i := 0; i < rows; i++ {
+			row := dy.Data[i*cols : (i+1)*cols]
+			for j := 0; j < cols; j++ {
+				l.B.Grad.Data[j] += row[j]
+			}
+		}
+	}
+	// Input gradient uses the (possibly delayed) backward weights.
+	return tensor.MatMul(dy, l.W.BwdData())
+}
+
+// Params returns the weight and, if present, the bias.
+func (l *Linear) Params() []*Param {
+	if l.B != nil {
+		return []*Param{l.W, l.B}
+	}
+	return []*Param{l.W}
+}

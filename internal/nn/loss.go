@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+
+	"pipemare/internal/tensor"
+)
+
+// CrossEntropy computes mean softmax cross-entropy over (N, C) logits with
+// integer labels. Labels equal to Ignore (default -1) are masked out, which
+// the translation task uses for padding.
+type CrossEntropy struct {
+	Ignore int
+
+	probs  *tensor.Tensor
+	labels []int
+	count  int
+}
+
+// NewCrossEntropy returns a cross-entropy loss that ignores label -1.
+func NewCrossEntropy() *CrossEntropy { return &CrossEntropy{Ignore: -1} }
+
+// Forward returns the mean negative log-likelihood of labels under the
+// row-softmax of logits.
+func (c *CrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
+	n, cl := logits.Shape[0], logits.Shape[1]
+	if n != len(labels) {
+		panic("nn: CrossEntropy label count mismatch")
+	}
+	c.probs = tensor.SoftmaxRows(logits)
+	c.labels = labels
+	lse := tensor.LogSumExpRows(logits)
+	loss, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		if labels[i] == c.Ignore {
+			continue
+		}
+		loss += lse[i] - logits.Data[i*cl+labels[i]]
+		cnt++
+	}
+	c.count = cnt
+	if cnt == 0 {
+		return 0
+	}
+	return loss / float64(cnt)
+}
+
+// Backward returns dLoss/dlogits = (softmax − onehot)/count, with ignored
+// rows zeroed.
+func (c *CrossEntropy) Backward() *tensor.Tensor {
+	n, cl := c.probs.Shape[0], c.probs.Shape[1]
+	out := tensor.New(n, cl)
+	if c.count == 0 {
+		return out
+	}
+	inv := 1 / float64(c.count)
+	for i := 0; i < n; i++ {
+		if c.labels[i] == c.Ignore {
+			continue
+		}
+		for j := 0; j < cl; j++ {
+			out.Data[i*cl+j] = c.probs.Data[i*cl+j] * inv
+		}
+		out.Data[i*cl+c.labels[i]] -= inv
+	}
+	return out
+}
+
+// Accuracy returns the fraction of non-ignored rows whose argmax equals the
+// label, using the probabilities cached by the last Forward.
+func (c *CrossEntropy) Accuracy() float64 {
+	if c.count == 0 {
+		return 0
+	}
+	n := c.probs.Shape[0]
+	correct := 0
+	for i := 0; i < n; i++ {
+		if c.labels[i] == c.Ignore {
+			continue
+		}
+		if c.probs.ArgMaxRow(i) == c.labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(c.count)
+}
+
+// MSE computes mean squared error over all elements of (N, D) predictions.
+type MSE struct {
+	diff *tensor.Tensor
+}
+
+// NewMSE returns an MSE loss.
+func NewMSE() *MSE { return &MSE{} }
+
+// Forward returns mean((pred − target)²)/2.
+func (m *MSE) Forward(pred, target *tensor.Tensor) float64 {
+	m.diff = tensor.Sub(pred, target)
+	s := 0.0
+	for _, v := range m.diff.Data {
+		s += v * v
+	}
+	return s / (2 * float64(len(m.diff.Data)))
+}
+
+// Backward returns dLoss/dpred = diff/N.
+func (m *MSE) Backward() *tensor.Tensor {
+	return tensor.Scale(m.diff, 1/float64(len(m.diff.Data)))
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm. A non-positive maxNorm is a no-op.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 || math.IsNaN(norm) {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+
+	"pipemare/internal/tensor"
+)
+
+// LayerNorm normalizes the last axis of a (N, D) tensor and applies a
+// learned per-feature gain and bias. Because its statistics are per-sample
+// it is microbatch-size independent, which matters in fine-grained pipeline
+// training (the paper avoids small-batch BatchNorm for the same reason,
+// citing GroupNorm).
+type LayerNorm struct {
+	Gain *Param // γ, shape (D)
+	Bias *Param // β, shape (D)
+	Eps  float64
+
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewLayerNorm returns a LayerNorm over feature dimension d with γ=1, β=0.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	ln := &LayerNorm{Gain: NewParam(name+".g", d), Bias: NewParam(name+".b", d), Eps: 1e-5}
+	ln.Gain.Data.Fill(1)
+	return ln
+}
+
+// Forward normalizes each row and applies the affine transform.
+func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, d := x.Shape[0], x.Shape[1]
+	ln.xhat = tensor.New(n, d)
+	if cap(ln.invStd) < n {
+		ln.invStd = make([]float64, n)
+	}
+	ln.invStd = ln.invStd[:n]
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		mu := 0.0
+		for _, v := range row {
+			mu += v
+		}
+		mu /= float64(d)
+		va := 0.0
+		for _, v := range row {
+			va += (v - mu) * (v - mu)
+		}
+		va /= float64(d)
+		is := 1 / math.Sqrt(va+ln.Eps)
+		ln.invStd[i] = is
+		for j, v := range row {
+			xh := (v - mu) * is
+			ln.xhat.Data[i*d+j] = xh
+			out.Data[i*d+j] = ln.Gain.Data.Data[j]*xh + ln.Bias.Data.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dγ, dβ and returns dx using the backward gain.
+func (ln *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, d := dy.Shape[0], dy.Shape[1]
+	gainB := ln.Gain.BwdData()
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		dxhat := make([]float64, d)
+		m1, m2 := 0.0, 0.0
+		for j := 0; j < d; j++ {
+			g := dy.Data[i*d+j]
+			xh := ln.xhat.Data[i*d+j]
+			ln.Gain.Grad.Data[j] += g * xh
+			ln.Bias.Grad.Data[j] += g
+			dx := g * gainB.Data[j]
+			dxhat[j] = dx
+			m1 += dx
+			m2 += dx * xh
+		}
+		m1 /= float64(d)
+		m2 /= float64(d)
+		is := ln.invStd[i]
+		for j := 0; j < d; j++ {
+			xh := ln.xhat.Data[i*d+j]
+			out.Data[i*d+j] = is * (dxhat[j] - m1 - xh*m2)
+		}
+	}
+	return out
+}
+
+// Params returns the gain and bias.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gain, ln.Bias} }
+
+// GroupNorm normalizes a (B, C, H, W) tensor per sample over channel
+// groups, with learned per-channel gain and bias. Its statistics are
+// independent of the microbatch size, which is why the paper prefers it to
+// BatchNorm in fine-grained pipelines.
+type GroupNorm struct {
+	Gain   *Param // γ, shape (C)
+	Bias   *Param // β, shape (C)
+	Groups int
+	Eps    float64
+
+	xhat    *tensor.Tensor
+	invStd  []float64 // per (b, group)
+	c, h, w int
+}
+
+// NewGroupNorm returns a GroupNorm over c channels split into groups.
+// groups must divide c.
+func NewGroupNorm(name string, c, groups int) *GroupNorm {
+	if c%groups != 0 {
+		panic("nn: GroupNorm channels must be divisible by groups")
+	}
+	gn := &GroupNorm{Gain: NewParam(name+".g", c), Bias: NewParam(name+".b", c), Groups: groups, Eps: 1e-5}
+	gn.Gain.Data.Fill(1)
+	return gn
+}
+
+// Forward normalizes each (sample, group) block.
+func (gn *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	gn.c, gn.h, gn.w = c, h, w
+	cg := c / gn.Groups
+	blk := cg * h * w
+	gn.xhat = tensor.New(b, c, h, w)
+	need := b * gn.Groups
+	if cap(gn.invStd) < need {
+		gn.invStd = make([]float64, need)
+	}
+	gn.invStd = gn.invStd[:need]
+	out := tensor.New(b, c, h, w)
+	for n := 0; n < b; n++ {
+		for g := 0; g < gn.Groups; g++ {
+			base := (n*c + g*cg) * h * w
+			mu := 0.0
+			for i := 0; i < blk; i++ {
+				mu += x.Data[base+i]
+			}
+			mu /= float64(blk)
+			va := 0.0
+			for i := 0; i < blk; i++ {
+				d := x.Data[base+i] - mu
+				va += d * d
+			}
+			va /= float64(blk)
+			is := 1 / math.Sqrt(va+gn.Eps)
+			gn.invStd[n*gn.Groups+g] = is
+			for ch := 0; ch < cg; ch++ {
+				gamma := gn.Gain.Data.Data[g*cg+ch]
+				beta := gn.Bias.Data.Data[g*cg+ch]
+				cbase := base + ch*h*w
+				for i := 0; i < h*w; i++ {
+					xh := (x.Data[cbase+i] - mu) * is
+					gn.xhat.Data[cbase+i] = xh
+					out.Data[cbase+i] = gamma*xh + beta
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dγ, dβ and returns dx using the backward gain.
+func (gn *GroupNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	b, c, h, w := dy.Shape[0], gn.c, gn.h, gn.w
+	cg := c / gn.Groups
+	blk := cg * h * w
+	gainB := gn.Gain.BwdData()
+	out := tensor.New(b, c, h, w)
+	dxhat := make([]float64, blk)
+	for n := 0; n < b; n++ {
+		for g := 0; g < gn.Groups; g++ {
+			base := (n*c + g*cg) * h * w
+			m1, m2 := 0.0, 0.0
+			for ch := 0; ch < cg; ch++ {
+				gamma := gainB.Data[g*cg+ch]
+				cbase := base + ch*h*w
+				for i := 0; i < h*w; i++ {
+					gv := dy.Data[cbase+i]
+					xh := gn.xhat.Data[cbase+i]
+					gn.Gain.Grad.Data[g*cg+ch] += gv * xh
+					gn.Bias.Grad.Data[g*cg+ch] += gv
+					dx := gv * gamma
+					dxhat[ch*h*w+i] = dx
+					m1 += dx
+					m2 += dx * xh
+				}
+			}
+			m1 /= float64(blk)
+			m2 /= float64(blk)
+			is := gn.invStd[n*gn.Groups+g]
+			for ch := 0; ch < cg; ch++ {
+				cbase := base + ch*h*w
+				for i := 0; i < h*w; i++ {
+					xh := gn.xhat.Data[cbase+i]
+					out.Data[cbase+i] = is * (dxhat[ch*h*w+i] - m1 - xh*m2)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params returns the gain and bias.
+func (gn *GroupNorm) Params() []*Param { return []*Param{gn.Gain, gn.Bias} }

@@ -1,0 +1,115 @@
+// Package nn is a minimal layer-level neural-network library built for the
+// PipeMare reproduction. Its defining feature is weight decoupling: every
+// Param carries separate forward weights (Data) and backward weights (Bwd),
+// so a pipeline simulator can compute the paper's two-argument gradient
+// ∇f_t(u_fwd, u_bkwd) — backpropagation where the forward pass and the
+// input-gradient computation see different weight versions — with real
+// backprop rather than an approximation.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipemare/internal/tensor"
+)
+
+// Param is a trainable tensor with decoupled forward/backward values.
+type Param struct {
+	Name string
+	// Data holds the weights used in the forward pass.
+	Data *tensor.Tensor
+	// Bwd, when non-nil, holds the weights used to compute input gradients
+	// in the backward pass (u_bkwd in the paper). When nil, backward uses
+	// Data, i.e. synchronous execution.
+	Bwd *tensor.Tensor
+	// Grad accumulates the parameter gradient.
+	Grad *tensor.Tensor
+}
+
+// NewParam returns a zero-initialized parameter of the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Data: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// BwdData returns the weights to use for input-gradient computation.
+func (p *Param) BwdData() *tensor.Tensor {
+	if p.Bwd != nil {
+		return p.Bwd
+	}
+	return p.Data
+}
+
+// Size returns the number of scalar elements in the parameter.
+func (p *Param) Size() int { return p.Data.Size() }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// String identifies the parameter in diagnostics.
+func (p *Param) String() string { return fmt.Sprintf("%s%v", p.Name, p.Data.Shape) }
+
+// InitXavier fills p.Data with Xavier/Glorot-uniform values for the given
+// fan-in and fan-out.
+func (p *Param) InitXavier(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.Data.Data {
+		p.Data.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// InitHe fills p.Data with He-normal values for the given fan-in,
+// appropriate before ReLU nonlinearities.
+func (p *Param) InitHe(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range p.Data.Data {
+		p.Data.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// InitNormal fills p.Data with N(0, std²) values.
+func (p *Param) InitNormal(rng *rand.Rand, std float64) {
+	for i := range p.Data.Data {
+		p.Data.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm of all parameter gradients.
+func GradNorm(params []*Param) float64 {
+	s := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ParamNorm returns the global L2 norm of all parameter values (forward
+// weights), used for the divergence diagnostics of Figure 7.
+func ParamNorm(params []*Param) float64 {
+	s := 0.0
+	for _, p := range params {
+		for _, v := range p.Data.Data {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// TotalSize returns the total number of scalar weights.
+func TotalSize(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Size()
+	}
+	return n
+}

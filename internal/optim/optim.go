@@ -1,0 +1,207 @@
+// Package optim provides the optimizers and learning-rate schedules used in
+// the PipeMare reproduction: SGD with momentum, AdamW, step-decay and
+// linear-warmup/inverse-sqrt schedules, and the paper's Technique 1
+// learning-rate rescheduler α_{k,i} = α_base(k) / τ_i^{p_k}.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"pipemare/internal/nn"
+	"pipemare/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients. Step takes
+// one learning rate per parameter so that per-stage rescheduling (T1) can
+// be applied; use UniformLR for a shared rate.
+type Optimizer interface {
+	Step(lrs []float64)
+	Params() []*nn.Param
+	// StateCopies reports how many weight-sized buffers the optimizer
+	// holds per parameter including the master weights and the gradient
+	// (3 for momentum-SGD, 4 for Adam), used by the memory model.
+	StateCopies() int
+}
+
+// UniformLR returns a slice of n copies of lr.
+func UniformLR(lr float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lr
+	}
+	return out
+}
+
+// SGD is stochastic gradient descent with heavy-ball momentum and L2
+// weight decay (decay added to the gradient, as in the paper's ResNet
+// recipe).
+type SGD struct {
+	ps          []*nn.Param
+	Momentum    float64
+	WeightDecay float64
+	vel         []*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
+	s := &SGD{ps: params, Momentum: momentum, WeightDecay: weightDecay}
+	s.vel = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		s.vel[i] = tensor.New(p.Data.Shape...)
+	}
+	return s
+}
+
+// Step applies v ← βv − lr·(g + wd·w); w ← w + v for each parameter.
+func (s *SGD) Step(lrs []float64) {
+	if len(lrs) != len(s.ps) {
+		panic(fmt.Sprintf("optim: %d learning rates for %d params", len(lrs), len(s.ps)))
+	}
+	for i, p := range s.ps {
+		v := s.vel[i]
+		lr := lrs[i]
+		for j := range p.Data.Data {
+			g := p.Grad.Data[j] + s.WeightDecay*p.Data.Data[j]
+			v.Data[j] = s.Momentum*v.Data[j] - lr*g
+			p.Data.Data[j] += v.Data[j]
+		}
+	}
+}
+
+// Params returns the optimized parameters.
+func (s *SGD) Params() []*nn.Param { return s.ps }
+
+// StateCopies is 3: master weights, gradient, momentum (the paper's
+// footnote 2 accounting, which makes T2's extra buffer a 33% increase).
+func (s *SGD) StateCopies() int { return 3 }
+
+// AdamW is Adam with decoupled weight decay, the optimizer the paper uses
+// for the Transformer tasks.
+type AdamW struct {
+	ps          []*nn.Param
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	m, v []*tensor.Tensor
+	t    int
+}
+
+// NewAdamW returns an AdamW optimizer with the paper's Transformer betas
+// (0.9, 0.98) unless overridden.
+func NewAdamW(params []*nn.Param, beta1, beta2, eps, weightDecay float64) *AdamW {
+	a := &AdamW{ps: params, Beta1: beta1, Beta2: beta2, Eps: eps, WeightDecay: weightDecay}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Data.Shape...)
+		a.v[i] = tensor.New(p.Data.Shape...)
+	}
+	return a
+}
+
+// Step applies one AdamW update with bias correction.
+func (a *AdamW) Step(lrs []float64) {
+	if len(lrs) != len(a.ps) {
+		panic(fmt.Sprintf("optim: %d learning rates for %d params", len(lrs), len(a.ps)))
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.ps {
+		lr := lrs[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data.Data {
+			g := p.Grad.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			p.Data.Data[j] -= lr * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.Data.Data[j])
+		}
+	}
+}
+
+// Params returns the optimized parameters.
+func (a *AdamW) Params() []*nn.Param { return a.ps }
+
+// StateCopies is 4: master weights, gradient, first and second moments.
+func (a *AdamW) StateCopies() int { return 4 }
+
+// Schedule maps an optimizer step index (0-based) to a base learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// Constant is a fixed learning rate.
+type Constant float64
+
+// LR returns the constant rate.
+func (c Constant) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Factor every DropEvery steps,
+// matching the paper's ResNet recipe (drop 10× every 80/30 epochs).
+type StepDecay struct {
+	Base      float64
+	DropEvery int
+	Factor    float64
+}
+
+// LR returns Base·Factor^⌊step/DropEvery⌋.
+func (s StepDecay) LR(step int) float64 {
+	if s.DropEvery <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(step/s.DropEvery))
+}
+
+// WarmupInvSqrt is the Transformer schedule: linear warmup from Init to
+// Peak over Warmup steps, then inverse-square-root decay.
+type WarmupInvSqrt struct {
+	Peak   float64
+	Init   float64
+	Warmup int
+}
+
+// LR returns the warmup/decay rate for the given step.
+func (w WarmupInvSqrt) LR(step int) float64 {
+	if w.Warmup <= 0 {
+		return w.Peak
+	}
+	if step < w.Warmup {
+		frac := float64(step) / float64(w.Warmup)
+		return w.Init + (w.Peak-w.Init)*frac
+	}
+	return w.Peak * math.Sqrt(float64(w.Warmup)/float64(step))
+}
+
+// T1 is the paper's Technique 1 learning-rate rescheduler: during the first
+// K steps, divide the base rate for parameter i by its delay raised to the
+// annealing power p_k = 1 − min(k/K, 1), so early steps see α/τ and the
+// schedule relaxes back to the baseline by step K.
+type T1 struct {
+	Base Schedule
+	Taus []float64 // per-parameter forward delay in minibatch units
+	K    int       // annealing steps; ≤ 0 disables the rescheduling
+}
+
+// LRs returns the per-parameter learning rates at the given step.
+func (t *T1) LRs(step int) []float64 {
+	base := t.Base.LR(step)
+	out := make([]float64, len(t.Taus))
+	p := 0.0
+	if t.K > 0 {
+		p = 1 - math.Min(float64(step)/float64(t.K), 1)
+	}
+	for i, tau := range t.Taus {
+		if tau < 1 {
+			// τ < 1 means the delay is under one optimizer step; dividing
+			// by τ^p would *increase* the rate, so clamp at the baseline.
+			tau = 1
+		}
+		out[i] = base / math.Pow(tau, p)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package pipeline implements the execution model of §2 of the PipeMare
+// paper: partitioning model weights into P pipeline stages, the
+// microbatch-exact timing of a bubble-free pipeline (which yields the
+// Table 1 delays), and the per-stage weight-version store that the paper's
+// own simulator calls "a queue of weights for each individual pipeline
+// stage".
+//
+// Timing model (1-indexed stages i ∈ {1..P}, global microbatch counter s):
+//
+//	forward  of microbatch s at stage i occupies slot  T_f = s + i − 1
+//	backward of microbatch s at stage i occupies slot  T_b = s + 2P − i
+//
+// so the weight read in the forward pass is T_b − T_f = 2(P−i)+1 microbatch
+// slots older than the point where its gradient is applied — exactly the
+// paper's τ_fwd. Stage i commits the optimizer update for minibatch t when
+// the backward of the minibatch's last microbatch passes it, at slot
+// t·N + N − 1 + 2P − i.
+package pipeline
+
+import (
+	"fmt"
+
+	"pipemare/internal/nn"
+	"pipemare/internal/tensor"
+)
+
+// ParamGroup is a set of parameters that must be assigned to the same
+// pipeline stage — the paper always keeps the weight and bias of one layer
+// together ("treating the weight and bias in the same layer as a single
+// model weight").
+type ParamGroup struct {
+	Name   string
+	Params []*nn.Param
+}
+
+// Size returns the number of scalar weights in the group.
+func (g ParamGroup) Size() int { return nn.TotalSize(g.Params) }
+
+// Partition is an assignment of param groups to P contiguous stages.
+type Partition struct {
+	P      int
+	Groups []ParamGroup
+	// StageOf maps group index to its (0-indexed) stage.
+	StageOf []int
+	// Stages lists the parameters of each stage in forward order.
+	Stages [][]*nn.Param
+}
+
+// PartitionGroups assigns the groups, in topological (given) order, evenly
+// to P stages: group g goes to stage ⌊g·P/G⌋, which is the paper's "divide
+// these model weights evenly into P stages". P must be between 1 and the
+// number of groups so every stage holds at least one model weight.
+func PartitionGroups(groups []ParamGroup, p int) (*Partition, error) {
+	g := len(groups)
+	if g == 0 {
+		return nil, fmt.Errorf("pipeline: no parameter groups to partition")
+	}
+	if p < 1 || p > g {
+		return nil, fmt.Errorf("pipeline: cannot split %d weight groups into %d stages", g, p)
+	}
+	part := &Partition{P: p, Groups: groups, StageOf: make([]int, g), Stages: make([][]*nn.Param, p)}
+	for i, grp := range groups {
+		s := i * p / g
+		part.StageOf[i] = s
+		part.Stages[s] = append(part.Stages[s], grp.Params...)
+	}
+	return part, nil
+}
+
+// Params returns all parameters in forward order.
+func (pt *Partition) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, st := range pt.Stages {
+		ps = append(ps, st...)
+	}
+	return ps
+}
+
+// StageSizes returns the scalar weight count per stage.
+func (pt *Partition) StageSizes() []int {
+	out := make([]int, pt.P)
+	for s, ps := range pt.Stages {
+		out[s] = nn.TotalSize(ps)
+	}
+	return out
+}
+
+// StageOfParam returns, for every parameter in forward order, its
+// (0-indexed) stage.
+func (pt *Partition) StageOfParam() []int {
+	var out []int
+	for s, ps := range pt.Stages {
+		for range ps {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FwdDelaySlots returns the forward delay in microbatch slots for
+// 1-indexed stage i of a P-stage bubble-free pipeline: 2(P−i)+1 (Table 1).
+func FwdDelaySlots(stage1, p int) int { return 2*(p-stage1) + 1 }
+
+// FwdDelay returns the forward delay in minibatch (optimizer-step) units:
+// (2(P−i)+1)/N for 1-indexed stage i with N microbatches per minibatch.
+func FwdDelay(stage1, p, n int) float64 {
+	return float64(FwdDelaySlots(stage1, p)) / float64(n)
+}
+
+// Clock converts global microbatch indices into the weight versions
+// visible at each pipeline slot.
+type Clock struct {
+	P int // pipeline stages
+	N int // microbatches per minibatch
+}
+
+// FwdVersion returns the number of optimizer updates committed at
+// (1-indexed) stage i before the forward slot of global microbatch s.
+func (c Clock) FwdVersion(s, stage1 int) int {
+	num := s + 2*stage1 - 2*c.P - c.N
+	if num < 0 {
+		return 0
+	}
+	return num/c.N + 1
+}
+
+// BwdVersion returns the number of updates committed at any stage before
+// the backward slot of global microbatch s (exclusive of the update this
+// microbatch's own minibatch will commit): ⌊s/N⌋. It is stage-independent,
+// which is why PipeMare's backward pass can simply read the live weights.
+func (c Clock) BwdVersion(s int) int { return s / c.N }
+
+// Minibatch returns the minibatch index of global microbatch s.
+func (c Clock) Minibatch(s int) int { return s / c.N }
+
+// FwdDelayUpdates returns the realized delay, in optimizer updates, between
+// the weights read in the forward slot of microbatch s at stage i and the
+// update that consumes its gradient (update index ⌊s/N⌋+1).
+func (c Clock) FwdDelayUpdates(s, stage1 int) int {
+	return c.Minibatch(s) + 1 - c.FwdVersion(s, stage1)
+}
+
+// VersionStore keeps per-stage snapshots of stage weights, indexed by
+// update version. Version 0 is the initial weights; version v is the state
+// after v optimizer updates. Old versions outside the pipeline's maximum
+// lookback window are pruned automatically.
+type VersionStore struct {
+	stages [][]*nn.Param
+	// snaps[stage][k] is the snapshot for version base+k.
+	snaps [][][]*tensor.Tensor
+	base  []int
+	keep  int
+}
+
+// NewVersionStore snapshots the current weights of each stage as version 0.
+// keep is the number of most recent versions retained (must cover the
+// pipeline's maximum lookback, ⌈(2P+N)/N⌉+1).
+func NewVersionStore(stages [][]*nn.Param, keep int) *VersionStore {
+	if keep < 2 {
+		keep = 2
+	}
+	vs := &VersionStore{stages: stages, keep: keep,
+		snaps: make([][][]*tensor.Tensor, len(stages)), base: make([]int, len(stages))}
+	for s := range stages {
+		vs.push(s)
+	}
+	return vs
+}
+
+func (vs *VersionStore) push(stage int) {
+	snap := make([]*tensor.Tensor, len(vs.stages[stage]))
+	for i, p := range vs.stages[stage] {
+		snap[i] = p.Data.Clone()
+	}
+	vs.snaps[stage] = append(vs.snaps[stage], snap)
+	if len(vs.snaps[stage]) > vs.keep {
+		drop := len(vs.snaps[stage]) - vs.keep
+		vs.snaps[stage] = vs.snaps[stage][drop:]
+		vs.base[stage] += drop
+	}
+}
+
+// Push snapshots the current (just-updated) weights of every stage as the
+// next version.
+func (vs *VersionStore) Push() {
+	for s := range vs.stages {
+		vs.push(s)
+	}
+}
+
+// Get returns the snapshot tensors of the given stage at the given
+// version, clamped to the available window. The returned tensors are owned
+// by the store and must not be mutated.
+func (vs *VersionStore) Get(stage, version int) []*tensor.Tensor {
+	k := version - vs.base[stage]
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(vs.snaps[stage]) {
+		k = len(vs.snaps[stage]) - 1
+	}
+	return vs.snaps[stage][k]
+}
+
+// Latest returns the most recent version number stored.
+func (vs *VersionStore) Latest(stage int) int {
+	return vs.base[stage] + len(vs.snaps[stage]) - 1
+}

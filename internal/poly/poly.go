@@ -1,0 +1,222 @@
+// Package poly implements complex polynomial arithmetic and root finding
+// for the stability analysis of asynchronous pipeline-parallel SGD.
+//
+// The characteristic polynomials of the delay companion matrices (eqs. (4),
+// (6) and (13) of the PipeMare paper, plus the T2-corrected and recompute
+// variants) have degree τ+1 or τ+2; their roots determine whether the linear
+// system W_{t+1} = C W_t + α η_t e₁ is stable. Stability holds iff every
+// root lies strictly inside the complex unit disk.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Poly is a complex polynomial stored coefficient-low-first:
+// p(x) = c[0] + c[1]x + ... + c[n]xⁿ.
+type Poly []complex128
+
+// New returns a polynomial with the given coefficients, low order first.
+func New(coeffs ...complex128) Poly { return Poly(coeffs) }
+
+// FromReal returns a polynomial from real coefficients, low order first.
+func FromReal(coeffs ...float64) Poly {
+	p := make(Poly, len(coeffs))
+	for i, c := range coeffs {
+		p[i] = complex(c, 0)
+	}
+	return p
+}
+
+// Degree returns the degree of p after trimming trailing (near-)zero
+// leading coefficients. The zero polynomial has degree -1.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trim returns p without trailing zero coefficients.
+func (p Poly) Trim() Poly {
+	d := p.Degree()
+	return p[:d+1]
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x complex128) complex128 {
+	var v complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*x + p[i]
+	}
+	return v
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{0}
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = p[i] * complex(float64(i), 0)
+	}
+	return d
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		if i < len(p) {
+			out[i] += p[i]
+		}
+		if i < len(q) {
+			out[i] += q[i]
+		}
+	}
+	return out
+}
+
+// Scale returns s·p.
+func (p Poly) Scale(s complex128) Poly {
+	out := make(Poly, len(p))
+	for i := range p {
+		out[i] = s * p[i]
+	}
+	return out
+}
+
+// MulXn returns p(x)·xⁿ (a coefficient shift).
+func (p Poly) MulXn(n int) Poly {
+	out := make(Poly, len(p)+n)
+	copy(out[n:], p)
+	return out
+}
+
+// Mul returns p·q by direct convolution.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] += a * b
+		}
+	}
+	return out
+}
+
+// Roots finds all complex roots of p using the Durand–Kerner
+// (Weierstrass) simultaneous iteration. It returns an error if the
+// iteration fails to converge, which for the well-conditioned
+// characteristic polynomials in this repository does not happen in
+// practice.
+func (p Poly) Roots() ([]complex128, error) {
+	q := p.Trim()
+	n := q.Degree()
+	if n < 0 {
+		return nil, fmt.Errorf("poly: zero polynomial has no well-defined roots")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Normalize to monic.
+	lead := q[n]
+	monic := make(Poly, n+1)
+	for i := range monic {
+		monic[i] = q[i] / lead
+	}
+	// Initial guesses: points on a circle of radius based on the Cauchy
+	// bound, with an irrational angle offset to break symmetry.
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		if m := cmplx.Abs(monic[i]); m > radius {
+			radius = m
+		}
+	}
+	radius = 1 + radius
+	roots := make([]complex128, n)
+	for i := range roots {
+		theta := 2*math.Pi*float64(i)/float64(n) + 0.4
+		roots[i] = complex(radius*math.Cos(theta), radius*math.Sin(theta))
+	}
+	const maxIter = 2000
+	const tol = 1e-13
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			num := monic.Eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident estimates slightly.
+				roots[i] += complex(1e-8, 1e-8)
+				maxStep = 1
+				continue
+			}
+			step := num / den
+			roots[i] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < tol {
+			return roots, nil
+		}
+	}
+	// Check residuals: accept if all are tiny even without step convergence.
+	worst := 0.0
+	for _, r := range roots {
+		if v := cmplx.Abs(monic.Eval(r)); v > worst {
+			worst = v
+		}
+	}
+	if worst < 1e-8*(1+radius) {
+		return roots, nil
+	}
+	return roots, fmt.Errorf("poly: Durand-Kerner did not converge (residual %g, degree %d)", worst, n)
+}
+
+// SpectralRadius returns the largest root magnitude of p, i.e. the spectral
+// radius of the companion matrix whose characteristic polynomial is p.
+func (p Poly) SpectralRadius() (float64, error) {
+	roots, err := p.Roots()
+	if err != nil {
+		return math.NaN(), err
+	}
+	r := 0.0
+	for _, z := range roots {
+		if m := cmplx.Abs(z); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}
+
+// Stable reports whether all roots of p lie strictly inside the unit disk,
+// within the given tolerance (a root of magnitude ≤ 1+tol counts as inside
+// when tol > 0; pass 0 for a strict check).
+func (p Poly) Stable(tol float64) (bool, error) {
+	r, err := p.SpectralRadius()
+	if err != nil {
+		return false, err
+	}
+	return r <= 1+tol, nil
+}

@@ -1,0 +1,203 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegreeAndTrim(t *testing.T) {
+	p := FromReal(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("Degree = %d, want 1", p.Degree())
+	}
+	if got := len(p.Trim()); got != 2 {
+		t.Fatalf("Trim length = %d, want 2", got)
+	}
+	var zero Poly
+	if zero.Degree() != -1 {
+		t.Fatalf("zero polynomial degree = %d, want -1", zero.Degree())
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(x) = 1 + 2x + 3x².
+	p := FromReal(1, 2, 3)
+	if got := p.Eval(complex(2, 0)); got != complex(17, 0) {
+		t.Fatalf("Eval(2) = %v, want 17", got)
+	}
+	if got := p.Eval(0); got != complex(1, 0) {
+		t.Fatalf("Eval(0) = %v, want 1", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := FromReal(5, 3, 2) // 5 + 3x + 2x²
+	d := p.Derivative()    // 3 + 4x
+	if d.Eval(complex(1, 0)) != complex(7, 0) {
+		t.Fatalf("p'(1) = %v, want 7", d.Eval(1))
+	}
+}
+
+func TestAddScaleMul(t *testing.T) {
+	p := FromReal(1, 1)  // 1 + x
+	q := FromReal(-1, 1) // -1 + x
+	s := p.Mul(q)        // x² - 1
+	if s.Eval(complex(3, 0)) != complex(8, 0) {
+		t.Fatalf("(x²-1)(3) = %v, want 8", s.Eval(3))
+	}
+	a := p.Add(q) // 2x
+	if a.Eval(complex(5, 0)) != complex(10, 0) {
+		t.Fatalf("Add eval = %v, want 10", a.Eval(5))
+	}
+	sc := p.Scale(complex(3, 0))
+	if sc.Eval(complex(1, 0)) != complex(6, 0) {
+		t.Fatalf("Scale eval = %v, want 6", sc.Eval(1))
+	}
+	sh := p.MulXn(2) // x² + x³
+	if sh.Eval(complex(2, 0)) != complex(12, 0) {
+		t.Fatalf("MulXn eval = %v, want 12", sh.Eval(2))
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	// (x-2)(x+3) = x² + x - 6.
+	p := FromReal(-6, 1, 1)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{real(roots[0]), real(roots[1])}
+	sort.Float64s(got)
+	if math.Abs(got[0]+3) > 1e-9 || math.Abs(got[1]-2) > 1e-9 {
+		t.Fatalf("roots = %v, want -3, 2", roots)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	// x² + 1 has roots ±i.
+	p := FromReal(1, 0, 1)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range roots {
+		if math.Abs(cmplx.Abs(r)-1) > 1e-9 || math.Abs(real(r)) > 1e-9 {
+			t.Fatalf("roots = %v, want ±i", roots)
+		}
+	}
+}
+
+func TestRootsOfUnity(t *testing.T) {
+	// x⁸ - 1: roots are the 8th roots of unity.
+	p := make(Poly, 9)
+	p[0], p[8] = -1, 1
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 8 {
+		t.Fatalf("got %d roots, want 8", len(roots))
+	}
+	for _, r := range roots {
+		if math.Abs(cmplx.Abs(r)-1) > 1e-8 {
+			t.Fatalf("root %v not on unit circle", r)
+		}
+		if v := cmplx.Abs(p.Eval(r)); v > 1e-8 {
+			t.Fatalf("residual %g at root %v", v, r)
+		}
+	}
+}
+
+func TestRootsReconstructPolynomial(t *testing.T) {
+	// Property: for random real-coefficient polynomials, the product of
+	// (x - root_i) scaled by the leading coefficient reproduces p.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 2 + rng.Intn(8)
+		p := make(Poly, deg+1)
+		for i := range p {
+			p[i] = complex(rng.NormFloat64(), 0)
+		}
+		p[deg] = complex(1+rng.Float64(), 0) // safely non-zero lead
+		roots, err := p.Roots()
+		if err != nil {
+			return false
+		}
+		rec := Poly{p[deg]}
+		for _, r := range roots {
+			rec = rec.Mul(Poly{-r, 1})
+		}
+		for i := range p {
+			if cmplx.Abs(rec[i]-p[i]) > 1e-6*(1+cmplx.Abs(p[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsHighDegreeCharacteristicShape(t *testing.T) {
+	// The PipeMare characteristic polynomial ω^{τ+1} - ω^τ + αλ for τ=32,
+	// α at half the Lemma 1 bound must be stable.
+	tau := 32
+	lambda := 1.0
+	alpha := math.Sin(math.Pi/float64(4*tau+2)) / lambda // half of 2/λ·sin(...)
+	p := make(Poly, tau+2)
+	p[0] = complex(alpha*lambda, 0)
+	p[tau] = -1
+	p[tau+1] = 1
+	stable, err := p.Stable(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("characteristic polynomial should be stable at half the Lemma 1 bound")
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	// (x-0.5)(x-2): spectral radius 2.
+	p := FromReal(1, -2.5, 1)
+	r, err := p.SpectralRadius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-9 {
+		t.Fatalf("SpectralRadius = %g, want 2", r)
+	}
+}
+
+func TestStable(t *testing.T) {
+	inside := FromReal(0.25, -1, 1) // roots 0.5, 0.5
+	ok, err := inside.Stable(1e-12)
+	if err != nil || !ok {
+		t.Fatalf("expected stable, got %v err %v", ok, err)
+	}
+	outside := FromReal(-2, 1) // root 2
+	ok, err = outside.Stable(1e-12)
+	if err != nil || ok {
+		t.Fatalf("expected unstable, got %v err %v", ok, err)
+	}
+}
+
+func TestRootsDegreeZero(t *testing.T) {
+	p := FromReal(3)
+	roots, err := p.Roots()
+	if err != nil || len(roots) != 0 {
+		t.Fatalf("constant polynomial roots = %v err %v", roots, err)
+	}
+}
+
+func TestRootsZeroPolynomialErrors(t *testing.T) {
+	p := FromReal(0, 0)
+	if _, err := p.Roots(); err == nil {
+		t.Fatal("expected error for zero polynomial")
+	}
+}

@@ -1,0 +1,246 @@
+// Package quad implements the quadratic-model theory of PipeMare §3 and
+// Appendices B and D: fixed-delay asynchronous SGD on f(w) = (λ/2)w²,
+// its companion-matrix characteristic polynomials, the Lemma 1–3 stability
+// bounds, the T2 discrepancy correction and its recompute extension, and
+// trajectory simulators used to regenerate Figures 3, 5, 8 and 16.
+package quad
+
+import (
+	"fmt"
+	"math"
+
+	"pipemare/internal/poly"
+)
+
+// CharPoly returns the characteristic polynomial of plain fixed-delay
+// asynchronous SGD on the quadratic model (eq. (4)):
+//
+//	p(ω) = ω^{τ+1} − ω^τ + αλ.
+func CharPoly(tau int, alpha, lambda float64) poly.Poly {
+	if tau < 0 {
+		panic(fmt.Sprintf("quad: negative delay %d", tau))
+	}
+	p := make(poly.Poly, tau+2)
+	p[0] = complex(alpha*lambda, 0)
+	p[tau] += complex(-1, 0)
+	p[tau+1] += complex(1, 0)
+	return p
+}
+
+// CharPolyMomentum returns the characteristic polynomial of fixed-delay
+// asynchronous SGD with heavy-ball momentum β (eq. (13)):
+//
+//	p(ω) = ω^{τ+1} − (1+β)ω^τ + βω^{τ−1} + αλ.
+//
+// τ must be at least 1 so the ω^{τ−1} term is well-formed.
+func CharPolyMomentum(tau int, alpha, lambda, beta float64) poly.Poly {
+	if tau < 1 {
+		panic(fmt.Sprintf("quad: momentum characteristic polynomial needs tau >= 1, got %d", tau))
+	}
+	p := make(poly.Poly, tau+2)
+	p[0] = complex(alpha*lambda, 0)
+	p[tau-1] += complex(beta, 0)
+	p[tau] += complex(-(1 + beta), 0)
+	p[tau+1] += complex(1, 0)
+	return p
+}
+
+// CharPolyDiscrepancy returns the characteristic polynomial with
+// forward-backward delay discrepancy (eq. (6)):
+//
+//	p(ω) = ω^{τfwd}(ω − 1) − αΔ·ω^{τfwd−τbkwd} + α(λ+Δ).
+func CharPolyDiscrepancy(tauFwd, tauBkwd int, alpha, lambda, delta float64) poly.Poly {
+	if tauFwd < tauBkwd || tauBkwd < 0 {
+		panic(fmt.Sprintf("quad: need tauFwd >= tauBkwd >= 0, got %d, %d", tauFwd, tauBkwd))
+	}
+	p := make(poly.Poly, tauFwd+2)
+	p[tauFwd+1] += complex(1, 0)
+	p[tauFwd] += complex(-1, 0)
+	p[tauFwd-tauBkwd] += complex(-alpha*delta, 0)
+	p[0] += complex(alpha*(lambda+delta), 0)
+	return p
+}
+
+// CharPolyT2 returns the characteristic polynomial of the T2
+// discrepancy-corrected update on the quadratic model (Appendix B.5):
+//
+//	p(ω) = (ω−1)(ω−γ)ω^{τfwd}
+//	     + α(λ+Δ)(ω−γ)
+//	     − αΔ·ω^{τfwd−τbkwd}(ω−γ)
+//	     + αΔ·ω^{τfwd−τbkwd}(τfwd−τbkwd)(1−γ)(ω−1).
+func CharPolyT2(tauFwd, tauBkwd int, alpha, lambda, delta, gamma float64) poly.Poly {
+	if tauFwd < tauBkwd || tauBkwd < 0 {
+		panic(fmt.Sprintf("quad: need tauFwd >= tauBkwd >= 0, got %d, %d", tauFwd, tauBkwd))
+	}
+	g := complex(gamma, 0)
+	omegaMinus1 := poly.New(-1, 1)
+	omegaMinusG := poly.New(-g, 1)
+	d := tauFwd - tauBkwd
+
+	p := omegaMinus1.Mul(omegaMinusG).MulXn(tauFwd)
+	p = p.Add(omegaMinusG.Scale(complex(alpha*(lambda+delta), 0)))
+	p = p.Add(omegaMinusG.Scale(complex(-alpha*delta, 0)).MulXn(d))
+	p = p.Add(omegaMinus1.Scale(complex(alpha*delta*float64(d)*(1-gamma), 0)).MulXn(d))
+	return p
+}
+
+// CharPolyRecompute returns the characteristic polynomial of the T2-corrected
+// update with a recompute delay path (Appendix D):
+//
+//	p(ω) = (ω−1)(ω−γ)ω^{τfwd}
+//	     + α(λ+Δ)(ω−γ)
+//	     − α(Δ−Φ)ω^{τfwd−τbkwd}(ω−γ)
+//	     + α(Δ−Φ)ω^{τfwd−τbkwd}(τfwd−τbkwd)(1−γ)(ω−1)
+//	     − αΦ·ω^{τfwd−τrecomp}(ω−γ)
+//	     + αΦ·ω^{τfwd−τrecomp}(τfwd−τrecomp)(1−γ)(ω−1).
+//
+// Setting gamma = 0 and dropping the correction terms' effect (1−γ)=1
+// recovers the uncorrected three-delay model when the correction
+// coefficients vanish, i.e. use NoCorrection below for the raw system.
+func CharPolyRecompute(tauFwd, tauBkwd, tauRecomp int, alpha, lambda, delta, phi, gamma float64) poly.Poly {
+	if !(tauFwd >= tauRecomp && tauRecomp >= tauBkwd && tauBkwd >= 0) {
+		panic(fmt.Sprintf("quad: need tauFwd >= tauRecomp >= tauBkwd >= 0, got %d, %d, %d", tauFwd, tauRecomp, tauBkwd))
+	}
+	g := complex(gamma, 0)
+	omegaMinus1 := poly.New(-1, 1)
+	omegaMinusG := poly.New(-g, 1)
+	db := tauFwd - tauBkwd
+	dr := tauFwd - tauRecomp
+
+	p := omegaMinus1.Mul(omegaMinusG).MulXn(tauFwd)
+	p = p.Add(omegaMinusG.Scale(complex(alpha*(lambda+delta), 0)))
+	p = p.Add(omegaMinusG.Scale(complex(-alpha*(delta-phi), 0)).MulXn(db))
+	p = p.Add(omegaMinus1.Scale(complex(alpha*(delta-phi)*float64(db)*(1-gamma), 0)).MulXn(db))
+	p = p.Add(omegaMinusG.Scale(complex(-alpha*phi, 0)).MulXn(dr))
+	p = p.Add(omegaMinus1.Scale(complex(alpha*phi*float64(dr)*(1-gamma), 0)).MulXn(dr))
+	return p
+}
+
+// CharPolyRecomputeNoCorrection returns the characteristic polynomial of the
+// raw (uncorrected) three-delay model of Appendix D:
+//
+//	w_{t+1} = w_t − α[(λ+Δ)w_{t−τf} − (Δ−Φ)w_{t−τb} − Φ·w_{t−τr}] + αη_t.
+func CharPolyRecomputeNoCorrection(tauFwd, tauBkwd, tauRecomp int, alpha, lambda, delta, phi float64) poly.Poly {
+	if !(tauFwd >= tauRecomp && tauRecomp >= tauBkwd && tauBkwd >= 0) {
+		panic(fmt.Sprintf("quad: need tauFwd >= tauRecomp >= tauBkwd >= 0, got %d, %d, %d", tauFwd, tauRecomp, tauBkwd))
+	}
+	p := make(poly.Poly, tauFwd+2)
+	p[tauFwd+1] += complex(1, 0)
+	p[tauFwd] += complex(-1, 0)
+	p[0] += complex(alpha*(lambda+delta), 0)
+	p[tauFwd-tauBkwd] += complex(-alpha*(delta-phi), 0)
+	p[tauFwd-tauRecomp] += complex(-alpha*phi, 0)
+	return p
+}
+
+// Lemma1Bound returns the largest stable step size from Lemma 1:
+// α* = (2/λ)·sin(π/(4τ+2)). For τ = 0 this is 2/λ, the classical
+// gradient-descent stability threshold on curvature λ.
+func Lemma1Bound(tau int, lambda float64) float64 {
+	return 2 / lambda * math.Sin(math.Pi/float64(4*tau+2))
+}
+
+// Lemma1DoubleRoot returns the step size at which the characteristic
+// polynomial (4) has a real double root, together with the root location
+// ω = τ/(τ+1). Derived in the proof of Lemma 1:
+// α = (1/(λ(τ+1)))·(τ/(τ+1))^τ.
+func Lemma1DoubleRoot(tau int, lambda float64) (alpha, omega float64) {
+	t := float64(tau)
+	omega = t / (t + 1)
+	alpha = math.Pow(omega, t) / (lambda * (t + 1))
+	return alpha, omega
+}
+
+// Lemma2Bound returns the Lemma 2 upper bound on the first unstable step
+// size under delay discrepancy:
+// min( 2/(Δ(τfwd−τbkwd)), (2/λ)·sin(π/(4τfwd+2)) ).
+func Lemma2Bound(tauFwd, tauBkwd int, lambda, delta float64) float64 {
+	l1 := Lemma1Bound(tauFwd, lambda)
+	if delta <= 0 || tauFwd == tauBkwd {
+		return l1
+	}
+	disc := 2 / (delta * float64(tauFwd-tauBkwd))
+	return math.Min(disc, l1)
+}
+
+// Lemma3Bound returns the Lemma 3 bound for SGD with momentum: for any
+// β ∈ (0,1] there is an unstable α with α ≤ (4/λ)·sin(π/(4τ+2)).
+func Lemma3Bound(tau int, lambda float64) float64 {
+	return 4 / lambda * math.Sin(math.Pi/float64(4*tau+2))
+}
+
+// GammaFromD converts the tunable global decay hyperparameter D into the
+// per-stage accumulator decay rate γ = D^{1/(τfwd−τbkwd)} (§3.2).
+// When the two delays are equal there is nothing to correct and γ is 0.
+func GammaFromD(d float64, tauFwd, tauBkwd float64) float64 {
+	if tauFwd <= tauBkwd || d <= 0 {
+		return 0
+	}
+	return math.Pow(d, 1/(tauFwd-tauBkwd))
+}
+
+// GammaTaylor returns the γ for which the second-order Taylor expansion of
+// the T2 characteristic polynomial around ω = 1 is independent of the
+// discrepancy-sensitivity Δ (Appendix B.5, eq. (15)):
+// γ = 1 − 2/(τfwd − τbkwd + 1).
+func GammaTaylor(tauFwd, tauBkwd int) float64 {
+	return 1 - 2/float64(tauFwd-tauBkwd+1)
+}
+
+// DStar is the asymptotic value of the decay hyperparameter implied by
+// GammaTaylor for large delays: D = γ^{τf−τb} → e⁻² ≈ 0.135.
+const DStar = 0.1353352832366127 // exp(-2)
+
+// MaxStableAlpha returns the largest step size α for which the polynomial
+// produced by build(α) has all roots within the unit disk, found by
+// geometric bracketing followed by bisection. The search looks in
+// (0, hi]; tol controls the bisection width.
+func MaxStableAlpha(build func(alpha float64) poly.Poly, hi, tol float64) (float64, error) {
+	const eps = 1e-9
+	stableAt := func(a float64) (bool, error) {
+		return build(a).Stable(eps)
+	}
+	lo := hi * 1e-8
+	ok, err := stableAt(lo)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if !ok {
+		return 0, nil
+	}
+	// Grow lo geometrically until unstable or we pass hi.
+	upper := hi
+	a := lo
+	for a < hi {
+		next := a * 2
+		if next > hi {
+			next = hi
+		}
+		ok, err := stableAt(next)
+		if err != nil {
+			return math.NaN(), err
+		}
+		if !ok {
+			upper = next
+			break
+		}
+		a = next
+		if a == hi {
+			return hi, nil // stable throughout the search range
+		}
+	}
+	loB, hiB := a, upper
+	for hiB-loB > tol*(1+loB) {
+		mid := 0.5 * (loB + hiB)
+		ok, err := stableAt(mid)
+		if err != nil {
+			return math.NaN(), err
+		}
+		if ok {
+			loB = mid
+		} else {
+			hiB = mid
+		}
+	}
+	return loB, nil
+}

@@ -1,0 +1,276 @@
+package quad
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes one fixed-delay asynchronous SGD run on the
+// one-dimensional quadratic f(w) = (λ/2)w².
+type Config struct {
+	Lambda    float64 // curvature λ > 0
+	Alpha     float64 // step size α
+	TauFwd    int     // forward delay (τ in the zero-discrepancy model)
+	TauBkwd   int     // backward delay; ignored when Delta == 0
+	TauRecomp int     // recompute delay; used only when Phi != 0
+	Delta     float64 // gradient sensitivity to fwd/bkwd discrepancy (Δ)
+	Phi       float64 // gradient sensitivity to recompute discrepancy (Φ)
+	Beta      float64 // heavy-ball momentum (0 = plain SGD)
+	NoiseStd  float64 // std of gradient noise η_t ~ N(0, NoiseStd²)
+	W0        float64 // initial weight value
+	Steps     int     // number of iterations
+	Seed      int64   // RNG seed for the noise sequence
+
+	// T2 enables the discrepancy correction with decay hyperparameter D
+	// (γ = D^{1/(τfwd−τbkwd)}).
+	T2 bool
+	D  float64
+
+	// LossCap, if positive, truncates the run once the loss exceeds it
+	// (the trajectory is still padded to Steps with +Inf for plotting).
+	LossCap float64
+}
+
+// Result is the trajectory of a simulation run.
+type Result struct {
+	Loss     []float64 // loss (λ/2)w_t² at every step
+	W        []float64 // the weight value at every step
+	Diverged bool      // true if the loss exceeded LossCap or became non-finite
+}
+
+// FinalLoss returns the last finite loss value of the run, or +Inf if the
+// trajectory diverged immediately.
+func (r *Result) FinalLoss() float64 {
+	for i := len(r.Loss) - 1; i >= 0; i-- {
+		if !math.IsInf(r.Loss[i], 0) && !math.IsNaN(r.Loss[i]) {
+			return r.Loss[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// Simulate runs fixed-delay asynchronous SGD on the quadratic model with
+// the exact update equations from §3.1–§3.2 and Appendix D:
+//
+//	∇f_t = (λ+Δ)·u_fwd − (Δ−Φ)·u_bkwd − Φ·u_recomp − η_t
+//	v_{t+1} = β·v_t − α·∇f_t          (v ≡ 0 when β = 0)
+//	w_{t+1} = w_t + v_{t+1}
+//
+// with u_fwd = w_{t−τfwd}, u_bkwd = w_{t−τbkwd} (optionally T2-corrected to
+// w_{t−τbkwd} − (τfwd−τbkwd)·δ_t), u_recomp likewise. Weights with negative
+// index equal W0.
+func Simulate(cfg Config) *Result {
+	if cfg.Steps <= 0 {
+		panic("quad: Steps must be positive")
+	}
+	if cfg.TauFwd < cfg.TauBkwd {
+		panic(fmt.Sprintf("quad: TauFwd (%d) < TauBkwd (%d)", cfg.TauFwd, cfg.TauBkwd))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hist := cfg.TauFwd + 1
+	if hist < 2 {
+		hist = 2
+	}
+	// Ring buffer of past weights; index t mod hist.
+	w := make([]float64, hist)
+	for i := range w {
+		w[i] = cfg.W0
+	}
+	res := &Result{Loss: make([]float64, cfg.Steps), W: make([]float64, cfg.Steps)}
+	lossCap := cfg.LossCap
+	if lossCap <= 0 {
+		lossCap = math.Inf(1)
+	}
+	gamma := GammaFromD(cfg.D, float64(cfg.TauFwd), float64(cfg.TauBkwd))
+	// δ history ring: the backward pass physically happens τbkwd steps
+	// before the update indexed t, so the correction reads δ_{t−τbkwd}
+	// (and δ_{t−τrecomp} for the recompute path) — this matches the
+	// companion matrix of Appendix B.5 exactly.
+	dHist := make([]float64, hist)
+	cur := cfg.W0
+	vel := 0.0
+	at := func(t int) float64 {
+		if t < 0 {
+			return cfg.W0
+		}
+		return w[t%hist]
+	}
+	dAt := func(t int) float64 {
+		if t < 0 {
+			return 0
+		}
+		return dHist[t%hist]
+	}
+	diverged := false
+	for t := 0; t < cfg.Steps; t++ {
+		res.W[t] = cur
+		loss := 0.5 * cfg.Lambda * cur * cur
+		res.Loss[t] = loss
+		if diverged {
+			res.Loss[t] = math.Inf(1)
+			continue
+		}
+		if math.IsNaN(loss) || loss > lossCap {
+			diverged = true
+			res.Diverged = true
+			res.Loss[t] = math.Inf(1)
+			continue
+		}
+		uFwd := at(t - cfg.TauFwd)
+		uBkwd := at(t - cfg.TauBkwd)
+		uRecomp := at(t - cfg.TauRecomp)
+		if cfg.T2 {
+			uBkwd -= float64(cfg.TauFwd-cfg.TauBkwd) * dAt(t-cfg.TauBkwd)
+			uRecomp -= float64(cfg.TauFwd-cfg.TauRecomp) * dAt(t-cfg.TauRecomp)
+		}
+		eta := 0.0
+		if cfg.NoiseStd > 0 {
+			eta = rng.NormFloat64() * cfg.NoiseStd
+		}
+		grad := (cfg.Lambda+cfg.Delta)*uFwd - (cfg.Delta-cfg.Phi)*uBkwd - cfg.Phi*uRecomp - eta
+		vel = cfg.Beta*vel - cfg.Alpha*grad
+		next := cur + vel
+		if cfg.T2 {
+			dHist[(t+1)%hist] = gamma*dAt(t) + (1-gamma)*(next-cur)
+		}
+		w[(t+1)%hist] = next
+		cur = next
+	}
+	return res
+}
+
+// LinearRegression is a multivariate quadratic problem
+// f(w) = (1/2n)·‖Xw − y‖² used for the Figure 3(b) heatmap; its largest
+// curvature λmax = σmax(XᵀX/n) drives the Lemma 1 bound overlay.
+type LinearRegression struct {
+	X [][]float64 // n×d design matrix
+	Y []float64   // n targets
+}
+
+// Dim returns the feature dimension d.
+func (lr *LinearRegression) Dim() int {
+	if len(lr.X) == 0 {
+		return 0
+	}
+	return len(lr.X[0])
+}
+
+// Grad computes the full-batch gradient of f at w.
+func (lr *LinearRegression) Grad(w []float64) []float64 {
+	n, d := len(lr.X), lr.Dim()
+	g := make([]float64, d)
+	for i := 0; i < n; i++ {
+		r := -lr.Y[i]
+		for j := 0; j < d; j++ {
+			r += lr.X[i][j] * w[j]
+		}
+		for j := 0; j < d; j++ {
+			g[j] += r * lr.X[i][j] / float64(n)
+		}
+	}
+	return g
+}
+
+// Loss computes f(w) = (1/2n)·‖Xw − y‖².
+func (lr *LinearRegression) Loss(w []float64) float64 {
+	n := len(lr.X)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		r := -lr.Y[i]
+		for j := range w {
+			r += lr.X[i][j] * w[j]
+		}
+		s += r * r
+	}
+	return s / (2 * float64(n))
+}
+
+// MaxCurvature returns λmax of the Hessian XᵀX/n via power iteration.
+func (lr *LinearRegression) MaxCurvature() float64 {
+	d := lr.Dim()
+	n := len(lr.X)
+	// Build H = XᵀX/n once (d is small: 12 for cpusmall).
+	h := make([][]float64, d)
+	for i := range h {
+		h[i] = make([]float64, d)
+	}
+	for i := 0; i < n; i++ {
+		for a := 0; a < d; a++ {
+			xa := lr.X[i][a]
+			if xa == 0 {
+				continue
+			}
+			for b := 0; b < d; b++ {
+				h[a][b] += xa * lr.X[i][b] / float64(n)
+			}
+		}
+	}
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(d))
+	}
+	lam := 0.0
+	for it := 0; it < 500; it++ {
+		nv := make([]float64, d)
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				nv[a] += h[a][b] * v[b]
+			}
+		}
+		norm := 0.0
+		for _, x := range nv {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for i := range nv {
+			nv[i] /= norm
+		}
+		lam = norm
+		v = nv
+	}
+	return lam
+}
+
+// DelayedSGD runs fixed-delay full-batch gradient descent
+// w_{t+1} = w_t − α∇f(w_{t−τ}) + noise and returns the final loss
+// (∞ if the trajectory exceeded lossCap). This regenerates one cell of
+// the Figure 3(b) heatmap.
+func (lr *LinearRegression) DelayedSGD(tau int, alpha float64, steps int, noiseStd float64, lossCap float64, seed int64) float64 {
+	d := lr.Dim()
+	rng := rand.New(rand.NewSource(seed))
+	hist := tau + 1
+	w := make([][]float64, hist)
+	for i := range w {
+		w[i] = make([]float64, d)
+	}
+	cur := make([]float64, d)
+	for t := 0; t < steps; t++ {
+		loss := lr.Loss(cur)
+		if math.IsNaN(loss) || loss > lossCap {
+			return math.Inf(1)
+		}
+		src := w[((t-tau)%hist+hist)%hist]
+		if t-tau < 0 {
+			src = w[0] // initial weights
+		}
+		g := lr.Grad(src)
+		for j := 0; j < d; j++ {
+			cur[j] -= alpha * g[j]
+			if noiseStd > 0 {
+				cur[j] += alpha * noiseStd * rng.NormFloat64()
+			}
+		}
+		next := make([]float64, d)
+		copy(next, cur)
+		w[(t+1)%hist] = next
+	}
+	loss := lr.Loss(cur)
+	if math.IsNaN(loss) || loss > lossCap {
+		return math.Inf(1)
+	}
+	return loss
+}

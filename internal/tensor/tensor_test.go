@@ -1,0 +1,326 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", x.Size())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %g, want 6", got)
+	}
+	x.Set(9, 0, 1)
+	if got := x.At(0, 1); got != 9 {
+		t.Fatalf("after Set, At(0,1) = %g, want 9", got)
+	}
+}
+
+func TestFromSliceBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched length")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Data[0] = 42
+	if x.At(0, 0) != 42 {
+		t.Fatal("Reshape must share underlying data")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 5
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must not share data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	cases := []struct {
+		name string
+		got  *Tensor
+		want []float64
+	}{
+		{"Add", Add(a, b), []float64{5, 7, 9}},
+		{"Sub", Sub(a, b), []float64{-3, -3, -3}},
+		{"Mul", Mul(a, b), []float64{4, 10, 18}},
+		{"Scale", Scale(a, 2), []float64{2, 4, 6}},
+	}
+	for _, c := range cases {
+		for i := range c.want {
+			if c.got.Data[i] != c.want[i] {
+				t.Errorf("%s[%d] = %g, want %g", c.name, i, c.got.Data[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{10, 20}, 2)
+	Axpy(a, 0.5, b)
+	if a.Data[0] != 6 || a.Data[1] != 12 {
+		t.Fatalf("Axpy result %v, want [6 12]", a.Data)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulTransposedVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 5)
+	b := New(5, 3)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	want := MatMul(a, b)
+	got1 := MatMulT1(Transpose(a), b)
+	got2 := MatMulT2(a, Transpose(b))
+	for i := range want.Data {
+		if !almostEq(want.Data[i], got1.Data[i], 1e-12) {
+			t.Fatalf("MatMulT1 disagrees at %d: %g vs %g", i, got1.Data[i], want.Data[i])
+		}
+		if !almostEq(want.Data[i], got2.Data[i], 1e-12) {
+			t.Fatalf("MatMulT2 disagrees at %d: %g vs %g", i, got2.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := Transpose(Transpose(a))
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 5)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64() * 10
+		}
+		s := SoftmaxRows(a)
+		for i := 0; i < 3; i++ {
+			sum := 0.0
+			for j := 0; j < 5; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if !almostEq(sum, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxNumericallyStable(t *testing.T) {
+	a := FromSlice([]float64{1000, 1001, 999}, 1, 3)
+	s := SoftmaxRows(a)
+	for _, v := range s.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", s.Data)
+		}
+	}
+}
+
+func TestLogSumExpRows(t *testing.T) {
+	a := FromSlice([]float64{0, math.Log(2), math.Log(3)}, 1, 3)
+	got := LogSumExpRows(a)[0]
+	want := math.Log(6)
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("LogSumExp = %g, want %g", got, want)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{3, -4}, 2)
+	if a.Sum() != -1 {
+		t.Errorf("Sum = %g", a.Sum())
+	}
+	if a.Mean() != -0.5 {
+		t.Errorf("Mean = %g", a.Mean())
+	}
+	if a.Norm() != 5 {
+		t.Errorf("Norm = %g", a.Norm())
+	}
+	if a.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %g", a.MaxAbs())
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	a := FromSlice([]float64{1, 5, 2, 9, 0, 3}, 2, 3)
+	if a.ArgMaxRow(0) != 1 {
+		t.Errorf("row 0 argmax = %d", a.ArgMaxRow(0))
+	}
+	if a.ArgMaxRow(1) != 0 {
+		t.Errorf("row 1 argmax = %d", a.ArgMaxRow(1))
+	}
+}
+
+// naiveConv computes a reference 2-D convolution directly.
+func naiveConv(x *Tensor, w *Tensor, stride, pad int) *Tensor {
+	b, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oc, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(wd, kw, stride, pad)
+	out := New(b, oc, oh, ow)
+	for n := 0; n < b; n++ {
+		for o := 0; o < oc; o++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy, ix := oy*stride-pad+ky, ox*stride-pad+kx
+								if iy >= 0 && iy < h && ix >= 0 && ix < wd {
+									s += x.At(n, ch, iy, ix) * w.At(o, ch, ky, kx)
+								}
+							}
+						}
+					}
+					out.Set(s, n, o, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range []struct{ b, c, h, w, oc, k, stride, pad int }{
+		{1, 1, 4, 4, 1, 3, 1, 1},
+		{2, 3, 5, 5, 4, 3, 1, 1},
+		{1, 2, 6, 6, 3, 3, 2, 1},
+		{2, 2, 4, 4, 2, 1, 1, 0},
+	} {
+		x := New(cfg.b, cfg.c, cfg.h, cfg.w)
+		w := New(cfg.oc, cfg.c, cfg.k, cfg.k)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+		want := naiveConv(x, w, cfg.stride, cfg.pad)
+		cols := Im2Col(x, cfg.k, cfg.k, cfg.stride, cfg.pad)
+		wm := w.Reshape(cfg.oc, cfg.c*cfg.k*cfg.k)
+		// cols: (B*OH*OW, C*K*K); result rows are (b,oy,ox) and cols oc.
+		res := MatMulT2(cols, wm)
+		oh := ConvOutSize(cfg.h, cfg.k, cfg.stride, cfg.pad)
+		ow := ConvOutSize(cfg.w, cfg.k, cfg.stride, cfg.pad)
+		for n := 0; n < cfg.b; n++ {
+			for o := 0; o < cfg.oc; o++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						row := (n*oh+oy)*ow + ox
+						got := res.At(row, o)
+						if !almostEq(got, want.At(n, o, oy, ox), 1e-9) {
+							t.Fatalf("cfg %+v mismatch at (%d,%d,%d,%d): %g vs %g", cfg, n, o, oy, ox, got, want.At(n, o, oy, ox))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for all x, y: the defining property
+	// of the adjoint, which is exactly what backprop needs.
+	rng := rand.New(rand.NewSource(11))
+	b, c, h, w, k, stride, pad := 2, 2, 5, 5, 3, 1, 1
+	x := New(b, c, h, w)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	cols := Im2Col(x, k, k, stride, pad)
+	y := New(cols.Shape...)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	lhs := 0.0
+	for i := range cols.Data {
+		lhs += cols.Data[i] * y.Data[i]
+	}
+	back := Col2Im(y, b, c, h, w, k, k, stride, pad)
+	rhs := 0.0
+	for i := range x.Data {
+		rhs += x.Data[i] * back.Data[i]
+	}
+	if !almostEq(lhs, rhs, 1e-9) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	if got := ConvOutSize(8, 3, 1, 1); got != 8 {
+		t.Errorf("same-pad conv out = %d, want 8", got)
+	}
+	if got := ConvOutSize(8, 3, 2, 1); got != 4 {
+		t.Errorf("strided conv out = %d, want 4", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package throughput implements the analytic pipeline throughput models of
+// §2.2 and Appendix A.3 of the PipeMare paper: Table 1 normalized
+// throughput, the equal-budget GPipe-vs-PipeMare latency analysis (optimum
+// 0.3 at microbatch ratio α = √(3/2)), and its recompute variant (0.29).
+// The paper's own time-to-accuracy numbers are computed from this model,
+// so this package is the reproduction of those columns, not a proxy.
+package throughput
+
+import "math"
+
+// Table1 returns the normalized throughput column of Table 1: bubble-free
+// methods (PipeDream, PipeMare) run at 1.0; GPipe pays the fill/drain
+// bubble N/(N+P−1).
+func Table1GPipe(p, n int) float64 {
+	return float64(n) / float64(n+p-1)
+}
+
+// Table1BubbleFree is the normalized throughput of PipeDream and PipeMare.
+func Table1BubbleFree() float64 { return 1.0 }
+
+// GPipeRelative returns GPipe's throughput relative to PipeMare under the
+// equal activation-memory and compute budget model of Appendix A.3, as a
+// function of the microbatch ratio α = M_GPipe / M_PipeMare:
+//
+//	l_fwd = max(α/3, 1), l_bwd = max(2α/3, 1), N_GPipe = P/α
+//	throughput = P / ((l_fwd + l_bwd)·(N_GPipe + P)) = 1/((l_fwd+l_bwd)(1/α+1)).
+func GPipeRelative(alpha float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	lf := math.Max(alpha/3, 1)
+	lb := math.Max(2*alpha/3, 1)
+	return 1 / ((lf + lb) * (1/alpha + 1))
+}
+
+// GPipeRelativeRecompute is the Appendix A.3 variant with PipeMare
+// recompute enabled: forward and recompute each take 1/4 of the compute,
+// backward 1/2, so l_fwd = max(α/4, 1) and l_bwd = max(3α/4, 1).
+func GPipeRelativeRecompute(alpha float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	lf := math.Max(alpha/4, 1)
+	lb := math.Max(3*alpha/4, 1)
+	return 1 / ((lf + lb) * (1/alpha + 1))
+}
+
+// Maximize returns the argmax and max of f over (0, hi] by golden-section
+// search refined with a fine grid (f is unimodal on the region of
+// interest).
+func Maximize(f func(float64) float64, hi float64) (bestAlpha, bestVal float64) {
+	const steps = 200000
+	for i := 1; i <= steps; i++ {
+		a := hi * float64(i) / steps
+		if v := f(a); v > bestVal {
+			bestAlpha, bestVal = a, v
+		}
+	}
+	return bestAlpha, bestVal
+}
+
+// GPipeOptimal returns the optimal microbatch ratio and the resulting
+// maximum relative throughput (the paper's 0.3 at α = √(3/2)).
+func GPipeOptimal() (alpha, thr float64) {
+	return Maximize(GPipeRelative, 8)
+}
+
+// GPipeOptimalRecompute returns the optimum of the recompute variant
+// (the paper's 0.29; exactly 1/(7/4+√3)).
+func GPipeOptimalRecompute() (alpha, thr float64) {
+	return Maximize(GPipeRelativeRecompute, 8)
+}
+
+// PaperGPipeThroughput is the constant the paper uses for GPipe in all
+// Table 2/3 time-to-accuracy computations.
+const PaperGPipeThroughput = 0.3
+
+// Method mirrors the three pipeline methods for throughput lookups
+// without importing the trainer package.
+type Method int
+
+// Method values.
+const (
+	GPipe Method = iota
+	PipeDream
+	PipeMare
+)
+
+// EndToEnd returns the normalized throughput a method achieves in the
+// paper's end-to-end comparison: GPipe pays the equal-budget 0.3 factor,
+// the asynchronous methods run bubble-free at 1.0.
+func EndToEnd(m Method) float64 {
+	if m == GPipe {
+		return PaperGPipeThroughput
+	}
+	return 1.0
+}

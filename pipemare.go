@@ -1,0 +1,76 @@
+// Package pipemare is a from-scratch Go reproduction of
+// "PipeMare: Asynchronous Pipeline Parallel DNN Training"
+// (Yang, Zhang, Li, Ré, Aberger, De Sa — MLSYS 2021, arXiv:1910.05124).
+//
+// It provides, stdlib-only:
+//
+//   - an asynchronous pipeline-parallel training simulator with
+//     microbatch-exact Table 1 delays (internal/pipeline, internal/core),
+//     including the GPipe and PipeDream baselines;
+//   - the three PipeMare techniques — T1 learning-rate rescheduling,
+//     T2 discrepancy correction, T3 synchronous warmup — plus the
+//     Appendix D recompute delay path and the Appendix E Hogwild! variant;
+//   - the quadratic-model stability theory: companion-matrix
+//     characteristic polynomials, Lemma 1–3 bounds, and trajectory
+//     simulators (internal/quad, internal/poly);
+//   - the analytic throughput and memory models of §2.2 and Appendix A
+//     (internal/throughput, internal/memmodel);
+//   - a small dense-tensor/neural-network substrate with decoupled
+//     forward/backward weights (internal/tensor, internal/nn), optimizers
+//     and schedules (internal/optim), synthetic datasets (internal/data)
+//     and BLEU scoring (internal/bleu);
+//   - regenerators for every table and figure of the paper's evaluation
+//     (internal/experiments, cmd/pipemare-bench).
+//
+// This package is a thin facade over those internals so that examples and
+// downstream users have a single import. See README.md for a quickstart
+// and DESIGN.md for the system inventory and experiment index.
+package pipemare
+
+import (
+	"pipemare/internal/core"
+	"pipemare/internal/metrics"
+	"pipemare/internal/optim"
+	"pipemare/internal/pipeline"
+	"pipemare/internal/quad"
+)
+
+// Re-exported core types: see the internal packages for full
+// documentation.
+type (
+	// Method selects GPipe, PipeDream or PipeMare execution.
+	Method = core.Method
+	// Config configures a training run (stages, microbatching, T1/T2/T3).
+	Config = core.Config
+	// Task is a model+loss bound to an indexed dataset.
+	Task = core.Task
+	// Trainer drives pipeline-parallel training.
+	Trainer = core.Trainer
+	// Run is a recorded training curve with derived metrics.
+	Run = metrics.Run
+	// ParamGroup is a set of weights pinned to one pipeline stage.
+	ParamGroup = pipeline.ParamGroup
+	// Schedule maps optimizer steps to base learning rates.
+	Schedule = optim.Schedule
+	// Optimizer updates parameters with per-parameter learning rates.
+	Optimizer = optim.Optimizer
+)
+
+// Training methods (Table 1).
+const (
+	GPipe     = core.GPipe
+	PipeDream = core.PipeDream
+	PipeMare  = core.PipeMare
+)
+
+// NewTrainer builds a pipeline-parallel trainer; see core.New.
+func NewTrainer(task Task, opt Optimizer, sched Schedule, cfg Config) (*Trainer, error) {
+	return core.New(task, opt, sched, cfg)
+}
+
+// FwdDelay returns τ_fwd = (2(P−i)+1)/N for 1-indexed stage i (Table 1).
+func FwdDelay(stage1, p, n int) float64 { return pipeline.FwdDelay(stage1, p, n) }
+
+// Lemma1Bound returns the maximal stable step size (2/λ)·sin(π/(4τ+2)) of
+// fixed-delay asynchronous SGD on a quadratic with curvature λ.
+func Lemma1Bound(tau int, lambda float64) float64 { return quad.Lemma1Bound(tau, lambda) }
