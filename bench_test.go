@@ -1,11 +1,18 @@
-package pipemare
+package pipemare_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
 
+	"pipemare"
+	"pipemare/internal/data"
+	"pipemare/internal/engine/concurrent"
 	"pipemare/internal/experiments"
+	"pipemare/internal/model"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
 	"pipemare/internal/tensor"
 )
 
@@ -51,6 +58,54 @@ func BenchmarkFig17(b *testing.B)      { benchExperiment(b, "fig17") }
 func BenchmarkFig18(b *testing.B)      { benchExperiment(b, "fig18") }
 func BenchmarkFig19(b *testing.B)      { benchExperiment(b, "fig19") }
 func BenchmarkAppendixA3(b *testing.B) { benchExperiment(b, "appendixA3") }
+
+// Engine benchmarks: Reference vs the concurrent stage-worker engine on
+// the transformer workload at P ∈ {4, 8} (one epoch per iteration). The
+// speedup tracks the stage-parallel commit phase and the parallel dense
+// kernels, so it grows with GOMAXPROCS; on a single core the two engines
+// should be within noise of each other.
+
+func benchEngineTransformer(b *testing.B, stages int, eng pipemare.Engine) {
+	b.Helper()
+	ds := data.NewTranslation(data.TranslationConfig{
+		Vocab: 13, SrcLen: 6, Train: 256, Test: 32, Seed: 2})
+	task := model.NewTranslation(ds, model.TransformerConfig{
+		Dim: 128, Heads: 4, EncLayers: 2, DecLayers: 2, Seed: 1})
+	tr, err := pipemare.New(task,
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(stages),
+		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
+		pipemare.WithT1(100), pipemare.WithT2(0.1), pipemare.WithClipNorm(5),
+		pipemare.WithSeed(1),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+		}),
+		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 100}),
+		pipemare.WithEngine(eng),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Run(context.Background(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReferenceP4(b *testing.B) {
+	benchEngineTransformer(b, 4, pipemare.NewReferenceEngine())
+}
+func BenchmarkEngineConcurrentP4(b *testing.B) {
+	benchEngineTransformer(b, 4, concurrent.New())
+}
+func BenchmarkEngineReferenceP8(b *testing.B) {
+	benchEngineTransformer(b, 8, pipemare.NewReferenceEngine())
+}
+func BenchmarkEngineConcurrentP8(b *testing.B) {
+	benchEngineTransformer(b, 8, concurrent.New())
+}
 
 // Substrate micro-benchmarks: the kernels the simulator spends its time
 // in, for allocation and throughput tracking with -benchmem.

@@ -6,6 +6,7 @@
 //	pipemare-bench table1 fig3a  # run selected experiments (quick scale)
 //	pipemare-bench -full table2  # reference-scale run
 //	pipemare-bench all           # every experiment at quick scale
+//	pipemare-bench -engine concurrent table2   # stage-worker engine
 package main
 
 import (
@@ -14,12 +15,23 @@ import (
 	"os"
 	"time"
 
+	"pipemare"
+	"pipemare/internal/engine/concurrent"
 	"pipemare/internal/experiments"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run at reference (paper) scale instead of quick scale")
+	engineName := flag.String("engine", "reference", "execution engine for training runs: reference | concurrent")
 	flag.Parse()
+	switch *engineName {
+	case "reference":
+	case "concurrent":
+		experiments.EngineFactory = func() pipemare.Engine { return concurrent.New() }
+	default:
+		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown engine %q (want reference or concurrent)\n", *engineName)
+		os.Exit(2)
+	}
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full

@@ -1,0 +1,238 @@
+package pipemare_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pipemare"
+	"pipemare/internal/data"
+	"pipemare/internal/engine/concurrent"
+	"pipemare/internal/model"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+)
+
+// quadTask is a multi-stage quadratic model: group g holds a small weight
+// vector w_g and the loss on sample i is Σ_g ½·λ_g·‖w_g − t_i[g]‖², the
+// pipeline analogue of the §3 quadratic stability model. Parameter
+// gradients use the *installed* forward weights, so the task exercises the
+// trainer's weight-version machinery exactly like a real network.
+type quadTask struct {
+	groups []pipemare.ParamGroup
+	params []*nn.Param
+	lambda []float64
+	train  [][]float64 // train[i][g]: target of group g on sample i
+	test   [][]float64
+
+	fwd [][2]float64 // per-group mean residuals cached by Forward
+}
+
+func newQuadTask(groups, train, test int, seed int64) *quadTask {
+	rng := rand.New(rand.NewSource(seed))
+	t := &quadTask{fwd: make([][2]float64, groups)}
+	for g := 0; g < groups; g++ {
+		p := nn.NewParam("q", 2)
+		p.Data.Data[0] = rng.NormFloat64()
+		p.Data.Data[1] = rng.NormFloat64()
+		t.params = append(t.params, p)
+		t.groups = append(t.groups, pipemare.ParamGroup{Name: "q", Params: []*nn.Param{p}})
+		t.lambda = append(t.lambda, 0.5+rng.Float64())
+	}
+	gen := func(n int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = make([]float64, groups)
+			for g := range out[i] {
+				out[i][g] = rng.NormFloat64()
+			}
+		}
+		return out
+	}
+	t.train, t.test = gen(train), gen(test)
+	return t
+}
+
+func (t *quadTask) Groups() []pipemare.ParamGroup { return t.groups }
+func (t *quadTask) NumTrain() int                 { return len(t.train) }
+
+func (t *quadTask) lossOn(set [][]float64, idx []int, record bool) float64 {
+	loss := 0.0
+	for g, p := range t.params {
+		r0, r1 := 0.0, 0.0
+		for _, i := range idx {
+			d0 := p.Data.Data[0] - set[i][g]
+			d1 := p.Data.Data[1] - set[i][g]
+			loss += 0.5 * t.lambda[g] * (d0*d0 + d1*d1) / float64(len(idx))
+			r0 += d0 / float64(len(idx))
+			r1 += d1 / float64(len(idx))
+		}
+		if record {
+			t.fwd[g] = [2]float64{r0, r1}
+		}
+	}
+	return loss
+}
+
+func (t *quadTask) Forward(idx []int) float64 { return t.lossOn(t.train, idx, true) }
+
+func (t *quadTask) Backward() {
+	for g, p := range t.params {
+		p.Grad.Data[0] += t.lambda[g] * t.fwd[g][0]
+		p.Grad.Data[1] += t.lambda[g] * t.fwd[g][1]
+	}
+}
+
+func (t *quadTask) EvalTest() float64 {
+	idx := make([]int, len(t.test))
+	for i := range idx {
+		idx[i] = i
+	}
+	return 100 / (1 + t.lossOn(t.test, idx, false))
+}
+
+// trainPair runs the same configuration under the Reference and concurrent
+// engines and returns both curves.
+func trainPair(t *testing.T, build func() pipemare.Task, epochs int, opts ...pipemare.Option) (ref, conc *pipemare.Run) {
+	t.Helper()
+	run := func(eng pipemare.Engine) *pipemare.Run {
+		tr, err := pipemare.New(build(), append(opts, pipemare.WithEngine(eng))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tr.Run(context.Background(), epochs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	return run(pipemare.NewReferenceEngine()), run(concurrent.New())
+}
+
+// requireIdentical asserts two curves match bit for bit: the concurrent
+// engine must not perturb a single floating-point operation.
+func requireIdentical(t *testing.T, name string, ref, conc *pipemare.Run) {
+	t.Helper()
+	if ref.Epochs() != conc.Epochs() || ref.Diverged != conc.Diverged {
+		t.Fatalf("%s: curves differ in shape: reference %d epochs (diverged=%v), concurrent %d epochs (diverged=%v)",
+			name, ref.Epochs(), ref.Diverged, conc.Epochs(), conc.Diverged)
+	}
+	for e := 0; e < ref.Epochs(); e++ {
+		if ref.Loss[e] != conc.Loss[e] {
+			t.Fatalf("%s epoch %d: loss %v (reference) != %v (concurrent)", name, e+1, ref.Loss[e], conc.Loss[e])
+		}
+		if ref.Metric[e] != conc.Metric[e] {
+			t.Fatalf("%s epoch %d: metric %v (reference) != %v (concurrent)", name, e+1, ref.Metric[e], conc.Metric[e])
+		}
+		if ref.ParamNorm[e] != conc.ParamNorm[e] {
+			t.Fatalf("%s epoch %d: param norm %v (reference) != %v (concurrent)", name, e+1, ref.ParamNorm[e], conc.ParamNorm[e])
+		}
+	}
+}
+
+func methodOpts(m pipemare.Method) []pipemare.Option {
+	opts := []pipemare.Option{pipemare.WithMethod(m), pipemare.WithSeed(11)}
+	if m == pipemare.PipeMare {
+		// Enable every technique so the whole install/commit surface is
+		// compared: T1, T2, T3 warmup, clipping and recompute.
+		opts = append(opts, pipemare.WithT1(12), pipemare.WithT2(0.3),
+			pipemare.WithT3(1), pipemare.WithClipNorm(2), pipemare.WithRecompute(2))
+	}
+	return opts
+}
+
+func TestEnginesEquivalentOnQuadratic(t *testing.T) {
+	for _, m := range []pipemare.Method{pipemare.GPipe, pipemare.PipeDream, pipemare.PipeMare} {
+		build := func() pipemare.Task { return newQuadTask(6, 64, 16, 5) }
+		opts := append(methodOpts(m),
+			pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4),
+			pipemare.WithSchedule(optim.Constant(0.05)))
+		ref, conc := trainPair(t, build, 6, opts...)
+		requireIdentical(t, "quadratic/"+m.String(), ref, conc)
+	}
+}
+
+func TestEnginesEquivalentOnSmallDNN(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 64, Test: 32, Noise: 0.4, Seed: 1})
+	for _, m := range []pipemare.Method{pipemare.GPipe, pipemare.PipeDream, pipemare.PipeMare} {
+		build := func() pipemare.Task { return model.NewResNetMLP(images, 8, 4, 3) }
+		opts := append(methodOpts(m),
+			pipemare.WithBatchSize(16), pipemare.WithMicrobatches(4),
+			pipemare.WithSchedule(optim.Constant(0.05)))
+		ref, conc := trainPair(t, build, 3, opts...)
+		requireIdentical(t, "dnn/"+m.String(), ref, conc)
+	}
+}
+
+func TestEnginesEquivalentOnTransformer(t *testing.T) {
+	ds := data.NewTranslation(data.TranslationConfig{Vocab: 11, SrcLen: 5,
+		Train: 64, Test: 16, Seed: 2})
+	build := func() pipemare.Task {
+		return model.NewTranslation(ds, model.TransformerConfig{
+			Dim: 16, Heads: 2, EncLayers: 1, DecLayers: 1, Seed: 4})
+	}
+	opts := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithStages(8),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(4),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+		}),
+		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 20}))
+	ref, conc := trainPair(t, build, 2, opts...)
+	requireIdentical(t, "transformer/PipeMare", ref, conc)
+}
+
+// TestConcurrentEngineSurvivesRepeatedRuns pins the Lifecycle contract:
+// the same engine instance must restart cleanly across Run calls and
+// trainers.
+func TestConcurrentEngineSurvivesRepeatedRuns(t *testing.T) {
+	eng := concurrent.New(concurrent.WithKernelWorkers(2))
+	build := func() pipemare.Task { return newQuadTask(4, 32, 8, 9) }
+	tr, err := pipemare.New(build(),
+		pipemare.WithMethod(pipemare.PipeMare), pipemare.WithT1(8),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4),
+		pipemare.WithSeed(3), pipemare.WithEngine(eng),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &pipemare.Run{}
+	for i := 0; i < 3; i++ {
+		if _, err := tr.RunInto(context.Background(), 2, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if run.Epochs() != 6 {
+		t.Fatalf("chunked runs recorded %d epochs, want 6", run.Epochs())
+	}
+	eng.Stop() // idempotent: already stopped at the end of each Run
+	// The same instance must also serve a second trainer.
+	tr2, err := pipemare.New(build(),
+		pipemare.WithMethod(pipemare.GPipe),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(2),
+		pipemare.WithEngine(eng), pipemare.WithSchedule(optim.Constant(0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentEngineDetectsDivergence pins that divergence aborts and
+// restores masters identically under both engines.
+func TestEnginesEquivalentOnDivergence(t *testing.T) {
+	build := func() pipemare.Task { return newQuadTask(4, 32, 8, 7) }
+	opts := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4),
+		pipemare.WithSeed(2), pipemare.WithLossCap(10),
+		pipemare.WithSchedule(optim.Constant(5)), // absurd rate: diverges
+	}
+	ref, conc := trainPair(t, build, 4, opts...)
+	if !ref.Diverged {
+		t.Fatal("reference run was expected to diverge")
+	}
+	requireIdentical(t, "divergence", ref, conc)
+}

@@ -1,9 +1,11 @@
 // Quickstart: train one model three ways — synchronous GPipe, PipeDream
 // weight stashing, and asynchronous PipeMare with the paper's T1+T2
 // techniques — and compare their accuracy and hardware cost columns.
+// Demonstrates the functional-options API: pipemare.New + Trainer.Run.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"pipemare"
@@ -35,24 +37,33 @@ func main() {
 		{"PipeMare (T1+T2)", pipemare.PipeMare, 480, 0.5},
 	} {
 		task := model.NewResNetMLP(images, 16, 52, 7)
-		var ps []*nn.Param
-		for _, g := range task.Groups() {
-			ps = append(ps, g.Params...)
-		}
-		opt := optim.NewSGD(ps, 0.9, 5e-4)
-		sched := optim.StepDecay{Base: 0.05, DropEvery: 40 * 16, Factor: 0.1}
-		tr, err := pipemare.NewTrainer(task, opt, sched, pipemare.Config{
-			Method: m.method, BatchSize: 64, MicrobatchSize: 8,
-			T1K: m.t1k, T2D: m.t2d, Seed: 7,
-		})
+		var opt pipemare.Optimizer
+		tr, err := pipemare.New(task,
+			pipemare.WithMethod(m.method),
+			pipemare.WithBatchSize(64), pipemare.WithMicrobatches(8),
+			pipemare.WithT1(m.t1k), pipemare.WithT2(m.t2d),
+			pipemare.WithSeed(7),
+			pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+				opt = optim.NewSGD(ps, 0.9, 5e-4)
+				return opt
+			}),
+			pipemare.WithSchedule(optim.StepDecay{Base: 0.05, DropEvery: 40 * 16, Factor: 0.1}),
+		)
 		if err != nil {
 			panic(err)
 		}
-		run := tr.TrainEpochs(45, nil)
+		run, err := tr.Run(context.Background(), 45)
+		if err != nil {
+			panic(err)
+		}
 
 		thr := 1.0
 		if m.method == pipemare.GPipe {
 			thr = 0.3
+		}
+		var ps []*nn.Param
+		for _, g := range task.Groups() {
+			ps = append(ps, g.Params...)
 		}
 		mem := memmodel.WeightOptimizer(memmodel.Method(m.method), opt.StateCopies(),
 			tr.Partition().StageSizes(), tr.Microbatches(), m.t2d > 0) /

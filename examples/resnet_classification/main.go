@@ -1,15 +1,18 @@
 // ResNet classification: the paper's CIFAR10 scenario, including the
 // failure mode — run with -t1k=0 -t2d=0 to watch raw asynchronous
 // pipeline training blow up its parameter norm exactly as in Figure 7.
+// Streaming output uses the per-epoch observer hook of the options API;
+// -engine selects the execution engine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
 	"pipemare"
 	"pipemare/internal/data"
-	"pipemare/internal/metrics"
+	"pipemare/internal/engine/concurrent"
 	"pipemare/internal/model"
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
@@ -20,6 +23,7 @@ func main() {
 	t1k := flag.Int("t1k", 480, "T1 annealing steps (0 disables)")
 	t2d := flag.Float64("t2d", 0.5, "T2 correction decay D (0 disables)")
 	epochs := flag.Int("epochs", 40, "training epochs")
+	engineName := flag.String("engine", "reference", "execution engine: reference | concurrent")
 	flag.Parse()
 
 	images := data.NewImages(data.ImagesConfig{
@@ -27,35 +31,43 @@ func main() {
 		Train: 1024, Test: 512, Noise: 0.9, LabelFlip: 0.05, Seed: 1,
 	})
 	task := model.NewResNetMLP(images, 16, *blocks, 7)
-	var ps []*nn.Param
-	for _, g := range task.Groups() {
-		ps = append(ps, g.Params...)
+
+	opts := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithBatchSize(64), pipemare.WithMicrobatches(8),
+		pipemare.WithT1(*t1k), pipemare.WithT2(*t2d),
+		pipemare.WithSeed(7),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewSGD(ps, 0.9, 5e-4)
+		}),
+		pipemare.WithSchedule(optim.StepDecay{Base: 0.05, DropEvery: 40 * 16, Factor: 0.1}),
+		pipemare.WithObserver(func(e int, run *pipemare.Run) {
+			if e%5 == 0 || e == 1 {
+				fmt.Printf("epoch %3d  loss %8.3f  acc %5.1f%%  |w| %.3g\n",
+					e, run.Loss[e-1], run.Metric[e-1], run.ParamNorm[e-1])
+			}
+		}),
 	}
-	opt := optim.NewSGD(ps, 0.9, 5e-4)
-	sched := optim.StepDecay{Base: 0.05, DropEvery: 40 * 16, Factor: 0.1}
-	tr, err := pipemare.NewTrainer(task, opt, sched, pipemare.Config{
-		Method: pipemare.PipeMare, BatchSize: 64, MicrobatchSize: 8,
-		T1K: *t1k, T2D: *t2d, Seed: 7,
-	})
+	switch *engineName {
+	case "reference":
+	case "concurrent":
+		opts = append(opts, pipemare.WithEngine(concurrent.New()))
+	default:
+		panic("unknown engine " + *engineName + " (want reference or concurrent)")
+	}
+	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("PipeMare: %d stages, τ_fwd(first stage) = %.2f minibatches, T1K=%d, D=%g\n",
-		tr.Stages(), tr.Taus()[0], *t1k, *t2d)
-	run := &metrics.Run{}
-	for done := 0; done < *epochs; done += 5 {
-		step := 5
-		if done+step > *epochs {
-			step = *epochs - done
-		}
-		tr.TrainEpochs(step, run)
-		n := run.Epochs()
-		fmt.Printf("epoch %3d  loss %8.3f  acc %5.1f%%  |w| %.3g\n",
-			n, run.Loss[n-1], run.Metric[n-1], run.ParamNorm[n-1])
-		if run.Diverged {
-			fmt.Println("diverged (loss exceeded the cap)")
-			return
-		}
+	fmt.Printf("PipeMare [%s engine]: %d stages, τ_fwd(first stage) = %.2f minibatches, T1K=%d, D=%g\n",
+		tr.Engine().Name(), tr.Stages(), tr.Taus()[0], *t1k, *t2d)
+	run, err := tr.Run(context.Background(), *epochs)
+	if err != nil {
+		panic(err)
+	}
+	if run.Diverged {
+		fmt.Println("diverged (loss exceeded the cap)")
+		return
 	}
 	fmt.Printf("best accuracy %.1f%%\n", run.Best())
 }

@@ -1,16 +1,18 @@
 // Transformer translation: the paper's IWSLT14 scenario on the synthetic
 // translation task. Demonstrates why T3 (synchronous warmup) exists: it
 // runs PipeMare with all three techniques and reports BLEU per epoch,
-// including the warmup/async switch.
+// including the warmup/async switch. The -timeout flag shows Run's
+// context-awareness: training stops cleanly when the deadline passes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 
 	"pipemare"
 	"pipemare/internal/data"
-	"pipemare/internal/metrics"
 	"pipemare/internal/model"
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
@@ -19,6 +21,7 @@ import (
 func main() {
 	epochs := flag.Int("epochs", 40, "training epochs")
 	method := flag.String("method", "pipemare", "gpipe | pipedream | pipemare")
+	timeout := flag.Duration("timeout", 0, "optional wall-clock budget (0 = none)")
 	flag.Parse()
 
 	ds := data.NewTranslation(data.TranslationConfig{
@@ -27,52 +30,68 @@ func main() {
 	task := model.NewTranslation(ds, model.TransformerConfig{
 		Dim: 32, Heads: 2, EncLayers: 2, DecLayers: 2, Seed: 5,
 	})
-	var ps []*nn.Param
-	for _, g := range task.Groups() {
-		ps = append(ps, g.Params...)
-	}
-	opt := optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
-	sched := optim.WarmupInvSqrt{Peak: 5e-3, Init: 1e-7, Warmup: 100}
 
-	cfg := pipemare.Config{
-		BatchSize: 64, MicrobatchSize: 4, // small microbatches reduce delay
-		ClipNorm: 5, Seed: 3,
+	warmup := 0
+	opts := []pipemare.Option{
+		pipemare.WithBatchSize(64),
+		pipemare.WithMicrobatchSize(4), // small microbatches reduce delay
+		pipemare.WithClipNorm(5),
+		pipemare.WithSeed(3),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+		}),
+		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 5e-3, Init: 1e-7, Warmup: 100}),
 	}
 	switch *method {
 	case "gpipe":
-		cfg.Method = pipemare.GPipe
+		opts = append(opts, pipemare.WithMethod(pipemare.GPipe))
 	case "pipedream":
-		cfg.Method = pipemare.PipeDream
+		opts = append(opts, pipemare.WithMethod(pipemare.PipeDream))
 	case "pipemare":
-		cfg.Method = pipemare.PipeMare
-		cfg.T1K = 500 // 5× the LR warmup steps (paper's rule)
-		cfg.T2D = 0.1 // discrepancy correction decay
-		cfg.WarmupEpochs = 6
+		warmup = 6
+		opts = append(opts,
+			pipemare.WithMethod(pipemare.PipeMare),
+			pipemare.WithT1(500), // 5× the LR warmup steps (paper's rule)
+			pipemare.WithT2(0.1), // discrepancy correction decay
+			pipemare.WithT3(warmup),
+		)
 	default:
 		panic("unknown method " + *method)
 	}
-	tr, err := pipemare.NewTrainer(task, opt, sched, cfg)
+	opts = append(opts, pipemare.WithObserver(func(e int, run *pipemare.Run) {
+		if e%5 != 0 && e != 1 {
+			return
+		}
+		phase := "async"
+		if *method == "gpipe" || e <= warmup {
+			phase = "sync"
+		}
+		fmt.Printf("epoch %3d [%5s]  loss %.3f  BLEU %.1f\n", e, phase, run.Loss[e-1], run.Metric[e-1])
+	}))
+
+	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("method=%s stages=%d microbatches/minibatch=%d\n", *method, tr.Stages(), tr.Microbatches())
-	run := &metrics.Run{}
-	for done := 0; done < *epochs; done += 5 {
-		step := 5
-		if done+step > *epochs {
-			step = *epochs - done
-		}
-		tr.TrainEpochs(step, run)
-		n := run.Epochs()
-		phase := "async"
-		if cfg.Method == pipemare.GPipe || n <= cfg.WarmupEpochs {
-			phase = "sync"
-		}
-		fmt.Printf("epoch %3d [%5s]  loss %.3f  BLEU %.1f\n", n, phase, run.Loss[n-1], run.Metric[n-1])
-		if run.Diverged {
-			fmt.Println("diverged")
-			return
-		}
+	fmt.Printf("method=%s stages=%d microbatches/minibatch=%d engine=%s\n",
+		*method, tr.Stages(), tr.Microbatches(), tr.Engine().Name())
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	run, err := tr.Run(ctx, *epochs)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("stopped at the %s budget after %d epochs\n", *timeout, run.Epochs())
+	case err != nil:
+		panic(err)
+	}
+	if run.Diverged {
+		fmt.Println("diverged")
+		return
 	}
 	fmt.Printf("best BLEU %.1f\n", run.Best())
 }

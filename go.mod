@@ -1,0 +1,3 @@
+module pipemare
+
+go 1.24

@@ -12,14 +12,24 @@
 // through the task's model, and commits optimizer updates at minibatch
 // boundaries — the same "queue of weights per pipeline stage" simulation
 // the paper describes in Appendix C.4.
+//
+// How those per-slot operations are scheduled onto goroutines is delegated
+// to a pluggable engine (package engine): the trainer implements
+// engine.Host — stage-indexed install/restore/commit primitives plus the
+// monolithic forward/backward substrate — and the configured engine.Engine
+// drives one minibatch at a time through it. Config.Engine selects the
+// engine; nil means the serial Reference engine.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"pipemare/internal/data"
+	"pipemare/internal/engine"
 	"pipemare/internal/metrics"
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
@@ -95,7 +105,17 @@ type Config struct {
 	ClipNorm float64 // global gradient-norm clip (0 disables)
 	LossCap  float64 // divergence threshold (0 = 1e6)
 	Seed     int64
+
+	// Engine selects the execution engine; nil means the single-goroutine
+	// Reference engine.
+	Engine engine.Engine
 }
+
+// Observer receives the curve after each completed epoch. epoch is the
+// 1-based index of the entry just recorded — run.Loss[epoch-1] is always
+// valid. When a single curve is threaded through repeated calls (RunInto),
+// it is also the cumulative epoch count.
+type Observer func(epoch int, run *metrics.Run)
 
 // Trainer drives pipeline-parallel training of a Task.
 type Trainer struct {
@@ -103,13 +123,17 @@ type Trainer struct {
 	opt   optim.Optimizer
 	sched optim.Schedule
 	cfg   Config
+	eng   engine.Engine
 
-	part   *pipeline.Partition
-	clock  pipeline.Clock
-	store  *pipeline.VersionStore
-	params []*nn.Param // in forward order (matches optimizer order)
-	stage1 []int       // 1-indexed stage per param
-	taus   []float64   // per-param τ_fwd in minibatch units
+	part    *pipeline.Partition
+	clock   pipeline.Clock
+	store   *pipeline.VersionStore
+	params  []*nn.Param // in forward order (matches optimizer order)
+	stage1  []int       // 1-indexed stage per param
+	stageLo []int       // params[stageLo[s]:stageHi[s]] belong to stage s
+	stageHi []int
+	taus    []float64 // per-param τ_fwd in minibatch units
+	masters []*tensor.Tensor
 
 	// T2 state: per-param velocity accumulator δ and the materialized
 	// corrected backward weights (master − τ·δ).
@@ -122,10 +146,11 @@ type Trainer struct {
 	// per-param recompute-corrected buffers.
 	segEnd1 []int
 
+	observer Observer
 	rng      *rand.Rand
 	micro    int // global microbatch counter s
 	step     int // optimizer step counter (minibatches committed)
-	epoch    int
+	epoch    int // cumulative epochs completed (persists across Run calls)
 	diverged bool
 }
 
@@ -146,6 +171,9 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	if cfg.BatchSize <= 0 || cfg.MicrobatchSize <= 0 || cfg.BatchSize%cfg.MicrobatchSize != 0 {
 		return nil, fmt.Errorf("core: batch size %d must be a positive multiple of microbatch size %d", cfg.BatchSize, cfg.MicrobatchSize)
 	}
+	if task.NumTrain() < cfg.BatchSize {
+		return nil, fmt.Errorf("core: training set (%d samples) smaller than one batch (%d)", task.NumTrain(), cfg.BatchSize)
+	}
 	n := cfg.BatchSize / cfg.MicrobatchSize
 	if cfg.LossCap == 0 {
 		cfg.LossCap = 1e6
@@ -153,17 +181,25 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	if got, want := len(opt.Params()), len(part.Params()); got != want {
 		return nil, fmt.Errorf("core: optimizer has %d params, partition has %d", got, want)
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.NewReference()
+	}
 	t := &Trainer{
-		task: task, opt: opt, sched: sched, cfg: cfg,
+		task: task, opt: opt, sched: sched, cfg: cfg, eng: eng,
 		part:  part,
 		clock: pipeline.Clock{P: p, N: n},
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	t.params = part.Params()
+	t.stageLo = make([]int, p)
+	t.stageHi = make([]int, p)
 	for s, ps := range part.Stages {
+		t.stageLo[s] = len(t.stage1)
 		for range ps {
 			t.stage1 = append(t.stage1, s+1)
 		}
+		t.stageHi[s] = len(t.stage1)
 	}
 	t.taus = make([]float64, len(t.params))
 	for i := range t.params {
@@ -171,6 +207,10 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	}
 	keep := (2*p+n)/n + 3
 	t.store = pipeline.NewVersionStore(part.Stages, keep)
+	t.masters = make([]*tensor.Tensor, len(t.params))
+	for i, pm := range t.params {
+		t.masters[i] = pm.Data
+	}
 
 	if cfg.T2D > 0 {
 		t.delta = make([]*tensor.Tensor, len(t.params))
@@ -235,104 +275,16 @@ func (t *Trainer) Diverged() bool { return t.diverged }
 // Partition exposes the stage partition (for the memory model).
 func (t *Trainer) Partition() *pipeline.Partition { return t.part }
 
+// Engine returns the execution engine driving this trainer.
+func (t *Trainer) Engine() engine.Engine { return t.eng }
+
+// Observe registers an observer invoked after every completed epoch.
+func (t *Trainer) Observe(fn Observer) { t.observer = fn }
+
 // synchronous reports whether the current epoch runs synchronously
 // (GPipe method, or a T3 warmup epoch).
 func (t *Trainer) synchronous() bool {
 	return t.cfg.Method == GPipe || t.epoch < t.cfg.WarmupEpochs
-}
-
-// installForward points every parameter's forward weights at the delayed
-// snapshot its stage sees at global microbatch s.
-func (t *Trainer) installForward(s int) {
-	for i, pm := range t.params {
-		v := t.clock.FwdVersion(s, t.stage1[i])
-		snap := t.store.Get(t.stage1[i]-1, v)
-		pm.Data = snapTensor(snap, t.part.Stages[t.stage1[i]-1], pm)
-	}
-}
-
-// snapTensor finds pm's snapshot tensor within its stage snapshot.
-func snapTensor(snap []*tensor.Tensor, stage []*nn.Param, pm *nn.Param) *tensor.Tensor {
-	for j, q := range stage {
-		if q == pm {
-			return snap[j]
-		}
-	}
-	panic("core: parameter not found in its stage")
-}
-
-// trainMinibatch runs one minibatch (N microbatches) through the pipeline
-// simulation and commits one optimizer update. It returns the mean
-// microbatch loss and false if training diverged.
-func (t *Trainer) trainMinibatch(batch []int, masters []*tensor.Tensor) (float64, bool) {
-	micros := data.Microbatches(batch, t.cfg.MicrobatchSize)
-	sync := t.synchronous()
-	lossSum := 0.0
-	for _, mb := range micros {
-		s := t.micro
-		if !sync {
-			t.installForward(s)
-			switch t.cfg.Method {
-			case PipeDream:
-				// Backward uses the stashed forward weights: Bwd stays nil
-				// so BwdData falls back to the installed snapshot.
-			case PipeMare:
-				for i, pm := range t.params {
-					if t.corrected != nil {
-						pm.Bwd = t.corrected[i]
-					} else {
-						pm.Bwd = masters[i]
-					}
-				}
-			}
-		}
-		loss := t.task.Forward(mb)
-		lossSum += loss
-		if !sync && t.segEnd1 != nil {
-			// Recompute pass: activations are regenerated with weights
-			// delayed by the recompute path before backprop (Appendix D).
-			t.installRecompute(s)
-			t.task.Forward(mb)
-		}
-		if math.IsNaN(loss) || loss > t.cfg.LossCap {
-			t.restoreMasters(masters)
-			t.diverged = true
-			return math.Inf(1), false
-		}
-		t.task.Backward()
-		t.restoreMasters(masters)
-		t.micro++
-	}
-	// Average the accumulated microbatch-mean gradients.
-	n := float64(len(micros))
-	for _, pm := range t.params {
-		for j := range pm.Grad.Data {
-			pm.Grad.Data[j] /= n
-		}
-	}
-	if t.cfg.ClipNorm > 0 {
-		nn.ClipGradNorm(t.params, t.cfg.ClipNorm)
-	}
-	lrs := t.learningRates()
-	if t.prev != nil {
-		for i, pm := range t.params {
-			t.prev[i].CopyFrom(pm.Data)
-		}
-	}
-	t.opt.Step(lrs)
-	nn.ZeroGrads(t.params)
-	t.afterStep()
-	t.step++
-	return lossSum / n, true
-}
-
-// restoreMasters points every parameter back at its live master weights
-// and clears the backward decoupling.
-func (t *Trainer) restoreMasters(masters []*tensor.Tensor) {
-	for i, pm := range t.params {
-		pm.Data = masters[i]
-		pm.Bwd = nil
-	}
 }
 
 // learningRates computes the per-parameter rates: plain schedule while
@@ -365,53 +317,6 @@ func (t *Trainer) warmupSteps() int {
 	return t.cfg.WarmupEpochs * perEpoch
 }
 
-// afterStep updates the version store and the T2 accumulators after an
-// optimizer update.
-func (t *Trainer) afterStep() {
-	t.store.Push()
-	if t.delta == nil {
-		return
-	}
-	for i, pm := range t.params {
-		g := t.gamma[i]
-		d := t.delta[i]
-		for j := range d.Data {
-			d.Data[j] = g*d.Data[j] + (1-g)*(pm.Data.Data[j]-t.prev[i].Data[j])
-		}
-		// Corrected backward weights: u_bkwd = w − (τ_fwd − τ_bkwd)·δ.
-		c := t.corrected[i]
-		tau := t.taus[i]
-		for j := range c.Data {
-			c.Data[j] = pm.Data.Data[j] - tau*d.Data[j]
-		}
-	}
-}
-
-// installRecompute points the forward weights of every stage at the
-// version its recompute pass would read (Appendix D): stage i in a segment
-// ending at stage e reads weights delayed by 2(e−i)+1 slots, corrected by
-// the T2 accumulator when enabled.
-func (t *Trainer) installRecompute(s int) {
-	for i, pm := range t.params {
-		st1 := t.stage1[i]
-		e1 := t.segEnd1[st1-1]
-		v := t.recompVersion(s, st1, e1)
-		snap := snapTensor(t.store.Get(st1-1, v), t.part.Stages[st1-1], pm)
-		if t.delta != nil {
-			// u_recomp = w_{t−τr} − (τ_fwd − τ_recomp)·δ.
-			tauR := float64(2*(e1-st1)+1) / float64(t.clock.N)
-			coef := t.taus[i] - tauR
-			buf := tensor.New(snap.Shape...)
-			for j := range buf.Data {
-				buf.Data[j] = snap.Data[j] - coef*t.delta[i].Data[j]
-			}
-			pm.Data = buf
-		} else {
-			pm.Data = snap
-		}
-	}
-}
-
 // recompVersion returns the number of updates committed at stage i
 // (1-indexed) before the recompute slot of microbatch s for a segment
 // ending at stage e1: the recompute of stage i runs 2(e−i)+1 slots before
@@ -424,38 +329,243 @@ func (t *Trainer) recompVersion(s, stage1, e1 int) int {
 	return num/t.clock.N + 1
 }
 
-// TrainEpochs trains for the given number of epochs, recording one entry
-// per epoch in run. Training stops early on divergence. It returns run for
-// chaining.
-func (t *Trainer) TrainEpochs(epochs int, run *metrics.Run) *metrics.Run {
+// host adapts the trainer to engine.Host without exporting the slot
+// primitives on Trainer itself.
+type host struct{ t *Trainer }
+
+// Stages returns P.
+func (h host) Stages() int { return h.t.clock.P }
+
+// Async reports whether the current epoch runs asynchronously.
+func (h host) Async() bool { return !h.t.synchronous() }
+
+// Recompute reports whether the Appendix D recompute path is enabled.
+func (h host) Recompute() bool { return h.t.segEnd1 != nil }
+
+// MicroBase returns the global microbatch counter for the minibatch start.
+func (h host) MicroBase() int { return h.t.micro }
+
+// InstallForward points the stage's parameters at the delayed snapshot
+// visible at global microbatch s.
+func (h host) InstallForward(s, stage int) {
+	t := h.t
+	v := t.clock.FwdVersion(s, stage+1)
+	snap := t.store.Get(stage, v)
+	for j, pm := range t.part.Stages[stage] {
+		pm.Data = snap[j]
+	}
+}
+
+// InstallBackward sets the stage's backward weights for microbatch s.
+func (h host) InstallBackward(s, stage int) {
+	t := h.t
+	switch t.cfg.Method {
+	case PipeDream:
+		// Backward uses the stashed forward weights: Bwd stays nil so
+		// BwdData falls back to the installed snapshot.
+	case PipeMare:
+		for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
+			if t.corrected != nil {
+				t.params[i].Bwd = t.corrected[i]
+			} else {
+				t.params[i].Bwd = t.masters[i]
+			}
+		}
+	}
+}
+
+// InstallRecompute points the stage's parameters at the version its
+// recompute pass would read (Appendix D): stage i in a segment ending at
+// stage e reads weights delayed by 2(e−i)+1 slots, corrected by the T2
+// accumulator when enabled.
+func (h host) InstallRecompute(s, stage int) {
+	t := h.t
+	st1 := stage + 1
+	e1 := t.segEnd1[stage]
+	v := t.recompVersion(s, st1, e1)
+	snap := t.store.Get(stage, v)
+	for j, pm := range t.part.Stages[stage] {
+		i := t.stageLo[stage] + j
+		if t.delta != nil {
+			// u_recomp = w_{t−τr} − (τ_fwd − τ_recomp)·δ.
+			tauR := float64(2*(e1-st1)+1) / float64(t.clock.N)
+			coef := t.taus[i] - tauR
+			buf := tensor.New(snap[j].Shape...)
+			for k := range buf.Data {
+				buf.Data[k] = snap[j].Data[k] - coef*t.delta[i].Data[k]
+			}
+			pm.Data = buf
+		} else {
+			pm.Data = snap[j]
+		}
+	}
+}
+
+// Restore points the stage's parameters back at the live master weights
+// and clears the backward decoupling.
+func (h host) Restore(stage int) {
+	t := h.t
+	for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
+		t.params[i].Data = t.masters[i]
+		t.params[i].Bwd = nil
+	}
+}
+
+// Forward runs the monolithic substrate.
+func (h host) Forward(mb []int) float64 { return h.t.task.Forward(mb) }
+
+// Backward runs the monolithic substrate.
+func (h host) Backward() { h.t.task.Backward() }
+
+// BadLoss reports a non-finite or capped loss.
+func (h host) BadLoss(loss float64) bool {
+	return math.IsNaN(loss) || loss > h.t.cfg.LossCap
+}
+
+// PrepareStage averages the stage's gradients over the minibatch,
+// snapshots the stage's pre-step weights for T2, and returns the stage's
+// gradient sum-of-squares for clipping.
+func (h host) PrepareStage(stage, nMicro int) float64 {
+	t := h.t
+	n := float64(nMicro)
+	sumSq := 0.0
+	for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
+		g := t.params[i].Grad
+		for j := range g.Data {
+			g.Data[j] /= n
+			sumSq += g.Data[j] * g.Data[j]
+		}
+		if t.prev != nil {
+			t.prev[i].CopyFrom(t.params[i].Data)
+		}
+	}
+	return sumSq
+}
+
+// ClipScale converts the global gradient sum-of-squares into the clip
+// factor, mirroring nn.ClipGradNorm's edge cases.
+func (h host) ClipScale(sumSq float64) float64 {
+	max := h.t.cfg.ClipNorm
+	norm := math.Sqrt(sumSq)
+	if max <= 0 || norm <= max || norm == 0 || math.IsNaN(norm) {
+		return 1
+	}
+	return max / norm
+}
+
+// ScaleStage multiplies the stage's gradients by the clip factor.
+func (h host) ScaleStage(stage int, scale float64) {
+	t := h.t
+	for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
+		g := t.params[i].Grad
+		for j := range g.Data {
+			g.Data[j] *= scale
+		}
+	}
+}
+
+// StepAll applies one optimizer update over all parameters.
+func (h host) StepAll() {
+	t := h.t
+	t.opt.Step(t.learningRates())
+	t.step++
+}
+
+// FinishStage zeroes the stage's gradients, updates the stage's T2
+// accumulators, and pushes the stage's new weight version.
+func (h host) FinishStage(stage int) {
+	t := h.t
+	for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
+		t.params[i].ZeroGrad()
+		if t.delta != nil {
+			pm := t.params[i]
+			g := t.gamma[i]
+			d := t.delta[i]
+			for j := range d.Data {
+				d.Data[j] = g*d.Data[j] + (1-g)*(pm.Data.Data[j]-t.prev[i].Data[j])
+			}
+			// Corrected backward weights: u_bkwd = w − (τ_fwd − τ_bkwd)·δ.
+			c := t.corrected[i]
+			tau := t.taus[i]
+			for j := range c.Data {
+				c.Data[j] = pm.Data.Data[j] - tau*d.Data[j]
+			}
+		}
+	}
+	t.store.PushStage(stage)
+}
+
+// Run trains for the given number of epochs under ctx, recording one entry
+// per epoch. Epochs accumulate across calls: warmup (T3) and divergence
+// state persist, so Run can be called repeatedly to continue training.
+// Training stops early (without error) when a loss diverges — check
+// Run.Diverged — and stops with ctx.Err() when the context is cancelled;
+// the recorded curve up to that point is always returned.
+func (t *Trainer) Run(ctx context.Context, epochs int) (*metrics.Run, error) {
+	return t.run(ctx, epochs, nil)
+}
+
+// RunInto is Run appending into an existing curve (nil allocates one).
+func (t *Trainer) RunInto(ctx context.Context, epochs int, run *metrics.Run) (*metrics.Run, error) {
+	return t.run(ctx, epochs, run)
+}
+
+func (t *Trainer) run(ctx context.Context, epochs int, run *metrics.Run) (*metrics.Run, error) {
 	if run == nil {
 		run = &metrics.Run{}
 	}
-	masters := make([]*tensor.Tensor, len(t.params))
-	for i, pm := range t.params {
-		masters[i] = pm.Data
+	h := host{t}
+	if lc, ok := t.eng.(engine.Lifecycle); ok {
+		lc.Start(h)
+		defer lc.Stop()
 	}
 	for e := 0; e < epochs; e++ {
-		t.epoch = e
+		if err := ctx.Err(); err != nil {
+			return run, err
+		}
 		epochLoss, batches := 0.0, 0
 		for _, batch := range data.Batches(t.task.NumTrain(), t.cfg.BatchSize, t.rng) {
 			if len(batch) < t.cfg.BatchSize {
 				continue // keep N constant; drop the final short batch
 			}
-			loss, ok := t.trainMinibatch(batch, masters)
-			if !ok {
+			micros := data.Microbatches(batch, t.cfg.MicrobatchSize)
+			loss, err := t.eng.Minibatch(ctx, h, micros)
+			if errors.Is(err, engine.ErrDiverged) {
+				t.diverged = true
+				// Drop the partial minibatch's gradient accumulation so a
+				// later Run does not fold it into its first step.
+				nn.ZeroGrads(t.params)
 				run.Record(math.Inf(1), 0, nn.ParamNorm(t.params))
 				run.Diverged = true
-				return run
+				return run, nil
 			}
+			if err != nil {
+				// Cancelled mid-minibatch: drop the partial gradient
+				// accumulation so a later Run starts from a clean slate.
+				nn.ZeroGrads(t.params)
+				return run, err
+			}
+			t.micro += len(micros)
 			epochLoss += loss
 			batches++
 		}
-		if batches == 0 {
-			panic("core: training set smaller than one batch")
-		}
 		metric := t.task.EvalTest()
 		run.Record(epochLoss/float64(batches), metric, nn.ParamNorm(t.params))
+		t.epoch++
+		if t.observer != nil {
+			t.observer(run.Epochs(), run)
+		}
 	}
+	return run, nil
+}
+
+// TrainEpochs trains for the given number of epochs, recording one entry
+// per epoch in run. Training stops early on divergence. It returns run for
+// chaining.
+//
+// Deprecated: use Run (or RunInto), which is context-aware and reports
+// engine errors.
+func (t *Trainer) TrainEpochs(epochs int, run *metrics.Run) *metrics.Run {
+	run, _ = t.run(context.Background(), epochs, run)
 	return run
 }

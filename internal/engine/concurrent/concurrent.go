@@ -1,0 +1,261 @@
+// Package concurrent implements the goroutine-per-stage execution engine:
+// a worker per pipeline stage owns that stage's parameters, weight
+// versions and technique state, and job tokens flow between neighbouring
+// workers through bounded channels on the §2 slot schedule — forward
+// tokens climb stage 1→P installing each stage's delayed weights, backward
+// tokens descend P→1 (installing the Appendix D recompute versions on the
+// way) until the first stage runs the backward slot, and restore tokens
+// climb again returning every stage to its master weights.
+//
+// Because the model substrate (internal/nn) is monolithic — activations
+// are cached inside layers, so one microbatch's forward/backward cannot
+// overlap another's — the compute slots execute on the worker that owns
+// the boundary stage, and the engine's parallelism comes from two places:
+// the commit phase (gradient averaging, clipping reduction, T2 velocity
+// updates, weight-version snapshots) runs stage-parallel across all P
+// workers, and the dense kernels split their output rows across goroutines
+// (tensor.SetWorkers) for the duration of the run. Both sources are
+// deterministic: every floating-point accumulation happens in the same
+// order as the serial Reference engine, so training curves are
+// bit-identical — pinned by the equivalence tests at the repository root.
+package concurrent
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/tensor"
+)
+
+type jobKind int
+
+const (
+	jobUp      jobKind = iota // climb: install forward+backward weights
+	jobDown                   // descend: recompute installs, backward at stage 1
+	jobRestore                // climb: restore master weights, report result
+	jobPrepare                // commit: average grads, T2 snapshot, partial norm
+	jobScale                  // commit: apply the global clip factor
+	jobFinish                 // commit: T2 update, version push, zero grads
+)
+
+type job struct {
+	kind   jobKind
+	s      int   // global microbatch counter
+	mb     []int // microbatch sample indices
+	async  bool
+	rec    bool // recompute path active for this microbatch
+	loss   float64
+	bad    bool
+	scale  float64
+	nMicro int
+}
+
+type ack struct {
+	stage int
+	sumSq float64
+}
+
+// Engine is the concurrent stage-worker engine. It implements
+// engine.Engine and engine.Lifecycle; a Trainer starts the workers at the
+// beginning of a run and stops them when the run returns. An Engine
+// instance must not be shared by concurrently running trainers.
+type Engine struct {
+	kernelWorkers int
+
+	h       engine.Host
+	p       int
+	jobs    []chan job
+	results chan job
+	acks    chan ack
+	wg      sync.WaitGroup
+	running bool
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithKernelWorkers sets how many goroutines the dense tensor kernels may
+// use while the engine is running (default: GOMAXPROCS).
+func WithKernelWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.kernelWorkers = n
+	}
+}
+
+// New returns a concurrent stage-worker engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{kernelWorkers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name identifies the engine.
+func (e *Engine) Name() string { return "concurrent" }
+
+// Start spawns one worker per pipeline stage and raises the kernel
+// parallelism for the duration of the run.
+func (e *Engine) Start(h engine.Host) {
+	if e.running {
+		if e.h == h {
+			return
+		}
+		e.Stop()
+	}
+	e.h = h
+	e.p = h.Stages()
+	e.jobs = make([]chan job, e.p)
+	for i := range e.jobs {
+		e.jobs[i] = make(chan job, 1)
+	}
+	e.results = make(chan job, 1)
+	e.acks = make(chan ack, e.p)
+	e.wg.Add(e.p)
+	for i := 0; i < e.p; i++ {
+		go e.worker(i)
+	}
+	tensor.RaiseWorkers(e.kernelWorkers)
+	e.running = true
+}
+
+// Stop joins the stage workers and restores the kernel parallelism.
+func (e *Engine) Stop() {
+	if !e.running {
+		return
+	}
+	for i := range e.jobs {
+		close(e.jobs[i])
+	}
+	e.wg.Wait()
+	tensor.LowerWorkers()
+	e.jobs, e.results, e.acks = nil, nil, nil
+	e.h = nil
+	e.running = false
+}
+
+// worker owns stage i: only this goroutine touches the stage's installed
+// weight pointers, T2 accumulators and version ring while the engine runs.
+func (e *Engine) worker(i int) {
+	defer e.wg.Done()
+	for jb := range e.jobs[i] {
+		switch jb.kind {
+		case jobUp:
+			if jb.async {
+				e.h.InstallForward(jb.s, i)
+				e.h.InstallBackward(jb.s, i)
+			}
+			if i < e.p-1 {
+				e.jobs[i+1] <- jb
+				continue
+			}
+			// Last stage: the forward slot of the (monolithic) substrate.
+			jb.loss = e.h.Forward(jb.mb)
+			jb.bad = e.h.BadLoss(jb.loss)
+			e.down(i, jb)
+		case jobDown:
+			e.down(i, jb)
+		case jobRestore:
+			e.h.Restore(i)
+			if i < e.p-1 {
+				e.jobs[i+1] <- jb
+			} else {
+				e.results <- jb
+			}
+		case jobPrepare:
+			e.acks <- ack{i, e.h.PrepareStage(i, jb.nMicro)}
+		case jobScale:
+			e.h.ScaleStage(i, jb.scale)
+			e.acks <- ack{stage: i}
+		case jobFinish:
+			e.h.FinishStage(i)
+			e.acks <- ack{stage: i}
+		}
+	}
+}
+
+// down handles stage i's duties on the descending pass and, at stage 1
+// (index 0), the backward slot followed by the start of the restore climb.
+func (e *Engine) down(i int, jb job) {
+	if jb.async && jb.rec && !jb.bad {
+		e.h.InstallRecompute(jb.s, i)
+	}
+	if i > 0 {
+		jb.kind = jobDown
+		e.jobs[i-1] <- jb
+		return
+	}
+	if !jb.bad {
+		if jb.async && jb.rec {
+			// Recompute pass: regenerate activations with the recompute-
+			// delayed weights before backprop (Appendix D).
+			e.h.Forward(jb.mb)
+		}
+		e.h.Backward()
+	}
+	jb.kind = jobRestore
+	e.h.Restore(0)
+	if e.p == 1 {
+		e.results <- jb
+	} else {
+		e.jobs[1] <- jb
+	}
+}
+
+// Minibatch executes the N microbatches on the stage workers and runs the
+// stage-parallel commit phase.
+func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (float64, error) {
+	if !e.running || e.h != h {
+		e.Start(h)
+	}
+	async := h.Async()
+	rec := h.Recompute()
+	base := h.MicroBase()
+	lossSum := 0.0
+	for k, mb := range micros {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		e.jobs[0] <- job{kind: jobUp, s: base + k, mb: mb, async: async, rec: rec}
+		res := <-e.results
+		lossSum += res.loss
+		if res.bad {
+			return math.Inf(1), engine.ErrDiverged
+		}
+	}
+
+	// Commit: stage-parallel prepare, the stage-ordered clip reduction,
+	// the (global) optimizer step, then stage-parallel finalization.
+	sumSqs := make([]float64, e.p)
+	e.broadcast(job{kind: jobPrepare, nMicro: len(micros)}, func(a ack) { sumSqs[a.stage] = a.sumSq })
+	sumSq := 0.0
+	for _, s := range sumSqs {
+		sumSq += s
+	}
+	if scale := h.ClipScale(sumSq); scale != 1 {
+		e.broadcast(job{kind: jobScale, scale: scale}, nil)
+	}
+	h.StepAll()
+	e.broadcast(job{kind: jobFinish}, nil)
+	return lossSum / float64(len(micros)), nil
+}
+
+// broadcast sends one job to every stage worker and waits for all acks,
+// optionally folding them.
+func (e *Engine) broadcast(jb job, fold func(ack)) {
+	for i := 0; i < e.p; i++ {
+		e.jobs[i] <- jb
+	}
+	for i := 0; i < e.p; i++ {
+		a := <-e.acks
+		if fold != nil {
+			fold(a)
+		}
+	}
+}

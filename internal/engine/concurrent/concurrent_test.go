@@ -1,0 +1,77 @@
+package concurrent
+
+import (
+	"testing"
+
+	"pipemare/internal/tensor"
+)
+
+// stubHost is the minimal Host needed to start workers.
+type stubHost struct{ p int }
+
+func (s *stubHost) Stages() int                   { return s.p }
+func (s *stubHost) Async() bool                   { return false }
+func (s *stubHost) Recompute() bool               { return false }
+func (s *stubHost) MicroBase() int                { return 0 }
+func (s *stubHost) InstallForward(_, _ int)       {}
+func (s *stubHost) InstallBackward(_, _ int)      {}
+func (s *stubHost) InstallRecompute(_, _ int)     {}
+func (s *stubHost) Restore(int)                   {}
+func (s *stubHost) Forward([]int) float64         { return 0 }
+func (s *stubHost) Backward()                     {}
+func (s *stubHost) BadLoss(float64) bool          { return false }
+func (s *stubHost) PrepareStage(_, _ int) float64 { return 0 }
+func (s *stubHost) ClipScale(float64) float64     { return 1 }
+func (s *stubHost) ScaleStage(int, float64)       {}
+func (s *stubHost) StepAll()                      {}
+func (s *stubHost) FinishStage(int)               {}
+
+func TestOptionsAndName(t *testing.T) {
+	if New().Name() != "concurrent" {
+		t.Fatal("engine name wrong")
+	}
+	e := New(WithKernelWorkers(0))
+	if e.kernelWorkers != 1 {
+		t.Fatalf("WithKernelWorkers(0) must clamp to 1, got %d", e.kernelWorkers)
+	}
+	if e := New(WithKernelWorkers(6)); e.kernelWorkers != 6 {
+		t.Fatalf("kernel workers = %d, want 6", e.kernelWorkers)
+	}
+}
+
+func TestStopWithoutStartIsANoOp(t *testing.T) {
+	e := New()
+	e.Stop() // must not panic or wedge
+	e.Stop()
+}
+
+func TestStartStopRestoresKernelWorkers(t *testing.T) {
+	prev := tensor.SetWorkers(3)
+	defer tensor.SetWorkers(prev)
+	e := New(WithKernelWorkers(7))
+	e.Start(&stubHost{p: 3})
+	if tensor.Workers() != 7 {
+		t.Fatalf("Start must raise kernel workers to 7, got %d", tensor.Workers())
+	}
+	e.Stop()
+	if tensor.Workers() != 3 {
+		t.Fatalf("Stop must restore kernel workers to 3, got %d", tensor.Workers())
+	}
+}
+
+func TestOverlappingEnginesKeepKernelWorkersRaised(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	a := New(WithKernelWorkers(8))
+	b := New(WithKernelWorkers(8))
+	a.Start(&stubHost{p: 2})
+	b.Start(&stubHost{p: 2})
+	a.Stop() // b still running: its kernels must stay parallel
+	if tensor.Workers() != 8 {
+		t.Fatalf("after first Stop: Workers() = %d, want 8", tensor.Workers())
+	}
+	b.Stop()
+	if tensor.Workers() != 1 {
+		t.Fatalf("after last Stop: Workers() = %d, want 1", tensor.Workers())
+	}
+}

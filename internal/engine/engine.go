@@ -1,0 +1,185 @@
+// Package engine defines the pluggable execution-engine abstraction of the
+// PipeMare reproduction. A trainer (internal/core.Trainer) owns the weight
+// partition, version stores and technique state, and exposes them to an
+// Engine through the Host interface as per-microbatch-slot operations:
+// install-forward, install-backward, install-recompute, the monolithic
+// forward/backward substrate, and the per-stage commit phases of an
+// optimizer step. An Engine decides *how* those operations are scheduled
+// onto goroutines.
+//
+// Two engines exist: Reference (this package) executes every slot on the
+// calling goroutine — it is the original single-goroutine simulator and the
+// semantic ground truth — and internal/engine/concurrent runs one worker
+// per pipeline stage with job tokens flowing through bounded channels on
+// the §2 slot schedule. Both produce bit-identical training curves; the
+// equivalence is pinned by tests at the repository root.
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+)
+
+// ErrDiverged is returned by Engine.Minibatch when a microbatch loss is
+// non-finite or exceeds the trainer's loss cap. The trainer's master
+// weights have been restored when it is returned.
+var ErrDiverged = errors.New("engine: training diverged")
+
+// Host is the trainer-side surface an Engine drives. It is implemented by
+// internal/core.Trainer. Stage indices are 0-based; s is the global
+// microbatch counter of the timing model (package pipeline).
+//
+// Concurrency contract: the Install*, Restore, PrepareStage, ScaleStage and
+// FinishStage methods touch only the named stage's parameters and state, so
+// an engine may call them for different stages concurrently. Forward,
+// Backward, ClipScale and StepAll touch global state and must be ordered
+// (happen-before) with respect to every per-stage call.
+type Host interface {
+	// Stages returns P, the number of pipeline stages.
+	Stages() int
+	// Async reports whether the current epoch runs asynchronously
+	// (false for GPipe and during T3 warmup epochs: no installs happen).
+	Async() bool
+	// Recompute reports whether the Appendix D recompute delay path is on.
+	Recompute() bool
+	// MicroBase returns the global microbatch counter at the start of the
+	// minibatch being executed; microbatch k of the minibatch has
+	// s = MicroBase()+k.
+	MicroBase() int
+
+	// InstallForward points the stage's parameters at the delayed snapshot
+	// its forward slot sees at global microbatch s (Table 1 delays).
+	InstallForward(s, stage int)
+	// InstallBackward sets the stage's backward weights for microbatch s:
+	// the live master (or T2-corrected) weights for PipeMare, nothing for
+	// PipeDream (backward falls back to the stashed forward snapshot).
+	InstallBackward(s, stage int)
+	// InstallRecompute points the stage's parameters at the version its
+	// recompute pass reads (Appendix D), T2-corrected when enabled.
+	InstallRecompute(s, stage int)
+	// Restore points the stage's parameters back at the live master
+	// weights and clears the backward decoupling.
+	Restore(stage int)
+
+	// Forward runs the monolithic forward substrate on the microbatch's
+	// sample indices and returns its mean loss.
+	Forward(mb []int) float64
+	// Backward backpropagates from the last Forward, accumulating
+	// parameter gradients.
+	Backward()
+	// BadLoss reports whether a loss is non-finite or above the cap.
+	BadLoss(loss float64) bool
+
+	// PrepareStage averages the stage's accumulated gradients over nMicro
+	// microbatches, snapshots the stage's pre-step weights for the T2
+	// velocity estimate, and returns the sum of squared (averaged)
+	// gradients for global norm clipping.
+	PrepareStage(stage, nMicro int) float64
+	// ClipScale converts the global gradient sum-of-squares into the
+	// clipping factor (1 when clipping is off or the norm is within
+	// bounds).
+	ClipScale(sumSq float64) float64
+	// ScaleStage multiplies the stage's gradients by the clip factor.
+	ScaleStage(stage int, scale float64)
+	// StepAll computes the per-parameter learning rates (T1) and applies
+	// one optimizer update over all parameters, advancing the step clock.
+	StepAll()
+	// FinishStage completes the step for one stage: updates the T2
+	// velocity accumulator and corrected weights, pushes the stage's new
+	// weight version, and zeroes the stage's gradients.
+	FinishStage(stage int)
+}
+
+// Engine executes one minibatch — the micros slice holds the N microbatch
+// index sets — against a Host, returning the mean microbatch loss. On
+// divergence it restores the master weights and returns ErrDiverged; on
+// context cancellation it restores the master weights and returns ctx.Err().
+type Engine interface {
+	Name() string
+	Minibatch(ctx context.Context, h Host, micros [][]int) (float64, error)
+}
+
+// Lifecycle is optionally implemented by engines that keep per-run
+// resources (worker goroutines, kernel parallelism settings). The trainer
+// calls Start before the first minibatch of a Run and Stop when the Run
+// returns.
+type Lifecycle interface {
+	Start(h Host)
+	Stop()
+}
+
+// Reference is the single-goroutine engine: the paper's Appendix C.4
+// "queue of weights per pipeline stage" simulation executed serially. It
+// is the default engine and the semantic ground truth for every other
+// engine.
+type Reference struct{}
+
+// NewReference returns the serial reference engine.
+func NewReference() Reference { return Reference{} }
+
+// Name identifies the engine.
+func (Reference) Name() string { return "reference" }
+
+// Minibatch executes the N microbatches and the commit phase serially.
+func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64, error) {
+	p := h.Stages()
+	async := h.Async()
+	base := h.MicroBase()
+	lossSum := 0.0
+	for k, mb := range micros {
+		if err := ctx.Err(); err != nil {
+			restoreAll(h, p)
+			return 0, err
+		}
+		s := base + k
+		if async {
+			for st := 0; st < p; st++ {
+				h.InstallForward(s, st)
+				h.InstallBackward(s, st)
+			}
+		}
+		loss := h.Forward(mb)
+		lossSum += loss
+		if h.BadLoss(loss) {
+			restoreAll(h, p)
+			return math.Inf(1), ErrDiverged
+		}
+		if async && h.Recompute() {
+			for st := 0; st < p; st++ {
+				h.InstallRecompute(s, st)
+			}
+			h.Forward(mb)
+		}
+		h.Backward()
+		restoreAll(h, p)
+	}
+	commit(h, p, len(micros))
+	return lossSum / float64(len(micros)), nil
+}
+
+func restoreAll(h Host, p int) {
+	for st := 0; st < p; st++ {
+		h.Restore(st)
+	}
+}
+
+// commit runs the serial optimizer-step phases: average+snapshot per stage,
+// global clip, the optimizer update, then per-stage finalization. The
+// stage-partial gradient norms are summed in stage order so that the
+// concurrent engine's reduction is bit-identical.
+func commit(h Host, p, nMicro int) {
+	sumSq := 0.0
+	for st := 0; st < p; st++ {
+		sumSq += h.PrepareStage(st, nMicro)
+	}
+	if scale := h.ClipScale(sumSq); scale != 1 {
+		for st := 0; st < p; st++ {
+			h.ScaleStage(st, scale)
+		}
+	}
+	h.StepAll()
+	for st := 0; st < p; st++ {
+		h.FinishStage(st)
+	}
+}

@@ -1,0 +1,276 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/engine/concurrent"
+)
+
+// fakeHost checks the Host ordering contract at call time: installs must
+// precede the forward slot, the backward slot must follow it, restores
+// must complete before the commit phases, and the commit phases must run
+// in prepare → scale → step → finish order. It is safe for concurrent use
+// so the same harness validates both engines.
+type fakeHost struct {
+	mu     sync.Mutex
+	p      int
+	async  bool
+	rec    bool
+	badAt  int // microbatch index whose loss is "bad" (-1: never)
+	micro  int
+	errs   []string
+	losses []float64
+
+	installed []bool
+	recomped  []bool
+	restored  []bool
+	forwarded bool
+	backward  bool
+	prepared  int
+	scaled    int
+	stepped   bool
+	finished  int
+	mb        int // microbatches seen this minibatch
+}
+
+func newFakeHost(p int, async, rec bool, badAt int) *fakeHost {
+	return &fakeHost{p: p, async: async, rec: rec, badAt: badAt,
+		installed: make([]bool, p), recomped: make([]bool, p), restored: make([]bool, p)}
+}
+
+func (f *fakeHost) errf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeHost) Stages() int     { return f.p }
+func (f *fakeHost) Async() bool     { return f.async }
+func (f *fakeHost) Recompute() bool { return f.rec }
+func (f *fakeHost) MicroBase() int  { return f.micro }
+
+func (f *fakeHost) InstallForward(s, stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.async {
+		f.errf("InstallForward during a synchronous epoch")
+	}
+	if f.forwarded {
+		f.errf("InstallForward(stage %d) after the forward slot", stage)
+	}
+	f.installed[stage] = true
+}
+
+func (f *fakeHost) InstallBackward(s, stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.installed[stage] {
+		f.errf("InstallBackward(stage %d) before InstallForward", stage)
+	}
+}
+
+func (f *fakeHost) InstallRecompute(s, stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.rec {
+		f.errf("InstallRecompute with recompute disabled")
+	}
+	if !f.forwarded {
+		f.errf("InstallRecompute(stage %d) before the forward slot", stage)
+	}
+	f.recomped[stage] = true
+}
+
+func (f *fakeHost) Restore(stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.restored[stage] = true
+	f.installed[stage] = false
+}
+
+func (f *fakeHost) Forward(mb []int) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.async && !f.forwarded {
+		for st, ok := range f.installed {
+			if !ok {
+				f.errf("forward slot before InstallForward(stage %d)", st)
+			}
+		}
+	}
+	if f.rec && f.forwarded {
+		// Second (recompute) forward: every stage must have re-installed.
+		for st, ok := range f.recomped {
+			if !ok {
+				f.errf("recompute forward before InstallRecompute(stage %d)", st)
+			}
+		}
+	}
+	f.forwarded = true
+	loss := 1.0
+	if f.mb == f.badAt {
+		loss = 1e12
+	}
+	f.losses = append(f.losses, loss)
+	return loss
+}
+
+func (f *fakeHost) Backward() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.forwarded {
+		f.errf("backward slot before forward")
+	}
+	f.backward = true
+	f.forwarded = false
+	f.recomped = make([]bool, f.p)
+	f.mb++
+}
+
+func (f *fakeHost) BadLoss(loss float64) bool { return loss > 1e6 }
+
+func (f *fakeHost) PrepareStage(stage, nMicro int) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.restored[stage] {
+		f.errf("PrepareStage(%d) before Restore", stage)
+	}
+	if !f.backward {
+		f.errf("PrepareStage(%d) with no backward slot in the minibatch", stage)
+	}
+	f.prepared++
+	return float64(stage + 1) // distinct partials: checks the reduction
+}
+
+func (f *fakeHost) ClipScale(sumSq float64) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	want := float64(f.p*(f.p+1)) / 2
+	if sumSq != want {
+		f.errf("ClipScale sum %g, want stage-ordered %g", sumSq, want)
+	}
+	return 0.5
+}
+
+func (f *fakeHost) ScaleStage(stage int, scale float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.prepared != f.p {
+		f.errf("ScaleStage(%d) before every PrepareStage", stage)
+	}
+	if scale != 0.5 {
+		f.errf("ScaleStage scale %g, want 0.5", scale)
+	}
+	f.scaled++
+}
+
+func (f *fakeHost) StepAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.prepared != f.p || f.scaled != f.p {
+		f.errf("StepAll before prepare/scale completed (%d/%d)", f.prepared, f.scaled)
+	}
+	f.stepped = true
+}
+
+func (f *fakeHost) FinishStage(stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.stepped {
+		f.errf("FinishStage(%d) before StepAll", stage)
+	}
+	f.finished++
+}
+
+func engines() map[string]engine.Engine {
+	return map[string]engine.Engine{
+		"reference":  engine.NewReference(),
+		"concurrent": concurrent.New(),
+	}
+}
+
+func micros(n, sz int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, sz)
+	}
+	return out
+}
+
+func TestEnginesHonourHostOrderingContract(t *testing.T) {
+	for name, eng := range engines() {
+		t.Run(name, func(t *testing.T) {
+			f := newFakeHost(5, true, true, -1)
+			loss, err := eng.Minibatch(context.Background(), f, micros(4, 2))
+			if lc, ok := eng.(engine.Lifecycle); ok {
+				lc.Stop()
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loss != 1.0 {
+				t.Fatalf("mean loss %g, want 1", loss)
+			}
+			if len(f.errs) > 0 {
+				t.Fatalf("ordering violations: %v", f.errs)
+			}
+			// Two forward slots per microbatch (recompute on), 4 microbatches.
+			if len(f.losses) != 8 {
+				t.Fatalf("forward slots = %d, want 8", len(f.losses))
+			}
+			if f.finished != f.p || f.mb != 4 {
+				t.Fatalf("finished %d stages, %d microbatches", f.finished, f.mb)
+			}
+		})
+	}
+}
+
+func TestEnginesReportDivergence(t *testing.T) {
+	for name, eng := range engines() {
+		t.Run(name, func(t *testing.T) {
+			f := newFakeHost(3, true, false, 1)
+			_, err := eng.Minibatch(context.Background(), f, micros(4, 2))
+			if lc, ok := eng.(engine.Lifecycle); ok {
+				lc.Stop()
+			}
+			if !errors.Is(err, engine.ErrDiverged) {
+				t.Fatalf("error = %v, want ErrDiverged", err)
+			}
+			for st, ok := range f.restored {
+				if !ok {
+					t.Fatalf("stage %d not restored after divergence", st)
+				}
+			}
+			if f.stepped || f.prepared > 0 {
+				t.Fatal("no commit phase may run after divergence")
+			}
+			// The bad microbatch is index 1: exactly 2 forward slots ran.
+			if len(f.losses) != 2 {
+				t.Fatalf("forward slots = %d, want 2", len(f.losses))
+			}
+		})
+	}
+}
+
+func TestEnginesHonourContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, eng := range engines() {
+		t.Run(name, func(t *testing.T) {
+			f := newFakeHost(2, false, false, -1)
+			_, err := eng.Minibatch(ctx, f, micros(2, 2))
+			if lc, ok := eng.(engine.Lifecycle); ok {
+				lc.Stop()
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error = %v, want context.Canceled", err)
+			}
+			if len(f.losses) != 0 {
+				t.Fatal("no forward slot may run after cancellation")
+			}
+		})
+	}
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
+	"pipemare"
 	"pipemare/internal/core"
 	"pipemare/internal/data"
 	"pipemare/internal/memmodel"
@@ -12,6 +14,11 @@ import (
 	"pipemare/internal/optim"
 	"pipemare/internal/throughput"
 )
+
+// EngineFactory, when non-nil, supplies the execution engine for every
+// workload run (one fresh engine per run). It is set by pipemare-bench's
+// -engine flag; nil means the default Reference engine.
+var EngineFactory func() pipemare.Engine
 
 // Workload bundles a task constructor with its training recipe, mirroring
 // the paper's Appendix C.1 hyperparameter tables for the substituted
@@ -173,33 +180,47 @@ type RunResult struct {
 	Taus         []float64
 }
 
-// Run executes one configuration of the workload.
+// Run executes one configuration of the workload through the public
+// options API.
 func (w Workload) Run(spec RunSpec) RunResult {
 	task := w.NewTask(spec.Seed)
-	ps := Params(task)
-	opt := w.NewOptimizer(ps)
-	cfg := core.Config{
-		Method:         spec.Method,
-		Stages:         spec.Stages,
-		BatchSize:      w.BatchSize,
-		MicrobatchSize: w.MicrobatchSize,
-		ClipNorm:       w.ClipNorm,
-		Seed:           spec.Seed,
+	var opt optim.Optimizer
+	opts := []pipemare.Option{
+		pipemare.WithMethod(spec.Method),
+		pipemare.WithStages(spec.Stages),
+		pipemare.WithBatchSize(w.BatchSize),
+		pipemare.WithMicrobatchSize(w.MicrobatchSize),
+		pipemare.WithSeed(spec.Seed),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			opt = w.NewOptimizer(ps)
+			return opt
+		}),
+		pipemare.WithSchedule(w.NewSchedule()),
+	}
+	if w.ClipNorm > 0 {
+		opts = append(opts, pipemare.WithClipNorm(w.ClipNorm))
 	}
 	if spec.UseT1 {
-		cfg.T1K = w.T1K
+		opts = append(opts, pipemare.WithT1(w.T1K))
 	}
 	if spec.UseT2 {
-		cfg.T2D = w.T2D
+		opts = append(opts, pipemare.WithT2(w.T2D))
 	}
+	warmup := 0
 	if spec.UseT3 {
-		cfg.WarmupEpochs = w.WarmupEpochs
+		warmup = w.WarmupEpochs
 		if spec.WarmupEpochs >= 0 {
-			cfg.WarmupEpochs = spec.WarmupEpochs
+			warmup = spec.WarmupEpochs
 		}
+		opts = append(opts, pipemare.WithT3(warmup))
 	}
-	cfg.RecomputeSegments = spec.Recompute
-	tr, err := core.New(task, opt, w.NewSchedule(), cfg)
+	if spec.Recompute > 0 {
+		opts = append(opts, pipemare.WithRecompute(spec.Recompute))
+	}
+	if EngineFactory != nil {
+		opts = append(opts, pipemare.WithEngine(EngineFactory()))
+	}
+	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -207,10 +228,14 @@ func (w Workload) Run(spec RunSpec) RunResult {
 	if epochs == 0 {
 		epochs = w.Epochs
 	}
-	run := tr.TrainEpochs(epochs, nil)
+	run, err := tr.Run(context.Background(), epochs)
+	if err != nil {
+		panic(err)
+	}
 
 	res := RunResult{Run: run, Stages: tr.Stages(), N: tr.Microbatches(), Taus: tr.Taus()}
-	warm := cfg.WarmupEpochs
+	ps := Params(task)
+	warm := warmup
 	main := 1.0
 	if spec.Method == core.GPipe {
 		main = throughput.PaperGPipeThroughput

@@ -188,6 +188,11 @@ func (vs *VersionStore) Push() {
 	}
 }
 
+// PushStage snapshots one stage's current weights as its next version.
+// Distinct stages may be pushed concurrently: each stage's ring is
+// independent state.
+func (vs *VersionStore) PushStage(stage int) { vs.push(stage) }
+
 // Get returns the snapshot tensors of the given stage at the given
 // version, clamped to the available window. The returned tensors are owned
 // by the store and must not be mutated.

@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel parallelism. The hot matrix kernels split their independent
+// output rows across goroutines when SetWorkers has enabled it. Every
+// output element is accumulated in exactly the same order as the serial
+// code, so parallel results are bit-identical to serial ones — engines can
+// turn this on without perturbing training curves.
+
+var kernelWorkers atomic.Int32
+
+// SetWorkers sets the number of goroutines the matrix kernels may use
+// (values below 1 mean serial) and returns the previous setting. It is
+// safe for concurrent use; the concurrent execution engine raises it for
+// the duration of a run.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(kernelWorkers.Swap(int32(n)))
+}
+
+// Workers returns the current kernel parallelism setting.
+func Workers() int {
+	w := int(kernelWorkers.Load())
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Raise/Lower scoping: engines raise kernel parallelism for the duration
+// of a run. Raises nest — overlapping engines keep the highest request
+// alive, and the baseline is restored only when the last raiser lowers —
+// which a plain save-and-restore of SetWorkers cannot do.
+
+var (
+	raiseMu    sync.Mutex
+	raiseCount int
+	baseline   int
+)
+
+// RaiseWorkers raises kernel parallelism to at least n until the matching
+// LowerWorkers call. Calls may nest across goroutines.
+func RaiseWorkers(n int) {
+	raiseMu.Lock()
+	defer raiseMu.Unlock()
+	if raiseCount == 0 {
+		baseline = Workers()
+	}
+	raiseCount++
+	if n > Workers() {
+		SetWorkers(n)
+	}
+}
+
+// LowerWorkers undoes one RaiseWorkers; the outermost call restores the
+// setting that preceded the first raise. Unpaired calls are no-ops.
+func LowerWorkers() {
+	raiseMu.Lock()
+	defer raiseMu.Unlock()
+	if raiseCount == 0 {
+		return
+	}
+	raiseCount--
+	if raiseCount == 0 {
+		SetWorkers(baseline)
+	}
+}
+
+// parallelMinWork is the minimum number of scalar multiply-accumulates a
+// goroutine must receive before splitting is worth the synchronization.
+const parallelMinWork = 1 << 14
+
+// parallelRows runs fn over contiguous chunks of [0, rows), concurrently
+// when kernel parallelism is enabled and flops (total scalar work) is
+// large enough to amortize the goroutine handoff.
+func parallelRows(rows, flops int, fn func(lo, hi int)) {
+	w := Workers()
+	if maxW := flops / parallelMinWork; w > maxW {
+		w = maxW
+	}
+	if w > rows {
+		w = rows
+	}
+	if w <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo, hi := k*rows/w, (k+1)*rows/w
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+		if rng.Intn(8) == 0 {
+			t.Data[i] = 0 // exercise the zero-skip path
+		}
+	}
+	return t
+}
+
+// TestParallelKernelsBitIdentical pins the determinism contract that the
+// concurrent execution engine relies on: enabling kernel parallelism must
+// not change a single bit of any matmul result.
+func TestParallelKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dims := [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 48, 80}, {130, 33, 65}}
+	for _, d := range dims {
+		m, k, n := d[0], d[1], d[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		at, bt := Transpose(a), Transpose(b)
+
+		SetWorkers(1)
+		s1, s2, s3 := MatMul(a, b), MatMulT1(at, b), MatMulT2(a, bt)
+		SetWorkers(8)
+		p1, p2, p3 := MatMul(a, b), MatMulT1(at, b), MatMulT2(a, bt)
+		SetWorkers(1)
+
+		for _, pair := range []struct {
+			name string
+			s, p *Tensor
+		}{{"MatMul", s1, p1}, {"MatMulT1", s2, p2}, {"MatMulT2", s3, p3}} {
+			for i := range pair.s.Data {
+				if pair.s.Data[i] != pair.p.Data[i] {
+					t.Fatalf("%s %dx%dx%d: element %d differs: serial %v parallel %v",
+						pair.name, m, k, n, i, pair.s.Data[i], pair.p.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRaiseWorkersNests(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	RaiseWorkers(8) // engine A starts
+	RaiseWorkers(4) // engine B starts while A runs: max wins
+	if Workers() != 8 {
+		t.Fatalf("nested raise: Workers() = %d, want 8", Workers())
+	}
+	LowerWorkers() // A stops: B still running, setting must hold
+	if Workers() != 8 {
+		t.Fatalf("after first lower: Workers() = %d, want 8", Workers())
+	}
+	LowerWorkers() // B stops: baseline restored
+	if Workers() != 1 {
+		t.Fatalf("after last lower: Workers() = %d, want 1", Workers())
+	}
+	LowerWorkers() // unpaired: no-op
+	if Workers() != 1 {
+		t.Fatalf("unpaired lower changed Workers() to %d", Workers())
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(0) must clamp to 1, got %d", Workers())
+	}
+	if got := SetWorkers(4); got != 1 {
+		t.Fatalf("SetWorkers must return the previous value, got %d", got)
+	}
+	if Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", Workers())
+	}
+	SetWorkers(prev)
+}

@@ -1,0 +1,282 @@
+package pipemare
+
+import (
+	"fmt"
+
+	"pipemare/internal/core"
+	"pipemare/internal/engine"
+	"pipemare/internal/nn"
+	"pipemare/internal/optim"
+)
+
+// OptimizerFactory builds an optimizer over a task's parameters in
+// partition (forward) order. Factories — rather than built optimizers —
+// let New guarantee the optimizer covers exactly the trainer's parameters.
+type OptimizerFactory func(ps []*nn.Param) Optimizer
+
+// Observer receives the run curve after each completed epoch (1-based
+// cumulative count), for streaming metrics while Run executes.
+type Observer = core.Observer
+
+// settings collects everything the options configure before New validates
+// and assembles the trainer.
+type settings struct {
+	cfg          core.Config
+	microbatches int // N; resolved against BatchSize at build time
+	optFactory   OptimizerFactory
+	sched        Schedule
+	observer     Observer
+}
+
+// Option configures New. Options validate eagerly: the first failing
+// option aborts New with its error.
+type Option func(*settings) error
+
+// WithMethod selects GPipe, PipeDream or PipeMare execution
+// (default GPipe).
+func WithMethod(m Method) Option {
+	return func(s *settings) error {
+		switch m {
+		case GPipe, PipeDream, PipeMare:
+			s.cfg.Method = m
+			return nil
+		}
+		return fmt.Errorf("pipemare: unknown method %d", int(m))
+	}
+}
+
+// WithStages sets the pipeline stage count P; 0 (the default) means one
+// stage per weight group, the paper's fine-grained maximum.
+func WithStages(p int) Option {
+	return func(s *settings) error {
+		if p < 0 {
+			return fmt.Errorf("pipemare: stages must be >= 0, got %d", p)
+		}
+		s.cfg.Stages = p
+		return nil
+	}
+}
+
+// WithBatchSize sets the minibatch size (default 32).
+func WithBatchSize(b int) Option {
+	return func(s *settings) error {
+		if b <= 0 {
+			return fmt.Errorf("pipemare: batch size must be positive, got %d", b)
+		}
+		s.cfg.BatchSize = b
+		return nil
+	}
+}
+
+// WithMicrobatches sets N, the number of microbatches per minibatch
+// (default 4). The batch size must be divisible by N; the Table 1 delays
+// scale as 1/N.
+func WithMicrobatches(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("pipemare: microbatches must be positive, got %d", n)
+		}
+		if s.cfg.MicrobatchSize != 0 {
+			return fmt.Errorf("pipemare: WithMicrobatches conflicts with WithMicrobatchSize")
+		}
+		s.microbatches = n
+		return nil
+	}
+}
+
+// WithMicrobatchSize sets the number of samples per microbatch directly,
+// as an alternative to WithMicrobatches.
+func WithMicrobatchSize(sz int) Option {
+	return func(s *settings) error {
+		if sz <= 0 {
+			return fmt.Errorf("pipemare: microbatch size must be positive, got %d", sz)
+		}
+		if s.microbatches != 0 {
+			return fmt.Errorf("pipemare: WithMicrobatchSize conflicts with WithMicrobatches")
+		}
+		s.cfg.MicrobatchSize = sz
+		return nil
+	}
+}
+
+// WithT1 enables Technique 1 (learning-rate rescheduling) with the given
+// annealing length in optimizer steps; 0 disables it.
+func WithT1(k int) Option {
+	return func(s *settings) error {
+		if k < 0 {
+			return fmt.Errorf("pipemare: T1 annealing steps must be >= 0, got %d", k)
+		}
+		s.cfg.T1K = k
+		return nil
+	}
+}
+
+// WithT2 enables Technique 2 (discrepancy correction) with decay
+// hyperparameter D in (0, 1); 0 disables it.
+func WithT2(d float64) Option {
+	return func(s *settings) error {
+		if d < 0 || d >= 1 {
+			return fmt.Errorf("pipemare: T2 decay D must be in [0, 1), got %g", d)
+		}
+		s.cfg.T2D = d
+		return nil
+	}
+}
+
+// WithT3 enables Technique 3 with the given number of initial synchronous
+// (GPipe-style) warmup epochs; 0 disables it.
+func WithT3(warmupEpochs int) Option {
+	return func(s *settings) error {
+		if warmupEpochs < 0 {
+			return fmt.Errorf("pipemare: warmup epochs must be >= 0, got %d", warmupEpochs)
+		}
+		s.cfg.WarmupEpochs = warmupEpochs
+		return nil
+	}
+}
+
+// WithRecompute enables the Appendix D recompute delay path with the given
+// number of gradient-checkpoint segments; 0 disables it.
+func WithRecompute(segments int) Option {
+	return func(s *settings) error {
+		if segments < 0 {
+			return fmt.Errorf("pipemare: recompute segments must be >= 0, got %d", segments)
+		}
+		s.cfg.RecomputeSegments = segments
+		return nil
+	}
+}
+
+// WithOptimizer sets the optimizer factory (default: SGD with momentum
+// 0.9 and no weight decay).
+func WithOptimizer(f OptimizerFactory) Option {
+	return func(s *settings) error {
+		if f == nil {
+			return fmt.Errorf("pipemare: optimizer factory must not be nil")
+		}
+		s.optFactory = f
+		return nil
+	}
+}
+
+// WithSchedule sets the base learning-rate schedule (default
+// Constant(0.01)).
+func WithSchedule(sched Schedule) Option {
+	return func(s *settings) error {
+		if sched == nil {
+			return fmt.Errorf("pipemare: schedule must not be nil")
+		}
+		s.sched = sched
+		return nil
+	}
+}
+
+// WithEngine selects the execution engine (default: the single-goroutine
+// Reference engine; see internal/engine/concurrent for the stage-worker
+// engine).
+func WithEngine(e Engine) Option {
+	return func(s *settings) error {
+		if e == nil {
+			return fmt.Errorf("pipemare: engine must not be nil")
+		}
+		s.cfg.Engine = e
+		return nil
+	}
+}
+
+// WithSeed sets the data-order RNG seed.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.cfg.Seed = seed
+		return nil
+	}
+}
+
+// WithClipNorm sets the global gradient-norm clip; 0 (default) disables
+// clipping.
+func WithClipNorm(c float64) Option {
+	return func(s *settings) error {
+		if c < 0 {
+			return fmt.Errorf("pipemare: clip norm must be >= 0, got %g", c)
+		}
+		s.cfg.ClipNorm = c
+		return nil
+	}
+}
+
+// WithLossCap sets the divergence threshold (default 1e6).
+func WithLossCap(c float64) Option {
+	return func(s *settings) error {
+		if c <= 0 {
+			return fmt.Errorf("pipemare: loss cap must be positive, got %g", c)
+		}
+		s.cfg.LossCap = c
+		return nil
+	}
+}
+
+// WithObserver registers a per-epoch observer invoked with the cumulative
+// epoch count and the curve recorded so far.
+func WithObserver(fn Observer) Option {
+	return func(s *settings) error {
+		if fn == nil {
+			return fmt.Errorf("pipemare: observer must not be nil")
+		}
+		s.observer = fn
+		return nil
+	}
+}
+
+// New builds a pipeline-parallel trainer for task from functional options.
+// Zero options gives synchronous GPipe training of a fine-grained
+// partition with momentum SGD at a constant rate — every knob (method,
+// stage count, microbatching, the three PipeMare techniques, recompute,
+// optimizer, schedule, engine, seed) is an Option. Train with
+// Trainer.Run(ctx, epochs).
+func New(task Task, opts ...Option) (*Trainer, error) {
+	s := settings{}
+	s.cfg.BatchSize = 32
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("pipemare: nil Option")
+		}
+		if err := o(&s); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.MicrobatchSize == 0 {
+		n := s.microbatches
+		if n == 0 {
+			n = 4
+		}
+		if s.cfg.BatchSize%n != 0 {
+			return nil, fmt.Errorf("pipemare: batch size %d not divisible into %d microbatches", s.cfg.BatchSize, n)
+		}
+		s.cfg.MicrobatchSize = s.cfg.BatchSize / n
+	}
+	if s.optFactory == nil {
+		s.optFactory = func(ps []*nn.Param) Optimizer { return optim.NewSGD(ps, 0.9, 0) }
+	}
+	if s.sched == nil {
+		s.sched = optim.Constant(0.01)
+	}
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	opt := s.optFactory(ps)
+	if opt == nil {
+		return nil, fmt.Errorf("pipemare: optimizer factory returned nil")
+	}
+	tr, err := core.New(task, opt, s.sched, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.observer != nil {
+		tr.Observe(s.observer)
+	}
+	return tr, nil
+}
+
+// ensure the engine package's types satisfy the facade aliases.
+var _ Engine = engine.Reference{}

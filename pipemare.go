@@ -4,9 +4,12 @@
 //
 // It provides, stdlib-only:
 //
-//   - an asynchronous pipeline-parallel training simulator with
+//   - an asynchronous pipeline-parallel training system with
 //     microbatch-exact Table 1 delays (internal/pipeline, internal/core),
-//     including the GPipe and PipeDream baselines;
+//     including the GPipe and PipeDream baselines, behind pluggable
+//     execution engines (internal/engine): a single-goroutine Reference
+//     simulator and a goroutine-per-stage concurrent engine
+//     (internal/engine/concurrent) with bit-identical training curves;
 //   - the three PipeMare techniques — T1 learning-rate rescheduling,
 //     T2 discrepancy correction, T3 synchronous warmup — plus the
 //     Appendix D recompute delay path and the Appendix E Hogwild! variant;
@@ -22,13 +25,24 @@
 //   - regenerators for every table and figure of the paper's evaluation
 //     (internal/experiments, cmd/pipemare-bench).
 //
-// This package is a thin facade over those internals so that examples and
+// Build a trainer with New and functional options, then train with the
+// context-aware Run:
+//
+//	tr, err := pipemare.New(task,
+//		pipemare.WithMethod(pipemare.PipeMare),
+//		pipemare.WithBatchSize(64), pipemare.WithMicrobatches(8),
+//		pipemare.WithT1(480), pipemare.WithT2(0.5),
+//	)
+//	run, err := tr.Run(ctx, 60)
+//
+// This package is a thin facade over the internals so that examples and
 // downstream users have a single import. See README.md for a quickstart
 // and DESIGN.md for the system inventory and experiment index.
 package pipemare
 
 import (
 	"pipemare/internal/core"
+	"pipemare/internal/engine"
 	"pipemare/internal/metrics"
 	"pipemare/internal/optim"
 	"pipemare/internal/pipeline"
@@ -41,6 +55,7 @@ type (
 	// Method selects GPipe, PipeDream or PipeMare execution.
 	Method = core.Method
 	// Config configures a training run (stages, microbatching, T1/T2/T3).
+	// It is consumed by the deprecated NewTrainer; prefer New with Options.
 	Config = core.Config
 	// Task is a model+loss bound to an indexed dataset.
 	Task = core.Task
@@ -54,6 +69,9 @@ type (
 	Schedule = optim.Schedule
 	// Optimizer updates parameters with per-parameter learning rates.
 	Optimizer = optim.Optimizer
+	// Engine schedules a trainer's per-microbatch-slot operations onto
+	// goroutines; see internal/engine.
+	Engine = engine.Engine
 )
 
 // Training methods (Table 1).
@@ -63,7 +81,15 @@ const (
 	PipeMare  = core.PipeMare
 )
 
-// NewTrainer builds a pipeline-parallel trainer; see core.New.
+// NewReferenceEngine returns the default single-goroutine engine, the
+// semantic ground truth every other engine is pinned against.
+func NewReferenceEngine() Engine { return engine.NewReference() }
+
+// NewTrainer builds a pipeline-parallel trainer from a flat Config; see
+// core.New.
+//
+// Deprecated: use New with functional options, which owns optimizer
+// construction and engine selection. NewTrainer remains for one release.
 func NewTrainer(task Task, opt Optimizer, sched Schedule, cfg Config) (*Trainer, error) {
 	return core.New(task, opt, sched, cfg)
 }
