@@ -7,12 +7,8 @@ import (
 	"testing"
 
 	"pipemare"
-	"pipemare/internal/data"
 	"pipemare/internal/engine/concurrent"
 	"pipemare/internal/experiments"
-	"pipemare/internal/model"
-	"pipemare/internal/nn"
-	"pipemare/internal/optim"
 	"pipemare/internal/tensor"
 )
 
@@ -67,25 +63,16 @@ func BenchmarkAppendixA3(b *testing.B) { benchExperiment(b, "appendixA3") }
 
 func benchEngineTransformer(b *testing.B, stages int, eng pipemare.Engine) {
 	b.Helper()
-	ds := data.NewTranslation(data.TranslationConfig{
-		Vocab: 13, SrcLen: 6, Train: 256, Test: 32, Seed: 2})
-	task := model.NewTranslation(ds, model.TransformerConfig{
-		Dim: 128, Heads: 4, EncLayers: 2, DecLayers: 2, Seed: 1})
-	tr, err := pipemare.New(task,
-		pipemare.WithMethod(pipemare.PipeMare),
-		pipemare.WithStages(stages),
-		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
-		pipemare.WithT1(100), pipemare.WithT2(0.1), pipemare.WithClipNorm(5),
-		pipemare.WithSeed(1),
-		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
-			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
-		}),
-		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 100}),
-		pipemare.WithEngine(eng),
-	)
+	tr, err := experiments.NewEngineBenchTrainer(stages, eng)
 	if err != nil {
 		b.Fatal(err)
 	}
+	// One warm epoch so the per-microbatch machine pools and tape arenas
+	// reach steady state; allocs/op then tracks the true hot-path churn.
+	if _, err := tr.Run(context.Background(), 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Run(context.Background(), 1); err != nil {
@@ -118,6 +105,7 @@ func BenchmarkMatMul64(b *testing.B) {
 		x.Data[i] = rng.NormFloat64()
 		y.Data[i] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, y)
@@ -130,6 +118,7 @@ func BenchmarkIm2ColConv(b *testing.B) {
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Im2Col(x, 3, 3, 1, 1)

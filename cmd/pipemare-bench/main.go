@@ -7,12 +7,16 @@
 //	pipemare-bench -full table2  # reference-scale run
 //	pipemare-bench all           # every experiment at quick scale
 //	pipemare-bench -engine concurrent table2   # stage-worker engine
+//	pipemare-bench -json         # engine perf record → BENCH_engine.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pipemare"
@@ -23,6 +27,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at reference (paper) scale instead of quick scale")
 	engineName := flag.String("engine", "reference", "execution engine for training runs: reference | concurrent")
+	jsonOut := flag.Bool("json", false, "benchmark the engines on the transformer workload and write BENCH_engine.json")
 	flag.Parse()
 	switch *engineName {
 	case "reference":
@@ -31,6 +36,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown engine %q (want reference or concurrent)\n", *engineName)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := benchEngines("BENCH_engine.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "pipemare-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	scale := experiments.Quick
 	if *full {
@@ -67,4 +79,81 @@ func main() {
 		e.Run(os.Stdout, scale)
 		fmt.Printf("--- %s done in %.1fs ---\n", e.Name, time.Since(start).Seconds())
 	}
+}
+
+// benchRecord is one engine×stages measurement of the transformer
+// workload. OverlapEfficiency is speedup/P: the fraction of perfect P-way
+// stage overlap the concurrent engine realizes over Reference (1.0 would
+// be a linear-in-P win; on a single-core runner it sits near 1/P because
+// there is no hardware to overlap onto).
+type benchRecord struct {
+	Engine            string  `json:"engine"`
+	Stages            int     `json:"stages"`
+	NsPerEpoch        int64   `json:"ns_per_epoch"`
+	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P
+	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
+}
+
+// benchFile is the BENCH_engine.json schema, one record per engine×P.
+type benchFile struct {
+	Workload   string        `json:"workload"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Records    []benchRecord `json:"records"`
+}
+
+// benchEngines times one training epoch of the transformer workload under
+// the Reference and concurrent engines at P ∈ {4, 8} and writes the perf
+// record, so the engine trajectory is tracked across PRs.
+func benchEngines(path string) error {
+	out := benchFile{Workload: experiments.EngineBenchWorkload,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, p := range []int{4, 8} {
+		refNs, err := timeEpochs(p, pipemare.NewReferenceEngine())
+		if err != nil {
+			return err
+		}
+		concNs, err := timeEpochs(p, concurrent.New())
+		if err != nil {
+			return err
+		}
+		speedup := float64(refNs) / float64(concNs)
+		out.Records = append(out.Records,
+			benchRecord{Engine: "reference", Stages: p, NsPerEpoch: refNs},
+			benchRecord{Engine: "concurrent", Stages: p, NsPerEpoch: concNs,
+				Speedup: speedup, OverlapEfficiency: speedup / float64(p)})
+		fmt.Printf("P=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f)\n",
+			p, float64(refNs)/1e9, float64(concNs)/1e9, speedup, speedup/float64(p))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// timeEpochs builds the benchmark trainer (the same workload as the root
+// BenchmarkEngine* benchmarks) and returns ns per epoch: one warm epoch,
+// then the mean of two timed epochs.
+func timeEpochs(stages int, eng pipemare.Engine) (int64, error) {
+	tr, err := experiments.NewEngineBenchTrainer(stages, eng)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tr.Run(context.Background(), 1); err != nil { // warm
+		return 0, err
+	}
+	const epochs = 2
+	start := time.Now()
+	if _, err := tr.Run(context.Background(), epochs); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Nanoseconds() / epochs, nil
 }

@@ -183,6 +183,52 @@ func TestEnginesEquivalentOnTransformer(t *testing.T) {
 	requireIdentical(t, "transformer/PipeMare", ref, conc)
 }
 
+// TestEnginesEquivalentUnderOverlapStress drives the pipelined engine at
+// its deepest overlap: a stage-split task with N ≫ P microbatches in
+// flight per minibatch and the Appendix D recompute climb on every chain,
+// so each stage worker continuously interleaves forward, recompute and
+// backward slots of different microbatches. The curves must still match
+// the serial Reference engine bit for bit.
+func TestEnginesEquivalentUnderOverlapStress(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 6})
+	for _, m := range []pipemare.Method{pipemare.PipeDream, pipemare.PipeMare} {
+		build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 4, 8) }
+		opts := append(methodOpts(m),
+			pipemare.WithStages(4),
+			pipemare.WithBatchSize(32), pipemare.WithMicrobatches(16),
+			pipemare.WithSchedule(optim.Constant(0.05)))
+		if m == pipemare.PipeDream {
+			opts = append(opts, pipemare.WithRecompute(2))
+		}
+		ref, conc := trainPair(t, build, 3, opts...)
+		requireIdentical(t, "overlap-stress/"+m.String(), ref, conc)
+	}
+}
+
+// TestEnginesEquivalentOnSplitDivergence pins the abort path under
+// overlap: when a microbatch's loss blows past the cap mid-epoch with
+// several stage-split chains in flight, the concurrent engine must drain,
+// restore and record exactly the Reference curve.
+func TestEnginesEquivalentOnSplitDivergence(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 8})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 3, 9) }
+	opts := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(8),
+		pipemare.WithSeed(4), pipemare.WithLossCap(15),
+		pipemare.WithRecompute(2),
+		pipemare.WithSchedule(optim.Constant(8)), // absurd rate: diverges
+	}
+	ref, conc := trainPair(t, build, 4, opts...)
+	if !ref.Diverged {
+		t.Fatal("reference run was expected to diverge")
+	}
+	requireIdentical(t, "split-divergence", ref, conc)
+}
+
 // TestConcurrentEngineSurvivesRepeatedRuns pins the Lifecycle contract:
 // the same engine instance must restart cleanly across Run calls and
 // trainers.

@@ -15,10 +15,14 @@
 //
 // How those per-slot operations are scheduled onto goroutines is delegated
 // to a pluggable engine (package engine): the trainer implements
-// engine.Host — stage-indexed install/restore/commit primitives plus the
-// monolithic forward/backward substrate — and the configured engine.Engine
-// drives one minibatch at a time through it. Config.Engine selects the
-// engine; nil means the serial Reference engine.
+// engine.Host — stage-indexed install/restore/commit primitives plus
+// per-stage forward/backward compute slots over in-flight microbatch
+// machines — and the configured engine.Engine drives one minibatch at a
+// time through it. Tasks implementing StageTask execute as true per-stage
+// segments (so engines can overlap microbatches across stages); plain
+// Tasks run monolithically inside the last stage's forward slot and stage
+// 0's backward slot. Config.Engine selects the engine; nil means the
+// serial Reference engine.
 package core
 
 import (
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"pipemare/internal/data"
 	"pipemare/internal/engine"
@@ -81,6 +86,24 @@ type Task interface {
 	// EvalTest returns the task metric on the held-out set (accuracy in
 	// percent, or BLEU) using the current forward weights.
 	EvalTest() float64
+}
+
+// StageTask is a Task whose network compiles to an op program aligned with
+// its weight groups, so the trainer can execute it as per-stage segments:
+// any stage partition of the groups induces contiguous op ranges, and the
+// boundary activations live in per-microbatch machines. Tasks implementing
+// StageTask let the concurrent engine overlap several microbatches across
+// pipeline stages; plain Tasks fall back to monolithic execution (the
+// whole forward runs in the last stage's slot, the whole backward in the
+// first stage's).
+type StageTask interface {
+	Task
+	// Program returns the compiled op program. Ops must be grouped in the
+	// same order as Groups().
+	Program() *nn.Program
+	// BindMicro loads the indexed samples (inputs and labels) into a
+	// freshly reset machine.
+	BindMicro(m *nn.Machine, idx []int)
 }
 
 // Config configures a training run.
@@ -146,12 +169,30 @@ type Trainer struct {
 	// per-param recompute-corrected buffers.
 	segEnd1 []int
 
+	// Stage-split execution state (nil program for monolithic tasks): the
+	// op ranges each stage owns and the in-flight microbatch machines. The
+	// flows map is the only trainer state shared between engine goroutines
+	// outside the per-stage ownership contract, hence its own mutex.
+	stageTask  StageTask
+	prog       *nn.Program
+	opLo, opHi []int
+	flowMu     sync.Mutex
+	flows      map[int]*flight
+	freeFlows  []*flight
+
 	observer Observer
 	rng      *rand.Rand
 	micro    int // global microbatch counter s
 	step     int // optimizer step counter (minibatches committed)
 	epoch    int // cumulative epochs completed (persists across Run calls)
 	diverged bool
+}
+
+// flight is one in-flight microbatch: its sample indices and, for
+// stage-split tasks, its machine (registers, gradients, activation tape).
+type flight struct {
+	mb []int
+	m  *nn.Machine
 }
 
 // New validates the configuration and builds a Trainer. The optimizer must
@@ -228,6 +269,15 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	if cfg.RecomputeSegments > 0 {
 		t.segEnd1 = segmentEnds(p, cfg.RecomputeSegments)
 	}
+	if st, ok := task.(StageTask); ok {
+		prog := st.Program()
+		lo, hi, err := prog.StageRanges(part.StageOf, p)
+		if err != nil {
+			return nil, err
+		}
+		t.stageTask, t.prog, t.opLo, t.opHi = st, prog, lo, hi
+	}
+	t.flows = make(map[int]*flight)
 	return t, nil
 }
 
@@ -411,11 +461,94 @@ func (h host) Restore(stage int) {
 	}
 }
 
-// Forward runs the monolithic substrate.
-func (h host) Forward(mb []int) float64 { return h.t.task.Forward(mb) }
+// Splittable reports whether the task runs as per-stage segments.
+func (h host) Splittable() bool { return h.t.prog != nil }
 
-// Backward runs the monolithic substrate.
-func (h host) Backward() { h.t.task.Backward() }
+// BeginMicro opens microbatch s, acquiring an in-flight machine from the
+// pool. Safe to call from any engine goroutine.
+func (h host) BeginMicro(s int, mb []int) {
+	t := h.t
+	t.flowMu.Lock()
+	var fl *flight
+	if n := len(t.freeFlows); n > 0 {
+		fl = t.freeFlows[n-1]
+		t.freeFlows = t.freeFlows[:n-1]
+	} else {
+		fl = &flight{}
+		if t.prog != nil {
+			fl.m = nn.NewMachine(t.prog.NumRegs)
+		}
+	}
+	fl.mb = mb
+	t.flows[s] = fl
+	t.flowMu.Unlock()
+}
+
+// flight returns microbatch s's in-flight state.
+func (h host) flight(s int) *flight {
+	t := h.t
+	t.flowMu.Lock()
+	fl := t.flows[s]
+	t.flowMu.Unlock()
+	if fl == nil {
+		panic(fmt.Sprintf("core: microbatch %d has no in-flight state (missing BeginMicro)", s))
+	}
+	return fl
+}
+
+// StageForward runs the stage's forward slot for microbatch s. Stage-split
+// tasks execute the stage's op range on the microbatch's machine (stage 0
+// resets the machine and binds the samples, so a second climb restarts the
+// forward pass — the recompute path); monolithic tasks run their whole
+// forward in the last stage's slot, by which point every stage's weights
+// have been installed.
+func (h host) StageForward(s, stage int) float64 {
+	t := h.t
+	fl := h.flight(s)
+	last := t.clock.P - 1
+	if t.prog == nil {
+		if stage == last {
+			return t.task.Forward(fl.mb)
+		}
+		return 0
+	}
+	if stage == 0 {
+		fl.m.ResetRun()
+		t.stageTask.BindMicro(fl.m, fl.mb)
+	}
+	t.prog.ForwardRange(fl.m, t.opLo[stage], t.opHi[stage])
+	if stage == last {
+		return fl.m.Loss
+	}
+	return 0
+}
+
+// StageBackward runs the stage's backward slot for microbatch s.
+// Monolithic tasks run their whole backward in stage 0's slot, by which
+// point every stage's backward weights have been (re-)installed.
+func (h host) StageBackward(s, stage int) {
+	t := h.t
+	fl := h.flight(s)
+	if t.prog == nil {
+		if stage == 0 {
+			t.task.Backward()
+		}
+		return
+	}
+	t.prog.BackwardRange(fl.m, t.opLo[stage], t.opHi[stage])
+}
+
+// EndMicro closes microbatch s and recycles its machine.
+func (h host) EndMicro(s int) {
+	t := h.t
+	t.flowMu.Lock()
+	if fl := t.flows[s]; fl != nil {
+		delete(t.flows, s)
+		fl.mb = nil
+		t.freeFlows = append(t.freeFlows, fl)
+	}
+	t.flowMu.Unlock()
+}
 
 // BadLoss reports a non-finite or capped loss.
 func (h host) BadLoss(loss float64) bool {

@@ -1,23 +1,30 @@
 // Package concurrent implements the goroutine-per-stage execution engine:
 // a worker per pipeline stage owns that stage's parameters, weight
-// versions and technique state, and job tokens flow between neighbouring
-// workers through bounded channels on the §2 slot schedule — forward
-// tokens climb stage 1→P installing each stage's delayed weights, backward
-// tokens descend P→1 (installing the Appendix D recompute versions on the
-// way) until the first stage runs the backward slot, and restore tokens
-// climb again returning every stage to its master weights.
+// versions and technique state, and microbatch chains flow between
+// neighbouring workers through bounded channels on the §2 slot schedule —
+// a forward token climbs stage 1→P installing each stage's delayed weights
+// and running that stage's forward segment, an optional recompute token
+// climbs again with the Appendix D recompute versions, and a backward
+// token descends P→1 re-installing each stage's weights and running its
+// backward segment.
 //
-// Because the model substrate (internal/nn) is monolithic — activations
-// are cached inside layers, so one microbatch's forward/backward cannot
-// overlap another's — the compute slots execute on the worker that owns
-// the boundary stage, and the engine's parallelism comes from two places:
-// the commit phase (gradient averaging, clipping reduction, T2 velocity
-// updates, weight-version snapshots) runs stage-parallel across all P
-// workers, and the dense kernels split their output rows across goroutines
-// (tensor.SetWorkers) for the duration of the run. Both sources are
-// deterministic: every floating-point accumulation happens in the same
-// order as the serial Reference engine, so training curves are
-// bit-identical — pinned by the equivalence tests at the repository root.
+// With a stage-split task (core.StageTask), up to P microbatch chains are
+// in flight at once, so all P workers compute simultaneously on different
+// microbatches — a real fill/drain pipeline. Determinism is preserved
+// because every accumulation site is owned by exactly one worker and sees
+// the same order as the serial Reference engine: a stage's backward tokens
+// arrive in microbatch order (they descend from a single upstream worker),
+// so per-stage per-parameter gradient accumulation is serial in s; weight
+// installs happen per slot immediately before the segment that reads
+// them; the commit phase reduces stage-partial norms in stage order; and
+// microbatch losses are summed in microbatch order from the result
+// collector. Training curves are therefore bit-identical to Reference —
+// pinned by the equivalence tests at the repository root. Monolithic
+// tasks (Host.Splittable() == false) cap the pipeline at one chain in
+// flight, which reduces to the previous engine behaviour: compute runs in
+// the boundary stages' slots and the parallelism comes from the
+// stage-parallel commit phase and the row-parallel dense kernels
+// (tensor.SetWorkers).
 package concurrent
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pipemare/internal/engine"
 	"pipemare/internal/tensor"
@@ -33,9 +41,10 @@ import (
 type jobKind int
 
 const (
-	jobUp      jobKind = iota // climb: install forward+backward weights
-	jobDown                   // descend: recompute installs, backward at stage 1
-	jobRestore                // climb: restore master weights, report result
+	jobFwd     jobKind = iota // climb: install forward+backward weights, run the stage's forward segment
+	jobRecomp                 // climb: install recompute versions, rerun the stage's forward segment
+	jobBwd                    // descend: re-install, run the stage's backward segment
+	jobRestore                // broadcast: restore master weights
 	jobPrepare                // commit: average grads, T2 snapshot, partial norm
 	jobScale                  // commit: apply the global clip factor
 	jobFinish                 // commit: T2 update, version push, zero grads
@@ -43,8 +52,8 @@ const (
 
 type job struct {
 	kind   jobKind
-	s      int   // global microbatch counter
-	mb     []int // microbatch sample indices
+	s      int // global microbatch counter
+	k      int // index within the minibatch (loss ordering)
 	async  bool
 	rec    bool // recompute path active for this microbatch
 	loss   float64
@@ -65,13 +74,15 @@ type ack struct {
 type Engine struct {
 	kernelWorkers int
 
-	h       engine.Host
-	p       int
-	jobs    []chan job
-	results chan job
-	acks    chan ack
-	wg      sync.WaitGroup
-	running bool
+	h        engine.Host
+	p        int
+	inflight int // microbatch chains allowed in flight (P, or 1 when monolithic)
+	jobs     []chan job
+	results  chan job
+	acks     chan ack
+	aborted  atomic.Bool // set on the first bad loss: later chains skip compute
+	wg       sync.WaitGroup
+	running  bool
 }
 
 // Option configures the engine.
@@ -111,11 +122,15 @@ func (e *Engine) Start(h engine.Host) {
 	}
 	e.h = h
 	e.p = h.Stages()
+	e.inflight = 1
+	if h.Splittable() {
+		e.inflight = e.p
+	}
 	e.jobs = make([]chan job, e.p)
 	for i := range e.jobs {
-		e.jobs[i] = make(chan job, 1)
+		e.jobs[i] = make(chan job, e.inflight)
 	}
-	e.results = make(chan job, 1)
+	e.results = make(chan job, e.inflight)
 	e.acks = make(chan ack, e.p)
 	e.wg.Add(e.p)
 	for i := 0; i < e.p; i++ {
@@ -141,33 +156,42 @@ func (e *Engine) Stop() {
 }
 
 // worker owns stage i: only this goroutine touches the stage's installed
-// weight pointers, T2 accumulators and version ring while the engine runs.
+// weight pointers, T2 accumulators, version ring and parameter gradients
+// while the engine runs, and it processes its slots in arrival order — so
+// every per-stage accumulation happens in microbatch order.
 func (e *Engine) worker(i int) {
 	defer e.wg.Done()
+	last := e.p - 1
 	for jb := range e.jobs[i] {
 		switch jb.kind {
-		case jobUp:
-			if jb.async {
-				e.h.InstallForward(jb.s, i)
-				e.h.InstallBackward(jb.s, i)
+		case jobFwd:
+			if !e.aborted.Load() {
+				if jb.async {
+					e.h.InstallForward(jb.s, i)
+					e.h.InstallBackward(jb.s, i)
+				}
+				jb.loss = e.h.StageForward(jb.s, i)
 			}
-			if i < e.p-1 {
+			if i < last {
 				e.jobs[i+1] <- jb
 				continue
 			}
-			// Last stage: the forward slot of the (monolithic) substrate.
-			jb.loss = e.h.Forward(jb.mb)
-			jb.bad = e.h.BadLoss(jb.loss)
-			e.down(i, jb)
-		case jobDown:
-			e.down(i, jb)
+			e.crest(i, jb)
+		case jobRecomp:
+			if !e.aborted.Load() {
+				e.h.InstallRecompute(jb.s, i)
+				e.h.StageForward(jb.s, i)
+			}
+			if i < last {
+				e.jobs[i+1] <- jb
+				continue
+			}
+			e.bwd(i, jb)
+		case jobBwd:
+			e.bwd(i, jb)
 		case jobRestore:
 			e.h.Restore(i)
-			if i < e.p-1 {
-				e.jobs[i+1] <- jb
-			} else {
-				e.results <- jb
-			}
+			e.acks <- ack{stage: i}
 		case jobPrepare:
 			e.acks <- ack{i, e.h.PrepareStage(i, jb.nMicro)}
 		case jobScale:
@@ -180,60 +204,122 @@ func (e *Engine) worker(i int) {
 	}
 }
 
-// down handles stage i's duties on the descending pass and, at stage 1
-// (index 0), the backward slot followed by the start of the restore climb.
-func (e *Engine) down(i int, jb job) {
-	if jb.async && jb.rec && !jb.bad {
-		e.h.InstallRecompute(jb.s, i)
+// crest handles the top of a forward climb at the last stage: the loss
+// check, then either the divergence abort, the recompute climb, or the
+// start of the backward descent.
+func (e *Engine) crest(i int, jb job) {
+	if e.aborted.Load() {
+		// A previous microbatch diverged: this chain ends without a
+		// backward pass; its loss is ignored by the collector.
+		e.h.EndMicro(jb.s)
+		e.results <- jb
+		return
+	}
+	if e.h.BadLoss(jb.loss) {
+		jb.bad = true
+		e.aborted.Store(true)
+		e.h.EndMicro(jb.s)
+		e.results <- jb
+		return
+	}
+	if jb.async && jb.rec {
+		if e.p == 1 {
+			// Single stage: run the recompute slot inline, then backward.
+			e.h.InstallRecompute(jb.s, 0)
+			e.h.StageForward(jb.s, 0)
+			e.bwd(0, jb)
+			return
+		}
+		jb.kind = jobRecomp
+		e.jobs[0] <- jb
+		return
+	}
+	e.bwd(i, jb)
+}
+
+// bwd runs stage i's backward slot for the chain and passes it down; at
+// stage 0 the chain completes. Each slot re-installs the weights its
+// backward reads — other chains' forward slots may have re-pointed the
+// stage's parameters since this microbatch's forward ran.
+func (e *Engine) bwd(i int, jb job) {
+	if !e.aborted.Load() {
+		if jb.async {
+			if jb.rec {
+				e.h.InstallRecompute(jb.s, i)
+			} else {
+				e.h.InstallForward(jb.s, i)
+			}
+			e.h.InstallBackward(jb.s, i)
+		}
+		e.h.StageBackward(jb.s, i)
 	}
 	if i > 0 {
-		jb.kind = jobDown
+		jb.kind = jobBwd
 		e.jobs[i-1] <- jb
 		return
 	}
-	if !jb.bad {
-		if jb.async && jb.rec {
-			// Recompute pass: regenerate activations with the recompute-
-			// delayed weights before backprop (Appendix D).
-			e.h.Forward(jb.mb)
-		}
-		e.h.Backward()
-	}
-	jb.kind = jobRestore
-	e.h.Restore(0)
-	if e.p == 1 {
-		e.results <- jb
-	} else {
-		e.jobs[1] <- jb
-	}
+	e.h.EndMicro(jb.s)
+	e.results <- jb
 }
 
-// Minibatch executes the N microbatches on the stage workers and runs the
-// stage-parallel commit phase.
+// Minibatch executes the N microbatch chains with up to `inflight` of them
+// overlapping across the stage workers, then runs the stage-parallel
+// commit phase.
 func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (float64, error) {
 	if !e.running || e.h != h {
 		e.Start(h)
 	}
+	e.aborted.Store(false)
 	async := h.Async()
 	rec := h.Recompute()
 	base := h.MicroBase()
-	lossSum := 0.0
-	for k, mb := range micros {
-		if err := ctx.Err(); err != nil {
-			return 0, err
+	n := len(micros)
+	losses := make([]float64, n)
+	dispatched, completed := 0, 0
+	badK := -1
+	var ctxErr error
+	for {
+		for dispatched < n && dispatched-completed < e.inflight && badK < 0 && ctxErr == nil {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				break
+			}
+			h.BeginMicro(base+dispatched, micros[dispatched])
+			e.jobs[0] <- job{kind: jobFwd, s: base + dispatched, k: dispatched, async: async, rec: rec}
+			dispatched++
 		}
-		e.jobs[0] <- job{kind: jobUp, s: base + k, mb: mb, async: async, rec: rec}
+		if completed == dispatched {
+			if dispatched == n || badK >= 0 || ctxErr != nil {
+				break
+			}
+		}
 		res := <-e.results
-		lossSum += res.loss
-		if res.bad {
-			return math.Inf(1), engine.ErrDiverged
+		completed++
+		losses[res.k] = res.loss
+		if res.bad && badK < 0 {
+			badK = res.k
 		}
+	}
+
+	// Every chain has drained. Restore all stages to the master weights
+	// before committing (or before handing a divergence/cancellation back
+	// to the trainer, which restores-by-contract too).
+	e.broadcast(job{kind: jobRestore}, nil)
+	if ctxErr != nil {
+		return 0, ctxErr
+	}
+	if badK >= 0 {
+		return math.Inf(1), engine.ErrDiverged
+	}
+	lossSum := 0.0
+	for _, l := range losses {
+		lossSum += l
 	}
 
 	// Commit: stage-parallel prepare, the stage-ordered clip reduction,
 	// the (global) optimizer step, then stage-parallel finalization.
 	sumSqs := make([]float64, e.p)
-	e.broadcast(job{kind: jobPrepare, nMicro: len(micros)}, func(a ack) { sumSqs[a.stage] = a.sumSq })
+	e.broadcast(job{kind: jobPrepare, nMicro: n}, func(a ack) { sumSqs[a.stage] = a.sumSq })
 	sumSq := 0.0
 	for _, s := range sumSqs {
 		sumSq += s
@@ -243,7 +329,7 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	}
 	h.StepAll()
 	e.broadcast(job{kind: jobFinish}, nil)
-	return lossSum / float64(len(micros)), nil
+	return lossSum / float64(n), nil
 }
 
 // broadcast sends one job to every stage worker and waits for all acks,

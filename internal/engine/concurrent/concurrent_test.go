@@ -13,12 +13,15 @@ func (s *stubHost) Stages() int                   { return s.p }
 func (s *stubHost) Async() bool                   { return false }
 func (s *stubHost) Recompute() bool               { return false }
 func (s *stubHost) MicroBase() int                { return 0 }
+func (s *stubHost) Splittable() bool              { return true }
 func (s *stubHost) InstallForward(_, _ int)       {}
 func (s *stubHost) InstallBackward(_, _ int)      {}
 func (s *stubHost) InstallRecompute(_, _ int)     {}
 func (s *stubHost) Restore(int)                   {}
-func (s *stubHost) Forward([]int) float64         { return 0 }
-func (s *stubHost) Backward()                     {}
+func (s *stubHost) BeginMicro(int, []int)         {}
+func (s *stubHost) StageForward(_, _ int) float64 { return 0 }
+func (s *stubHost) StageBackward(_, _ int)        {}
+func (s *stubHost) EndMicro(int)                  {}
 func (s *stubHost) BadLoss(float64) bool          { return false }
 func (s *stubHost) PrepareStage(_, _ int) float64 { return 0 }
 func (s *stubHost) ClipScale(float64) float64     { return 1 }

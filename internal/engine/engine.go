@@ -2,17 +2,18 @@
 // PipeMare reproduction. A trainer (internal/core.Trainer) owns the weight
 // partition, version stores and technique state, and exposes them to an
 // Engine through the Host interface as per-microbatch-slot operations:
-// install-forward, install-backward, install-recompute, the monolithic
-// forward/backward substrate, and the per-stage commit phases of an
+// install-forward, install-backward, install-recompute, the per-stage
+// forward/backward compute slots, and the per-stage commit phases of an
 // optimizer step. An Engine decides *how* those operations are scheduled
 // onto goroutines.
 //
 // Two engines exist: Reference (this package) executes every slot on the
 // calling goroutine — it is the original single-goroutine simulator and the
 // semantic ground truth — and internal/engine/concurrent runs one worker
-// per pipeline stage with job tokens flowing through bounded channels on
-// the §2 slot schedule. Both produce bit-identical training curves; the
-// equivalence is pinned by tests at the repository root.
+// per pipeline stage with up to P microbatches in flight, overlapping the
+// per-stage compute slots like a real fill/drain pipeline. Both produce
+// bit-identical training curves; the equivalence is pinned by tests at the
+// repository root.
 package engine
 
 import (
@@ -30,11 +31,24 @@ var ErrDiverged = errors.New("engine: training diverged")
 // internal/core.Trainer. Stage indices are 0-based; s is the global
 // microbatch counter of the timing model (package pipeline).
 //
-// Concurrency contract: the Install*, Restore, PrepareStage, ScaleStage and
-// FinishStage methods touch only the named stage's parameters and state, so
-// an engine may call them for different stages concurrently. Forward,
-// Backward, ClipScale and StepAll touch global state and must be ordered
-// (happen-before) with respect to every per-stage call.
+// A microbatch's slots form a chain: BeginMicro, the forward slots of
+// stages 0..P−1 in order, optionally a second (recompute) forward climb,
+// the backward slots of stages P−1..0 in order, then EndMicro. The loss is
+// returned by the last stage's forward slot.
+//
+// Concurrency contract: the Install*, Restore, PrepareStage, ScaleStage
+// and FinishStage methods touch only the named stage's parameters and
+// state, so an engine may call them for different stages concurrently.
+// StageForward and StageBackward read the named stage's installed weights
+// and the microbatch's private activation state, so calls are safe to
+// overlap when both the stage AND the microbatch differ; all slots of one
+// stage must be serialized (ordered) with each other and with that stage's
+// installs/restores, and a microbatch's chain must run in chain order.
+// When Splittable reports false the substrate is monolithic: the forward
+// compute happens entirely inside the last stage's forward slot and the
+// backward inside stage 0's backward slot, so at most one microbatch may
+// be in flight at a time. BeginMicro/EndMicro and ClipScale/StepAll must
+// be ordered (happen-before) with respect to the slots they bracket.
 type Host interface {
 	// Stages returns P, the number of pipeline stages.
 	Stages() int
@@ -47,6 +61,10 @@ type Host interface {
 	// minibatch being executed; microbatch k of the minibatch has
 	// s = MicroBase()+k.
 	MicroBase() int
+	// Splittable reports whether the task executes as true per-stage
+	// segments (the engine may overlap up to P microbatches) or as a
+	// monolithic substrate (one microbatch in flight at a time).
+	Splittable() bool
 
 	// InstallForward points the stage's parameters at the delayed snapshot
 	// its forward slot sees at global microbatch s (Table 1 delays).
@@ -62,12 +80,19 @@ type Host interface {
 	// weights and clears the backward decoupling.
 	Restore(stage int)
 
-	// Forward runs the monolithic forward substrate on the microbatch's
-	// sample indices and returns its mean loss.
-	Forward(mb []int) float64
-	// Backward backpropagates from the last Forward, accumulating
-	// parameter gradients.
-	Backward()
+	// BeginMicro opens microbatch s over the given sample indices,
+	// acquiring its in-flight state.
+	BeginMicro(s int, mb []int)
+	// StageForward runs the stage's forward slot for microbatch s. The
+	// last stage returns the microbatch's mean loss (other stages return
+	// 0). Calling the chain a second time after the last stage reruns the
+	// forward pass from scratch (the recompute climb).
+	StageForward(s, stage int) float64
+	// StageBackward runs the stage's backward slot for microbatch s,
+	// accumulating the stage's parameter gradients.
+	StageBackward(s, stage int)
+	// EndMicro closes microbatch s and releases its in-flight state.
+	EndMicro(s int)
 	// BadLoss reports whether a loss is non-finite or above the cap.
 	BadLoss(loss float64) bool
 
@@ -121,10 +146,11 @@ func NewReference() Reference { return Reference{} }
 // Name identifies the engine.
 func (Reference) Name() string { return "reference" }
 
-// Minibatch executes the N microbatches and the commit phase serially.
+// Minibatch executes the N microbatch chains and the commit phase serially.
 func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64, error) {
 	p := h.Stages()
 	async := h.Async()
+	rec := h.Recompute()
 	base := h.MicroBase()
 	lossSum := 0.0
 	for k, mb := range micros {
@@ -139,19 +165,34 @@ func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64
 				h.InstallBackward(s, st)
 			}
 		}
-		loss := h.Forward(mb)
+		h.BeginMicro(s, mb)
+		loss := 0.0
+		for st := 0; st < p; st++ {
+			l := h.StageForward(s, st)
+			if st == p-1 {
+				loss = l
+			}
+		}
 		lossSum += loss
 		if h.BadLoss(loss) {
+			h.EndMicro(s)
 			restoreAll(h, p)
 			return math.Inf(1), ErrDiverged
 		}
-		if async && h.Recompute() {
+		if async && rec {
 			for st := 0; st < p; st++ {
 				h.InstallRecompute(s, st)
 			}
-			h.Forward(mb)
+			// Recompute climb: regenerate activations with the recompute-
+			// delayed weights before backprop (Appendix D).
+			for st := 0; st < p; st++ {
+				h.StageForward(s, st)
+			}
 		}
-		h.Backward()
+		for st := p - 1; st >= 0; st-- {
+			h.StageBackward(s, st)
+		}
+		h.EndMicro(s)
 		restoreAll(h, p)
 	}
 	commit(h, p, len(micros))

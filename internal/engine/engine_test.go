@@ -12,45 +12,58 @@ import (
 )
 
 // fakeHost checks the Host ordering contract at call time: installs must
-// precede the forward slot, the backward slot must follow it, restores
-// must complete before the commit phases, and the commit phases must run
-// in prepare → scale → step → finish order. It is safe for concurrent use
-// so the same harness validates both engines.
+// precede the stage's forward slot, a microbatch's slots must run in chain
+// order (forward climbing 0..P−1, backward descending P−1..0, bracketed by
+// BeginMicro/EndMicro), restores must complete before the commit phases,
+// and the commit phases must run in prepare → scale → step → finish order.
+// It is safe for concurrent use so the same harness validates both
+// engines, and it records the peak number of in-flight microbatches so
+// tests can pin the overlap behaviour.
 type fakeHost struct {
-	mu     sync.Mutex
-	p      int
-	async  bool
-	rec    bool
-	badAt  int // microbatch index whose loss is "bad" (-1: never)
-	micro  int
-	errs   []string
-	losses []float64
+	mu    sync.Mutex
+	p     int
+	async bool
+	rec   bool
+	split bool
+	badAt int // microbatch index whose loss is "bad" (-1: never)
 
-	installed []bool
-	recomped  []bool
-	restored  []bool
-	forwarded bool
-	backward  bool
-	prepared  int
-	scaled    int
-	stepped   bool
-	finished  int
-	mb        int // microbatches seen this minibatch
+	fwdInst  []bool // per stage: forward/recompute weights installed since last restore
+	restored []bool
+
+	open        map[int]*microState
+	maxInFlight int
+	completed   int
+	losses      []float64 // last-stage losses in arrival order
+	sawBwd      bool
+
+	prepared, scaled, finished int
+	stepped                    bool
+
+	errs []string
 }
 
-func newFakeHost(p int, async, rec bool, badAt int) *fakeHost {
-	return &fakeHost{p: p, async: async, rec: rec, badAt: badAt,
-		installed: make([]bool, p), recomped: make([]bool, p), restored: make([]bool, p)}
+type microState struct {
+	k       int
+	fwdNext int // next stage whose forward slot should run
+	climbs  int // completed forward climbs
+	bwdNext int // next stage whose backward slot should run (-1: descent not started)
+}
+
+func newFakeHost(p int, async, rec, split bool, badAt int) *fakeHost {
+	return &fakeHost{p: p, async: async, rec: rec, split: split, badAt: badAt,
+		fwdInst: make([]bool, p), restored: make([]bool, p),
+		open: map[int]*microState{}}
 }
 
 func (f *fakeHost) errf(format string, args ...any) {
 	f.errs = append(f.errs, fmt.Sprintf(format, args...))
 }
 
-func (f *fakeHost) Stages() int     { return f.p }
-func (f *fakeHost) Async() bool     { return f.async }
-func (f *fakeHost) Recompute() bool { return f.rec }
-func (f *fakeHost) MicroBase() int  { return f.micro }
+func (f *fakeHost) Stages() int      { return f.p }
+func (f *fakeHost) Async() bool      { return f.async }
+func (f *fakeHost) Recompute() bool  { return f.rec }
+func (f *fakeHost) MicroBase() int   { return 0 }
+func (f *fakeHost) Splittable() bool { return f.split }
 
 func (f *fakeHost) InstallForward(s, stage int) {
 	f.mu.Lock()
@@ -58,16 +71,13 @@ func (f *fakeHost) InstallForward(s, stage int) {
 	if !f.async {
 		f.errf("InstallForward during a synchronous epoch")
 	}
-	if f.forwarded {
-		f.errf("InstallForward(stage %d) after the forward slot", stage)
-	}
-	f.installed[stage] = true
+	f.fwdInst[stage] = true
 }
 
 func (f *fakeHost) InstallBackward(s, stage int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.installed[stage] {
+	if !f.fwdInst[stage] {
 		f.errf("InstallBackward(stage %d) before InstallForward", stage)
 	}
 }
@@ -78,56 +88,94 @@ func (f *fakeHost) InstallRecompute(s, stage int) {
 	if !f.rec {
 		f.errf("InstallRecompute with recompute disabled")
 	}
-	if !f.forwarded {
-		f.errf("InstallRecompute(stage %d) before the forward slot", stage)
-	}
-	f.recomped[stage] = true
+	f.fwdInst[stage] = true
 }
 
 func (f *fakeHost) Restore(stage int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.restored[stage] = true
-	f.installed[stage] = false
+	f.fwdInst[stage] = false
 }
 
-func (f *fakeHost) Forward(mb []int) float64 {
+func (f *fakeHost) BeginMicro(s int, mb []int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.async && !f.forwarded {
-		for st, ok := range f.installed {
-			if !ok {
-				f.errf("forward slot before InstallForward(stage %d)", st)
-			}
-		}
+	if _, ok := f.open[s]; ok {
+		f.errf("BeginMicro(%d) while already in flight", s)
 	}
-	if f.rec && f.forwarded {
-		// Second (recompute) forward: every stage must have re-installed.
-		for st, ok := range f.recomped {
-			if !ok {
-				f.errf("recompute forward before InstallRecompute(stage %d)", st)
-			}
-		}
+	f.open[s] = &microState{k: s, bwdNext: -1}
+	if len(f.open) > f.maxInFlight {
+		f.maxInFlight = len(f.open)
 	}
-	f.forwarded = true
-	loss := 1.0
-	if f.mb == f.badAt {
-		loss = 1e12
-	}
-	f.losses = append(f.losses, loss)
-	return loss
 }
 
-func (f *fakeHost) Backward() {
+func (f *fakeHost) StageForward(s, stage int) float64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.forwarded {
-		f.errf("backward slot before forward")
+	ms := f.open[s]
+	if ms == nil {
+		f.errf("StageForward(%d, %d) without BeginMicro", s, stage)
+		return 0
 	}
-	f.backward = true
-	f.forwarded = false
-	f.recomped = make([]bool, f.p)
-	f.mb++
+	if f.async && !f.fwdInst[stage] {
+		f.errf("forward slot (%d, %d) before the stage's install", s, stage)
+	}
+	if ms.fwdNext != stage {
+		f.errf("forward slot (%d, %d) out of chain order (want stage %d)", s, stage, ms.fwdNext)
+	}
+	ms.fwdNext++
+	if stage == f.p-1 {
+		ms.fwdNext = 0
+		ms.climbs++
+		loss := 1.0
+		if ms.climbs == 1 {
+			if s == f.badAt {
+				loss = 1e12
+			}
+			f.losses = append(f.losses, loss)
+		}
+		return loss
+	}
+	return 0
+}
+
+func (f *fakeHost) StageBackward(s, stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ms := f.open[s]
+	if ms == nil {
+		f.errf("StageBackward(%d, %d) without BeginMicro", s, stage)
+		return
+	}
+	if ms.bwdNext == -1 {
+		wantClimbs := 1
+		if f.async && f.rec {
+			wantClimbs = 2
+		}
+		if ms.climbs != wantClimbs {
+			f.errf("backward of %d after %d forward climbs, want %d", s, ms.climbs, wantClimbs)
+		}
+		ms.bwdNext = f.p - 1
+	}
+	if stage != ms.bwdNext {
+		f.errf("backward slot (%d, %d) out of chain order (want stage %d)", s, stage, ms.bwdNext)
+	}
+	ms.bwdNext--
+	if ms.bwdNext < 0 {
+		f.sawBwd = true
+	}
+}
+
+func (f *fakeHost) EndMicro(s int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.open[s]; !ok {
+		f.errf("EndMicro(%d) without BeginMicro", s)
+		return
+	}
+	delete(f.open, s)
+	f.completed++
 }
 
 func (f *fakeHost) BadLoss(loss float64) bool { return loss > 1e6 }
@@ -138,7 +186,10 @@ func (f *fakeHost) PrepareStage(stage, nMicro int) float64 {
 	if !f.restored[stage] {
 		f.errf("PrepareStage(%d) before Restore", stage)
 	}
-	if !f.backward {
+	if len(f.open) > 0 {
+		f.errf("PrepareStage(%d) with %d microbatches still in flight", stage, len(f.open))
+	}
+	if !f.sawBwd {
 		f.errf("PrepareStage(%d) with no backward slot in the minibatch", stage)
 	}
 	f.prepared++
@@ -202,56 +253,97 @@ func micros(n, sz int) [][]int {
 
 func TestEnginesHonourHostOrderingContract(t *testing.T) {
 	for name, eng := range engines() {
-		t.Run(name, func(t *testing.T) {
-			f := newFakeHost(5, true, true, -1)
-			loss, err := eng.Minibatch(context.Background(), f, micros(4, 2))
-			if lc, ok := eng.(engine.Lifecycle); ok {
-				lc.Stop()
-			}
-			if err != nil {
-				t.Fatal(err)
-			}
-			if loss != 1.0 {
-				t.Fatalf("mean loss %g, want 1", loss)
-			}
-			if len(f.errs) > 0 {
-				t.Fatalf("ordering violations: %v", f.errs)
-			}
-			// Two forward slots per microbatch (recompute on), 4 microbatches.
-			if len(f.losses) != 8 {
-				t.Fatalf("forward slots = %d, want 8", len(f.losses))
-			}
-			if f.finished != f.p || f.mb != 4 {
-				t.Fatalf("finished %d stages, %d microbatches", f.finished, f.mb)
-			}
-		})
+		for _, split := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/split=%v", name, split), func(t *testing.T) {
+				f := newFakeHost(5, true, true, split, -1)
+				loss, err := eng.Minibatch(context.Background(), f, micros(4, 2))
+				if lc, ok := eng.(engine.Lifecycle); ok {
+					lc.Stop()
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if loss != 1.0 {
+					t.Fatalf("mean loss %g, want 1", loss)
+				}
+				if len(f.errs) > 0 {
+					t.Fatalf("ordering violations: %v", f.errs)
+				}
+				if len(f.losses) != 4 || f.completed != 4 {
+					t.Fatalf("losses %d, completed %d, want 4/4", len(f.losses), f.completed)
+				}
+				if f.finished != f.p {
+					t.Fatalf("finished %d stages, want %d", f.finished, f.p)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentEngineOverlapsMicrobatches pins the point of the stage-split
+// refactor: with a splittable host the concurrent engine keeps P
+// microbatches in flight, while a monolithic host caps the pipeline at one.
+func TestConcurrentEngineOverlapsMicrobatches(t *testing.T) {
+	for _, tc := range []struct {
+		split bool
+		want  int
+	}{{true, 4}, {false, 1}} {
+		eng := concurrent.New()
+		f := newFakeHost(4, true, false, tc.split, -1)
+		if _, err := eng.Minibatch(context.Background(), f, micros(8, 2)); err != nil {
+			t.Fatal(err)
+		}
+		eng.Stop()
+		if len(f.errs) > 0 {
+			t.Fatalf("split=%v: ordering violations: %v", tc.split, f.errs)
+		}
+		if f.maxInFlight != tc.want {
+			t.Fatalf("split=%v: max in flight = %d, want %d", tc.split, f.maxInFlight, tc.want)
+		}
+	}
+	// The reference engine is serial regardless.
+	f := newFakeHost(4, true, false, true, -1)
+	if _, err := engine.NewReference().Minibatch(context.Background(), f, micros(8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if f.maxInFlight != 1 {
+		t.Fatalf("reference max in flight = %d, want 1", f.maxInFlight)
 	}
 }
 
 func TestEnginesReportDivergence(t *testing.T) {
 	for name, eng := range engines() {
-		t.Run(name, func(t *testing.T) {
-			f := newFakeHost(3, true, false, 1)
-			_, err := eng.Minibatch(context.Background(), f, micros(4, 2))
-			if lc, ok := eng.(engine.Lifecycle); ok {
-				lc.Stop()
-			}
-			if !errors.Is(err, engine.ErrDiverged) {
-				t.Fatalf("error = %v, want ErrDiverged", err)
-			}
-			for st, ok := range f.restored {
-				if !ok {
-					t.Fatalf("stage %d not restored after divergence", st)
+		for _, split := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/split=%v", name, split), func(t *testing.T) {
+				f := newFakeHost(3, true, false, split, 1)
+				_, err := eng.Minibatch(context.Background(), f, micros(4, 2))
+				if lc, ok := eng.(engine.Lifecycle); ok {
+					lc.Stop()
 				}
-			}
-			if f.stepped || f.prepared > 0 {
-				t.Fatal("no commit phase may run after divergence")
-			}
-			// The bad microbatch is index 1: exactly 2 forward slots ran.
-			if len(f.losses) != 2 {
-				t.Fatalf("forward slots = %d, want 2", len(f.losses))
-			}
-		})
+				if !errors.Is(err, engine.ErrDiverged) {
+					t.Fatalf("error = %v, want ErrDiverged", err)
+				}
+				if len(f.errs) > 0 {
+					t.Fatalf("ordering violations: %v", f.errs)
+				}
+				for st, ok := range f.restored {
+					if !ok {
+						t.Fatalf("stage %d not restored after divergence", st)
+					}
+				}
+				if f.stepped || f.prepared > 0 {
+					t.Fatal("no commit phase may run after divergence")
+				}
+				// The bad microbatch is index 1: exactly 2 losses were
+				// computed (later in-flight chains are aborted).
+				if len(f.losses) != 2 {
+					t.Fatalf("computed losses = %d, want 2", len(f.losses))
+				}
+				if len(f.open) != 0 {
+					t.Fatalf("%d microbatches left in flight after divergence", len(f.open))
+				}
+			})
+		}
 	}
 }
 
@@ -260,7 +352,7 @@ func TestEnginesHonourContextCancellation(t *testing.T) {
 	cancel()
 	for name, eng := range engines() {
 		t.Run(name, func(t *testing.T) {
-			f := newFakeHost(2, false, false, -1)
+			f := newFakeHost(2, false, false, true, -1)
 			_, err := eng.Minibatch(ctx, f, micros(2, 2))
 			if lc, ok := eng.(engine.Lifecycle); ok {
 				lc.Stop()
@@ -270,6 +362,9 @@ func TestEnginesHonourContextCancellation(t *testing.T) {
 			}
 			if len(f.losses) != 0 {
 				t.Fatal("no forward slot may run after cancellation")
+			}
+			if len(f.open) != 0 {
+				t.Fatalf("%d microbatches left in flight after cancellation", len(f.open))
 			}
 		})
 	}

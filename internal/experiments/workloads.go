@@ -271,3 +271,31 @@ func (w Workload) Target(results ...RunResult) float64 {
 	}
 	return math.Max(best-w.TargetSlack, 0)
 }
+
+// EngineBenchWorkload describes the fixed transformer configuration shared
+// by the root BenchmarkEngine{Reference,Concurrent}P{4,8} benchmarks and
+// the BENCH_engine.json perf record (pipemare-bench -json), so the two
+// cannot drift apart.
+const EngineBenchWorkload = "transformer dim=128 enc=2 dec=2 batch=32 micro=8"
+
+// NewEngineBenchTrainer builds the engine-benchmark trainer: the PipeMare
+// method on the EngineBenchWorkload transformer at the given stage count,
+// under the given execution engine.
+func NewEngineBenchTrainer(stages int, eng pipemare.Engine) (*pipemare.Trainer, error) {
+	ds := data.NewTranslation(data.TranslationConfig{
+		Vocab: 13, SrcLen: 6, Train: 256, Test: 32, Seed: 2})
+	task := model.NewTranslation(ds, model.TransformerConfig{
+		Dim: 128, Heads: 4, EncLayers: 2, DecLayers: 2, Seed: 1})
+	return pipemare.New(task,
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(stages),
+		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
+		pipemare.WithT1(100), pipemare.WithT2(0.1), pipemare.WithClipNorm(5),
+		pipemare.WithSeed(1),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+		}),
+		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 100}),
+		pipemare.WithEngine(eng),
+	)
+}

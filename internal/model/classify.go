@@ -2,6 +2,13 @@
 // a deep residual MLP and a convolutional ResNet for the image
 // classification substitutes, and an encoder–decoder Transformer for the
 // translation substitute (see DESIGN.md §1 for the substitution table).
+//
+// Every task compiles its network to an nn.Program whose ops are aligned
+// with the task's weight groups, so the trainer can execute it as
+// per-stage segments (core.StageTask) and the concurrent engine can keep
+// several microbatches in flight across pipeline stages at once. The
+// monolithic Forward/Backward methods run the same program end to end on a
+// private machine.
 package model
 
 import (
@@ -14,121 +21,140 @@ import (
 	"pipemare/internal/tensor"
 )
 
-// Classification is a core.Task for image classification over a layer
-// network whose outputs are class logits.
+// Classification is a core.Task for image classification over a network
+// whose outputs are class logits.
 type Classification struct {
-	Net    nn.Layer
 	CE     *nn.CrossEntropy
 	groups []pipeline.ParamGroup
+	prog   *nn.Program
 
-	trainX, testX *tensor.Tensor // (N, D) features
+	rIn     nn.Reg
+	rLogits nn.Reg
+	lossAt  int // op index of the loss op
+
+	trainM, evalM *nn.Machine
+
+	trainX, testX *tensor.Tensor // (N, D) or (N, C, H, W) features
 	trainY, testY []int
+}
+
+func newClassification(b *progBuilder, rIn, rLogits nn.Reg, ce *nn.CrossEntropy, d *data.Images, flat bool) *Classification {
+	c := &Classification{
+		CE: ce, groups: b.groups, prog: b.build(),
+		rIn: rIn, rLogits: rLogits, lossAt: len(b.ops) - 1,
+		trainY: d.TrainY, testY: d.TestY,
+	}
+	if flat {
+		c.trainX, c.testX = d.FlatTrain(), d.FlatTest()
+	} else {
+		c.trainX, c.testX = d.TrainX, d.TestX
+	}
+	c.trainM = nn.NewMachine(c.prog.NumRegs)
+	c.evalM = nn.NewMachine(c.prog.NumRegs)
+	return c
 }
 
 // NewResNetMLP builds a deep pre-activation residual MLP classifier:
 //
-//	Linear(in→width) · [Residual(LN → ReLU → Linear)]×blocks · LN · Linear(width→classes)
+//	Linear(in→width) · [x + Linear(ReLU(LN(x)))]×blocks · LN · Linear(width→classes)
 //
 // One weight group per layer (weight+bias fused), so the maximum stage
-// count is 2·blocks + 4 — analogous to the paper's "one stage per model
+// count is 2·blocks + 3 — analogous to the paper's "one stage per model
 // weight" ResNet50 regime.
 func NewResNetMLP(d *data.Images, width, blocks int, seed int64) *Classification {
 	rng := rand.New(rand.NewSource(seed))
 	in := d.C * d.H * d.W
-	var layers []nn.Layer
-	var groups []pipeline.ParamGroup
+	b := &progBuilder{}
+	rIn := b.reg()
 
-	add := func(name string, l nn.Layer) nn.Layer {
-		layers = append(layers, l)
-		if ps := l.Params(); len(ps) > 0 {
-			groups = append(groups, pipeline.ParamGroup{Name: name, Params: ps})
-		}
-		return l
+	stem := nn.NewLinear("stem", in, width, true, rng)
+	x := b.apply(b.group("stem", stem.Params()), stem, rIn)
+	for blk := 0; blk < blocks; blk++ {
+		ln := nn.NewLayerNorm(fmt.Sprintf("blk%d.ln", blk), width)
+		fc := nn.NewLinear(fmt.Sprintf("blk%d.fc", blk), width, width, true, rng)
+		gLn := b.group(fmt.Sprintf("blk%d.ln", blk), ln.Params())
+		gFc := b.group(fmt.Sprintf("blk%d.fc", blk), fc.Params())
+		h := b.apply(gLn, ln, x)
+		h = b.apply(gLn, nn.NewReLU(), h)
+		f := b.apply(gFc, fc, h)
+		x = b.add(gFc, x, f)
 	}
-	add("stem", nn.NewLinear("stem", in, width, true, rng))
-	for b := 0; b < blocks; b++ {
-		ln := nn.NewLayerNorm(fmt.Sprintf("blk%d.ln", b), width)
-		fc := nn.NewLinear(fmt.Sprintf("blk%d.fc", b), width, width, true, rng)
-		inner := nn.NewSequential(ln, nn.NewReLU(), fc)
-		layers = append(layers, nn.NewResidual(inner))
-		groups = append(groups,
-			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.ln", b), Params: ln.Params()},
-			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.fc", b), Params: fc.Params()},
-		)
-	}
-	add("head.ln", nn.NewLayerNorm("head.ln", width))
-	add("head.fc", nn.NewLinear("head.fc", width, d.Classes, true, rng))
+	hn := nn.NewLayerNorm("head.ln", width)
+	head := nn.NewLinear("head.fc", width, d.Classes, true, rng)
+	x = b.apply(b.group("head.ln", hn.Params()), hn, x)
+	gHead := b.group("head.fc", head.Params())
+	logits := b.apply(gHead, head, x)
+	ce := nn.NewCrossEntropy()
+	b.loss(gHead, ce, logits)
 
-	return &Classification{
-		Net:    nn.NewSequential(layers...),
-		CE:     nn.NewCrossEntropy(),
-		groups: groups,
-		trainX: d.FlatTrain(), testX: d.FlatTest(),
-		trainY: d.TrainY, testY: d.TestY,
-	}
+	return newClassification(b, rIn, logits, ce, d, true)
 }
 
 // NewConvNet builds a small convolutional residual classifier over
 // (C, H, W) images:
 //
-//	Conv(C→ch) · GN · ReLU · [Residual(GN → ReLU → Conv)]×blocks · GAP · Linear
+//	Conv(C→ch) · GN · ReLU · [x + Conv(ReLU(GN(x)))]×blocks · GAP · Linear
 func NewConvNet(d *data.Images, channels, blocks, groupsPerNorm int, seed int64) *Classification {
 	rng := rand.New(rand.NewSource(seed))
-	var layers []nn.Layer
-	var pgroups []pipeline.ParamGroup
+	b := &progBuilder{}
+	rIn := b.reg()
 
 	stem := nn.NewConv2d("stem", d.C, channels, 3, 1, 1, true, rng)
 	gn0 := nn.NewGroupNorm("stem.gn", channels, groupsPerNorm)
-	layers = append(layers, stem, gn0, nn.NewReLU())
-	pgroups = append(pgroups,
-		pipeline.ParamGroup{Name: "stem", Params: stem.Params()},
-		pipeline.ParamGroup{Name: "stem.gn", Params: gn0.Params()},
-	)
-	for b := 0; b < blocks; b++ {
-		gn := nn.NewGroupNorm(fmt.Sprintf("blk%d.gn", b), channels, groupsPerNorm)
-		cv := nn.NewConv2d(fmt.Sprintf("blk%d.conv", b), channels, channels, 3, 1, 1, true, rng)
-		layers = append(layers, nn.NewResidual(nn.NewSequential(gn, nn.NewReLU(), cv)))
-		pgroups = append(pgroups,
-			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.gn", b), Params: gn.Params()},
-			pipeline.ParamGroup{Name: fmt.Sprintf("blk%d.conv", b), Params: cv.Params()},
-		)
+	x := b.apply(b.group("stem", stem.Params()), stem, rIn)
+	gGn0 := b.group("stem.gn", gn0.Params())
+	x = b.apply(gGn0, gn0, x)
+	x = b.apply(gGn0, nn.NewReLU(), x)
+	for blk := 0; blk < blocks; blk++ {
+		gn := nn.NewGroupNorm(fmt.Sprintf("blk%d.gn", blk), channels, groupsPerNorm)
+		cv := nn.NewConv2d(fmt.Sprintf("blk%d.conv", blk), channels, channels, 3, 1, 1, true, rng)
+		gGn := b.group(fmt.Sprintf("blk%d.gn", blk), gn.Params())
+		gCv := b.group(fmt.Sprintf("blk%d.conv", blk), cv.Params())
+		h := b.apply(gGn, gn, x)
+		h = b.apply(gGn, nn.NewReLU(), h)
+		f := b.apply(gCv, cv, h)
+		x = b.add(gCv, x, f)
 	}
 	head := nn.NewLinear("head", channels, d.Classes, true, rng)
-	layers = append(layers, nn.NewGlobalAvgPool(), head)
-	pgroups = append(pgroups, pipeline.ParamGroup{Name: "head", Params: head.Params()})
+	gHead := b.group("head", head.Params())
+	x = b.apply(gHead, nn.NewGlobalAvgPool(), x)
+	logits := b.apply(gHead, head, x)
+	ce := nn.NewCrossEntropy()
+	b.loss(gHead, ce, logits)
 
-	c := &Classification{
-		Net:    nn.NewSequential(layers...),
-		CE:     nn.NewCrossEntropy(),
-		groups: pgroups,
-		trainY: d.TrainY, testY: d.TestY,
-	}
-	// Conv nets consume (N, C, H, W) tensors directly.
-	c.trainX = d.TrainX
-	c.testX = d.TestX
-	return c
+	return newClassification(b, rIn, logits, ce, d, false)
 }
 
 // Groups returns the model's weight groups in forward order.
 func (c *Classification) Groups() []pipeline.ParamGroup { return c.groups }
+
+// Program returns the compiled op program (core.StageTask).
+func (c *Classification) Program() *nn.Program { return c.prog }
+
+// BindMicro loads the indexed samples and labels into a machine
+// (core.StageTask). The machine must have been reset.
+func (c *Classification) BindMicro(m *nn.Machine, idx []int) {
+	m.SetVal(c.rIn, gatherRowsTape(&m.Tape, c.trainX, idx))
+	m.Labels = m.Labels[:0]
+	for _, ix := range idx {
+		m.Labels = append(m.Labels, c.trainY[ix])
+	}
+}
 
 // NumTrain returns the training-set size.
 func (c *Classification) NumTrain() int { return len(c.trainY) }
 
 // Forward computes the mean cross-entropy loss on the indexed samples.
 func (c *Classification) Forward(idx []int) float64 {
-	x := gatherRows(c.trainX, idx)
-	labels := make([]int, len(idx))
-	for i, ix := range idx {
-		labels[i] = c.trainY[ix]
-	}
-	logits := c.Net.Forward(x)
-	return c.CE.Forward(logits, labels)
+	c.trainM.ResetRun()
+	c.BindMicro(c.trainM, idx)
+	c.prog.ForwardRange(c.trainM, 0, len(c.prog.Ops))
+	return c.trainM.Loss
 }
 
 // Backward backpropagates from the last Forward.
 func (c *Classification) Backward() {
-	c.Net.Backward(c.CE.Backward())
+	c.prog.BackwardRange(c.trainM, 0, len(c.prog.Ops))
 }
 
 // EvalTest returns test accuracy in percent.
@@ -145,8 +171,10 @@ func (c *Classification) EvalTest() float64 {
 		for i := range idx {
 			idx[i] = s + i
 		}
-		x := gatherRows(c.testX, idx)
-		logits := c.Net.Forward(x)
+		c.evalM.ResetRun()
+		c.evalM.SetVal(c.rIn, gatherRowsTape(&c.evalM.Tape, c.testX, idx))
+		c.prog.ForwardRange(c.evalM, 0, c.lossAt)
+		logits := c.evalM.Val(c.rLogits)
 		for i := range idx {
 			if logits.ArgMaxRow(i) == c.testY[idx[i]] {
 				correct++

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"pipemare/internal/nn"
+	"pipemare/internal/pipeline"
+	"pipemare/internal/tensor"
+)
+
+// progBuilder accumulates a weight-group list and the op program aligned
+// with it. Ops are appended in forward order; each op names the group it
+// belongs to, so the group order (and therefore any stage partition of the
+// groups) induces contiguous op ranges per stage. Weightless glue —
+// activations, residual joins, attention cores, pooling, the loss — is
+// attached to a neighbouring weight group.
+type progBuilder struct {
+	groups  []pipeline.ParamGroup
+	ops     []nn.Op
+	groupOf []int
+	nreg    int
+}
+
+// reg allocates a fresh dataflow register.
+func (b *progBuilder) reg() nn.Reg {
+	r := nn.Reg(b.nreg)
+	b.nreg++
+	return r
+}
+
+// group appends a weight group and returns its index.
+func (b *progBuilder) group(name string, ps []*nn.Param) int {
+	b.groups = append(b.groups, pipeline.ParamGroup{Name: name, Params: ps})
+	return len(b.groups) - 1
+}
+
+// op appends an op belonging to group g.
+func (b *progBuilder) op(g int, o nn.Op) {
+	b.ops = append(b.ops, o)
+	b.groupOf = append(b.groupOf, g)
+}
+
+// apply appends a unary layer op in group g and returns its output register.
+func (b *progBuilder) apply(g int, l nn.Layer, in nn.Reg) nn.Reg {
+	out := b.reg()
+	b.op(g, &nn.ApplyOp{L: l, In: in, Out: out})
+	return out
+}
+
+// add appends a residual join x + y in group g.
+func (b *progBuilder) add(g int, x, y nn.Reg) nn.Reg {
+	out := b.reg()
+	b.op(g, &nn.AddOp{A: x, B: y, Out: out})
+	return out
+}
+
+// attnCore appends a weightless attention core in group g.
+func (b *progBuilder) attnCore(g int, core *nn.AttnCore, q, k, v nn.Reg) nn.Reg {
+	out := b.reg()
+	b.op(g, &nn.AttnCoreOp{Core: core, Q: q, K: k, V: v, Out: out})
+	return out
+}
+
+// loss appends the cross-entropy loss op in group g.
+func (b *progBuilder) loss(g int, ce *nn.CrossEntropy, logits nn.Reg) {
+	b.op(g, &nn.LossOp{CE: ce, Logits: logits})
+}
+
+// build finalizes the program.
+func (b *progBuilder) build() *nn.Program {
+	return &nn.Program{Ops: b.ops, GroupOf: b.groupOf, NumRegs: b.nreg}
+}
+
+// gatherRowsTape selects rows (first axis) of x at the given indices into
+// a tensor from the machine tape's arena.
+func gatherRowsTape(t *nn.Tape, x *tensor.Tensor, idx []int) *tensor.Tensor {
+	rowLen := x.Size() / x.Shape[0]
+	shape := append([]int{len(idx)}, x.Shape[1:]...)
+	out := t.NewTensor(shape...)
+	for i, ix := range idx {
+		copy(out.Data[i*rowLen:(i+1)*rowLen], x.Data[ix*rowLen:(ix+1)*rowLen])
+	}
+	return out
+}

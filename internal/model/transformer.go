@@ -11,77 +11,28 @@ import (
 	"pipemare/internal/tensor"
 )
 
-// encLayer is one pre-LN Transformer encoder layer.
-type encLayer struct {
-	ln1  *nn.LayerNorm
-	attn *nn.SelfAttention
-	ln2  *nn.LayerNorm
-	ff1  *nn.Linear
-	act  *nn.GELU
-	ff2  *nn.Linear
-}
-
-func (e *encLayer) forward(x *tensor.Tensor) *tensor.Tensor {
-	x = tensor.Add(x, e.attn.Forward(e.ln1.Forward(x)))
-	h := e.ff2.Forward(e.act.Forward(e.ff1.Forward(e.ln2.Forward(x))))
-	return tensor.Add(x, h)
-}
-
-func (e *encLayer) backward(dy *tensor.Tensor) *tensor.Tensor {
-	dh := e.ln2.Backward(e.ff1.Backward(e.act.Backward(e.ff2.Backward(dy))))
-	dx := tensor.Add(dy, dh)
-	da := e.ln1.Backward(e.attn.Backward(dx))
-	return tensor.Add(dx, da)
-}
-
-// decLayer is one pre-LN Transformer decoder layer with causal
-// self-attention and cross-attention over the encoder memory.
-type decLayer struct {
-	ln1   *nn.LayerNorm
-	self  *nn.SelfAttention
-	ln2   *nn.LayerNorm
-	cross *nn.MultiHeadAttention
-	ln3   *nn.LayerNorm
-	ff1   *nn.Linear
-	act   *nn.GELU
-	ff2   *nn.Linear
-}
-
-func (d *decLayer) forward(x, mem *tensor.Tensor) *tensor.Tensor {
-	x = tensor.Add(x, d.self.Forward(d.ln1.Forward(x)))
-	x = tensor.Add(x, d.cross.ForwardQKV(d.ln2.Forward(x), mem))
-	h := d.ff2.Forward(d.act.Forward(d.ff1.Forward(d.ln3.Forward(x))))
-	return tensor.Add(x, h)
-}
-
-// backward returns (dx, dmem).
-func (d *decLayer) backward(dy *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	dh := d.ln3.Backward(d.ff1.Backward(d.act.Backward(d.ff2.Backward(dy))))
-	dx := tensor.Add(dy, dh)
-	dq, dmem := d.cross.BackwardQKV(dx)
-	dx = tensor.Add(dx, d.ln2.Backward(dq))
-	ds := d.ln1.Backward(d.self.Backward(dx))
-	return tensor.Add(dx, ds), dmem
-}
-
 // Translation is a core.Task: an encoder–decoder Transformer trained with
 // teacher forcing on the synthetic translation dataset and evaluated with
-// greedy decoding + corpus BLEU.
+// greedy decoding + corpus BLEU. The network is compiled to an op program
+// whose ops align with the fine-grained weight groups (every projection is
+// its own group), so a pipeline stage boundary may fall anywhere — even
+// between the query and key projections of one attention block — and the
+// boundary activations (including the encoder memory feeding every decoder
+// cross-attention) travel through the machine's register file.
 type Translation struct {
 	ds *data.Translation
-
-	srcEmb *nn.Embedding
-	srcPos *nn.PositionalEncoding
-	tgtEmb *nn.Embedding
-	tgtPos *nn.PositionalEncoding
-	enc    []*encLayer
-	dec    []*decLayer
-	lnf    *nn.LayerNorm
-	out    *nn.Linear
-	ce     *nn.CrossEntropy
+	ce *nn.CrossEntropy
 
 	groups []pipeline.ParamGroup
-	d      int
+	prog   *nn.Program
+
+	rSrc, rDst, rMem, rLogits nn.Reg
+	encEnd                    int // op index where the decoder section starts
+	lossAt                    int // op index of the loss op
+
+	trainM, encM, decM *nn.Machine
+
+	d int
 }
 
 // TransformerConfig sizes the Translation model.
@@ -101,137 +52,147 @@ func NewTranslation(ds *data.Translation, cfg TransformerConfig) *Translation {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	t := &Translation{ds: ds, d: cfg.Dim, ce: nn.NewCrossEntropy()}
-	grp := func(name string, ps []*nn.Param) {
-		t.groups = append(t.groups, pipeline.ParamGroup{Name: name, Params: ps})
-	}
-
-	t.srcEmb = nn.NewEmbedding("src.emb", ds.Vocab, cfg.Dim, rng)
-	t.srcPos = nn.NewPositionalEncoding("src.pos", ds.SrcLen, cfg.Dim, rng)
-	grp("src.emb", t.srcEmb.Params())
-	grp("src.pos", t.srcPos.Params())
+	b := &progBuilder{}
 	ff := cfg.Dim * cfg.FFMult
+
+	t.rSrc = b.reg()
+	t.rDst = b.reg()
+
+	// Encoder: embedding, positions, then pre-LN blocks.
+	srcEmb := nn.NewEmbedding("src.emb", ds.Vocab, cfg.Dim, rng)
+	srcPos := nn.NewPositionalEncoding("src.pos", ds.SrcLen, cfg.Dim, rng)
+	x := b.apply(b.group("src.emb", srcEmb.Params()), srcEmb, t.rSrc)
+	x = b.apply(b.group("src.pos", srcPos.Params()), srcPos, x)
 	for i := 0; i < cfg.EncLayers; i++ {
-		e := &encLayer{
-			ln1:  nn.NewLayerNorm(fmt.Sprintf("enc%d.ln1", i), cfg.Dim),
-			attn: nn.NewSelfAttention(fmt.Sprintf("enc%d.attn", i), cfg.Dim, cfg.Heads, ds.SrcLen, false, rng),
-			ln2:  nn.NewLayerNorm(fmt.Sprintf("enc%d.ln2", i), cfg.Dim),
-			ff1:  nn.NewLinear(fmt.Sprintf("enc%d.ff1", i), cfg.Dim, ff, true, rng),
-			act:  nn.NewGELU(),
-			ff2:  nn.NewLinear(fmt.Sprintf("enc%d.ff2", i), ff, cfg.Dim, true, rng),
-		}
-		t.enc = append(t.enc, e)
-		grp(fmt.Sprintf("enc%d.ln1", i), e.ln1.Params())
-		m := e.attn.MHA
-		grp(fmt.Sprintf("enc%d.q", i), m.Wq.Params())
-		grp(fmt.Sprintf("enc%d.k", i), m.Wk.Params())
-		grp(fmt.Sprintf("enc%d.v", i), m.Wv.Params())
-		grp(fmt.Sprintf("enc%d.o", i), m.Wo.Params())
-		grp(fmt.Sprintf("enc%d.ln2", i), e.ln2.Params())
-		grp(fmt.Sprintf("enc%d.ff1", i), e.ff1.Params())
-		grp(fmt.Sprintf("enc%d.ff2", i), e.ff2.Params())
+		x = t.buildSelfBlock(b, rng, fmt.Sprintf("enc%d", i), x, cfg, ds.SrcLen, false)
+		x = t.buildFFBlock(b, rng, fmt.Sprintf("enc%d", i), x, cfg.Dim, ff)
 	}
-	t.tgtEmb = nn.NewEmbedding("tgt.emb", ds.Vocab, cfg.Dim, rng)
-	t.tgtPos = nn.NewPositionalEncoding("tgt.pos", ds.TgtLen, cfg.Dim, rng)
-	grp("tgt.emb", t.tgtEmb.Params())
-	grp("tgt.pos", t.tgtPos.Params())
+	t.rMem = x
+	t.encEnd = len(b.ops)
+
+	// Decoder: embedding, positions, causal self-attention, cross-attention
+	// over the encoder memory, feed-forward.
+	tgtEmb := nn.NewEmbedding("tgt.emb", ds.Vocab, cfg.Dim, rng)
+	tgtPos := nn.NewPositionalEncoding("tgt.pos", ds.TgtLen, cfg.Dim, rng)
+	y := b.apply(b.group("tgt.emb", tgtEmb.Params()), tgtEmb, t.rDst)
+	y = b.apply(b.group("tgt.pos", tgtPos.Params()), tgtPos, y)
 	for i := 0; i < cfg.DecLayers; i++ {
-		d := &decLayer{
-			ln1:   nn.NewLayerNorm(fmt.Sprintf("dec%d.ln1", i), cfg.Dim),
-			self:  nn.NewSelfAttention(fmt.Sprintf("dec%d.self", i), cfg.Dim, cfg.Heads, ds.TgtLen, true, rng),
-			ln2:   nn.NewLayerNorm(fmt.Sprintf("dec%d.ln2", i), cfg.Dim),
-			cross: nn.NewMultiHeadAttention(fmt.Sprintf("dec%d.cross", i), cfg.Dim, cfg.Heads, ds.TgtLen, ds.SrcLen, false, rng),
-			ln3:   nn.NewLayerNorm(fmt.Sprintf("dec%d.ln3", i), cfg.Dim),
-			ff1:   nn.NewLinear(fmt.Sprintf("dec%d.ff1", i), cfg.Dim, ff, true, rng),
-			act:   nn.NewGELU(),
-			ff2:   nn.NewLinear(fmt.Sprintf("dec%d.ff2", i), ff, cfg.Dim, true, rng),
-		}
-		t.dec = append(t.dec, d)
-		grp(fmt.Sprintf("dec%d.ln1", i), d.ln1.Params())
-		m := d.self.MHA
-		grp(fmt.Sprintf("dec%d.self.q", i), m.Wq.Params())
-		grp(fmt.Sprintf("dec%d.self.k", i), m.Wk.Params())
-		grp(fmt.Sprintf("dec%d.self.v", i), m.Wv.Params())
-		grp(fmt.Sprintf("dec%d.self.o", i), m.Wo.Params())
-		grp(fmt.Sprintf("dec%d.ln2", i), d.ln2.Params())
-		grp(fmt.Sprintf("dec%d.cross.q", i), d.cross.Wq.Params())
-		grp(fmt.Sprintf("dec%d.cross.k", i), d.cross.Wk.Params())
-		grp(fmt.Sprintf("dec%d.cross.v", i), d.cross.Wv.Params())
-		grp(fmt.Sprintf("dec%d.cross.o", i), d.cross.Wo.Params())
-		grp(fmt.Sprintf("dec%d.ln3", i), d.ln3.Params())
-		grp(fmt.Sprintf("dec%d.ff1", i), d.ff1.Params())
-		grp(fmt.Sprintf("dec%d.ff2", i), d.ff2.Params())
+		name := fmt.Sprintf("dec%d", i)
+		y = t.buildSelfBlockNamed(b, rng, name+".ln1", name+".self", y, cfg, ds.TgtLen, true)
+		// Cross-attention sub-block: queries from the decoder stream, keys
+		// and values from the encoder memory register.
+		ln2 := nn.NewLayerNorm(name+".ln2", cfg.Dim)
+		cross := nn.NewMultiHeadAttention(name+".cross", cfg.Dim, cfg.Heads, ds.TgtLen, ds.SrcLen, false, rng)
+		h := b.apply(b.group(name+".ln2", ln2.Params()), ln2, y)
+		cq := b.apply(b.group(name+".cross.q", cross.Wq.Params()), cross.Wq, h)
+		ck := b.apply(b.group(name+".cross.k", cross.Wk.Params()), cross.Wk, t.rMem)
+		cv := b.apply(b.group(name+".cross.v", cross.Wv.Params()), cross.Wv, t.rMem)
+		gO := b.group(name+".cross.o", cross.Wo.Params())
+		ca := b.attnCore(gO, cross.Core, cq, ck, cv)
+		co := b.apply(gO, cross.Wo, ca)
+		y = b.add(gO, y, co)
+		y = t.buildFFBlockNamed(b, rng, name+".ln3", name, y, cfg.Dim, ff)
 	}
-	t.lnf = nn.NewLayerNorm("out.ln", cfg.Dim)
-	t.out = nn.NewLinear("out.proj", cfg.Dim, ds.Vocab, true, rng)
-	grp("out.ln", t.lnf.Params())
-	grp("out.proj", t.out.Params())
+	lnf := nn.NewLayerNorm("out.ln", cfg.Dim)
+	out := nn.NewLinear("out.proj", cfg.Dim, ds.Vocab, true, rng)
+	y = b.apply(b.group("out.ln", lnf.Params()), lnf, y)
+	gOut := b.group("out.proj", out.Params())
+	t.rLogits = b.apply(gOut, out, y)
+	b.loss(gOut, t.ce, t.rLogits)
+
+	t.groups = b.groups
+	t.prog = b.build()
+	t.lossAt = len(t.prog.Ops) - 1
+	t.trainM = nn.NewMachine(t.prog.NumRegs)
+	t.encM = nn.NewMachine(t.prog.NumRegs)
+	t.decM = nn.NewMachine(t.prog.NumRegs)
 	return t
+}
+
+// buildSelfBlock appends a pre-LN self-attention sub-block x + O(core(Q,K,V))
+// using the encoder group names <name>.ln1 / <name>.{q,k,v,o}.
+func (t *Translation) buildSelfBlock(b *progBuilder, rng *rand.Rand, name string, x nn.Reg, cfg TransformerConfig, seqLen int, causal bool) nn.Reg {
+	return t.selfBlock(b, rng, name+".ln1", name+".attn", name, x, cfg, seqLen, causal)
+}
+
+// buildSelfBlockNamed is buildSelfBlock with decoder-style group names
+// <lnName> / <attnName>.{q,k,v,o}.
+func (t *Translation) buildSelfBlockNamed(b *progBuilder, rng *rand.Rand, lnName, attnName string, x nn.Reg, cfg TransformerConfig, seqLen int, causal bool) nn.Reg {
+	return t.selfBlock(b, rng, lnName, attnName, attnName, x, cfg, seqLen, causal)
+}
+
+func (t *Translation) selfBlock(b *progBuilder, rng *rand.Rand, lnName, attnName, groupPrefix string, x nn.Reg, cfg TransformerConfig, seqLen int, causal bool) nn.Reg {
+	ln := nn.NewLayerNorm(lnName, cfg.Dim)
+	attn := nn.NewMultiHeadAttention(attnName, cfg.Dim, cfg.Heads, seqLen, seqLen, causal, rng)
+	h := b.apply(b.group(lnName, ln.Params()), ln, x)
+	q := b.apply(b.group(groupPrefix+".q", attn.Wq.Params()), attn.Wq, h)
+	k := b.apply(b.group(groupPrefix+".k", attn.Wk.Params()), attn.Wk, h)
+	v := b.apply(b.group(groupPrefix+".v", attn.Wv.Params()), attn.Wv, h)
+	gO := b.group(groupPrefix+".o", attn.Wo.Params())
+	a := b.attnCore(gO, attn.Core, q, k, v)
+	o := b.apply(gO, attn.Wo, a)
+	return b.add(gO, x, o)
+}
+
+// buildFFBlock appends a pre-LN feed-forward sub-block
+// x + FF2(GELU(FF1(LN(x)))) with group names <name>.{ln2,ff1,ff2}.
+func (t *Translation) buildFFBlock(b *progBuilder, rng *rand.Rand, name string, x nn.Reg, d, ff int) nn.Reg {
+	return t.buildFFBlockNamed(b, rng, name+".ln2", name, x, d, ff)
+}
+
+func (t *Translation) buildFFBlockNamed(b *progBuilder, rng *rand.Rand, lnName, name string, x nn.Reg, d, ff int) nn.Reg {
+	ln := nn.NewLayerNorm(lnName, d)
+	ff1 := nn.NewLinear(name+".ff1", d, ff, true, rng)
+	ff2 := nn.NewLinear(name+".ff2", ff, d, true, rng)
+	h := b.apply(b.group(lnName, ln.Params()), ln, x)
+	gFF1 := b.group(name+".ff1", ff1.Params())
+	h = b.apply(gFF1, ff1, h)
+	h = b.apply(gFF1, nn.NewGELU(), h)
+	gFF2 := b.group(name+".ff2", ff2.Params())
+	f := b.apply(gFF2, ff2, h)
+	return b.add(gFF2, x, f)
 }
 
 // Groups returns the weight groups in forward order.
 func (t *Translation) Groups() []pipeline.ParamGroup { return t.groups }
 
+// Program returns the compiled op program (core.StageTask).
+func (t *Translation) Program() *nn.Program { return t.prog }
+
+// BindMicro loads the indexed training pairs into a machine
+// (core.StageTask). The machine must have been reset.
+func (t *Translation) BindMicro(m *nn.Machine, idx []int) {
+	m.SetVal(t.rSrc, gatherRowsTape(&m.Tape, t.ds.TrainSrc, idx))
+	m.SetVal(t.rDst, gatherRowsTape(&m.Tape, t.ds.TrainDst, idx))
+	m.Labels = m.Labels[:0]
+	for _, ix := range idx {
+		m.Labels = append(m.Labels, t.ds.TrainLbl[ix]...)
+	}
+}
+
 // NumTrain returns the training-set size.
 func (t *Translation) NumTrain() int { return t.ds.TrainSrc.Shape[0] }
-
-// encode runs the encoder on a (B, SrcLen) token tensor.
-func (t *Translation) encode(src *tensor.Tensor) *tensor.Tensor {
-	x := t.srcPos.Forward(t.srcEmb.Forward(src))
-	for _, e := range t.enc {
-		x = e.forward(x)
-	}
-	return x
-}
-
-// decode runs the decoder on (B, TgtLen) tokens over the encoder memory,
-// returning (B*TgtLen, Vocab) logits.
-func (t *Translation) decode(dst, mem *tensor.Tensor) *tensor.Tensor {
-	x := t.tgtPos.Forward(t.tgtEmb.Forward(dst))
-	for _, d := range t.dec {
-		x = d.forward(x, mem)
-	}
-	return t.out.Forward(t.lnf.Forward(x))
-}
 
 // Forward computes the teacher-forced cross-entropy on the indexed
 // training pairs.
 func (t *Translation) Forward(idx []int) float64 {
-	src := gatherRows(t.ds.TrainSrc, idx)
-	dst := gatherRows(t.ds.TrainDst, idx)
-	labels := make([]int, len(idx)*t.ds.TgtLen)
-	for i, ix := range idx {
-		copy(labels[i*t.ds.TgtLen:(i+1)*t.ds.TgtLen], t.ds.TrainLbl[ix])
-	}
-	mem := t.encode(src)
-	logits := t.decode(dst, mem)
-	return t.ce.Forward(logits, labels)
+	t.trainM.ResetRun()
+	t.BindMicro(t.trainM, idx)
+	t.prog.ForwardRange(t.trainM, 0, len(t.prog.Ops))
+	return t.trainM.Loss
 }
 
 // Backward backpropagates from the last Forward through the decoder, the
 // cross-attention memory path, and the encoder.
 func (t *Translation) Backward() {
-	dy := t.ce.Backward()
-	dx := t.lnf.Backward(t.out.Backward(dy))
-	var dmem *tensor.Tensor
-	for i := len(t.dec) - 1; i >= 0; i-- {
-		var dm *tensor.Tensor
-		dx, dm = t.dec[i].backward(dx)
-		if dmem == nil {
-			dmem = dm
-		} else {
-			tensor.AddInto(dmem, dm)
-		}
-	}
-	t.tgtEmb.Backward(t.tgtPos.Backward(dx))
-	de := dmem
-	for i := len(t.enc) - 1; i >= 0; i-- {
-		de = t.enc[i].backward(de)
-	}
-	t.srcEmb.Backward(t.srcPos.Backward(de))
+	t.prog.BackwardRange(t.trainM, 0, len(t.prog.Ops))
 }
 
 // EvalTest greedy-decodes the test set and returns corpus BLEU against the
-// reference translations (content tokens up to EOS).
+// reference translations (content tokens up to EOS). The encoder section
+// of the program runs once per chunk on one machine; the decoder section
+// re-runs per decoding step on a second machine with the memory register
+// re-bound, so the encoder memory stays valid across steps.
 func (t *Translation) EvalTest() float64 {
 	n := t.ds.TestSrc.Shape[0]
 	const chunk = 64
@@ -245,8 +206,10 @@ func (t *Translation) EvalTest() float64 {
 		for i := range idx {
 			idx[i] = s + i
 		}
-		src := gatherRows(t.ds.TestSrc, idx)
-		mem := t.encode(src)
+		t.encM.ResetRun()
+		t.encM.SetVal(t.rSrc, gatherRowsTape(&t.encM.Tape, t.ds.TestSrc, idx))
+		t.prog.ForwardRange(t.encM, 0, t.encEnd)
+		mem := t.encM.Val(t.rMem)
 		b := len(idx)
 		dst := tensor.New(b, t.ds.TgtLen)
 		for i := 0; i < b; i++ {
@@ -254,7 +217,11 @@ func (t *Translation) EvalTest() float64 {
 		}
 		pred := make([][]int, b)
 		for step := 0; step < t.ds.TgtLen; step++ {
-			logits := t.decode(dst, mem)
+			t.decM.ResetRun()
+			t.decM.SetVal(t.rMem, mem)
+			t.decM.SetVal(t.rDst, dst)
+			t.prog.ForwardRange(t.decM, t.encEnd, t.lossAt)
+			logits := t.decM.Val(t.rLogits)
 			for i := 0; i < b; i++ {
 				tok := logits.ArgMaxRow(i*t.ds.TgtLen + step)
 				pred[i] = append(pred[i], tok)

@@ -7,143 +7,191 @@ import (
 	"pipemare/internal/tensor"
 )
 
-// MultiHeadAttention implements scaled dot-product attention with separate
-// query/key/value/output projections. Activations are (B*T, D) matrices
-// with a fixed sequence length per side, matching the synthetic translation
-// task. The projections are Linear layers, so the decoupled-weight
-// machinery applies to them automatically; the attention core itself is
-// weightless.
-type MultiHeadAttention struct {
-	Wq, Wk, Wv, Wo *Linear
-	Heads, D       int
-	QLen, KLen     int  // sequence lengths on the query and key/value sides
-	Causal         bool // mask future positions (QLen must equal KLen)
-
-	batch   int
-	q, k, v *tensor.Tensor   // cached post-projection activations
-	probs   []*tensor.Tensor // cached softmax probabilities per (batch, head)
+// AttnCore is the weightless scaled dot-product attention core over
+// pre-projected (B*QLen, D) queries and (B*KLen, D) keys/values, split
+// into Heads heads of dimension D/Heads. It is a separate piece so the
+// stage-split op programs can place the q/k/v/o projections in different
+// pipeline stages (they are distinct weight groups) with the core riding
+// along with the output projection.
+type AttnCore struct {
+	Heads, D   int
+	QLen, KLen int  // sequence lengths on the query and key/value sides
+	Causal     bool // mask future positions (QLen must equal KLen)
 }
 
-// NewMultiHeadAttention returns an attention block over dimension d with
-// the given number of heads. qLen and kLen are the fixed query-side and
-// key-side sequence lengths.
-func NewMultiHeadAttention(name string, d, heads, qLen, kLen int, causal bool, rng *rand.Rand) *MultiHeadAttention {
+type attnState struct {
+	batch   int
+	q, k, v *tensor.Tensor
+	probs   *tensor.Tensor // (batch*heads, QLen*KLen) softmax rows
+}
+
+// NewAttnCore returns an attention core.
+func NewAttnCore(d, heads, qLen, kLen int, causal bool) *AttnCore {
 	if d%heads != 0 {
 		panic("nn: attention dimension must be divisible by heads")
 	}
 	if causal && qLen != kLen {
 		panic("nn: causal attention requires qLen == kLen")
 	}
+	return &AttnCore{Heads: heads, D: d, QLen: qLen, KLen: kLen, Causal: causal}
+}
+
+// Forward computes softmax(q·kᵀ/√dk)·v per (batch, head).
+func (a *AttnCore) Forward(t *Tape, q, k, v *tensor.Tensor) *tensor.Tensor {
+	batch := q.Shape[0] / a.QLen
+	dk := a.D / a.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	y := t.NewTensor(batch*a.QLen, a.D)
+	probs := t.NewTensor(batch*a.Heads, a.QLen*a.KLen)
+	s := t.NewTensor(a.QLen, a.KLen)
+	qh := t.NewTensor(a.QLen, dk)
+	kh := t.NewTensor(a.KLen, dk)
+	vh := t.NewTensor(a.KLen, dk)
+	yh := t.NewTensor(a.QLen, dk)
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			a.sliceHead(qh, q, b, h, a.QLen)
+			a.sliceHead(kh, k, b, h, a.KLen)
+			a.sliceHead(vh, v, b, h, a.KLen)
+			tensor.MatMulT2Into(s, qh, kh)
+			for i := range s.Data {
+				s.Data[i] *= scale
+			}
+			if a.Causal {
+				for i := 0; i < a.QLen; i++ {
+					for j := i + 1; j < a.KLen; j++ {
+						s.Data[i*a.KLen+j] = math.Inf(-1)
+					}
+				}
+			}
+			p := probs.RowView(b*a.Heads+h, a.QLen, a.KLen)
+			tensor.SoftmaxRowsInto(p, s)
+			yh.Zero()
+			tensor.MatMulInto(yh, p, vh)
+			a.scatterHead(y, yh, b, h, a.QLen)
+		}
+	}
+	t.Push(attnState{batch, q, k, v, probs})
+	return y
+}
+
+// Backward backpropagates dy through the attention core, returning the
+// gradients with respect to q, k and v.
+func (a *AttnCore) Backward(t *Tape, dy *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
+	st := t.Pop().(attnState)
+	dkh := a.D / a.Heads
+	scale := 1 / math.Sqrt(float64(dkh))
+	dQ := t.NewTensor(st.batch*a.QLen, a.D)
+	dK := t.NewTensor(st.batch*a.KLen, a.D)
+	dV := t.NewTensor(st.batch*a.KLen, a.D)
+	qh := t.NewTensor(a.QLen, dkh)
+	kh := t.NewTensor(a.KLen, dkh)
+	vh := t.NewTensor(a.KLen, dkh)
+	dyh := t.NewTensor(a.QLen, dkh)
+	dvh := t.NewTensor(a.KLen, dkh)
+	dp := t.NewTensor(a.QLen, a.KLen)
+	ds := t.NewTensor(a.QLen, a.KLen)
+	dqh := t.NewTensor(a.QLen, dkh)
+	dkhT := t.NewTensor(a.KLen, dkh)
+	for b := 0; b < st.batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			p := st.probs.RowView(b*a.Heads+h, a.QLen, a.KLen)
+			a.sliceHead(qh, st.q, b, h, a.QLen)
+			a.sliceHead(kh, st.k, b, h, a.KLen)
+			a.sliceHead(vh, st.v, b, h, a.KLen)
+			a.sliceHead(dyh, dy, b, h, a.QLen)
+			dvh.Zero()
+			tensor.MatMulT1Into(dvh, p, dyh)
+			tensor.MatMulT2Into(dp, dyh, vh)
+			// Softmax backward: ds = p ⊙ (dp − rowsum(dp ⊙ p)).
+			for i := 0; i < a.QLen; i++ {
+				dot := 0.0
+				for j := 0; j < a.KLen; j++ {
+					dot += dp.Data[i*a.KLen+j] * p.Data[i*a.KLen+j]
+				}
+				for j := 0; j < a.KLen; j++ {
+					ds.Data[i*a.KLen+j] = p.Data[i*a.KLen+j] * (dp.Data[i*a.KLen+j] - dot) * scale
+				}
+			}
+			dqh.Zero()
+			tensor.MatMulInto(dqh, ds, kh)
+			dkhT.Zero()
+			tensor.MatMulT1Into(dkhT, ds, qh)
+			a.scatterHead(dQ, dqh, b, h, a.QLen)
+			a.scatterHead(dK, dkhT, b, h, a.KLen)
+			a.scatterHead(dV, dvh, b, h, a.KLen)
+		}
+	}
+	return dQ, dK, dV
+}
+
+// sliceHead copies the (seqLen, dk) block for batch b and head h out of a
+// (B*seqLen, D) activation.
+func (a *AttnCore) sliceHead(dst, x *tensor.Tensor, b, h, seqLen int) {
+	dk := a.D / a.Heads
+	for ti := 0; ti < seqLen; ti++ {
+		src := x.Data[(b*seqLen+ti)*a.D+h*dk:]
+		copy(dst.Data[ti*dk:(ti+1)*dk], src[:dk])
+	}
+}
+
+// scatterHead adds the (seqLen, dk) block for batch b and head h into a
+// (B*seqLen, D) activation.
+func (a *AttnCore) scatterHead(dst, src *tensor.Tensor, b, h, seqLen int) {
+	dk := a.D / a.Heads
+	for ti := 0; ti < seqLen; ti++ {
+		d := dst.Data[(b*seqLen+ti)*a.D+h*dk:]
+		s := src.Data[ti*dk : (ti+1)*dk]
+		for j := range s {
+			d[j] += s[j]
+		}
+	}
+}
+
+// MultiHeadAttention composes query/key/value/output projections around an
+// AttnCore. Activations are (B*T, D) matrices with a fixed sequence length
+// per side, matching the synthetic translation task. The projections are
+// Linear layers, so the decoupled-weight machinery applies to them
+// automatically.
+type MultiHeadAttention struct {
+	Wq, Wk, Wv, Wo *Linear
+	Core           *AttnCore
+}
+
+// NewMultiHeadAttention returns an attention block over dimension d with
+// the given number of heads. qLen and kLen are the fixed query-side and
+// key-side sequence lengths.
+func NewMultiHeadAttention(name string, d, heads, qLen, kLen int, causal bool, rng *rand.Rand) *MultiHeadAttention {
 	return &MultiHeadAttention{
-		Wq:    NewLinear(name+".q", d, d, true, rng),
-		Wk:    NewLinear(name+".k", d, d, true, rng),
-		Wv:    NewLinear(name+".v", d, d, true, rng),
-		Wo:    NewLinear(name+".o", d, d, true, rng),
-		Heads: heads, D: d, QLen: qLen, KLen: kLen, Causal: causal,
+		Wq:   NewLinear(name+".q", d, d, true, rng),
+		Wk:   NewLinear(name+".k", d, d, true, rng),
+		Wv:   NewLinear(name+".v", d, d, true, rng),
+		Wo:   NewLinear(name+".o", d, d, true, rng),
+		Core: NewAttnCore(d, heads, qLen, kLen, causal),
 	}
 }
 
 // ForwardQKV runs attention with queries from xq and keys/values from xkv.
 // xq has shape (B*QLen, D) and xkv has shape (B*KLen, D).
-func (m *MultiHeadAttention) ForwardQKV(xq, xkv *tensor.Tensor) *tensor.Tensor {
-	m.batch = xq.Shape[0] / m.QLen
-	m.q = m.Wq.Forward(xq)
-	m.k = m.Wk.Forward(xkv)
-	m.v = m.Wv.Forward(xkv)
-	dk := m.D / m.Heads
-	scale := 1 / math.Sqrt(float64(dk))
-	y := tensor.New(m.batch*m.QLen, m.D)
-	m.probs = m.probs[:0]
-	for b := 0; b < m.batch; b++ {
-		for h := 0; h < m.Heads; h++ {
-			qh := m.sliceHead(m.q, b, h, m.QLen)
-			kh := m.sliceHead(m.k, b, h, m.KLen)
-			vh := m.sliceHead(m.v, b, h, m.KLen)
-			s := tensor.MatMulT2(qh, kh)
-			for i := range s.Data {
-				s.Data[i] *= scale
-			}
-			if m.Causal {
-				for i := 0; i < m.QLen; i++ {
-					for j := i + 1; j < m.KLen; j++ {
-						s.Data[i*m.KLen+j] = math.Inf(-1)
-					}
-				}
-			}
-			p := tensor.SoftmaxRows(s)
-			m.probs = append(m.probs, p)
-			yh := tensor.MatMul(p, vh)
-			m.scatterHead(y, yh, b, h, m.QLen)
-		}
-	}
-	return m.Wo.Forward(y)
+func (m *MultiHeadAttention) ForwardQKV(t *Tape, xq, xkv *tensor.Tensor) *tensor.Tensor {
+	q := m.Wq.Forward(t, xq)
+	k := m.Wk.Forward(t, xkv)
+	v := m.Wv.Forward(t, xkv)
+	y := m.Core.Forward(t, q, k, v)
+	return m.Wo.Forward(t, y)
 }
 
 // BackwardQKV backpropagates dy through the attention block, returning the
 // gradients with respect to xq and xkv.
-func (m *MultiHeadAttention) BackwardQKV(dy *tensor.Tensor) (dxq, dxkv *tensor.Tensor) {
-	dYall := m.Wo.Backward(dy)
-	dk := m.D / m.Heads
-	scale := 1 / math.Sqrt(float64(dk))
-	dQ := tensor.New(m.batch*m.QLen, m.D)
-	dK := tensor.New(m.batch*m.KLen, m.D)
-	dV := tensor.New(m.batch*m.KLen, m.D)
-	for b := 0; b < m.batch; b++ {
-		for h := 0; h < m.Heads; h++ {
-			p := m.probs[b*m.Heads+h]
-			qh := m.sliceHead(m.q, b, h, m.QLen)
-			kh := m.sliceHead(m.k, b, h, m.KLen)
-			vh := m.sliceHead(m.v, b, h, m.KLen)
-			dyh := m.sliceHead(dYall, b, h, m.QLen)
-			dvh := tensor.MatMulT1(p, dyh)
-			dp := tensor.MatMulT2(dyh, vh)
-			// Softmax backward: ds = p ⊙ (dp − rowsum(dp ⊙ p)).
-			ds := tensor.New(m.QLen, m.KLen)
-			for i := 0; i < m.QLen; i++ {
-				dot := 0.0
-				for j := 0; j < m.KLen; j++ {
-					dot += dp.Data[i*m.KLen+j] * p.Data[i*m.KLen+j]
-				}
-				for j := 0; j < m.KLen; j++ {
-					ds.Data[i*m.KLen+j] = p.Data[i*m.KLen+j] * (dp.Data[i*m.KLen+j] - dot) * scale
-				}
-			}
-			dqh := tensor.MatMul(ds, kh)
-			dkh := tensor.MatMulT1(ds, qh)
-			m.scatterHead(dQ, dqh, b, h, m.QLen)
-			m.scatterHead(dK, dkh, b, h, m.KLen)
-			m.scatterHead(dV, dvh, b, h, m.KLen)
-		}
-	}
-	dxq = m.Wq.Backward(dQ)
-	dxkv = m.Wk.Backward(dK)
-	tensor.AddInto(dxkv, m.Wv.Backward(dV))
-	return dxq, dxkv
-}
-
-// sliceHead extracts the (seqLen, dk) block for batch b and head h from a
-// (B*seqLen, D) activation.
-func (m *MultiHeadAttention) sliceHead(x *tensor.Tensor, b, h, seqLen int) *tensor.Tensor {
-	dk := m.D / m.Heads
-	out := tensor.New(seqLen, dk)
-	for t := 0; t < seqLen; t++ {
-		src := x.Data[(b*seqLen+t)*m.D+h*dk:]
-		copy(out.Data[t*dk:(t+1)*dk], src[:dk])
-	}
-	return out
-}
-
-// scatterHead adds the (seqLen, dk) block for batch b and head h into a
-// (B*seqLen, D) activation.
-func (m *MultiHeadAttention) scatterHead(dst, src *tensor.Tensor, b, h, seqLen int) {
-	dk := m.D / m.Heads
-	for t := 0; t < seqLen; t++ {
-		d := dst.Data[(b*seqLen+t)*m.D+h*dk:]
-		s := src.Data[t*dk : (t+1)*dk]
-		for j := range s {
-			d[j] += s[j]
-		}
-	}
+func (m *MultiHeadAttention) BackwardQKV(t *Tape, dy *tensor.Tensor) (dxq, dxkv *tensor.Tensor) {
+	dYall := m.Wo.Backward(t, dy)
+	dq, dk, dv := m.Core.Backward(t, dYall)
+	// Pop order is the reverse of the pushes: Wv, then Wk, then Wq.
+	dxv := m.Wv.Backward(t, dv)
+	dxk := m.Wk.Backward(t, dk)
+	dxq = m.Wq.Backward(t, dq)
+	tensor.AddInto(dxk, dxv) // dxk is freshly owned: fold in place
+	return dxq, dxk
 }
 
 // Params returns all projection parameters in q, k, v, o order.
@@ -167,14 +215,15 @@ func NewSelfAttention(name string, d, heads, seqLen int, causal bool, rng *rand.
 }
 
 // Forward runs self-attention on x.
-func (s *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return s.MHA.ForwardQKV(x, x)
+func (s *SelfAttention) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	return s.MHA.ForwardQKV(t, x, x)
 }
 
 // Backward sums the query-side and key/value-side input gradients.
-func (s *SelfAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dxq, dxkv := s.MHA.BackwardQKV(dy)
-	return tensor.Add(dxq, dxkv)
+func (s *SelfAttention) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	dxq, dxkv := s.MHA.BackwardQKV(t, dy)
+	tensor.AddInto(dxq, dxkv) // dxq is freshly owned: fold in place
+	return dxq
 }
 
 // Params returns the projection parameters.

@@ -15,10 +15,13 @@ type Conv2d struct {
 
 	InC, OutC, K, Stride, Pad int
 
-	cols       *tensor.Tensor // cached im2col of the forward input
-	b, h, w    int            // cached input geometry
-	oh, ow     int            // cached output geometry
-	outCKernel int            // InC*K*K
+	kCols int // InC*K*K
+}
+
+type convState struct {
+	cols    *tensor.Tensor // im2col of the forward input
+	b, h, w int            // input geometry
+	oh, ow  int            // output geometry
 }
 
 // NewConv2d returns a Conv2d with He-initialized kernel weights.
@@ -26,7 +29,7 @@ func NewConv2d(name string, inC, outC, k, stride, pad int, bias bool, rng *rand.
 	c := &Conv2d{
 		W:   NewParam(name+".W", outC, inC, k, k),
 		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
-		outCKernel: inC * k * k,
+		kCols: inC * k * k,
 	}
 	c.W.InitHe(rng, inC*k*k)
 	if bias {
@@ -35,18 +38,19 @@ func NewConv2d(name string, inC, outC, k, stride, pad int, bias bool, rng *rand.
 	return c
 }
 
-// Forward computes the convolution and caches the lowered input.
-func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
-	c.b, c.h, c.w = x.Shape[0], x.Shape[2], x.Shape[3]
-	c.oh = tensor.ConvOutSize(c.h, c.K, c.Stride, c.Pad)
-	c.ow = tensor.ConvOutSize(c.w, c.K, c.Stride, c.Pad)
-	c.cols = tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad)
-	wm := c.W.Data.Reshape(c.OutC, c.outCKernel)
+// Forward computes the convolution and saves the lowered input.
+func (c *Conv2d) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
+	ow := tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
+	cols := tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad)
+	wm := c.W.Data.Reshape(c.OutC, c.kCols)
 	// rows are (b, oy, ox); columns are output channels.
-	res := tensor.MatMulT2(c.cols, wm)
-	out := tensor.New(c.b, c.OutC, c.oh, c.ow)
-	hw := c.oh * c.ow
-	for n := 0; n < c.b; n++ {
+	res := t.NewTensor(b*oh*ow, c.OutC)
+	tensor.MatMulT2Into(res, cols, wm)
+	out := t.NewTensor(b, c.OutC, oh, ow)
+	hw := oh * ow
+	for n := 0; n < b; n++ {
 		for p := 0; p < hw; p++ {
 			row := res.Data[(n*hw+p)*c.OutC : (n*hw+p+1)*c.OutC]
 			for o := 0; o < c.OutC; o++ {
@@ -58,16 +62,18 @@ func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	t.Push(convState{cols, b, h, w, oh, ow})
 	return out
 }
 
-// Backward accumulates kernel/bias gradients from the cached lowered input
+// Backward accumulates kernel/bias gradients from the saved lowered input
 // and returns the input gradient computed with the backward weights.
-func (c *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	hw := c.oh * c.ow
+func (c *Conv2d) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	st := t.Pop().(convState)
+	hw := st.oh * st.ow
 	// Rearrange dy (B, outC, OH, OW) into (B*OH*OW, outC) matching cols rows.
-	dyr := tensor.New(c.b*hw, c.OutC)
-	for n := 0; n < c.b; n++ {
+	dyr := t.NewTensor(st.b*hw, c.OutC)
+	for n := 0; n < st.b; n++ {
 		for o := 0; o < c.OutC; o++ {
 			base := (n*c.OutC + o) * hw
 			for p := 0; p < hw; p++ {
@@ -76,8 +82,9 @@ func (c *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dW = dyrᵀ @ cols, shape (outC, inC*K*K).
-	dW := tensor.MatMulT1(dyr, c.cols)
-	tensor.AddInto(c.W.Grad.Reshape(c.OutC, c.outCKernel), dW)
+	dW := t.NewTensor(c.OutC, c.kCols)
+	tensor.MatMulT1Into(dW, dyr, st.cols)
+	tensor.AddInto(c.W.Grad.Reshape(c.OutC, c.kCols), dW)
 	if c.B != nil {
 		for r := 0; r < dyr.Shape[0]; r++ {
 			row := dyr.Data[r*c.OutC : (r+1)*c.OutC]
@@ -87,9 +94,10 @@ func (c *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dcols = dyr @ W_bwd, then scatter back to image space.
-	wb := c.W.BwdData().Reshape(c.OutC, c.outCKernel)
-	dcols := tensor.MatMul(dyr, wb)
-	return tensor.Col2Im(dcols, c.b, c.InC, c.h, c.w, c.K, c.K, c.Stride, c.Pad)
+	wb := c.W.BwdData().Reshape(c.OutC, c.kCols)
+	dcols := t.NewTensor(st.b*hw, c.kCols)
+	tensor.MatMulInto(dcols, dyr, wb)
+	return tensor.Col2Im(dcols, st.b, c.InC, st.h, st.w, c.K, c.K, c.Stride, c.Pad)
 }
 
 // Params returns the kernel and, if present, the bias.

@@ -11,7 +11,9 @@ import (
 // differentiable; Backward returns a zero tensor of the input shape.
 type Embedding struct {
 	W *Param // table, shape (V, D)
+}
 
+type embState struct {
 	ids   []int
 	inShp []int
 }
@@ -24,31 +26,34 @@ func NewEmbedding(name string, vocab, d int, rng *rand.Rand) *Embedding {
 }
 
 // Forward gathers rows of the table for each token id.
-func (e *Embedding) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (e *Embedding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	n := x.Size()
 	d := e.W.Data.Shape[1]
-	e.ids = make([]int, n)
-	e.inShp = append([]int(nil), x.Shape...)
-	out := tensor.New(n, d)
+	ids := t.Ints(n)
+	inShp := t.Ints(len(x.Shape))
+	copy(inShp, x.Shape)
+	out := t.NewTensor(n, d)
 	for i := 0; i < n; i++ {
 		id := int(x.Data[i])
-		e.ids[i] = id
+		ids[i] = id
 		copy(out.Data[i*d:(i+1)*d], e.W.Data.Data[id*d:(id+1)*d])
 	}
+	t.Push(embState{ids, inShp})
 	return out
 }
 
 // Backward scatter-adds dy rows into the table gradient.
-func (e *Embedding) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (e *Embedding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	st := t.Pop().(embState)
 	d := e.W.Data.Shape[1]
-	for i, id := range e.ids {
+	for i, id := range st.ids {
 		row := dy.Data[i*d : (i+1)*d]
 		g := e.W.Grad.Data[id*d : (id+1)*d]
 		for j := range row {
 			g[j] += row[j]
 		}
 	}
-	return tensor.New(e.inShp...)
+	return t.NewTensor(st.inShp...)
 }
 
 // Params returns the embedding table.
@@ -69,25 +74,25 @@ func NewPositionalEncoding(name string, seqLen, d int, rng *rand.Rand) *Position
 }
 
 // Forward adds the position embedding row-cyclically.
-func (p *PositionalEncoding) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (p *PositionalEncoding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	n, d := x.Shape[0], x.Shape[1]
-	out := tensor.New(n, d)
+	out := t.NewTensor(n, d)
 	for i := 0; i < n; i++ {
-		t := i % p.SeqLen
+		ti := i % p.SeqLen
 		for j := 0; j < d; j++ {
-			out.Data[i*d+j] = x.Data[i*d+j] + p.W.Data.Data[t*d+j]
+			out.Data[i*d+j] = x.Data[i*d+j] + p.W.Data.Data[ti*d+j]
 		}
 	}
 	return out
 }
 
 // Backward accumulates the position gradient and passes dy through.
-func (p *PositionalEncoding) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (p *PositionalEncoding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	n, d := dy.Shape[0], dy.Shape[1]
 	for i := 0; i < n; i++ {
-		t := i % p.SeqLen
+		ti := i % p.SeqLen
 		for j := 0; j < d; j++ {
-			p.W.Grad.Data[t*d+j] += dy.Data[i*d+j]
+			p.W.Grad.Data[ti*d+j] += dy.Data[i*d+j]
 		}
 	}
 	return dy

@@ -26,24 +26,34 @@ func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
 	return t
 }
 
+// fwd runs a layer forward on a throwaway tape (for loss probes whose
+// activations are consumed immediately).
+func fwd(l Layer, x *tensor.Tensor) *tensor.Tensor {
+	return l.Forward(NewTape(), x)
+}
+
 // checkLayerGrad verifies a layer's input and parameter gradients against
 // central finite differences of the projection loss.
 func checkLayerGrad(t *testing.T, name string, l Layer, x *tensor.Tensor, rng *rand.Rand, tol float64) {
 	t.Helper()
-	y := l.Forward(x)
+	y := fwd(l, x)
 	r := randTensor(rng, y.Shape...)
 	ZeroGrads(l.Params())
-	y = l.Forward(x) // rebuild caches after the shape probe
-	dx := l.Backward(r)
+	tp := NewTape()
+	l.Forward(tp, x)
+	dx := l.Backward(tp, r).Clone() // clone: the tape arena owns the original
+	if tp.Depth() != 0 {
+		t.Fatalf("%s: tape depth %d after forward+backward, want 0", name, tp.Depth())
+	}
 
 	const eps = 1e-5
 	// Input gradient.
 	for i := 0; i < len(x.Data); i += 1 + len(x.Data)/50 { // sample ≤ ~50 coords
 		orig := x.Data[i]
 		x.Data[i] = orig + eps
-		lp := projLoss(l.Forward(x), r)
+		lp := projLoss(fwd(l, x), r)
 		x.Data[i] = orig - eps
-		lm := projLoss(l.Forward(x), r)
+		lm := projLoss(fwd(l, x), r)
 		x.Data[i] = orig
 		num := (lp - lm) / (2 * eps)
 		if diff := math.Abs(num - dx.Data[i]); diff > tol*(1+math.Abs(num)) {
@@ -55,9 +65,9 @@ func checkLayerGrad(t *testing.T, name string, l Layer, x *tensor.Tensor, rng *r
 		for i := 0; i < len(p.Data.Data); i += 1 + len(p.Data.Data)/40 {
 			orig := p.Data.Data[i]
 			p.Data.Data[i] = orig + eps
-			lp := projLoss(l.Forward(x), r)
+			lp := projLoss(fwd(l, x), r)
 			p.Data.Data[i] = orig - eps
-			lm := projLoss(l.Forward(x), r)
+			lm := projLoss(fwd(l, x), r)
 			p.Data.Data[i] = orig
 			num := (lp - lm) / (2 * eps)
 			if diff := math.Abs(num - p.Grad.Data[i]); diff > tol*(1+math.Abs(num)) {
@@ -109,6 +119,45 @@ func TestLayerNormGradient(t *testing.T) {
 	checkLayerGrad(t, "LayerNorm", NewLayerNorm("ln", 8), randTensor(rng, 5, 8), rng, 1e-5)
 }
 
+// TestLayerNormParallelBitIdentical pins the deterministic-parallelism
+// contract for the row/column-parallel layernorm kernels.
+func TestLayerNormParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	ln := NewLayerNorm("ln", 33)
+	x := randTensor(rng, 65, 33)
+	dy := randTensor(rng, 65, 33)
+
+	run := func() (*tensor.Tensor, *tensor.Tensor, []float64, []float64) {
+		ZeroGrads(ln.Params())
+		tp := NewTape()
+		y := ln.Forward(tp, x)
+		dx := ln.Backward(tp, dy)
+		return y.Clone(), dx.Clone(),
+			append([]float64(nil), ln.Gain.Grad.Data...),
+			append([]float64(nil), ln.Bias.Grad.Data...)
+	}
+	tensor.SetWorkers(1)
+	y1, dx1, g1, b1 := run()
+	tensor.SetWorkers(8)
+	y2, dx2, g2, b2 := run()
+	tensor.SetWorkers(1)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatalf("forward element %d differs serial vs parallel", i)
+		}
+	}
+	for i := range dx1.Data {
+		if dx1.Data[i] != dx2.Data[i] {
+			t.Fatalf("dx element %d differs serial vs parallel", i)
+		}
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] || b1[i] != b2[i] {
+			t.Fatalf("gain/bias grad %d differs serial vs parallel", i)
+		}
+	}
+}
+
 func TestGroupNormGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	checkLayerGrad(t, "GroupNorm", NewGroupNorm("gn", 4, 2), randTensor(rng, 2, 4, 3, 3), rng, 1e-5)
@@ -148,20 +197,22 @@ func TestCrossAttentionGradient(t *testing.T) {
 	m := NewMultiHeadAttention("xattn", 8, 2, 3, 5, false, rng)
 	xq := randTensor(rng, 2*3, 8)
 	xkv := randTensor(rng, 2*5, 8)
-	y := m.ForwardQKV(xq, xkv)
+	y := m.ForwardQKV(NewTape(), xq, xkv)
 	r := randTensor(rng, y.Shape...)
 	ZeroGrads(m.Params())
-	m.ForwardQKV(xq, xkv)
-	dxq, dxkv := m.BackwardQKV(r)
+	tp := NewTape()
+	m.ForwardQKV(tp, xq, xkv)
+	dxqT, dxkvT := m.BackwardQKV(tp, r)
+	dxq, dxkv := dxqT.Clone(), dxkvT.Clone()
 
 	const eps = 1e-5
 	check := func(x, dx *tensor.Tensor, label string) {
 		for i := 0; i < len(x.Data); i += 3 {
 			orig := x.Data[i]
 			x.Data[i] = orig + eps
-			lp := projLoss(m.ForwardQKV(xq, xkv), r)
+			lp := projLoss(m.ForwardQKV(NewTape(), xq, xkv), r)
 			x.Data[i] = orig - eps
-			lm := projLoss(m.ForwardQKV(xq, xkv), r)
+			lm := projLoss(m.ForwardQKV(NewTape(), xq, xkv), r)
 			x.Data[i] = orig
 			num := (lp - lm) / (2 * eps)
 			if math.Abs(num-dx.Data[i]) > 1e-5*(1+math.Abs(num)) {
@@ -177,18 +228,19 @@ func TestEmbeddingGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	e := NewEmbedding("emb", 10, 6, rng)
 	ids := tensor.FromSlice([]float64{1, 3, 3, 7}, 2, 2)
-	y := e.Forward(ids)
+	y := fwd(e, ids)
 	r := randTensor(rng, y.Shape...)
 	ZeroGrads(e.Params())
-	e.Forward(ids)
-	e.Backward(r)
+	tp := NewTape()
+	e.Forward(tp, ids)
+	e.Backward(tp, r)
 	const eps = 1e-5
 	for i := 0; i < e.W.Size(); i += 2 {
 		orig := e.W.Data.Data[i]
 		e.W.Data.Data[i] = orig + eps
-		lp := projLoss(e.Forward(ids), r)
+		lp := projLoss(fwd(e, ids), r)
 		e.W.Data.Data[i] = orig - eps
-		lm := projLoss(e.Forward(ids), r)
+		lm := projLoss(fwd(e, ids), r)
 		e.W.Data.Data[i] = orig
 		num := (lp - lm) / (2 * eps)
 		if math.Abs(num-e.W.Grad.Data[i]) > 1e-6*(1+math.Abs(num)) {
@@ -212,13 +264,14 @@ func TestGlobalAvgPoolGradient(t *testing.T) {
 func TestFlattenRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	f := NewFlatten()
+	tp := NewTape()
 	x := randTensor(rng, 2, 3, 2, 2)
-	y := f.Forward(x)
+	y := f.Forward(tp, x)
 	if y.Shape[0] != 2 || y.Shape[1] != 12 {
 		t.Fatalf("flatten shape %v", y.Shape)
 	}
 	dy := randTensor(rng, 2, 12)
-	dx := f.Backward(dy)
+	dx := f.Backward(tp, dy)
 	if dx.Rank() != 4 || dx.Shape[1] != 3 {
 		t.Fatalf("flatten backward shape %v", dx.Shape)
 	}
@@ -229,15 +282,16 @@ func TestCrossEntropyGradient(t *testing.T) {
 	logits := randTensor(rng, 5, 4)
 	labels := []int{0, 3, -1, 2, 1} // row 2 ignored
 	ce := NewCrossEntropy()
-	ce.Forward(logits, labels)
-	grad := ce.Backward()
+	tp := NewTape()
+	ce.Forward(tp, logits, labels)
+	grad := ce.Backward(tp).Clone()
 	const eps = 1e-6
 	for i := range logits.Data {
 		orig := logits.Data[i]
 		logits.Data[i] = orig + eps
-		lp := ce.Forward(logits, labels)
+		lp := ce.Forward(NewTape(), logits, labels)
 		logits.Data[i] = orig - eps
-		lm := ce.Forward(logits, labels)
+		lm := ce.Forward(NewTape(), logits, labels)
 		logits.Data[i] = orig
 		num := (lp - lm) / (2 * eps)
 		if math.Abs(num-grad.Data[i]) > 1e-6*(1+math.Abs(num)) {
@@ -249,19 +303,6 @@ func TestCrossEntropyGradient(t *testing.T) {
 		if grad.At(2, j) != 0 {
 			t.Fatal("ignored row must have zero gradient")
 		}
-	}
-}
-
-func TestCrossEntropyAccuracy(t *testing.T) {
-	logits := tensor.FromSlice([]float64{
-		5, 0, 0,
-		0, 5, 0,
-		0, 0, 5,
-	}, 3, 3)
-	ce := NewCrossEntropy()
-	ce.Forward(logits, []int{0, 1, 0})
-	if acc := ce.Accuracy(); math.Abs(acc-2.0/3) > 1e-12 {
-		t.Fatalf("accuracy = %g, want 2/3", acc)
 	}
 }
 
@@ -289,7 +330,7 @@ func TestMSEGradient(t *testing.T) {
 
 func TestDecoupledBackwardWeights(t *testing.T) {
 	// The defining property of the library: with Bwd set, the input gradient
-	// is dy @ W_bwd while the parameter gradient still uses the cached
+	// is dy @ W_bwd while the parameter gradient still uses the saved
 	// forward input — the paper's ∇f_t(u_fwd, u_bkwd).
 	rng := rand.New(rand.NewSource(20))
 	l := NewLinear("fc", 3, 2, false, rng)
@@ -298,9 +339,10 @@ func TestDecoupledBackwardWeights(t *testing.T) {
 
 	wb := randTensor(rng, 2, 3)
 	l.W.Bwd = wb
-	l.Forward(x)
+	tp := NewTape()
+	l.Forward(tp, x)
 	ZeroGrads(l.Params())
-	dx := l.Backward(dy)
+	dx := l.Backward(tp, dy).Clone()
 
 	// dx must equal dy @ Bwd.
 	want := tensor.MatMul(dy, wb)
@@ -313,13 +355,14 @@ func TestDecoupledBackwardWeights(t *testing.T) {
 	wantW := tensor.MatMulT1(dy, x)
 	for i := range wantW.Data {
 		if math.Abs(l.W.Grad.Data[i]-wantW.Data[i]) > 1e-12 {
-			t.Fatalf("dW[%d] = %g, want %g (must use cached forward input)", i, l.W.Grad.Data[i], wantW.Data[i])
+			t.Fatalf("dW[%d] = %g, want %g (must use saved forward input)", i, l.W.Grad.Data[i], wantW.Data[i])
 		}
 	}
 	// Clearing Bwd restores synchronous behaviour.
 	l.W.Bwd = nil
-	l.Forward(x)
-	dxSync := l.Backward(dy)
+	tp2 := NewTape()
+	l.Forward(tp2, x)
+	dxSync := l.Backward(tp2, dy)
 	wantSync := tensor.MatMul(dy, l.W.Data)
 	for i := range wantSync.Data {
 		if math.Abs(dxSync.Data[i]-wantSync.Data[i]) > 1e-12 {

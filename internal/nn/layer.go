@@ -6,17 +6,20 @@ import (
 	"pipemare/internal/tensor"
 )
 
-// Layer is a differentiable module. Forward caches whatever it needs for
-// the subsequent Backward call; Backward consumes the upstream gradient dy,
-// accumulates parameter gradients into Param.Grad using cached forward
+// Layer is a differentiable module. Forward pushes whatever Backward needs
+// onto the tape; Backward pops it, consumes the upstream gradient dy,
+// accumulates parameter gradients into Param.Grad using the saved forward
 // activations, and returns the gradient with respect to the layer input,
 // computed with the layer's backward weights (Param.BwdData).
 //
-// Layers are single-use per step: Forward then Backward. They are not safe
-// for concurrent use.
+// Layers hold no per-call state: all activations live on the caller's
+// tape, so the same layer may serve several in-flight microbatches as long
+// as each uses its own Tape and Forward/Backward pairs nest in stack
+// order. Mutating the same Param set concurrently is still the caller's
+// problem — the pipeline engines serialize per-stage work on one goroutine.
 type Layer interface {
-	Forward(x *tensor.Tensor) *tensor.Tensor
-	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor
+	Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor
 	Params() []*Param
 }
 
@@ -29,17 +32,17 @@ type Sequential struct {
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
 // Forward applies each layer in order.
-func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (s *Sequential) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range s.Layers {
-		x = l.Forward(x)
+		x = l.Forward(t, x)
 	}
 	return x
 }
 
 // Backward applies each layer's backward in reverse order.
-func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (s *Sequential) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		dy = s.Layers[i].Backward(dy)
+		dy = s.Layers[i].Backward(t, dy)
 	}
 	return dy
 }
@@ -54,36 +57,29 @@ func (s *Sequential) Params() []*Param {
 }
 
 // ReLU is the rectified linear activation.
-type ReLU struct {
-	mask []bool
-}
+type ReLU struct{}
 
 // NewReLU returns a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward computes max(x, 0).
-func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
-	if cap(r.mask) < len(x.Data) {
-		r.mask = make([]bool, len(x.Data))
-	}
-	r.mask = r.mask[:len(x.Data)]
+// Forward computes max(x, 0) and saves x for the backward gate.
+func (r *ReLU) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	out := t.NewTensor(x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
 		}
 	}
+	t.Push(x)
 	return out
 }
 
-// Backward gates dy by the forward activation mask.
-func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(dy.Shape...)
+// Backward gates dy by the sign of the forward input.
+func (r *ReLU) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	x := t.Pop().(*tensor.Tensor)
+	out := t.NewTensor(dy.Shape...)
 	for i, v := range dy.Data {
-		if r.mask[i] {
+		if x.Data[i] > 0 {
 			out.Data[i] = v
 		}
 	}
@@ -94,9 +90,7 @@ func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 func (r *ReLU) Params() []*Param { return nil }
 
 // GELU is the Gaussian error linear unit (tanh approximation).
-type GELU struct {
-	x *tensor.Tensor
-}
+type GELU struct{}
 
 // NewGELU returns a GELU layer.
 func NewGELU() *GELU { return &GELU{} }
@@ -104,24 +98,25 @@ func NewGELU() *GELU { return &GELU{} }
 const geluC = 0.7978845608028654 // sqrt(2/π)
 
 // Forward computes 0.5x(1 + tanh(√(2/π)(x + 0.044715x³))).
-func (g *GELU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	g.x = x.Clone()
-	out := tensor.New(x.Shape...)
+func (g *GELU) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	out := t.NewTensor(x.Shape...)
 	for i, v := range x.Data {
 		u := geluC * (v + 0.044715*v*v*v)
 		out.Data[i] = 0.5 * v * (1 + math.Tanh(u))
 	}
+	t.Push(x)
 	return out
 }
 
 // Backward computes the GELU derivative times dy.
-func (g *GELU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(dy.Shape...)
-	for i, v := range g.x.Data {
+func (g *GELU) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	x := t.Pop().(*tensor.Tensor)
+	out := t.NewTensor(dy.Shape...)
+	for i, v := range x.Data {
 		u := geluC * (v + 0.044715*v*v*v)
-		t := math.Tanh(u)
+		th := math.Tanh(u)
 		du := geluC * (1 + 3*0.044715*v*v)
-		d := 0.5*(1+t) + 0.5*v*(1-t*t)*du
+		d := 0.5*(1+th) + 0.5*v*(1-th*th)*du
 		out.Data[i] = dy.Data[i] * d
 	}
 	return out
@@ -140,36 +135,37 @@ type Residual struct {
 func NewResidual(inner Layer) *Residual { return &Residual{Inner: inner} }
 
 // Forward computes x + Inner(x).
-func (r *Residual) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.Add(x, r.Inner.Forward(x))
+func (r *Residual) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	return t.Add(x, r.Inner.Forward(t, x))
 }
 
 // Backward routes dy through the inner layer and adds the skip gradient.
-func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return tensor.Add(dy, r.Inner.Backward(dy))
+func (r *Residual) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	return t.Add(dy, r.Inner.Backward(t, dy))
 }
 
 // Params returns the inner layer's parameters.
 func (r *Residual) Params() []*Param { return r.Inner.Params() }
 
 // Flatten reshapes (B, ...) to (B, rest).
-type Flatten struct {
-	shape []int
-}
+type Flatten struct{}
 
 // NewFlatten returns a Flatten layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
 // Forward flattens all trailing axes into one.
-func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
-	f.shape = append(f.shape[:0], x.Shape...)
+func (f *Flatten) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	shp := t.Ints(len(x.Shape))
+	copy(shp, x.Shape)
+	t.Push(shp)
 	b := x.Shape[0]
 	return x.Reshape(b, x.Size()/b)
 }
 
 // Backward restores the original shape.
-func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return dy.Reshape(f.shape...)
+func (f *Flatten) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	shp := t.Pop().([]int)
+	return dy.Reshape(shp...)
 }
 
 // Params returns nil: Flatten has no parameters.
@@ -177,40 +173,42 @@ func (f *Flatten) Params() []*Param { return nil }
 
 // GlobalAvgPool averages a (B,C,H,W) tensor over its spatial axes,
 // producing (B,C).
-type GlobalAvgPool struct {
-	b, c, h, w int
-}
+type GlobalAvgPool struct{}
 
 // NewGlobalAvgPool returns a GlobalAvgPool layer.
 func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 
+type gapState struct{ b, c, h, w int }
+
 // Forward averages over H and W.
-func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
-	g.b, g.c, g.h, g.w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(g.b, g.c)
-	hw := float64(g.h * g.w)
-	for n := 0; n < g.b; n++ {
-		for c := 0; c < g.c; c++ {
+func (g *GlobalAvgPool) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := t.NewTensor(b, c)
+	hw := float64(h * w)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
 			s := 0.0
-			base := (n*g.c + c) * g.h * g.w
-			for i := 0; i < g.h*g.w; i++ {
+			base := (n*c + ch) * h * w
+			for i := 0; i < h*w; i++ {
 				s += x.Data[base+i]
 			}
-			out.Data[n*g.c+c] = s / hw
+			out.Data[n*c+ch] = s / hw
 		}
 	}
+	t.Push(gapState{b, c, h, w})
 	return out
 }
 
 // Backward spreads dy uniformly over the pooled positions.
-func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(g.b, g.c, g.h, g.w)
-	hw := float64(g.h * g.w)
-	for n := 0; n < g.b; n++ {
-		for c := 0; c < g.c; c++ {
-			v := dy.Data[n*g.c+c] / hw
-			base := (n*g.c + c) * g.h * g.w
-			for i := 0; i < g.h*g.w; i++ {
+func (g *GlobalAvgPool) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	st := t.Pop().(gapState)
+	out := t.NewTensor(st.b, st.c, st.h, st.w)
+	hw := float64(st.h * st.w)
+	for n := 0; n < st.b; n++ {
+		for c := 0; c < st.c; c++ {
+			v := dy.Data[n*st.c+c] / hw
+			base := (n*st.c + c) * st.h * st.w
+			for i := 0; i < st.h*st.w; i++ {
 				out.Data[base+i] = v
 			}
 		}

@@ -10,8 +10,6 @@ import (
 type Linear struct {
 	W *Param
 	B *Param // nil when constructed without bias
-
-	x *tensor.Tensor // cached forward input
 }
 
 // NewLinear returns a Linear layer with Xavier-initialized weights and,
@@ -25,10 +23,10 @@ func NewLinear(name string, in, out int, bias bool, rng *rand.Rand) *Linear {
 	return l
 }
 
-// Forward computes x·Wᵀ + b and caches x.
-func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
-	l.x = x
-	out := tensor.MatMulT2(x, l.W.Data)
+// Forward computes x·Wᵀ + b and saves x on the tape.
+func (l *Linear) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
+	out := t.NewTensor(x.Shape[0], l.W.Data.Shape[0])
+	tensor.MatMulT2Into(out, x, l.W.Data)
 	if l.B != nil {
 		rows, cols := out.Shape[0], out.Shape[1]
 		for i := 0; i < rows; i++ {
@@ -38,14 +36,17 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	t.Push(x)
 	return out
 }
 
 // Backward accumulates dW = dyᵀ·x and db = Σrows(dy) into the gradients and
 // returns dx = dy·W computed with the backward weights.
-func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	// Parameter gradients use the cached forward input.
-	dW := tensor.MatMulT1(dy, l.x)
+func (l *Linear) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	x := t.Pop().(*tensor.Tensor)
+	// Parameter gradients use the saved forward input.
+	dW := t.NewTensor(l.W.Data.Shape...)
+	tensor.MatMulT1Into(dW, dy, x)
 	tensor.AddInto(l.W.Grad, dW)
 	if l.B != nil {
 		rows, cols := dy.Shape[0], dy.Shape[1]
@@ -57,7 +58,9 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// Input gradient uses the (possibly delayed) backward weights.
-	return tensor.MatMul(dy, l.W.BwdData())
+	dx := t.NewTensor(dy.Shape[0], l.W.Data.Shape[1])
+	tensor.MatMulInto(dx, dy, l.W.BwdData())
+	return dx
 }
 
 // Params returns the weight and, if present, the bias.

@@ -8,10 +8,14 @@ import (
 
 // CrossEntropy computes mean softmax cross-entropy over (N, C) logits with
 // integer labels. Labels equal to Ignore (default -1) are masked out, which
-// the translation task uses for padding.
+// the translation task uses for padding. Like the layers, it keeps its
+// per-call state (probabilities, labels) on the tape so several in-flight
+// microbatches can share one instance.
 type CrossEntropy struct {
 	Ignore int
+}
 
+type ceState struct {
 	probs  *tensor.Tensor
 	labels []int
 	count  int
@@ -21,14 +25,15 @@ type CrossEntropy struct {
 func NewCrossEntropy() *CrossEntropy { return &CrossEntropy{Ignore: -1} }
 
 // Forward returns the mean negative log-likelihood of labels under the
-// row-softmax of logits.
-func (c *CrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
+// row-softmax of logits. The labels slice is retained on the tape until
+// the matching Backward.
+func (c *CrossEntropy) Forward(t *Tape, logits *tensor.Tensor, labels []int) float64 {
 	n, cl := logits.Shape[0], logits.Shape[1]
 	if n != len(labels) {
 		panic("nn: CrossEntropy label count mismatch")
 	}
-	c.probs = tensor.SoftmaxRows(logits)
-	c.labels = labels
+	probs := t.NewTensor(n, cl)
+	tensor.SoftmaxRowsInto(probs, logits)
 	lse := tensor.LogSumExpRows(logits)
 	loss, cnt := 0.0, 0
 	for i := 0; i < n; i++ {
@@ -38,7 +43,7 @@ func (c *CrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
 		loss += lse[i] - logits.Data[i*cl+labels[i]]
 		cnt++
 	}
-	c.count = cnt
+	t.Push(ceState{probs, labels, cnt})
 	if cnt == 0 {
 		return 0
 	}
@@ -47,42 +52,24 @@ func (c *CrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
 
 // Backward returns dLoss/dlogits = (softmax − onehot)/count, with ignored
 // rows zeroed.
-func (c *CrossEntropy) Backward() *tensor.Tensor {
-	n, cl := c.probs.Shape[0], c.probs.Shape[1]
-	out := tensor.New(n, cl)
-	if c.count == 0 {
+func (c *CrossEntropy) Backward(t *Tape) *tensor.Tensor {
+	st := t.Pop().(ceState)
+	n, cl := st.probs.Shape[0], st.probs.Shape[1]
+	out := t.NewTensor(n, cl)
+	if st.count == 0 {
 		return out
 	}
-	inv := 1 / float64(c.count)
+	inv := 1 / float64(st.count)
 	for i := 0; i < n; i++ {
-		if c.labels[i] == c.Ignore {
+		if st.labels[i] == c.Ignore {
 			continue
 		}
 		for j := 0; j < cl; j++ {
-			out.Data[i*cl+j] = c.probs.Data[i*cl+j] * inv
+			out.Data[i*cl+j] = st.probs.Data[i*cl+j] * inv
 		}
-		out.Data[i*cl+c.labels[i]] -= inv
+		out.Data[i*cl+st.labels[i]] -= inv
 	}
 	return out
-}
-
-// Accuracy returns the fraction of non-ignored rows whose argmax equals the
-// label, using the probabilities cached by the last Forward.
-func (c *CrossEntropy) Accuracy() float64 {
-	if c.count == 0 {
-		return 0
-	}
-	n := c.probs.Shape[0]
-	correct := 0
-	for i := 0; i < n; i++ {
-		if c.labels[i] == c.Ignore {
-			continue
-		}
-		if c.probs.ArgMaxRow(i) == c.labels[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(c.count)
 }
 
 // MSE computes mean squared error over all elements of (N, D) predictions.

@@ -15,7 +15,9 @@ type LayerNorm struct {
 	Gain *Param // γ, shape (D)
 	Bias *Param // β, shape (D)
 	Eps  float64
+}
 
+type lnState struct {
 	xhat   *tensor.Tensor
 	invStd []float64
 }
@@ -27,64 +29,88 @@ func NewLayerNorm(name string, d int) *LayerNorm {
 	return ln
 }
 
-// Forward normalizes each row and applies the affine transform.
-func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+// lnFlopsPerElem approximates the per-element cost of a layernorm row for
+// the parallel work gate.
+const lnFlopsPerElem = 8
+
+// Forward normalizes each row and applies the affine transform. Rows are
+// independent, so they are split across goroutines bit-identically when
+// kernel parallelism is enabled.
+func (ln *LayerNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	n, d := x.Shape[0], x.Shape[1]
-	ln.xhat = tensor.New(n, d)
-	if cap(ln.invStd) < n {
-		ln.invStd = make([]float64, n)
-	}
-	ln.invStd = ln.invStd[:n]
-	out := tensor.New(n, d)
-	for i := 0; i < n; i++ {
-		row := x.Data[i*d : (i+1)*d]
-		mu := 0.0
-		for _, v := range row {
-			mu += v
+	xhat := t.NewTensor(n, d)
+	invStd := t.Floats(n)
+	out := t.NewTensor(n, d)
+	gain, bias := ln.Gain.Data.Data, ln.Bias.Data.Data
+	tensor.ParallelRows(n, lnFlopsPerElem*n*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Data[i*d : (i+1)*d]
+			mu := 0.0
+			for _, v := range row {
+				mu += v
+			}
+			mu /= float64(d)
+			va := 0.0
+			for _, v := range row {
+				va += (v - mu) * (v - mu)
+			}
+			va /= float64(d)
+			is := 1 / math.Sqrt(va+ln.Eps)
+			invStd[i] = is
+			for j, v := range row {
+				xh := (v - mu) * is
+				xhat.Data[i*d+j] = xh
+				out.Data[i*d+j] = gain[j]*xh + bias[j]
+			}
 		}
-		mu /= float64(d)
-		va := 0.0
-		for _, v := range row {
-			va += (v - mu) * (v - mu)
-		}
-		va /= float64(d)
-		is := 1 / math.Sqrt(va+ln.Eps)
-		ln.invStd[i] = is
-		for j, v := range row {
-			xh := (v - mu) * is
-			ln.xhat.Data[i*d+j] = xh
-			out.Data[i*d+j] = ln.Gain.Data.Data[j]*xh + ln.Bias.Data.Data[j]
-		}
-	}
+	})
+	t.Push(lnState{xhat, invStd})
 	return out
 }
 
-// Backward accumulates dγ, dβ and returns dx using the backward gain.
-func (ln *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+// Backward accumulates dγ, dβ and returns dx using the backward gain. The
+// dγ/dβ column sums are split across feature columns and the dx rows
+// across samples; each output element accumulates in the serial order, so
+// the parallel result is bit-identical.
+func (ln *LayerNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	st := t.Pop().(lnState)
 	n, d := dy.Shape[0], dy.Shape[1]
-	gainB := ln.Gain.BwdData()
-	out := tensor.New(n, d)
-	for i := 0; i < n; i++ {
-		dxhat := make([]float64, d)
-		m1, m2 := 0.0, 0.0
-		for j := 0; j < d; j++ {
-			g := dy.Data[i*d+j]
-			xh := ln.xhat.Data[i*d+j]
-			ln.Gain.Grad.Data[j] += g * xh
-			ln.Bias.Grad.Data[j] += g
-			dx := g * gainB.Data[j]
-			dxhat[j] = dx
-			m1 += dx
-			m2 += dx * xh
+	xhat, invStd := st.xhat, st.invStd
+	gainB := ln.Gain.BwdData().Data
+	gGrad, bGrad := ln.Gain.Grad.Data, ln.Bias.Grad.Data
+	// dγ_j = Σ_i dy_ij·xhat_ij and dβ_j = Σ_i dy_ij: columns are
+	// independent, rows accumulate in ascending order per column.
+	tensor.ParallelRows(d, 4*n*d, func(jLo, jHi int) {
+		for j := jLo; j < jHi; j++ {
+			sg, sb := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				g := dy.Data[i*d+j]
+				sg += g * xhat.Data[i*d+j]
+				sb += g
+			}
+			gGrad[j] += sg
+			bGrad[j] += sb
 		}
-		m1 /= float64(d)
-		m2 /= float64(d)
-		is := ln.invStd[i]
-		for j := 0; j < d; j++ {
-			xh := ln.xhat.Data[i*d+j]
-			out.Data[i*d+j] = is * (dxhat[j] - m1 - xh*m2)
+	})
+	out := t.NewTensor(n, d)
+	tensor.ParallelRows(n, lnFlopsPerElem*n*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m1, m2 := 0.0, 0.0
+			for j := 0; j < d; j++ {
+				dx := dy.Data[i*d+j] * gainB[j]
+				m1 += dx
+				m2 += dx * xhat.Data[i*d+j]
+			}
+			m1 /= float64(d)
+			m2 /= float64(d)
+			is := invStd[i]
+			for j := 0; j < d; j++ {
+				xh := xhat.Data[i*d+j]
+				dx := dy.Data[i*d+j] * gainB[j]
+				out.Data[i*d+j] = is * (dx - m1 - xh*m2)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -100,7 +126,9 @@ type GroupNorm struct {
 	Bias   *Param // β, shape (C)
 	Groups int
 	Eps    float64
+}
 
+type gnState struct {
 	xhat    *tensor.Tensor
 	invStd  []float64 // per (b, group)
 	c, h, w int
@@ -117,84 +145,86 @@ func NewGroupNorm(name string, c, groups int) *GroupNorm {
 	return gn
 }
 
-// Forward normalizes each (sample, group) block.
-func (gn *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+// Forward normalizes each (sample, group) block. Samples are independent,
+// so the batch is split across goroutines bit-identically when kernel
+// parallelism is enabled.
+func (gn *GroupNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	gn.c, gn.h, gn.w = c, h, w
 	cg := c / gn.Groups
 	blk := cg * h * w
-	gn.xhat = tensor.New(b, c, h, w)
-	need := b * gn.Groups
-	if cap(gn.invStd) < need {
-		gn.invStd = make([]float64, need)
-	}
-	gn.invStd = gn.invStd[:need]
-	out := tensor.New(b, c, h, w)
-	for n := 0; n < b; n++ {
-		for g := 0; g < gn.Groups; g++ {
-			base := (n*c + g*cg) * h * w
-			mu := 0.0
-			for i := 0; i < blk; i++ {
-				mu += x.Data[base+i]
-			}
-			mu /= float64(blk)
-			va := 0.0
-			for i := 0; i < blk; i++ {
-				d := x.Data[base+i] - mu
-				va += d * d
-			}
-			va /= float64(blk)
-			is := 1 / math.Sqrt(va+gn.Eps)
-			gn.invStd[n*gn.Groups+g] = is
-			for ch := 0; ch < cg; ch++ {
-				gamma := gn.Gain.Data.Data[g*cg+ch]
-				beta := gn.Bias.Data.Data[g*cg+ch]
-				cbase := base + ch*h*w
-				for i := 0; i < h*w; i++ {
-					xh := (x.Data[cbase+i] - mu) * is
-					gn.xhat.Data[cbase+i] = xh
-					out.Data[cbase+i] = gamma*xh + beta
+	xhat := t.NewTensor(b, c, h, w)
+	invStd := t.Floats(b * gn.Groups)
+	out := t.NewTensor(b, c, h, w)
+	gain, bias := gn.Gain.Data.Data, gn.Bias.Data.Data
+	tensor.ParallelRows(b, lnFlopsPerElem*b*c*h*w, func(nLo, nHi int) {
+		for n := nLo; n < nHi; n++ {
+			for g := 0; g < gn.Groups; g++ {
+				base := (n*c + g*cg) * h * w
+				mu := 0.0
+				for i := 0; i < blk; i++ {
+					mu += x.Data[base+i]
+				}
+				mu /= float64(blk)
+				va := 0.0
+				for i := 0; i < blk; i++ {
+					d := x.Data[base+i] - mu
+					va += d * d
+				}
+				va /= float64(blk)
+				is := 1 / math.Sqrt(va+gn.Eps)
+				invStd[n*gn.Groups+g] = is
+				for ch := 0; ch < cg; ch++ {
+					gamma := gain[g*cg+ch]
+					beta := bias[g*cg+ch]
+					cbase := base + ch*h*w
+					for i := 0; i < h*w; i++ {
+						xh := (x.Data[cbase+i] - mu) * is
+						xhat.Data[cbase+i] = xh
+						out.Data[cbase+i] = gamma*xh + beta
+					}
 				}
 			}
 		}
-	}
+	})
+	t.Push(gnState{xhat, invStd, c, h, w})
 	return out
 }
 
 // Backward accumulates dγ, dβ and returns dx using the backward gain.
-func (gn *GroupNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	b, c, h, w := dy.Shape[0], gn.c, gn.h, gn.w
+func (gn *GroupNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
+	st := t.Pop().(gnState)
+	b, c, h, w := dy.Shape[0], st.c, st.h, st.w
 	cg := c / gn.Groups
 	blk := cg * h * w
-	gainB := gn.Gain.BwdData()
-	out := tensor.New(b, c, h, w)
-	dxhat := make([]float64, blk)
+	gainB := gn.Gain.BwdData().Data
+	out := t.NewTensor(b, c, h, w)
 	for n := 0; n < b; n++ {
 		for g := 0; g < gn.Groups; g++ {
 			base := (n*c + g*cg) * h * w
 			m1, m2 := 0.0, 0.0
 			for ch := 0; ch < cg; ch++ {
-				gamma := gainB.Data[g*cg+ch]
+				gamma := gainB[g*cg+ch]
 				cbase := base + ch*h*w
 				for i := 0; i < h*w; i++ {
 					gv := dy.Data[cbase+i]
-					xh := gn.xhat.Data[cbase+i]
+					xh := st.xhat.Data[cbase+i]
 					gn.Gain.Grad.Data[g*cg+ch] += gv * xh
 					gn.Bias.Grad.Data[g*cg+ch] += gv
 					dx := gv * gamma
-					dxhat[ch*h*w+i] = dx
 					m1 += dx
 					m2 += dx * xh
 				}
 			}
 			m1 /= float64(blk)
 			m2 /= float64(blk)
-			is := gn.invStd[n*gn.Groups+g]
+			is := st.invStd[n*gn.Groups+g]
 			for ch := 0; ch < cg; ch++ {
+				gamma := gainB[g*cg+ch]
 				cbase := base + ch*h*w
 				for i := 0; i < h*w; i++ {
-					xh := gn.xhat.Data[cbase+i]
-					out.Data[cbase+i] = is * (dxhat[ch*h*w+i] - m1 - xh*m2)
+					xh := st.xhat.Data[cbase+i]
+					dx := dy.Data[cbase+i] * gamma
+					out.Data[cbase+i] = is * (dx - m1 - xh*m2)
 				}
 			}
 		}

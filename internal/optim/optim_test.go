@@ -220,13 +220,15 @@ func TestOptimizersTrainTinyNetwork(t *testing.T) {
 			y[i] = 2*a - b + 0.5*c
 		}
 		var final float64
+		tp := nn.NewTape()
 		for it := 0; it < 600; it++ {
+			tp.Reset()
 			xt := nnTensor(x, 24, 3)
 			yt := nnTensor(y, 24, 1)
-			out := net.Forward(xt)
+			out := net.Forward(tp, xt)
 			final = mse.Forward(out, yt)
 			nn.ZeroGrads(net.Params())
-			net.Backward(mse.Backward())
+			net.Backward(tp, mse.Backward())
 			opt.Step(UniformLR(0.01, len(net.Params())))
 		}
 		if final > 0.02 {

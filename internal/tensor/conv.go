@@ -5,7 +5,9 @@ import "fmt"
 // Im2Col lowers a batched image tensor x with shape (B, C, H, W) into a
 // matrix of shape (B*OH*OW, C*KH*KW) where each row holds one receptive
 // field, so that convolution becomes a single MatMul with the reshaped
-// kernel. Stride and same-style zero padding are supported.
+// kernel. Stride and same-style zero padding are supported. Output rows
+// are independent, so they are split across goroutines (bit-identically)
+// when kernel parallelism is enabled.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic("tensor: Im2Col requires a rank-4 (B,C,H,W) tensor")
@@ -17,37 +19,40 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
 	}
 	out := New(b*oh*ow, c*kh*kw)
-	row := 0
-	for n := 0; n < b; n++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				dst := out.Data[row*c*kh*kw : (row+1)*c*kh*kw]
-				col := 0
-				for ch := 0; ch < c; ch++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride - pad + ky
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride - pad + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								dst[col] = x.Data[((n*c+ch)*h+iy)*w+ix]
-							} else {
-								dst[col] = 0
-							}
-							col++
+	rows := b * oh * ow
+	parallelRows(rows, rows*c*kh*kw, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			n := row / (oh * ow)
+			oy := (row / ow) % oh
+			ox := row % ow
+			dst := out.Data[row*c*kh*kw : (row+1)*c*kh*kw]
+			col := 0
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[col] = x.Data[((n*c+ch)*h+iy)*w+ix]
+						} else {
+							dst[col] = 0
 						}
+						col++
 					}
 				}
-				row++
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters the lowered matrix cols of
 // shape (B*OH*OW, C*KH*KW) back into an image tensor of shape (B, C, H, W),
 // accumulating overlapping contributions. It is used for the convolution
-// input gradient.
+// input gradient. Overlapping patches of one image accumulate into shared
+// pixels, so the deterministic parallel split is per image: each goroutine
+// owns a contiguous range of batch indices and scatters its images in the
+// exact serial patch order.
 func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
@@ -55,28 +60,30 @@ func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im shape mismatch: cols %v, expect (%d,%d)", cols.Shape, b*oh*ow, c*kh*kw))
 	}
 	out := New(b, c, h, w)
-	row := 0
-	for n := 0; n < b; n++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				src := cols.Data[row*c*kh*kw : (row+1)*c*kh*kw]
-				col := 0
-				for ch := 0; ch < c; ch++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride - pad + ky
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride - pad + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								out.Data[((n*c+ch)*h+iy)*w+ix] += src[col]
+	parallelRows(b, b*oh*ow*c*kh*kw, func(nLo, nHi int) {
+		for n := nLo; n < nHi; n++ {
+			row := n * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := cols.Data[row*c*kh*kw : (row+1)*c*kh*kw]
+					col := 0
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride - pad + ky
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride - pad + kx
+								if iy >= 0 && iy < h && ix >= 0 && ix < w {
+									out.Data[((n*c+ch)*h+iy)*w+ix] += src[col]
+								}
+								col++
 							}
-							col++
 						}
 					}
+					row++
 				}
-				row++
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -76,9 +76,17 @@ func LowerWorkers() {
 // goroutine must receive before splitting is worth the synchronization.
 const parallelMinWork = 1 << 14
 
-// parallelRows runs fn over contiguous chunks of [0, rows), concurrently
+// ParallelRows runs fn over contiguous chunks of [0, rows), concurrently
 // when kernel parallelism is enabled and flops (total scalar work) is
-// large enough to amortize the goroutine handoff.
+// large enough to amortize the goroutine handoff. Callers must ensure the
+// chunks touch disjoint state and accumulate in a fixed per-element order,
+// so parallel results stay bit-identical to serial ones; the nn substrate
+// uses it for row-parallel layernorm and column-parallel norm gradients.
+func ParallelRows(rows, flops int, fn func(lo, hi int)) {
+	parallelRows(rows, flops, fn)
+}
+
+// parallelRows is the internal spelling of ParallelRows.
 func parallelRows(rows, flops int, fn func(lo, hi int)) {
 	w := Workers()
 	if maxW := flops / parallelMinWork; w > maxW {

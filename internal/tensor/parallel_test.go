@@ -47,6 +47,80 @@ func TestParallelKernelsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestParallelRowKernelsBitIdentical extends the determinism pin beyond
+// the matmul family: row-parallel softmax/log-sum-exp and the im2col /
+// col2im convolution lowering must match their serial results bit for bit.
+func TestParallelRowKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := randTensor(rng, 129, 37)
+	img := randTensor(rng, 5, 3, 9, 9)
+	cols := randTensor(rng, 5*9*9, 3*3*3)
+
+	type result struct {
+		soft *Tensor
+		lse  []float64
+		i2c  *Tensor
+		c2i  *Tensor
+	}
+	compute := func() result {
+		return result{
+			soft: SoftmaxRows(logits),
+			lse:  LogSumExpRows(logits),
+			i2c:  Im2Col(img, 3, 3, 1, 1),
+			c2i:  Col2Im(cols, 5, 3, 9, 9, 3, 3, 1, 1),
+		}
+	}
+	SetWorkers(1)
+	serial := compute()
+	SetWorkers(8)
+	parallel := compute()
+	SetWorkers(1)
+
+	check := func(name string, s, p *Tensor) {
+		t.Helper()
+		for i := range s.Data {
+			if s.Data[i] != p.Data[i] {
+				t.Fatalf("%s: element %d differs: serial %v parallel %v", name, i, s.Data[i], p.Data[i])
+			}
+		}
+	}
+	check("SoftmaxRows", serial.soft, parallel.soft)
+	check("Im2Col", serial.i2c, parallel.i2c)
+	check("Col2Im", serial.c2i, parallel.c2i)
+	for i := range serial.lse {
+		if serial.lse[i] != parallel.lse[i] {
+			t.Fatalf("LogSumExpRows: row %d differs: serial %v parallel %v", i, serial.lse[i], parallel.lse[i])
+		}
+	}
+}
+
+// TestIntoVariantsMatchAllocating pins that the Into kernels (used by the
+// activation-tape arenas) agree with their allocating counterparts.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b := randTensor(rng, 17, 9), randTensor(rng, 9, 13)
+	at, bt := Transpose(a), Transpose(b)
+
+	for _, c := range []struct {
+		name string
+		want *Tensor
+		into func(dst *Tensor)
+	}{
+		{"MatMulInto", MatMul(a, b), func(d *Tensor) { MatMulInto(d, a, b) }},
+		{"MatMulT1Into", MatMulT1(at, b), func(d *Tensor) { MatMulT1Into(d, at, b) }},
+		{"MatMulT2Into", MatMulT2(a, bt), func(d *Tensor) { MatMulT2Into(d, a, bt) }},
+		{"SoftmaxRowsInto", SoftmaxRows(a), func(d *Tensor) { SoftmaxRowsInto(d.Reshape(17, 9), a) }},
+	} {
+		dst := New(c.want.Shape...)
+		c.into(dst)
+		for i := range c.want.Data {
+			if dst.Data[i] != c.want.Data[i] {
+				t.Fatalf("%s: element %d differs", c.name, i)
+			}
+		}
+	}
+}
+
 func TestRaiseWorkersNests(t *testing.T) {
 	prev := SetWorkers(1)
 	defer SetWorkers(prev)

@@ -76,6 +76,16 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 	copy(t.Data, src.Data)
 }
 
+// RowView returns a (rows, cols) view of row r of a rank-2 tensor whose
+// rows hold rows*cols elements. The data is shared with t.
+func (t *Tensor) RowView(r, rows, cols int) *Tensor {
+	n := rows * cols
+	if t.Rank() != 2 || t.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: RowView(%d,%d) of %v", rows, cols, t.Shape))
+	}
+	return &Tensor{Shape: []int{rows, cols}, Data: t.Data[r*n : (r+1)*n]}
+}
+
 // Reshape returns a view of t with a new shape of the same total size.
 // The data is shared with t.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
@@ -283,6 +293,15 @@ func (t *Tensor) ArgMaxRow(r int) int {
 
 // MatMul returns a @ b for rank-2 tensors a (m×k) and b (k×n).
 func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes a @ b into dst, which must be an m×n tensor whose
+// elements are zero (freshly allocated or zeroed; tape arenas hand out
+// zeroed buffers).
+func MatMulInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
 	}
@@ -291,7 +310,10 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul destination %v, want (%d,%d)", dst.Shape, m, n))
+	}
+	out := dst
 	// ikj loop order: the inner loop streams contiguously over b and out.
 	// Output rows are independent, so they may be split across goroutines
 	// with bit-identical results.
@@ -311,11 +333,18 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // MatMulT1 returns aᵀ @ b for a (k×m) and b (k×n): result is m×n.
 func MatMulT1(a, b *Tensor) *Tensor {
+	out := New(a.Shape[1], b.Shape[1])
+	MatMulT1Into(out, a, b)
+	return out
+}
+
+// MatMulT1Into computes aᵀ @ b into dst, an m×n tensor whose elements must
+// be zero on entry.
+func MatMulT1Into(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT1 requires rank-2 tensors")
 	}
@@ -324,7 +353,10 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT1 inner dimension mismatch %vᵀ @ %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT1 destination %v, want (%d,%d)", dst.Shape, m, n))
+	}
+	out := dst
 	if Workers() <= 1 {
 		// pij loop order streams contiguously over a and b.
 		for p := 0; p < k; p++ {
@@ -341,7 +373,7 @@ func MatMulT1(a, b *Tensor) *Tensor {
 				}
 			}
 		}
-		return out
+		return
 	}
 	// Parallel path: one output-row range per goroutine. Each element still
 	// accumulates over p in ascending order, so the result is bit-identical
@@ -361,11 +393,18 @@ func MatMulT1(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // MatMulT2 returns a @ bᵀ for a (m×k) and b (n×k): result is m×n.
 func MatMulT2(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[0])
+	MatMulT2Into(out, a, b)
+	return out
+}
+
+// MatMulT2Into computes a @ bᵀ into dst, an m×n tensor. Every element of
+// dst is overwritten.
+func MatMulT2Into(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT2 requires rank-2 tensors")
 	}
@@ -374,7 +413,10 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT2 inner dimension mismatch %v @ %vᵀ", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT2 destination %v, want (%d,%d)", dst.Shape, m, n))
+	}
+	out := dst
 	parallelRows(m, 2*m*n*k, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
@@ -389,7 +431,6 @@ func MatMulT2(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
@@ -411,32 +452,49 @@ func Transpose(a *Tensor) *Tensor {
 
 // SoftmaxRows computes row-wise softmax of a 2-D tensor.
 func SoftmaxRows(a *Tensor) *Tensor {
+	out := New(a.Shape[0], a.Shape[1])
+	SoftmaxRowsInto(out, a)
+	return out
+}
+
+// softmaxFlopsPerElem approximates the per-element cost of a softmax row
+// (exp dominates) for the parallel work gate.
+const softmaxFlopsPerElem = 16
+
+// SoftmaxRowsInto computes the row-wise softmax of a into dst (same
+// shape). Rows are independent, so they are split across goroutines with
+// bit-identical results when kernel parallelism is enabled.
+func SoftmaxRowsInto(dst, a *Tensor) {
 	if a.Rank() != 2 {
 		panic("tensor: SoftmaxRows requires a rank-2 tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*n : (i+1)*n]
-		orow := out.Data[i*n : (i+1)*n]
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: SoftmaxRows destination %v, want (%d,%d)", dst.Shape, m, n))
+	}
+	out := dst
+	parallelRows(m, softmaxFlopsPerElem*m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*n : (i+1)*n]
+			orow := out.Data[i*n : (i+1)*n]
+			mx := row[0]
+			for _, v := range row[1:] {
+				if v > mx {
+					mx = v
+				}
+			}
+			s := 0.0
+			for j, v := range row {
+				e := math.Exp(v - mx)
+				orow[j] = e
+				s += e
+			}
+			inv := 1 / s
+			for j := range orow {
+				orow[j] *= inv
 			}
 		}
-		s := 0.0
-		for j, v := range row {
-			e := math.Exp(v - mx)
-			orow[j] = e
-			s += e
-		}
-		inv := 1 / s
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
-	return out
+	})
 }
 
 // LogSumExpRows returns the log-sum-exp of each row of a 2-D tensor.
@@ -446,19 +504,21 @@ func LogSumExpRows(a *Tensor) []float64 {
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	out := make([]float64, m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*n : (i+1)*n]
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
+	parallelRows(m, softmaxFlopsPerElem*m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*n : (i+1)*n]
+			mx := row[0]
+			for _, v := range row[1:] {
+				if v > mx {
+					mx = v
+				}
 			}
+			s := 0.0
+			for _, v := range row {
+				s += math.Exp(v - mx)
+			}
+			out[i] = mx + math.Log(s)
 		}
-		s := 0.0
-		for _, v := range row {
-			s += math.Exp(v - mx)
-		}
-		out[i] = mx + math.Log(s)
-	}
+	})
 	return out
 }
