@@ -94,6 +94,34 @@ func BenchmarkEngineConcurrentP8(b *testing.B) {
 	benchEngineTransformer(b, 8, concurrent.New())
 }
 
+// Replicated data-parallel benchmarks: R pipeline replicas split each
+// minibatch's 8 microbatches and run concurrently (Reference inners, so
+// the scaling isolates the replication axis from pipeline overlap). On
+// GOMAXPROCS ≥ 4 the epoch time should drop as R grows; on a single core
+// the replicas time-slice and R≈1 throughput is expected.
+
+func benchEngineReplicated(b *testing.B, stages, replicas int) {
+	b.Helper()
+	tr, err := experiments.NewReplicatedBenchTrainer(stages, replicas, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tr.Run(context.Background(), 1); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Run(context.Background(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReplicatedR1P4(b *testing.B) { benchEngineReplicated(b, 4, 1) }
+func BenchmarkEngineReplicatedR2P4(b *testing.B) { benchEngineReplicated(b, 4, 2) }
+func BenchmarkEngineReplicatedR4P4(b *testing.B) { benchEngineReplicated(b, 4, 4) }
+
 // Substrate micro-benchmarks: the kernels the simulator spends its time
 // in, for allocation and throughput tracking with -benchmem.
 

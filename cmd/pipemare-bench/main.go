@@ -7,7 +7,8 @@
 //	pipemare-bench -full table2  # reference-scale run
 //	pipemare-bench all           # every experiment at quick scale
 //	pipemare-bench -engine concurrent table2   # stage-worker engine
-//	pipemare-bench -json         # engine perf record → BENCH_engine.json
+//	pipemare-bench -replicas 2 table2          # 2 data-parallel replicas
+//	pipemare-bench -json         # engine perf record, merged into BENCH_engine.json
 package main
 
 import (
@@ -27,15 +28,31 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at reference (paper) scale instead of quick scale")
 	engineName := flag.String("engine", "reference", "execution engine for training runs: reference | concurrent")
-	jsonOut := flag.Bool("json", false, "benchmark the engines on the transformer workload and write BENCH_engine.json")
+	replicas := flag.Int("replicas", 1, "data-parallel pipeline replicas per training run (curves are bit-identical to -replicas 1)")
+	jsonOut := flag.Bool("json", false, "benchmark the engines on the transformer workload and merge the records into BENCH_engine.json")
 	flag.Parse()
+	var inner func() pipemare.Engine
 	switch *engineName {
 	case "reference":
 	case "concurrent":
-		experiments.EngineFactory = func() pipemare.Engine { return concurrent.New() }
+		inner = func() pipemare.Engine { return concurrent.New() }
 	default:
 		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown engine %q (want reference or concurrent)\n", *engineName)
 		os.Exit(2)
+	}
+	switch {
+	case *replicas < 1 || *replicas > 8:
+		// Every replica needs at least one microbatch per minibatch; the
+		// smallest workload recipe runs N = 8 microbatches (batch 64,
+		// microbatch size 8).
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -replicas must be in [1, 8], got %d\n", *replicas)
+		os.Exit(2)
+	case *replicas > 1:
+		// Replication wraps the chosen engine as the per-replica inner.
+		experiments.Replicas = *replicas
+		experiments.EngineFactory = func() pipemare.Engine { return pipemare.NewReplicatedEngine(inner) }
+	case inner != nil:
+		experiments.EngineFactory = inner
 	}
 	if *jsonOut {
 		if err := benchEngines("BENCH_engine.json"); err != nil {
@@ -81,20 +98,25 @@ func main() {
 	}
 }
 
-// benchRecord is one engine×stages measurement of the transformer
-// workload. OverlapEfficiency is speedup/P: the fraction of perfect P-way
-// stage overlap the concurrent engine realizes over Reference (1.0 would
-// be a linear-in-P win; on a single-core runner it sits near 1/P because
-// there is no hardware to overlap onto).
+// benchRecord is one engine×stages×replicas measurement of the
+// transformer workload. OverlapEfficiency is speedup/P: the fraction of
+// perfect P-way stage overlap the concurrent engine realizes over
+// Reference (1.0 would be a linear-in-P win; on a single-core runner it
+// sits near 1/P because there is no hardware to overlap onto). For
+// replicated records the speedup is against single-replica Reference at
+// the same P, and ScalingEfficiency is speedup/R.
 type benchRecord struct {
 	Engine            string  `json:"engine"`
 	Stages            int     `json:"stages"`
+	Replicas          int     `json:"replicas"`
 	NsPerEpoch        int64   `json:"ns_per_epoch"`
-	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P
+	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"` // speedup / R
 }
 
-// benchFile is the BENCH_engine.json schema, one record per engine×P.
+// benchFile is the BENCH_engine.json schema, one record per
+// engine×P×replicas.
 type benchFile struct {
 	Workload   string        `json:"workload"`
 	GoMaxProcs int           `json:"gomaxprocs"`
@@ -102,28 +124,79 @@ type benchFile struct {
 	Records    []benchRecord `json:"records"`
 }
 
+// loadBenchFile reads an existing perf record so a re-run merges into it
+// instead of overwriting rows it did not measure (e.g. another engine×P
+// combination recorded on a different runner). A missing, unreadable or
+// different-workload file starts fresh.
+func loadBenchFile(path string) benchFile {
+	out := benchFile{Workload: experiments.EngineBenchWorkload}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	var prev benchFile
+	if json.Unmarshal(raw, &prev) != nil || prev.Workload != experiments.EngineBenchWorkload {
+		return out
+	}
+	for i := range prev.Records {
+		if prev.Records[i].Replicas == 0 {
+			prev.Records[i].Replicas = 1 // records from before the replicas dimension
+		}
+	}
+	out.Records = prev.Records
+	return out
+}
+
+// upsert replaces the record with rec's (engine, stages, replicas) key or
+// appends it.
+func (b *benchFile) upsert(rec benchRecord) {
+	for i, r := range b.Records {
+		if r.Engine == rec.Engine && r.Stages == rec.Stages && r.Replicas == rec.Replicas {
+			b.Records[i] = rec
+			return
+		}
+	}
+	b.Records = append(b.Records, rec)
+}
+
 // benchEngines times one training epoch of the transformer workload under
-// the Reference and concurrent engines at P ∈ {4, 8} and writes the perf
-// record, so the engine trajectory is tracked across PRs.
+// the Reference and concurrent engines at P ∈ {4, 8} and the replicated
+// engine at P = 4 with R ∈ {2, 4} Reference-inner replicas, then merges
+// the measurements into the perf record so the engine trajectory is
+// tracked across PRs without clobbering rows from other runs.
 func benchEngines(path string) error {
-	out := benchFile{Workload: experiments.EngineBenchWorkload,
-		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	out := loadBenchFile(path)
+	out.GoMaxProcs = runtime.GOMAXPROCS(0)
+	out.NumCPU = runtime.NumCPU()
+	refNsAt := map[int]int64{}
 	for _, p := range []int{4, 8} {
-		refNs, err := timeEpochs(p, pipemare.NewReferenceEngine())
+		refNs, err := timeEpochs(p, 1, pipemare.NewReferenceEngine())
 		if err != nil {
 			return err
 		}
-		concNs, err := timeEpochs(p, concurrent.New())
+		refNsAt[p] = refNs
+		concNs, err := timeEpochs(p, 1, concurrent.New())
 		if err != nil {
 			return err
 		}
 		speedup := float64(refNs) / float64(concNs)
-		out.Records = append(out.Records,
-			benchRecord{Engine: "reference", Stages: p, NsPerEpoch: refNs},
-			benchRecord{Engine: "concurrent", Stages: p, NsPerEpoch: concNs,
-				Speedup: speedup, OverlapEfficiency: speedup / float64(p)})
+		out.upsert(benchRecord{Engine: "reference", Stages: p, Replicas: 1, NsPerEpoch: refNs})
+		out.upsert(benchRecord{Engine: "concurrent", Stages: p, Replicas: 1, NsPerEpoch: concNs,
+			Speedup: speedup, OverlapEfficiency: speedup / float64(p)})
 		fmt.Printf("P=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f)\n",
 			p, float64(refNs)/1e9, float64(concNs)/1e9, speedup, speedup/float64(p))
+	}
+	for _, r := range []int{2, 4} {
+		const p = 4
+		ns, err := timeEpochs(p, r, nil) // nil engine: the default replicated engine
+		if err != nil {
+			return err
+		}
+		speedup := float64(refNsAt[p]) / float64(ns)
+		out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
+			NsPerEpoch: ns, Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
+		fmt.Printf("P=%d R=%d: replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
+			p, r, float64(ns)/1e9, speedup, speedup/float64(r))
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -142,8 +215,8 @@ func benchEngines(path string) error {
 // timeEpochs builds the benchmark trainer (the same workload as the root
 // BenchmarkEngine* benchmarks) and returns ns per epoch: one warm epoch,
 // then the mean of two timed epochs.
-func timeEpochs(stages int, eng pipemare.Engine) (int64, error) {
-	tr, err := experiments.NewEngineBenchTrainer(stages, eng)
+func timeEpochs(stages, replicas int, eng pipemare.Engine) (int64, error) {
+	tr, err := experiments.NewReplicatedBenchTrainer(stages, replicas, eng)
 	if err != nil {
 		return 0, err
 	}

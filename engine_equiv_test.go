@@ -2,7 +2,10 @@ package pipemare_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"pipemare"
@@ -26,11 +29,15 @@ type quadTask struct {
 	test   [][]float64
 
 	fwd [][2]float64 // per-group mean residuals cached by Forward
+
+	nGroups, nTrain, nTest int // ctor args, kept for CloneTask
+	seed                   int64
 }
 
 func newQuadTask(groups, train, test int, seed int64) *quadTask {
 	rng := rand.New(rand.NewSource(seed))
-	t := &quadTask{fwd: make([][2]float64, groups)}
+	t := &quadTask{fwd: make([][2]float64, groups),
+		nGroups: groups, nTrain: train, nTest: test, seed: seed}
 	for g := 0; g < groups; g++ {
 		p := nn.NewParam("q", 2)
 		p.Data.Data[0] = rng.NormFloat64()
@@ -55,6 +62,12 @@ func newQuadTask(groups, train, test int, seed int64) *quadTask {
 
 func (t *quadTask) Groups() []pipemare.ParamGroup { return t.groups }
 func (t *quadTask) NumTrain() int                 { return len(t.train) }
+
+// CloneTask makes quadTask Replicable: it is a monolithic (non-StageTask)
+// task, so it exercises the replicated engine's monolithic fallback.
+func (t *quadTask) CloneTask() pipemare.Task {
+	return newQuadTask(t.nGroups, t.nTrain, t.nTest, t.seed)
+}
 
 func (t *quadTask) lossOn(set [][]float64, idx []int, record bool) float64 {
 	loss := 0.0
@@ -281,4 +294,201 @@ func TestEnginesEquivalentOnDivergence(t *testing.T) {
 		t.Fatal("reference run was expected to diverge")
 	}
 	requireIdentical(t, "divergence", ref, conc)
+}
+
+// --- replicated data-parallel engine ---
+
+// replicaGrid returns the (replicas, inner-engine) combinations the
+// grid-shaped replicated equivalence tests (MatchesReference,
+// MonolithicFallback, DivergenceAcrossReplicas) cover. CI narrows the
+// grid per matrix job via PIPEMARE_REPLICAS / PIPEMARE_REPLICA_INNER;
+// locally the full grid runs.
+func replicaGrid() (rs []int, inners []string) {
+	rs = []int{2, 4}
+	inners = []string{"reference", "concurrent"}
+	if v := os.Getenv("PIPEMARE_REPLICAS"); v != "" {
+		r, err := strconv.Atoi(v)
+		if err != nil {
+			panic("bad PIPEMARE_REPLICAS: " + v)
+		}
+		rs = []int{r}
+	}
+	if v := os.Getenv("PIPEMARE_REPLICA_INNER"); v != "" {
+		if v != "reference" && v != "concurrent" {
+			// A typo'd value must not silently fall back to the reference
+			// inner and void the coverage the CI cell claims to run.
+			panic("bad PIPEMARE_REPLICA_INNER: " + v)
+		}
+		inners = []string{v}
+	}
+	return rs, inners
+}
+
+// replicatedEngine builds the replicated engine over the named inner.
+func replicatedEngine(inner string) pipemare.Engine {
+	if inner == "concurrent" {
+		return pipemare.NewReplicatedEngine(func() pipemare.Engine { return concurrent.New() })
+	}
+	return pipemare.NewReplicatedEngine(nil)
+}
+
+// runCurve trains a fresh task under the given options and returns the
+// curve, asserting the trainer really owns wantReplicas replicas (so a
+// silently single-replica run cannot fake an equivalence pass).
+func runCurve(t *testing.T, build func() pipemare.Task, epochs, wantReplicas int, opts ...pipemare.Option) *pipemare.Run {
+	t.Helper()
+	tr, err := pipemare.New(build(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Replicas() != wantReplicas {
+		t.Fatalf("trainer owns %d replicas, want %d", tr.Replicas(), wantReplicas)
+	}
+	r, err := tr.Run(context.Background(), epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestReplicatedEngineMatchesReference pins the data-parallel determinism
+// claim: R replicas splitting every minibatch's microbatches — with every
+// PipeMare technique on (T1, T2, T3 warmup, clipping, recompute) and
+// either inner engine — must produce bit-identical curves to a
+// single-replica Reference run of the same global microbatch set.
+func TestReplicatedEngineMatchesReference(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 6})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 4, 8) }
+	base := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	ref := runCurve(t, build, 3, 1, base...)
+	rs, inners := replicaGrid()
+	for _, r := range rs {
+		for _, inner := range inners {
+			opts := append(append([]pipemare.Option{}, base...),
+				pipemare.WithReplicas(r), pipemare.WithEngine(replicatedEngine(inner)))
+			got := runCurve(t, build, 3, r, opts...)
+			requireIdentical(t, fmt.Sprintf("replicated/R=%d/%s", r, inner), ref, got)
+		}
+	}
+}
+
+// TestReplicatedEngineMatchesReferenceOnTransformer repeats the pin on the
+// stage-split transformer (boundary activations in registers, AdamW,
+// warmup-invsqrt schedule) with the pipelined inner engine, so replication
+// composes with true microbatch overlap.
+func TestReplicatedEngineMatchesReferenceOnTransformer(t *testing.T) {
+	ds := data.NewTranslation(data.TranslationConfig{Vocab: 11, SrcLen: 5,
+		Train: 64, Test: 16, Seed: 2})
+	build := func() pipemare.Task {
+		return model.NewTranslation(ds, model.TransformerConfig{
+			Dim: 16, Heads: 2, EncLayers: 1, DecLayers: 1, Seed: 4})
+	}
+	base := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithStages(8),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(4),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+		}),
+		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 20}))
+	ref := runCurve(t, build, 2, 1, base...)
+	opts := append(append([]pipemare.Option{}, base...),
+		pipemare.WithReplicas(2), pipemare.WithEngine(replicatedEngine("concurrent")))
+	got := runCurve(t, build, 2, 2, opts...)
+	requireIdentical(t, "replicated-transformer/R=2/concurrent", ref, got)
+}
+
+// TestReplicatedEngineMonolithicFallback pins the monolithic path: a task
+// that does not implement StageTask still trains under R > 1 — each
+// replica runs its chunk one microbatch at a time (forward in the last
+// stage's slot, backward in stage 0's, where all stages export) — and the
+// curves still match single-replica Reference bit for bit.
+func TestReplicatedEngineMonolithicFallback(t *testing.T) {
+	build := func() pipemare.Task { return newQuadTask(6, 64, 16, 5) }
+	base := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	ref := runCurve(t, build, 6, 1, base...)
+	rs, inners := replicaGrid()
+	for _, r := range rs {
+		for _, inner := range inners {
+			opts := append(append([]pipemare.Option{}, base...),
+				pipemare.WithReplicas(r), pipemare.WithEngine(replicatedEngine(inner)))
+			got := runCurve(t, build, 6, r, opts...)
+			requireIdentical(t, fmt.Sprintf("monolithic/R=%d/%s", r, inner), ref, got)
+		}
+	}
+}
+
+// TestReplicatedEngineDivergenceAcrossReplicas pins the abort path under
+// replication: when a microbatch in some replica's chunk blows past the
+// loss cap, every replica must drain and restore, no commit or broadcast
+// may run, and the recorded curve must equal the Reference divergence
+// curve exactly.
+func TestReplicatedEngineDivergenceAcrossReplicas(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 8})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 3, 9) }
+	base := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(8),
+		pipemare.WithSeed(4), pipemare.WithLossCap(15),
+		pipemare.WithRecompute(2),
+		pipemare.WithSchedule(optim.Constant(8)), // absurd rate: diverges
+	}
+	ref := runCurve(t, build, 4, 1, base...)
+	if !ref.Diverged {
+		t.Fatal("reference run was expected to diverge")
+	}
+	rs, inners := replicaGrid()
+	for _, r := range rs {
+		for _, inner := range inners {
+			opts := append(append([]pipemare.Option{}, base...),
+				pipemare.WithReplicas(r), pipemare.WithEngine(replicatedEngine(inner)))
+			got := runCurve(t, build, 4, r, opts...)
+			requireIdentical(t, fmt.Sprintf("replicated-divergence/R=%d/%s", r, inner), ref, got)
+		}
+	}
+}
+
+// TestReplicatedEngineSurvivesRepeatedRuns pins the Lifecycle contract for
+// the replicated engine: chunked RunInto calls and a second trainer must
+// restart the replica group cleanly.
+func TestReplicatedEngineSurvivesRepeatedRuns(t *testing.T) {
+	eng := replicatedEngine("concurrent")
+	build := func() pipemare.Task { return newQuadTask(4, 32, 8, 9) }
+	tr, err := pipemare.New(build(),
+		pipemare.WithMethod(pipemare.PipeMare), pipemare.WithT1(8),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4),
+		pipemare.WithReplicas(2),
+		pipemare.WithSeed(3), pipemare.WithEngine(eng),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &pipemare.Run{}
+	for i := 0; i < 3; i++ {
+		if _, err := tr.RunInto(context.Background(), 2, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if run.Epochs() != 6 {
+		t.Fatalf("chunked runs recorded %d epochs, want 6", run.Epochs())
+	}
+	// The same engine instance must also serve a second trainer.
+	tr2, err := pipemare.New(build(),
+		pipemare.WithMethod(pipemare.GPipe),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4),
+		pipemare.WithReplicas(2),
+		pipemare.WithEngine(eng), pipemare.WithSchedule(optim.Constant(0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -21,6 +21,7 @@ import (
 func main() {
 	epochs := flag.Int("epochs", 40, "training epochs")
 	method := flag.String("method", "pipemare", "gpipe | pipedream | pipemare")
+	replicas := flag.Int("replicas", 1, "data-parallel pipeline replicas (bit-identical curves, faster wall-clock on multicore)")
 	timeout := flag.Duration("timeout", 0, "optional wall-clock budget (0 = none)")
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 	opts := []pipemare.Option{
 		pipemare.WithBatchSize(64),
 		pipemare.WithMicrobatchSize(4), // small microbatches reduce delay
+		pipemare.WithReplicas(*replicas),
 		pipemare.WithClipNorm(5),
 		pipemare.WithSeed(3),
 		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {

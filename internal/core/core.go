@@ -35,10 +35,12 @@ import (
 
 	"pipemare/internal/data"
 	"pipemare/internal/engine"
+	"pipemare/internal/engine/replicated"
 	"pipemare/internal/metrics"
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
 	"pipemare/internal/pipeline"
+	"pipemare/internal/replica"
 	"pipemare/internal/tensor"
 )
 
@@ -88,6 +90,18 @@ type Task interface {
 	EvalTest() float64
 }
 
+// Replicable is a Task that can produce an architecturally identical
+// fresh instance for data-parallel replication (Config.Replicas > 1).
+// The clone must have the same weight-group structure and parameter
+// shapes; its initial weights are overwritten with the leader's before
+// training starts, so the clone's own initialization does not matter.
+type Replicable interface {
+	Task
+	// CloneTask returns a fresh task instance over the same dataset with
+	// the same architecture.
+	CloneTask() Task
+}
+
 // StageTask is a Task whose network compiles to an op program aligned with
 // its weight groups, so the trainer can execute it as per-stage segments:
 // any stage partition of the groups induces contiguous op ranges, and the
@@ -129,8 +143,19 @@ type Config struct {
 	LossCap  float64 // divergence threshold (0 = 1e6)
 	Seed     int64
 
+	// Replicas is the data-parallel replica count R (0 or 1 disables
+	// replication). With R > 1 the task must implement Replicable: the
+	// trainer owns R−1 follower trainers, each minibatch's microbatches
+	// are split contiguously across the replicas, and one shared
+	// optimizer step commits on this (leader) trainer after a
+	// deterministic gradient all-reduce — bit-identical to the
+	// single-replica curves. R must not exceed the microbatch count N.
+	Replicas int
+
 	// Engine selects the execution engine; nil means the single-goroutine
-	// Reference engine.
+	// Reference engine (or, with Replicas > 1, the replicated engine over
+	// Reference inners). With Replicas > 1 the engine must be
+	// replica-aware (replica.Aware).
 	Engine engine.Engine
 }
 
@@ -180,6 +205,12 @@ type Trainer struct {
 	flows      map[int]*flight
 	freeFlows  []*flight
 
+	// Data-parallel replication state: a leader trainer owns its follower
+	// trainers; a follower holds a pointer back to its leader for the
+	// post-step weight broadcast.
+	replicas []*Trainer
+	leader   *Trainer
+
 	observer Observer
 	rng      *rand.Rand
 	micro    int // global microbatch counter s
@@ -222,9 +253,31 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	if got, want := len(opt.Params()), len(part.Params()); got != want {
 		return nil, fmt.Errorf("core: optimizer has %d params, partition has %d", got, want)
 	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("core: replicas must be >= 0, got %d", cfg.Replicas)
+	}
+	replicas := cfg.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	if replicas > n {
+		return nil, fmt.Errorf("core: %d replicas exceed the %d microbatches per minibatch (every replica needs at least one)", replicas, n)
+	}
 	eng := cfg.Engine
 	if eng == nil {
-		eng = engine.NewReference()
+		if replicas > 1 {
+			eng = replicated.New()
+		} else {
+			eng = engine.NewReference()
+		}
+	}
+	if replicas > 1 {
+		if _, ok := eng.(replica.Aware); !ok {
+			return nil, fmt.Errorf("core: engine %q is not replica-aware; use the replicated engine (internal/engine/replicated) to train %d replicas", eng.Name(), replicas)
+		}
+		if _, ok := task.(Replicable); !ok {
+			return nil, fmt.Errorf("core: task %T does not implement Replicable; %d-replica training needs CloneTask", task, replicas)
+		}
 	}
 	t := &Trainer{
 		task: task, opt: opt, sched: sched, cfg: cfg, eng: eng,
@@ -278,7 +331,46 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 		t.stageTask, t.prog, t.opLo, t.opHi = st, prog, lo, hi
 	}
 	t.flows = make(map[int]*flight)
+	for r := 1; r < replicas; r++ {
+		f, err := t.newFollower(task.(Replicable), r)
+		if err != nil {
+			return nil, err
+		}
+		t.replicas = append(t.replicas, f)
+	}
 	return t, nil
+}
+
+// newFollower clones the leader's task, copies the leader's current
+// (initial) weights into the clone — so the follower's version store
+// seeds with the same version-0 snapshot — and builds the follower
+// trainer. The follower's optimizer is never stepped: the leader commits
+// the shared step and broadcasts the result.
+func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
+	ct := rep.CloneTask()
+	var cps []*nn.Param
+	for _, g := range ct.Groups() {
+		cps = append(cps, g.Params...)
+	}
+	if len(cps) != len(t.params) {
+		return nil, fmt.Errorf("core: replica %d clone has %d params, leader has %d", r, len(cps), len(t.params))
+	}
+	for i, cp := range cps {
+		if !cp.Data.SameShape(t.params[i].Data) {
+			return nil, fmt.Errorf("core: replica %d clone param %d (%s) shape %v differs from leader's %v",
+				r, i, cp.Name, cp.Data.Shape, t.params[i].Data.Shape)
+		}
+		cp.Data.CopyFrom(t.params[i].Data)
+	}
+	fcfg := t.cfg
+	fcfg.Replicas = 0
+	fcfg.Engine = engine.NewReference() // follower engines are never used
+	f, err := New(ct, optim.NewSGD(cps, 0, 0), t.sched, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building replica %d: %w", r, err)
+	}
+	f.leader = t
+	return f, nil
 }
 
 // gammaFromD mirrors quad.GammaFromD for τ_bkwd = 0 without importing the
@@ -327,6 +419,10 @@ func (t *Trainer) Partition() *pipeline.Partition { return t.part }
 
 // Engine returns the execution engine driving this trainer.
 func (t *Trainer) Engine() engine.Engine { return t.eng }
+
+// Replicas returns the data-parallel replica count R (1 when replication
+// is off).
+func (t *Trainer) Replicas() int { return len(t.replicas) + 1 }
 
 // Observe registers an observer invoked after every completed epoch.
 func (t *Trainer) Observe(fn Observer) { t.observer = fn }
@@ -627,6 +723,69 @@ func (h host) FinishStage(stage int) {
 	}
 	t.store.PushStage(stage)
 }
+
+// --- replica surface (replica.Leader / replica.Member) ---
+
+// Replicas returns the total replica count R (replica.Leader).
+func (h host) Replicas() int { return len(h.t.replicas) + 1 }
+
+// Follower returns follower r's member surface (replica.Leader).
+func (h host) Follower(r int) replica.Member { return host{h.t.replicas[r-1]} }
+
+// TakeStageGrads moves the stage's accumulated gradients into bufs and
+// zeroes the accumulators, so the next microbatch accumulates from zero
+// again. Buffers are allocated on first use and recycled by the caller.
+func (h host) TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor {
+	t := h.t
+	lo, hi := t.stageLo[stage], t.stageHi[stage]
+	if bufs == nil {
+		bufs = make([]*tensor.Tensor, hi-lo)
+		for j := range bufs {
+			bufs[j] = tensor.New(t.params[lo+j].Grad.Shape...)
+		}
+	}
+	for j, i := 0, lo; i < hi; i, j = i+1, j+1 {
+		bufs[j].CopyFrom(t.params[i].Grad)
+		t.params[i].Grad.Zero()
+	}
+	return bufs
+}
+
+// FoldStageGrads adds exported buffers into the stage's accumulators with
+// exactly one add per element — the arithmetic of the replica layer's
+// tree reduction, matching the nn accumulation contract (nn.Param.Grad)
+// so the fold is bit-identical to direct serial accumulation.
+func (h host) FoldStageGrads(stage int, bufs []*tensor.Tensor) {
+	t := h.t
+	for j, i := 0, t.stageLo[stage]; i < t.stageHi[stage]; i, j = i+1, j+1 {
+		tensor.AddInto(t.params[i].Grad, bufs[j])
+	}
+}
+
+// SyncFromLeader imports the leader's post-step master weights and T2
+// state, then pushes this replica's next per-stage weight version — the
+// follower half of the broadcast protocol, mirroring what FinishStage
+// did on the leader so both version queues stay aligned.
+func (h host) SyncFromLeader() {
+	t := h.t
+	ld := t.leader
+	for i := range t.masters {
+		t.masters[i].CopyFrom(ld.masters[i])
+	}
+	if t.delta != nil {
+		for i := range t.delta {
+			t.delta[i].CopyFrom(ld.delta[i])
+			t.corrected[i].CopyFrom(ld.corrected[i])
+		}
+	}
+	t.step = ld.step
+	for st := range t.part.Stages {
+		t.store.PushStage(st)
+	}
+}
+
+// The trainer's host satisfies the full replica surface.
+var _ replica.Leader = host{}
 
 // Run trains for the given number of epochs under ctx, recording one entry
 // per epoch. Epochs accumulate across calls: warmup (T3) and divergence

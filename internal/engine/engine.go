@@ -195,7 +195,7 @@ func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64
 		h.EndMicro(s)
 		restoreAll(h, p)
 	}
-	commit(h, p, len(micros))
+	Commit(h, len(micros))
 	return lossSum / float64(len(micros)), nil
 }
 
@@ -205,11 +205,15 @@ func restoreAll(h Host, p int) {
 	}
 }
 
-// commit runs the serial optimizer-step phases: average+snapshot per stage,
-// global clip, the optimizer update, then per-stage finalization. The
-// stage-partial gradient norms are summed in stage order so that the
-// concurrent engine's reduction is bit-identical.
-func commit(h Host, p, nMicro int) {
+// Commit runs the serial optimizer-step phases against a host whose
+// gradients hold a full minibatch of nMicro microbatches: average+snapshot
+// per stage, global clip, the optimizer update, then per-stage
+// finalization. The stage-partial gradient norms are summed in stage order
+// so that the concurrent engine's reduction is bit-identical. It is shared
+// by the Reference engine and the replicated engine (which commits on the
+// leader replica after the gradient all-reduce).
+func Commit(h Host, nMicro int) {
+	p := h.Stages()
 	sumSq := 0.0
 	for st := 0; st < p; st++ {
 		sumSq += h.PrepareStage(st, nMicro)

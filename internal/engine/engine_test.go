@@ -9,6 +9,7 @@ import (
 
 	"pipemare/internal/engine"
 	"pipemare/internal/engine/concurrent"
+	"pipemare/internal/engine/replicated"
 )
 
 // fakeHost checks the Host ordering contract at call time: installs must
@@ -237,9 +238,15 @@ func (f *fakeHost) FinishStage(stage int) {
 }
 
 func engines() map[string]engine.Engine {
+	// The replicated engine degenerates to its inner engine when the host
+	// is not a replica leader (fakeHost is plain), so including it here
+	// pins that passthrough against the full ordering contract.
 	return map[string]engine.Engine{
-		"reference":  engine.NewReference(),
-		"concurrent": concurrent.New(),
+		"reference":             engine.NewReference(),
+		"concurrent":            concurrent.New(),
+		"replicated(reference)": replicated.New(),
+		"replicated(concurrent)": replicated.New(
+			replicated.WithInner(func() engine.Engine { return concurrent.New() })),
 	}
 }
 

@@ -1,0 +1,168 @@
+// Package replicated implements the multi-replica data-parallel execution
+// engine: R pipeline replicas — the leader trainer plus the follower
+// trainers it owns (Config.Replicas, pipemare.WithReplicas) — each run a
+// contiguous share of every minibatch's microbatches through their own
+// inner engine (Reference or the concurrent stage-worker engine, so
+// pipeline overlap composes with replication), concurrently. One shared
+// optimizer step commits on the leader after a deterministic tree
+// all-reduce of the followers' per-microbatch gradients, and the
+// post-step weights broadcast back to the followers.
+//
+// Training curves are bit-identical to a single-replica run of the same
+// global microbatch set under the Reference engine, for any R and either
+// inner engine: see package replica for the determinism argument
+// (contiguous ordered chunks, one-add-per-element gradient export, all
+// reduction arithmetic at the tree root in global microbatch order). The
+// equivalence is pinned by tests at the repository root.
+package replicated
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/replica"
+)
+
+// Engine is the replicated data-parallel engine. It implements
+// engine.Engine, engine.Lifecycle and replica.Aware. When its host is not
+// a replica leader (or leads a single replica), it degenerates to its
+// inner engine. An Engine instance must not be shared by concurrently
+// running trainers.
+type Engine struct {
+	inner func() engine.Engine
+	name  string
+
+	h       engine.Host
+	group   *replica.Group
+	engines []engine.Engine
+	running bool
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithInner sets the factory for the per-replica inner engines (default:
+// the serial Reference engine). A factory — rather than an instance — is
+// required because each replica's pipeline needs its own engine state.
+func WithInner(f func() engine.Engine) Option {
+	return func(e *Engine) { e.inner = f }
+}
+
+// New returns a replicated data-parallel engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{inner: func() engine.Engine { return engine.NewReference() }}
+	for _, o := range opts {
+		o(e)
+	}
+	e.name = "replicated(" + e.inner().Name() + ")"
+	return e
+}
+
+// Name identifies the engine and its inner engine.
+func (e *Engine) Name() string { return e.name }
+
+// DrivesReplicas marks the engine replica-aware (replica.Aware).
+func (e *Engine) DrivesReplicas() {}
+
+// Start builds the replica group for the host and starts one inner engine
+// per replica.
+func (e *Engine) Start(h engine.Host) {
+	if e.running {
+		if e.h == h {
+			return
+		}
+		e.Stop()
+	}
+	e.h = h
+	lead, ok := h.(replica.Leader)
+	r := 1
+	if ok {
+		r = lead.Replicas()
+	}
+	if r == 1 {
+		// Degenerate single-replica case: the inner engine drives the host
+		// directly, commit included.
+		e.group = nil
+		e.engines = []engine.Engine{e.inner()}
+		if lc, ok := e.engines[0].(engine.Lifecycle); ok {
+			lc.Start(h)
+		}
+	} else {
+		e.group = replica.NewGroup(lead)
+		e.engines = make([]engine.Engine, r)
+		for i := range e.engines {
+			e.engines[i] = e.inner()
+			if lc, ok := e.engines[i].(engine.Lifecycle); ok {
+				lc.Start(e.group.Member(i))
+			}
+		}
+	}
+	e.running = true
+}
+
+// Stop stops the inner engines and releases the replica group.
+func (e *Engine) Stop() {
+	if !e.running {
+		return
+	}
+	for _, in := range e.engines {
+		if lc, ok := in.(engine.Lifecycle); ok {
+			lc.Stop()
+		}
+	}
+	e.engines, e.group, e.h = nil, nil, nil
+	e.running = false
+}
+
+// Minibatch splits the minibatch across the replicas, runs the R chunk
+// computations concurrently (each through its own inner engine), then
+// tree-reduces the gradients into the leader, commits one optimizer step
+// there, and broadcasts the post-step state to the followers.
+func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (float64, error) {
+	if !e.running || e.h != h {
+		e.Start(h)
+	}
+	if e.group == nil {
+		return e.engines[0].Minibatch(ctx, h, micros)
+	}
+	chunks := e.group.Begin(micros)
+	r := e.group.Replicas()
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+	wg.Add(r)
+	for i := 0; i < r; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			_, errs[i] = e.engines[i].Minibatch(ctx, e.group.Member(i), chunks[i])
+		}()
+	}
+	wg.Wait()
+
+	// Every replica has drained and restored its master weights (the
+	// inner-engine contract); follower stage accumulators are clean
+	// because every follower backward slot exports-and-zeroes. A
+	// divergence anywhere matches the serial run — the bad microbatch's
+	// loss is computed from identical weights and samples there too — and
+	// the leader's partial accumulation is dropped by the trainer.
+	var ctxErr error
+	for _, err := range errs {
+		switch {
+		case errors.Is(err, engine.ErrDiverged):
+			return math.Inf(1), engine.ErrDiverged
+		case err != nil && ctxErr == nil:
+			ctxErr = err
+		}
+	}
+	if ctxErr != nil {
+		return 0, ctxErr
+	}
+
+	e.group.Reduce()
+	engine.Commit(h, len(micros))
+	e.group.Broadcast()
+	return e.group.LossSum() / float64(len(micros)), nil
+}

@@ -1,0 +1,41 @@
+package replicated_test
+
+import (
+	"testing"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/engine/concurrent"
+	"pipemare/internal/engine/replicated"
+	"pipemare/internal/replica"
+)
+
+// The behavioural coverage lives in internal/engine's contract tests
+// (degenerate passthrough) and the repository-root equivalence tests
+// (bit-identical curves for R∈{2,4} × inner engines); here we pin the
+// construction surface.
+
+func TestNameReflectsInnerEngine(t *testing.T) {
+	if got := replicated.New().Name(); got != "replicated(reference)" {
+		t.Fatalf("default Name() = %q, want replicated(reference)", got)
+	}
+	e := replicated.New(replicated.WithInner(func() engine.Engine { return concurrent.New() }))
+	if got := e.Name(); got != "replicated(concurrent)" {
+		t.Fatalf("Name() = %q, want replicated(concurrent)", got)
+	}
+}
+
+func TestEngineIsReplicaAware(t *testing.T) {
+	var e engine.Engine = replicated.New()
+	if _, ok := e.(replica.Aware); !ok {
+		t.Fatal("replicated.Engine must implement replica.Aware")
+	}
+	if _, ok := e.(engine.Lifecycle); !ok {
+		t.Fatal("replicated.Engine must implement engine.Lifecycle")
+	}
+}
+
+func TestStopWithoutStartIsIdempotent(t *testing.T) {
+	e := replicated.New()
+	e.Stop()
+	e.Stop()
+}

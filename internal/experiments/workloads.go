@@ -20,6 +20,12 @@ import (
 // -engine flag; nil means the default Reference engine.
 var EngineFactory func() pipemare.Engine
 
+// Replicas, when > 1, runs every workload with that many data-parallel
+// pipeline replicas (pipemare.WithReplicas). It is set by pipemare-bench's
+// -replicas flag; curves are bit-identical to single-replica runs, so the
+// experiment tables do not change — only the wall-clock does.
+var Replicas int
+
 // Workload bundles a task constructor with its training recipe, mirroring
 // the paper's Appendix C.1 hyperparameter tables for the substituted
 // tasks.
@@ -220,6 +226,9 @@ func (w Workload) Run(spec RunSpec) RunResult {
 	if EngineFactory != nil {
 		opts = append(opts, pipemare.WithEngine(EngineFactory()))
 	}
+	if Replicas > 1 {
+		opts = append(opts, pipemare.WithReplicas(Replicas))
+	}
 	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
@@ -282,11 +291,19 @@ const EngineBenchWorkload = "transformer dim=128 enc=2 dec=2 batch=32 micro=8"
 // method on the EngineBenchWorkload transformer at the given stage count,
 // under the given execution engine.
 func NewEngineBenchTrainer(stages int, eng pipemare.Engine) (*pipemare.Trainer, error) {
+	return NewReplicatedBenchTrainer(stages, 1, eng)
+}
+
+// NewReplicatedBenchTrainer is NewEngineBenchTrainer with a data-parallel
+// replica count, for the BenchmarkEngineReplicated* benchmarks and the
+// replicas dimension of BENCH_engine.json. replicas must not exceed the
+// workload's 8 microbatches.
+func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine) (*pipemare.Trainer, error) {
 	ds := data.NewTranslation(data.TranslationConfig{
 		Vocab: 13, SrcLen: 6, Train: 256, Test: 32, Seed: 2})
 	task := model.NewTranslation(ds, model.TransformerConfig{
 		Dim: 128, Heads: 4, EncLayers: 2, DecLayers: 2, Seed: 1})
-	return pipemare.New(task,
+	opts := []pipemare.Option{
 		pipemare.WithMethod(pipemare.PipeMare),
 		pipemare.WithStages(stages),
 		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
@@ -296,6 +313,12 @@ func NewEngineBenchTrainer(stages int, eng pipemare.Engine) (*pipemare.Trainer, 
 			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
 		}),
 		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 100}),
-		pipemare.WithEngine(eng),
-	)
+	}
+	if replicas > 1 {
+		opts = append(opts, pipemare.WithReplicas(replicas))
+	}
+	if eng != nil {
+		opts = append(opts, pipemare.WithEngine(eng))
+	}
+	return pipemare.New(task, opts...)
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pipemare/internal/core"
 	"pipemare/internal/data"
 	"pipemare/internal/nn"
 	"pipemare/internal/pipeline"
@@ -36,6 +37,8 @@ type Classification struct {
 
 	trainX, testX *tensor.Tensor // (N, D) or (N, C, H, W) features
 	trainY, testY []int
+
+	clone func() *Classification // rebuild for data-parallel replication
 }
 
 func newClassification(b *progBuilder, rIn, rLogits nn.Reg, ce *nn.CrossEntropy, d *data.Images, flat bool) *Classification {
@@ -87,7 +90,9 @@ func NewResNetMLP(d *data.Images, width, blocks int, seed int64) *Classification
 	ce := nn.NewCrossEntropy()
 	b.loss(gHead, ce, logits)
 
-	return newClassification(b, rIn, logits, ce, d, true)
+	c := newClassification(b, rIn, logits, ce, d, true)
+	c.clone = func() *Classification { return NewResNetMLP(d, width, blocks, seed) }
+	return c
 }
 
 // NewConvNet builds a small convolutional residual classifier over
@@ -122,11 +127,17 @@ func NewConvNet(d *data.Images, channels, blocks, groupsPerNorm int, seed int64)
 	ce := nn.NewCrossEntropy()
 	b.loss(gHead, ce, logits)
 
-	return newClassification(b, rIn, logits, ce, d, false)
+	c := newClassification(b, rIn, logits, ce, d, false)
+	c.clone = func() *Classification { return NewConvNet(d, channels, blocks, groupsPerNorm, seed) }
+	return c
 }
 
 // Groups returns the model's weight groups in forward order.
 func (c *Classification) Groups() []pipeline.ParamGroup { return c.groups }
+
+// CloneTask rebuilds an architecturally identical task over the same
+// dataset (core.Replicable, for WithReplicas data parallelism).
+func (c *Classification) CloneTask() core.Task { return c.clone() }
 
 // Program returns the compiled op program (core.StageTask).
 func (c *Classification) Program() *nn.Program { return c.prog }

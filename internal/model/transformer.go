@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pipemare/internal/bleu"
+	"pipemare/internal/core"
 	"pipemare/internal/data"
 	"pipemare/internal/nn"
 	"pipemare/internal/pipeline"
@@ -20,8 +21,9 @@ import (
 // boundary activations (including the encoder memory feeding every decoder
 // cross-attention) travel through the machine's register file.
 type Translation struct {
-	ds *data.Translation
-	ce *nn.CrossEntropy
+	ds  *data.Translation
+	cfg TransformerConfig // kept for CloneTask
+	ce  *nn.CrossEntropy
 
 	groups []pipeline.ParamGroup
 	prog   *nn.Program
@@ -51,7 +53,7 @@ func NewTranslation(ds *data.Translation, cfg TransformerConfig) *Translation {
 		cfg.FFMult = 2
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	t := &Translation{ds: ds, d: cfg.Dim, ce: nn.NewCrossEntropy()}
+	t := &Translation{ds: ds, cfg: cfg, d: cfg.Dim, ce: nn.NewCrossEntropy()}
 	b := &progBuilder{}
 	ff := cfg.Dim * cfg.FFMult
 
@@ -155,6 +157,10 @@ func (t *Translation) buildFFBlockNamed(b *progBuilder, rng *rand.Rand, lnName, 
 
 // Groups returns the weight groups in forward order.
 func (t *Translation) Groups() []pipeline.ParamGroup { return t.groups }
+
+// CloneTask rebuilds an architecturally identical task over the same
+// dataset (core.Replicable, for WithReplicas data parallelism).
+func (t *Translation) CloneTask() core.Task { return NewTranslation(t.ds, t.cfg) }
 
 // Program returns the compiled op program (core.StageTask).
 func (t *Translation) Program() *nn.Program { return t.prog }

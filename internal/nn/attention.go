@@ -36,20 +36,43 @@ func NewAttnCore(d, heads, qLen, kLen int, causal bool) *AttnCore {
 	return &AttnCore{Heads: heads, D: d, QLen: qLen, KLen: kLen, Causal: causal}
 }
 
-// Forward computes softmax(q·kᵀ/√dk)·v per (batch, head).
+// attnFlopsPerPair approximates the scalar work of one (batch, head) pair
+// for the parallel work gate: two QLen×KLen×dk matmuls plus the softmax.
+func (a *AttnCore) attnFlopsPerPair() int {
+	dk := a.D / a.Heads
+	return a.QLen * a.KLen * (4*dk + 16)
+}
+
+// Forward computes softmax(q·kᵀ/√dk)·v per (batch, head). The (batch, head)
+// pairs are independent — each writes a disjoint probs row and a disjoint
+// (head-column) block of y — so they are split across the tensor worker
+// pool with one scratch set per chunk; every output element is produced by
+// exactly one pair, so the parallel result is bit-identical to the serial
+// loop.
 func (a *AttnCore) Forward(t *Tape, q, k, v *tensor.Tensor) *tensor.Tensor {
 	batch := q.Shape[0] / a.QLen
 	dk := a.D / a.Heads
 	scale := 1 / math.Sqrt(float64(dk))
 	y := t.NewTensor(batch*a.QLen, a.D)
 	probs := t.NewTensor(batch*a.Heads, a.QLen*a.KLen)
-	s := t.NewTensor(a.QLen, a.KLen)
-	qh := t.NewTensor(a.QLen, dk)
-	kh := t.NewTensor(a.KLen, dk)
-	vh := t.NewTensor(a.KLen, dk)
-	yh := t.NewTensor(a.QLen, dk)
-	for b := 0; b < batch; b++ {
-		for h := 0; h < a.Heads; h++ {
+	pairs := batch * a.Heads
+	w := tensor.PlanRows(pairs, pairs*a.attnFlopsPerPair())
+	// Scratch per chunk, allocated from the tape on the calling goroutine.
+	type fwdScratch struct{ s, qh, kh, vh, yh *tensor.Tensor }
+	scr := make([]fwdScratch, w)
+	for c := range scr {
+		scr[c] = fwdScratch{
+			s:  t.NewTensor(a.QLen, a.KLen),
+			qh: t.NewTensor(a.QLen, dk),
+			kh: t.NewTensor(a.KLen, dk),
+			vh: t.NewTensor(a.KLen, dk),
+			yh: t.NewTensor(a.QLen, dk),
+		}
+	}
+	tensor.ParallelChunks(w, pairs, func(c, lo, hi int) {
+		s, qh, kh, vh, yh := scr[c].s, scr[c].qh, scr[c].kh, scr[c].vh, scr[c].yh
+		for idx := lo; idx < hi; idx++ {
+			b, h := idx/a.Heads, idx%a.Heads
 			a.sliceHead(qh, q, b, h, a.QLen)
 			a.sliceHead(kh, k, b, h, a.KLen)
 			a.sliceHead(vh, v, b, h, a.KLen)
@@ -64,19 +87,21 @@ func (a *AttnCore) Forward(t *Tape, q, k, v *tensor.Tensor) *tensor.Tensor {
 					}
 				}
 			}
-			p := probs.RowView(b*a.Heads+h, a.QLen, a.KLen)
+			p := probs.RowView(idx, a.QLen, a.KLen)
 			tensor.SoftmaxRowsInto(p, s)
 			yh.Zero()
 			tensor.MatMulInto(yh, p, vh)
 			a.scatterHead(y, yh, b, h, a.QLen)
 		}
-	}
+	})
 	t.Push(attnState{batch, q, k, v, probs})
 	return y
 }
 
 // Backward backpropagates dy through the attention core, returning the
-// gradients with respect to q, k and v.
+// gradients with respect to q, k and v. Like Forward, the (batch, head)
+// pairs write disjoint blocks of dQ/dK/dV and are split across the tensor
+// worker pool with per-chunk scratch, bit-identical to the serial loop.
 func (a *AttnCore) Backward(t *Tape, dy *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
 	st := t.Pop().(attnState)
 	dkh := a.D / a.Heads
@@ -84,44 +109,54 @@ func (a *AttnCore) Backward(t *Tape, dy *tensor.Tensor) (dq, dk, dv *tensor.Tens
 	dQ := t.NewTensor(st.batch*a.QLen, a.D)
 	dK := t.NewTensor(st.batch*a.KLen, a.D)
 	dV := t.NewTensor(st.batch*a.KLen, a.D)
-	qh := t.NewTensor(a.QLen, dkh)
-	kh := t.NewTensor(a.KLen, dkh)
-	vh := t.NewTensor(a.KLen, dkh)
-	dyh := t.NewTensor(a.QLen, dkh)
-	dvh := t.NewTensor(a.KLen, dkh)
-	dp := t.NewTensor(a.QLen, a.KLen)
-	ds := t.NewTensor(a.QLen, a.KLen)
-	dqh := t.NewTensor(a.QLen, dkh)
-	dkhT := t.NewTensor(a.KLen, dkh)
-	for b := 0; b < st.batch; b++ {
-		for h := 0; h < a.Heads; h++ {
-			p := st.probs.RowView(b*a.Heads+h, a.QLen, a.KLen)
-			a.sliceHead(qh, st.q, b, h, a.QLen)
-			a.sliceHead(kh, st.k, b, h, a.KLen)
-			a.sliceHead(vh, st.v, b, h, a.KLen)
-			a.sliceHead(dyh, dy, b, h, a.QLen)
-			dvh.Zero()
-			tensor.MatMulT1Into(dvh, p, dyh)
-			tensor.MatMulT2Into(dp, dyh, vh)
+	pairs := st.batch * a.Heads
+	w := tensor.PlanRows(pairs, 2*pairs*a.attnFlopsPerPair())
+	type bwdScratch struct{ qh, kh, vh, dyh, dvh, dp, ds, dqh, dkhT *tensor.Tensor }
+	scr := make([]bwdScratch, w)
+	for c := range scr {
+		scr[c] = bwdScratch{
+			qh:   t.NewTensor(a.QLen, dkh),
+			kh:   t.NewTensor(a.KLen, dkh),
+			vh:   t.NewTensor(a.KLen, dkh),
+			dyh:  t.NewTensor(a.QLen, dkh),
+			dvh:  t.NewTensor(a.KLen, dkh),
+			dp:   t.NewTensor(a.QLen, a.KLen),
+			ds:   t.NewTensor(a.QLen, a.KLen),
+			dqh:  t.NewTensor(a.QLen, dkh),
+			dkhT: t.NewTensor(a.KLen, dkh),
+		}
+	}
+	tensor.ParallelChunks(w, pairs, func(c, lo, hi int) {
+		s := scr[c]
+		for idx := lo; idx < hi; idx++ {
+			b, h := idx/a.Heads, idx%a.Heads
+			p := st.probs.RowView(idx, a.QLen, a.KLen)
+			a.sliceHead(s.qh, st.q, b, h, a.QLen)
+			a.sliceHead(s.kh, st.k, b, h, a.KLen)
+			a.sliceHead(s.vh, st.v, b, h, a.KLen)
+			a.sliceHead(s.dyh, dy, b, h, a.QLen)
+			s.dvh.Zero()
+			tensor.MatMulT1Into(s.dvh, p, s.dyh)
+			tensor.MatMulT2Into(s.dp, s.dyh, s.vh)
 			// Softmax backward: ds = p ⊙ (dp − rowsum(dp ⊙ p)).
 			for i := 0; i < a.QLen; i++ {
 				dot := 0.0
 				for j := 0; j < a.KLen; j++ {
-					dot += dp.Data[i*a.KLen+j] * p.Data[i*a.KLen+j]
+					dot += s.dp.Data[i*a.KLen+j] * p.Data[i*a.KLen+j]
 				}
 				for j := 0; j < a.KLen; j++ {
-					ds.Data[i*a.KLen+j] = p.Data[i*a.KLen+j] * (dp.Data[i*a.KLen+j] - dot) * scale
+					s.ds.Data[i*a.KLen+j] = p.Data[i*a.KLen+j] * (s.dp.Data[i*a.KLen+j] - dot) * scale
 				}
 			}
-			dqh.Zero()
-			tensor.MatMulInto(dqh, ds, kh)
-			dkhT.Zero()
-			tensor.MatMulT1Into(dkhT, ds, qh)
-			a.scatterHead(dQ, dqh, b, h, a.QLen)
-			a.scatterHead(dK, dkhT, b, h, a.KLen)
-			a.scatterHead(dV, dvh, b, h, a.KLen)
+			s.dqh.Zero()
+			tensor.MatMulInto(s.dqh, s.ds, s.kh)
+			s.dkhT.Zero()
+			tensor.MatMulT1Into(s.dkhT, s.ds, s.qh)
+			a.scatterHead(dQ, s.dqh, b, h, a.QLen)
+			a.scatterHead(dK, s.dkhT, b, h, a.KLen)
+			a.scatterHead(dV, s.dvh, b, h, a.KLen)
 		}
-	}
+	})
 	return dQ, dK, dV
 }
 

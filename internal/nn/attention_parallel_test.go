@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipemare/internal/tensor"
+)
+
+// attnRun executes one AttnCore forward+backward on fresh tapes and
+// returns the outputs and input gradients.
+func attnRun(a *AttnCore, q, k, v, dy *tensor.Tensor) (y, dq, dk, dv *tensor.Tensor) {
+	t := NewTape()
+	y = a.Forward(t, q, k, v)
+	dq, dk, dv = a.Backward(t, dy)
+	return y, dq, dk, dv
+}
+
+// TestAttnCoreParallelBitIdentical pins the determinism contract for the
+// head-parallel attention core: splitting the per-(batch, head) loops of
+// Forward and Backward across the tensor worker pool must not change a
+// single bit of the outputs or gradients relative to the serial loop. The
+// problem sizes are chosen to clear the parallel work gate so the split
+// actually happens.
+func TestAttnCoreParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fill := func(shape ...int) *tensor.Tensor {
+		x := tensor.New(shape...)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		return x
+	}
+	for _, tc := range []struct {
+		name       string
+		heads, d   int
+		qLen, kLen int
+		batch      int
+		causal     bool
+	}{
+		{"self", 4, 64, 12, 12, 6, false},
+		{"causal", 4, 64, 12, 12, 6, true},
+		{"cross", 2, 32, 10, 14, 5, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAttnCore(tc.d, tc.heads, tc.qLen, tc.kLen, tc.causal)
+			q := fill(tc.batch*tc.qLen, tc.d)
+			k := fill(tc.batch*tc.kLen, tc.d)
+			v := fill(tc.batch*tc.kLen, tc.d)
+			dy := fill(tc.batch*tc.qLen, tc.d)
+
+			prev := tensor.SetWorkers(1)
+			sy, sdq, sdk, sdv := attnRun(a, q, k, v, dy)
+			tensor.SetWorkers(8)
+			w := tensor.PlanRows(tc.batch*tc.heads, tc.batch*tc.heads*a.attnFlopsPerPair())
+			py, pdq, pdk, pdv := attnRun(a, q, k, v, dy)
+			tensor.SetWorkers(prev)
+
+			if w <= 1 {
+				t.Fatalf("work gate kept the split serial (w=%d); grow the problem size", w)
+			}
+			for _, pair := range []struct {
+				name string
+				s, p *tensor.Tensor
+			}{{"y", sy, py}, {"dq", sdq, pdq}, {"dk", sdk, pdk}, {"dv", sdv, pdv}} {
+				for i := range pair.s.Data {
+					if pair.s.Data[i] != pair.p.Data[i] {
+						t.Fatalf("%s element %d differs: serial %v parallel %v",
+							pair.name, i, pair.s.Data[i], pair.p.Data[i])
+					}
+				}
+			}
+		})
+	}
+}

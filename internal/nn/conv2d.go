@@ -86,12 +86,16 @@ func (c *Conv2d) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulT1Into(dW, dyr, st.cols)
 	tensor.AddInto(c.W.Grad.Reshape(c.OutC, c.kCols), dW)
 	if c.B != nil {
+		// Bias gradient in a temporary, folded with one AddInto per call
+		// (the one-add-per-element accumulation contract, see Param.Grad).
+		db := t.NewTensor(c.OutC)
 		for r := 0; r < dyr.Shape[0]; r++ {
 			row := dyr.Data[r*c.OutC : (r+1)*c.OutC]
 			for o := 0; o < c.OutC; o++ {
-				c.B.Grad.Data[o] += row[o]
+				db.Data[o] += row[o]
 			}
 		}
+		tensor.AddInto(c.B.Grad, db)
 	}
 	// dcols = dyr @ W_bwd, then scatter back to image space.
 	wb := c.W.BwdData().Reshape(c.OutC, c.kCols)

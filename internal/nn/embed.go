@@ -42,15 +42,42 @@ func (e *Embedding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward scatter-adds dy rows into the table gradient.
+// Backward scatter-adds dy rows into a compact per-unique-token temporary
+// and folds each touched table row into the gradient with one add per
+// element, keeping the one-add-per-element-per-call accumulation contract
+// (see Param.Grad) even when a token id occurs several times in the
+// microbatch — without touching the O(V·d) untouched remainder of the
+// table.
 func (e *Embedding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	st := t.Pop().(embState)
-	d := e.W.Data.Shape[1]
+	v, d := e.W.Data.Shape[0], e.W.Data.Shape[1]
+	n := len(st.ids)
+	rowOf := t.Ints(v)
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	uniq := t.Ints(n)
+	dW := t.NewTensor(n, d)
+	k := 0
 	for i, id := range st.ids {
+		r := rowOf[id]
+		if r < 0 {
+			r = k
+			rowOf[id] = r
+			uniq[k] = id
+			k++
+		}
 		row := dy.Data[i*d : (i+1)*d]
-		g := e.W.Grad.Data[id*d : (id+1)*d]
+		g := dW.Data[r*d : (r+1)*d]
 		for j := range row {
 			g[j] += row[j]
+		}
+	}
+	for r := 0; r < k; r++ {
+		g := e.W.Grad.Data[uniq[r]*d : (uniq[r]+1)*d]
+		src := dW.Data[r*d : (r+1)*d]
+		for j := range src {
+			g[j] += src[j]
 		}
 	}
 	return t.NewTensor(st.inShp...)
@@ -86,15 +113,18 @@ func (p *PositionalEncoding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates the position gradient and passes dy through.
+// Backward accumulates the position gradient (via a temporary and a single
+// AddInto — see Param.Grad) and passes dy through.
 func (p *PositionalEncoding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	n, d := dy.Shape[0], dy.Shape[1]
+	dW := t.NewTensor(p.W.Data.Shape...)
 	for i := 0; i < n; i++ {
 		ti := i % p.SeqLen
 		for j := 0; j < d; j++ {
-			p.W.Grad.Data[ti*d+j] += dy.Data[i*d+j]
+			dW.Data[ti*d+j] += dy.Data[i*d+j]
 		}
 	}
+	tensor.AddInto(p.W.Grad, dW)
 	return dy
 }
 

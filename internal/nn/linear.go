@@ -41,7 +41,9 @@ func (l *Linear) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward accumulates dW = dyᵀ·x and db = Σrows(dy) into the gradients and
-// returns dx = dy·W computed with the backward weights.
+// returns dx = dy·W computed with the backward weights. Each gradient is
+// formed in a tape temporary and folded with a single AddInto, keeping the
+// one-add-per-element-per-call accumulation contract (see Param.Grad).
 func (l *Linear) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	x := t.Pop().(*tensor.Tensor)
 	// Parameter gradients use the saved forward input.
@@ -50,12 +52,14 @@ func (l *Linear) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	tensor.AddInto(l.W.Grad, dW)
 	if l.B != nil {
 		rows, cols := dy.Shape[0], dy.Shape[1]
+		db := t.NewTensor(cols)
 		for i := 0; i < rows; i++ {
 			row := dy.Data[i*cols : (i+1)*cols]
 			for j := 0; j < cols; j++ {
-				l.B.Grad.Data[j] += row[j]
+				db.Data[j] += row[j]
 			}
 		}
+		tensor.AddInto(l.B.Grad, db)
 	}
 	// Input gradient uses the (possibly delayed) backward weights.
 	dx := t.NewTensor(dy.Shape[0], l.W.Data.Shape[1])

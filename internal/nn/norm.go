@@ -190,13 +190,18 @@ func (gn *GroupNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates dγ, dβ and returns dx using the backward gain.
+// Backward accumulates dγ, dβ and returns dx using the backward gain. The
+// per-channel sums are formed in tape temporaries and folded with a single
+// AddInto each, keeping the one-add-per-element-per-call accumulation
+// contract (see Param.Grad).
 func (gn *GroupNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	st := t.Pop().(gnState)
 	b, c, h, w := dy.Shape[0], st.c, st.h, st.w
 	cg := c / gn.Groups
 	blk := cg * h * w
 	gainB := gn.Gain.BwdData().Data
+	dGain := t.NewTensor(c)
+	dBias := t.NewTensor(c)
 	out := t.NewTensor(b, c, h, w)
 	for n := 0; n < b; n++ {
 		for g := 0; g < gn.Groups; g++ {
@@ -208,8 +213,8 @@ func (gn *GroupNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 				for i := 0; i < h*w; i++ {
 					gv := dy.Data[cbase+i]
 					xh := st.xhat.Data[cbase+i]
-					gn.Gain.Grad.Data[g*cg+ch] += gv * xh
-					gn.Bias.Grad.Data[g*cg+ch] += gv
+					dGain.Data[g*cg+ch] += gv * xh
+					dBias.Data[g*cg+ch] += gv
 					dx := gv * gamma
 					m1 += dx
 					m2 += dx * xh
@@ -229,6 +234,8 @@ func (gn *GroupNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	tensor.AddInto(gn.Gain.Grad, dGain)
+	tensor.AddInto(gn.Bias.Grad, dBias)
 	return out
 }
 

@@ -25,6 +25,16 @@ type Param struct {
 	// Data, i.e. synchronous execution.
 	Bwd *tensor.Tensor
 	// Grad accumulates the parameter gradient.
+	//
+	// Accumulation contract: a layer's Backward adds its whole per-call
+	// contribution with exactly ONE floating-point add per element (the
+	// contribution is formed in a scratch buffer first and folded with a
+	// single AddInto). Because each microbatch therefore lands as one add
+	// of a value that does not depend on the accumulator, a gradient
+	// computed into a zeroed buffer and folded in later is bit-identical
+	// to direct accumulation — which is what lets the replica layer
+	// (internal/replica) all-reduce per-microbatch gradients across
+	// data-parallel replicas without perturbing training curves.
 	Grad *tensor.Tensor
 }
 

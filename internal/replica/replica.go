@@ -1,0 +1,332 @@
+// Package replica implements the coordination layer for multi-replica
+// data-parallel training: R pipeline replicas (each a full trainer weight
+// partition driven by its own inner execution engine) split a minibatch's
+// microbatches between them, and a deterministic tree all-reduce folds the
+// per-microbatch gradients into the leader replica before one shared
+// optimizer step, whose result is broadcast back to the followers — the
+// PipeDream-style hybrid of pipeline and data parallelism.
+//
+// # Determinism
+//
+// The reduction is bit-identical to a single-replica run over the same
+// global microbatch set, for any R. Three properties make that possible:
+//
+//  1. Chunks are contiguous and ordered: replica r computes global
+//     microbatches [start_r, start_r+n_r) with start_{r+1} = start_r+n_r,
+//     so concatenating the replicas' per-microbatch gradient lists in
+//     replica order reproduces the global microbatch order.
+//  2. Followers export one gradient per (microbatch, stage), computed
+//     into a zeroed accumulator. By the nn accumulation contract (see
+//     nn.Param.Grad), a layer adds its whole per-call contribution with
+//     exactly one add per element, so the exported value is bitwise the
+//     same scalar a serial run would have added to its running sum.
+//  3. The all-reduce gathers the followers' ordered lists up a binary
+//     tree (a communication schedule with no arithmetic) and performs
+//     every floating-point add at the root: the leader — whose own chunk
+//     is the fold's prefix, accumulated in place — folds the gathered
+//     gradients in global microbatch order, one add per element.
+//
+// The fold order is therefore a pure left fold over microbatches 0..N−1
+// regardless of R or tree shape — exactly the serial engine's order.
+package replica
+
+import (
+	"sync"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/tensor"
+)
+
+// Member is one replica's trainer-side surface: the engine.Host that
+// drives its pipeline plus the gradient/weight exchange operations the
+// replica layer needs. It is implemented by internal/core.Trainer's host.
+type Member interface {
+	engine.Host
+	// TakeStageGrads moves the stage's accumulated parameter gradients
+	// into bufs (allocating buffers when bufs is nil) and zeroes the
+	// stage's accumulators. It must only be called from the goroutine
+	// that owns the stage's slots.
+	TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor
+	// FoldStageGrads adds previously exported buffers into the stage's
+	// accumulators with exactly one add per element.
+	FoldStageGrads(stage int, bufs []*tensor.Tensor)
+	// SyncFromLeader imports the leader replica's post-step state —
+	// master weights and technique (T2) accumulators — and pushes the
+	// replica's next per-stage weight version, keeping the follower's
+	// version queue aligned with the leader's.
+	SyncFromLeader()
+}
+
+// Leader extends Member for the replica that owns the followers (the
+// trainer the user built with WithReplicas(R)).
+type Leader interface {
+	Member
+	// Replicas returns the total replica count R (1 when replication is
+	// off).
+	Replicas() int
+	// Follower returns follower r's member surface, 1 ≤ r < Replicas().
+	Follower(r int) Member
+}
+
+// Aware marks execution engines that understand the replica surface and
+// drive all R replicas of a Leader host. The trainer refuses a
+// non-replica-aware engine when replication is configured, because such
+// an engine would silently train only the leader.
+type Aware interface {
+	DrivesReplicas()
+}
+
+// Group coordinates one leader and its followers for a replicated
+// execution engine: it owns the per-replica compute wrappers, splits each
+// minibatch into contiguous per-replica chunks, and runs the reduce and
+// broadcast phases around the leader's commit.
+type Group struct {
+	lead    Leader
+	members []*Compute // members[0] wraps the leader
+}
+
+// NewGroup builds the coordination group for a leader and its followers.
+func NewGroup(lead Leader) *Group {
+	r := lead.Replicas()
+	g := &Group{lead: lead, members: make([]*Compute, r)}
+	g.members[0] = newCompute(lead, true)
+	for i := 1; i < r; i++ {
+		g.members[i] = newCompute(lead.Follower(i), false)
+	}
+	return g
+}
+
+// Replicas returns R.
+func (g *Group) Replicas() int { return len(g.members) }
+
+// Member returns replica r's compute wrapper — the engine.Host an inner
+// engine drives for that replica's share of a minibatch.
+func (g *Group) Member(r int) engine.Host { return g.members[r] }
+
+// Begin prepares the group for one minibatch: it splits the N microbatch
+// index sets into R contiguous, ordered chunks (sizes differing by at
+// most one), snapshots the leader's epoch phase (async) and microbatch
+// base, and resets the per-replica loss and gradient staging. It returns
+// the chunk for each replica.
+func (g *Group) Begin(micros [][]int) [][][]int {
+	r := len(g.members)
+	n := len(micros)
+	base := g.lead.MicroBase()
+	async := g.lead.Async()
+	chunks := make([][][]int, r)
+	lo := 0
+	for i := 0; i < r; i++ {
+		sz := n / r
+		if i < n%r {
+			sz++
+		}
+		chunks[i] = micros[lo : lo+sz]
+		g.members[i].begin(base+lo, sz, async)
+		lo += sz
+	}
+	return chunks
+}
+
+// Reduce performs the deterministic tree all-reduce: a binary-tree gather
+// of the followers' ordered per-microbatch gradient lists (rounds of
+// pairwise list handoffs — the communication schedule), then the root
+// fold into the leader's accumulators in global microbatch order. Stages
+// are folded concurrently; within a stage the order is fixed, so the
+// result is bit-identical to serial single-replica accumulation.
+func (g *Group) Reduce() {
+	r := len(g.members)
+	// Tree gather: at round d, member m (m ≡ 0 mod 2d) absorbs member
+	// m+d's ordered list. Chunks are contiguous, so concatenation in
+	// replica order preserves global microbatch order.
+	lists := make([][][][]*tensor.Tensor, r)
+	for i := 1; i < r; i++ {
+		// Full-slice expression: appends during the gather must reallocate
+		// rather than scribble over the member's pooled staging entries.
+		lists[i] = g.members[i].grads[:g.members[i].n:g.members[i].n]
+	}
+	for d := 1; d < r; d *= 2 {
+		for m := 0; m+d < r; m += 2 * d {
+			lists[m] = append(lists[m], lists[m+d]...)
+			lists[m+d] = nil
+		}
+	}
+	// Root fold, one goroutine per stage (stages touch disjoint params).
+	p := g.lead.Stages()
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for st := 0; st < p; st++ {
+		st := st
+		go func() {
+			defer wg.Done()
+			for _, micro := range lists[0] {
+				g.lead.FoldStageGrads(st, micro[st])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Broadcast pushes the leader's post-step state to every follower
+// (concurrently: followers write disjoint state and only read the
+// leader's).
+func (g *Group) Broadcast() {
+	var wg sync.WaitGroup
+	for _, m := range g.members[1:] {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.member.SyncFromLeader()
+		}()
+	}
+	wg.Wait()
+}
+
+// LossSum folds the per-microbatch losses in global microbatch order —
+// replica chunks are contiguous, so replica order then chunk order is the
+// serial order — and returns the sum (the caller divides by N).
+func (g *Group) LossSum() float64 {
+	sum := 0.0
+	for _, m := range g.members {
+		for _, l := range m.losses[:m.n] {
+			sum += l
+		}
+	}
+	return sum
+}
+
+// Compute is the per-replica host wrapper a replicated engine hands to
+// that replica's inner engine. It delegates the pipeline slots to the
+// replica's member surface, overrides the minibatch framing (global
+// microbatch base, leader's epoch phase), captures per-microbatch losses,
+// exports per-(microbatch, stage) gradients on followers, and turns the
+// commit phase into a no-op — the commit belongs to the replicated engine
+// after the all-reduce.
+type Compute struct {
+	member Member
+	leader bool
+	p      int
+
+	// Per-minibatch state, written by begin before the inner engine runs
+	// and read by its workers (happens-before via the engine's channels).
+	start  int // global microbatch counter of the chunk start
+	n      int // chunk length
+	async  bool
+	losses []float64
+	taken  []bool
+	grads  [][][]*tensor.Tensor // [k][stage][param] exported grads (followers)
+}
+
+func newCompute(m Member, leader bool) *Compute {
+	return &Compute{member: m, leader: leader, p: m.Stages()}
+}
+
+// begin resets the wrapper for a chunk of n microbatches starting at
+// global counter start.
+func (c *Compute) begin(start, n int, async bool) {
+	c.start, c.n, c.async = start, n, async
+	for len(c.losses) < n {
+		c.losses = append(c.losses, 0)
+		c.taken = append(c.taken, false)
+	}
+	for k := 0; k < n; k++ {
+		c.losses[k] = 0
+		c.taken[k] = false
+	}
+	if !c.leader {
+		for len(c.grads) < n {
+			c.grads = append(c.grads, make([][]*tensor.Tensor, c.p))
+		}
+	}
+}
+
+// Stages returns P.
+func (c *Compute) Stages() int { return c.p }
+
+// Async reports the leader's epoch phase: followers never advance their
+// own epoch clock, so the leader's view is authoritative for all
+// replicas.
+func (c *Compute) Async() bool { return c.async }
+
+// Recompute delegates to the replica (same configuration as the leader).
+func (c *Compute) Recompute() bool { return c.member.Recompute() }
+
+// MicroBase returns the global microbatch counter of this replica's
+// chunk, so every slot sees the same global s as a single-replica run.
+func (c *Compute) MicroBase() int { return c.start }
+
+// Splittable delegates to the replica's task.
+func (c *Compute) Splittable() bool { return c.member.Splittable() }
+
+// InstallForward delegates to the replica.
+func (c *Compute) InstallForward(s, stage int) { c.member.InstallForward(s, stage) }
+
+// InstallBackward delegates to the replica.
+func (c *Compute) InstallBackward(s, stage int) { c.member.InstallBackward(s, stage) }
+
+// InstallRecompute delegates to the replica.
+func (c *Compute) InstallRecompute(s, stage int) { c.member.InstallRecompute(s, stage) }
+
+// Restore delegates to the replica.
+func (c *Compute) Restore(stage int) { c.member.Restore(stage) }
+
+// BeginMicro delegates to the replica.
+func (c *Compute) BeginMicro(s int, mb []int) { c.member.BeginMicro(s, mb) }
+
+// StageForward delegates to the replica and records the microbatch's loss
+// at the last stage of its first forward climb (a recompute climb returns
+// the loss again; first-write-wins keeps the original).
+func (c *Compute) StageForward(s, stage int) float64 {
+	loss := c.member.StageForward(s, stage)
+	if stage == c.p-1 {
+		if k := s - c.start; !c.taken[k] {
+			c.losses[k] = loss
+			c.taken[k] = true
+		}
+	}
+	return loss
+}
+
+// StageBackward delegates to the replica and, on followers, immediately
+// exports the stage's just-accumulated gradient into the per-microbatch
+// staging area (zeroing the stage accumulator, so the next microbatch
+// again accumulates from zero). Monolithic tasks run their whole backward
+// in stage 0's slot, so that slot exports every stage.
+func (c *Compute) StageBackward(s, stage int) {
+	c.member.StageBackward(s, stage)
+	if c.leader {
+		return
+	}
+	k := s - c.start
+	if c.member.Splittable() {
+		c.grads[k][stage] = c.member.TakeStageGrads(stage, c.grads[k][stage])
+		return
+	}
+	if stage == 0 {
+		for st := 0; st < c.p; st++ {
+			c.grads[k][st] = c.member.TakeStageGrads(st, c.grads[k][st])
+		}
+	}
+}
+
+// EndMicro delegates to the replica.
+func (c *Compute) EndMicro(s int) { c.member.EndMicro(s) }
+
+// BadLoss delegates to the replica (identical loss cap across replicas).
+func (c *Compute) BadLoss(loss float64) bool { return c.member.BadLoss(loss) }
+
+// PrepareStage is a no-op: the commit phase runs once, on the leader,
+// after the all-reduce.
+func (c *Compute) PrepareStage(stage, nMicro int) float64 { return 0 }
+
+// ClipScale is a no-op (see PrepareStage).
+func (c *Compute) ClipScale(sumSq float64) float64 { return 1 }
+
+// ScaleStage is a no-op (see PrepareStage).
+func (c *Compute) ScaleStage(stage int, scale float64) {}
+
+// StepAll is a no-op (see PrepareStage).
+func (c *Compute) StepAll() {}
+
+// FinishStage is a no-op (see PrepareStage).
+func (c *Compute) FinishStage(stage int) {}

@@ -1,0 +1,201 @@
+package replica_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pipemare/internal/replica"
+	"pipemare/internal/tensor"
+)
+
+// fakeMember is a minimal replica surface with one scalar "parameter" per
+// stage. StageBackward "accumulates" the gradient s+1 for microbatch s, so
+// exported buffers carry the global microbatch identity, and the leader's
+// FoldStageGrads records the sequence of values it receives — making the
+// fold ORDER directly observable, the property the tree reduction must
+// preserve.
+type fakeMember struct {
+	p      int
+	mu     sync.Mutex
+	acc    []float64 // per-stage accumulator
+	synced int       // SyncFromLeader calls
+	folds  [][]float64
+}
+
+func newFakeMember(p int) *fakeMember {
+	return &fakeMember{p: p, acc: make([]float64, p), folds: make([][]float64, p)}
+}
+
+func (f *fakeMember) Stages() int                  { return f.p }
+func (f *fakeMember) Async() bool                  { return true }
+func (f *fakeMember) Recompute() bool              { return false }
+func (f *fakeMember) MicroBase() int               { return 0 }
+func (f *fakeMember) Splittable() bool             { return true }
+func (f *fakeMember) InstallForward(s, stage int)  {}
+func (f *fakeMember) InstallBackward(s, stage int) {}
+func (f *fakeMember) InstallRecompute(s, st int)   {}
+func (f *fakeMember) Restore(stage int)            {}
+func (f *fakeMember) BeginMicro(s int, mb []int)   {}
+func (f *fakeMember) StageForward(s, stage int) float64 {
+	if stage == f.p-1 {
+		return float64(100 + s) // distinct per-microbatch losses
+	}
+	return 0
+}
+
+func (f *fakeMember) StageBackward(s, stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.acc[stage] += float64(s + 1)
+}
+
+func (f *fakeMember) EndMicro(s int)                         {}
+func (f *fakeMember) BadLoss(loss float64) bool              { return false }
+func (f *fakeMember) PrepareStage(stage, nMicro int) float64 { return 0 }
+func (f *fakeMember) ClipScale(sumSq float64) float64        { return 1 }
+func (f *fakeMember) ScaleStage(stage int, scale float64)    {}
+func (f *fakeMember) StepAll()                               {}
+func (f *fakeMember) FinishStage(stage int)                  {}
+
+func (f *fakeMember) TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if bufs == nil {
+		bufs = []*tensor.Tensor{tensor.New(1)}
+	}
+	bufs[0].Data[0] = f.acc[stage]
+	f.acc[stage] = 0
+	return bufs
+}
+
+func (f *fakeMember) FoldStageGrads(stage int, bufs []*tensor.Tensor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.folds[stage] = append(f.folds[stage], bufs[0].Data[0])
+}
+
+func (f *fakeMember) SyncFromLeader() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.synced++
+}
+
+// fakeLead is a fakeMember that owns followers.
+type fakeLead struct {
+	*fakeMember
+	followers []*fakeMember
+}
+
+func (f *fakeLead) Replicas() int                 { return len(f.followers) + 1 }
+func (f *fakeLead) Follower(r int) replica.Member { return f.followers[r-1] }
+
+var _ replica.Leader = (*fakeLead)(nil)
+
+// driveChunk simulates an inner engine running replica r's chunk through
+// its compute wrapper: a forward climb and a backward descent per
+// microbatch, in chain order.
+func driveChunk(c *replica.Compute, chunk [][]int, p int) {
+	base := c.MicroBase()
+	for k := range chunk {
+		s := base + k
+		c.BeginMicro(s, chunk[k])
+		for st := 0; st < p; st++ {
+			c.StageForward(s, st)
+		}
+		for st := p - 1; st >= 0; st-- {
+			c.StageBackward(s, st)
+		}
+		c.EndMicro(s)
+	}
+}
+
+// TestGroupReduceFoldsInGlobalMicrobatchOrder drives a 4-replica group
+// over an unevenly divisible minibatch and checks the contract the
+// bit-identical claim rests on: the leader's own chunk is the untouched
+// fold prefix, and the tree reduction hands the leader every follower
+// microbatch's gradient exactly once, in global microbatch order.
+func TestGroupReduceFoldsInGlobalMicrobatchOrder(t *testing.T) {
+	const p, r, n = 3, 4, 10 // 10 microbatches over 4 replicas: chunks 3,3,2,2
+	lead := &fakeLead{fakeMember: newFakeMember(p)}
+	for i := 1; i < r; i++ {
+		lead.followers = append(lead.followers, newFakeMember(p))
+	}
+	g := replica.NewGroup(lead)
+	if g.Replicas() != r {
+		t.Fatalf("group has %d replicas, want %d", g.Replicas(), r)
+	}
+	micros := make([][]int, n)
+	for i := range micros {
+		micros[i] = []int{i}
+	}
+	chunks := g.Begin(micros)
+	wantSizes := []int{3, 3, 2, 2}
+	start := 0
+	for i, want := range wantSizes {
+		if len(chunks[i]) != want {
+			t.Fatalf("chunk %d has %d microbatches, want %d", i, len(chunks[i]), want)
+		}
+		if base := g.Member(i).MicroBase(); base != start {
+			t.Fatalf("replica %d starts at global microbatch %d, want %d", i, base, start)
+		}
+		start += want
+	}
+
+	for i := 0; i < r; i++ {
+		driveChunk(g.Member(i).(*replica.Compute), chunks[i], p)
+	}
+	g.Reduce()
+
+	// The leader's direct accumulation holds exactly its own chunk's fold.
+	wantLead := 1.0 + 2 + 3 // s = 0,1,2 → s+1
+	for st := 0; st < p; st++ {
+		if lead.acc[st] != wantLead {
+			t.Fatalf("leader stage %d accumulated %g, want its chunk prefix %g", st, lead.acc[st], wantLead)
+		}
+	}
+	// Every stage received the follower microbatches in global order.
+	for st := 0; st < p; st++ {
+		want := []float64{4, 5, 6, 7, 8, 9, 10} // s+1 for s = 3..9
+		if got := fmt.Sprint(lead.folds[st]); got != fmt.Sprint(want) {
+			t.Fatalf("stage %d folded %v, want global order %v", st, lead.folds[st], want)
+		}
+	}
+	// Losses fold in global order too.
+	wantLoss := 0.0
+	for s := 0; s < n; s++ {
+		wantLoss += float64(100 + s)
+	}
+	if got := g.LossSum(); got != wantLoss {
+		t.Fatalf("loss sum %g, want %g", got, wantLoss)
+	}
+
+	g.Broadcast()
+	if lead.synced != 0 {
+		t.Fatal("the leader must not sync from itself")
+	}
+	for i, f := range lead.followers {
+		if f.synced != 1 {
+			t.Fatalf("follower %d synced %d times, want 1", i+1, f.synced)
+		}
+	}
+}
+
+// TestComputeSuppressesCommit pins that a compute wrapper's commit phase
+// is inert: the replicated engine owns the real commit on the leader.
+func TestComputeSuppressesCommit(t *testing.T) {
+	lead := &fakeLead{fakeMember: newFakeMember(2)}
+	lead.followers = append(lead.followers, newFakeMember(2))
+	g := replica.NewGroup(lead)
+	g.Begin([][]int{{0}, {1}})
+	c := g.Member(0).(*replica.Compute)
+	if got := c.PrepareStage(0, 2); got != 0 {
+		t.Fatalf("PrepareStage returned %g, want inert 0", got)
+	}
+	if got := c.ClipScale(123); got != 1 {
+		t.Fatalf("ClipScale returned %g, want inert 1", got)
+	}
+	c.ScaleStage(0, 0.5)
+	c.StepAll()
+	c.FinishStage(0)
+}

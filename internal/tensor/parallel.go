@@ -88,6 +88,15 @@ func ParallelRows(rows, flops int, fn func(lo, hi int)) {
 
 // parallelRows is the internal spelling of ParallelRows.
 func parallelRows(rows, flops int, fn func(lo, hi int)) {
+	ParallelChunks(PlanRows(rows, flops), rows, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// PlanRows returns the number of contiguous chunks ParallelRows would
+// split [0, rows) into under the current kernel-parallelism setting and
+// the given total scalar work. Callers that need per-goroutine scratch
+// buffers (e.g. the attention core) plan first, allocate one scratch set
+// per chunk on the calling goroutine, then run ParallelChunks.
+func PlanRows(rows, flops int) int {
 	w := Workers()
 	if maxW := flops / parallelMinWork; w > maxW {
 		w = maxW
@@ -95,17 +104,30 @@ func parallelRows(rows, flops int, fn func(lo, hi int)) {
 	if w > rows {
 		w = rows
 	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelChunks runs fn(chunk, lo, hi) over w contiguous chunks of
+// [0, rows), concurrently when w > 1 — the chunk boundaries are exactly
+// ParallelRows' for the same w. The chunk index lets fn address
+// pre-allocated per-goroutine scratch; the same determinism contract as
+// ParallelRows applies (disjoint state, fixed per-element accumulation
+// order).
+func ParallelChunks(w, rows int, fn func(chunk, lo, hi int)) {
 	if w <= 1 {
-		fn(0, rows)
+		fn(0, 0, rows)
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		lo, hi := k*rows/w, (k+1)*rows/w
+		k, lo, hi := k, k*rows/w, (k+1)*rows/w
 		go func() {
 			defer wg.Done()
-			fn(lo, hi)
+			fn(k, lo, hi)
 		}()
 	}
 	wg.Wait()

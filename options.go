@@ -184,6 +184,25 @@ func WithEngine(e Engine) Option {
 	}
 }
 
+// WithReplicas sets the data-parallel replica count R (default 1). With
+// R > 1 the task must implement Replicable (CloneTask): the trainer owns
+// R−1 follower replicas, splits each minibatch's microbatches across
+// them, and commits one shared optimizer step after a deterministic
+// gradient all-reduce, so training curves are bit-identical to a
+// single-replica run of the same global batch. R must not exceed the
+// microbatch count N. The engine must be replica-aware; the default
+// engine for R > 1 is the replicated engine over Reference inners (see
+// NewReplicatedEngine to choose the inner engine).
+func WithReplicas(r int) Option {
+	return func(s *settings) error {
+		if r < 1 {
+			return fmt.Errorf("pipemare: replicas must be >= 1, got %d", r)
+		}
+		s.cfg.Replicas = r
+		return nil
+	}
+}
+
 // WithSeed sets the data-order RNG seed.
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {

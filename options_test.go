@@ -125,3 +125,52 @@ func TestDefaultsTrainOutOfTheBox(t *testing.T) {
 		t.Fatalf("loss did not decrease: %v", run.Loss)
 	}
 }
+
+// nonReplicableTask hides quadTask's CloneTask so WithReplicas validation
+// can be exercised against a task without replica support.
+type nonReplicableTask struct{ *quadTask }
+
+// CloneTask is shadowed away: embed the quadTask but do not forward the
+// method with the Replicable signature.
+func (nonReplicableTask) CloneTask() {}
+
+func TestWithReplicasValidation(t *testing.T) {
+	// R < 1 fails eagerly in the option.
+	if _, err := pipemare.New(newOptionProbeTask(), pipemare.WithReplicas(0)); err == nil ||
+		!strings.Contains(err.Error(), "replicas") {
+		t.Fatalf("WithReplicas(0) error = %v, want a replicas error", err)
+	}
+	// R must not exceed the microbatch count N.
+	_, err := pipemare.New(newOptionProbeTask(),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4), pipemare.WithReplicas(8))
+	if err == nil || !strings.Contains(err.Error(), "microbatches") {
+		t.Fatalf("R=8 > N=4 error = %v, want a microbatches error", err)
+	}
+	// The task must implement Replicable.
+	_, err = pipemare.New(nonReplicableTask{newQuadTask(4, 64, 8, 1)},
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4), pipemare.WithReplicas(2))
+	if err == nil || !strings.Contains(err.Error(), "Replicable") {
+		t.Fatalf("non-replicable task error = %v, want a Replicable error", err)
+	}
+	// A non-replica-aware engine is refused: it would silently train only
+	// the leader.
+	_, err = pipemare.New(newOptionProbeTask(),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4), pipemare.WithReplicas(2),
+		pipemare.WithEngine(pipemare.NewReferenceEngine()))
+	if err == nil || !strings.Contains(err.Error(), "replica-aware") {
+		t.Fatalf("plain-engine error = %v, want a replica-aware error", err)
+	}
+	// R = 1 is valid with any engine, and R ≤ N with the default
+	// (replicated) engine builds and reports its followers.
+	tr, err := pipemare.New(newOptionProbeTask(),
+		pipemare.WithBatchSize(8), pipemare.WithMicrobatches(4), pipemare.WithReplicas(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Replicas() != 4 {
+		t.Fatalf("trainer reports %d replicas, want 4", tr.Replicas())
+	}
+	if _, err := tr.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,6 +43,7 @@ package pipemare
 import (
 	"pipemare/internal/core"
 	"pipemare/internal/engine"
+	"pipemare/internal/engine/replicated"
 	"pipemare/internal/metrics"
 	"pipemare/internal/optim"
 	"pipemare/internal/pipeline"
@@ -59,6 +60,9 @@ type (
 	Config = core.Config
 	// Task is a model+loss bound to an indexed dataset.
 	Task = core.Task
+	// Replicable is a Task that can clone itself for data-parallel
+	// replication (WithReplicas).
+	Replicable = core.Replicable
 	// Trainer drives pipeline-parallel training.
 	Trainer = core.Trainer
 	// Run is a recorded training curve with derived metrics.
@@ -84,6 +88,18 @@ const (
 // NewReferenceEngine returns the default single-goroutine engine, the
 // semantic ground truth every other engine is pinned against.
 func NewReferenceEngine() Engine { return engine.NewReference() }
+
+// NewReplicatedEngine returns the multi-replica data-parallel engine for
+// WithReplicas(R > 1): each replica's share of a minibatch runs through
+// its own inner engine built by the factory (nil means Reference), so
+// pipeline overlap composes with replication. Curves stay bit-identical
+// to single-replica Reference runs; see internal/engine/replicated.
+func NewReplicatedEngine(inner func() Engine) Engine {
+	if inner == nil {
+		return replicated.New()
+	}
+	return replicated.New(replicated.WithInner(inner))
+}
 
 // NewTrainer builds a pipeline-parallel trainer from a flat Config; see
 // core.New.
