@@ -6,7 +6,9 @@
 //	pipemare-bench table1 fig3a  # run selected experiments (quick scale)
 //	pipemare-bench -full table2  # reference-scale run
 //	pipemare-bench all           # every experiment at quick scale
-//	pipemare-bench -engine concurrent table2   # stage-worker engine
+//	pipemare-bench -engine concurrent table2   # stage-scheduler engine
+//	pipemare-bench -engine concurrent -workers 2 table2  # cap scheduler workers
+//	pipemare-bench -partition cost table2      # cost-balanced stage split
 //	pipemare-bench -replicas 2 table2          # 2 data-parallel replicas
 //	pipemare-bench -json         # engine perf record, merged into BENCH_engine.json
 package main
@@ -28,16 +30,32 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at reference (paper) scale instead of quick scale")
 	engineName := flag.String("engine", "reference", "execution engine for training runs: reference | concurrent")
+	workers := flag.Int("workers", 0, "scheduler workers for the concurrent engine (0 = min(P, GOMAXPROCS))")
+	partitionName := flag.String("partition", "even", "stage partition mode: even | cost | profile")
 	replicas := flag.Int("replicas", 1, "data-parallel pipeline replicas per training run (curves are bit-identical to -replicas 1)")
 	jsonOut := flag.Bool("json", false, "benchmark the engines on the transformer workload and merge the records into BENCH_engine.json")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
 	var inner func() pipemare.Engine
 	switch *engineName {
 	case "reference":
 	case "concurrent":
-		inner = func() pipemare.Engine { return concurrent.New() }
+		inner = func() pipemare.Engine { return concurrent.New(concurrent.WithWorkers(*workers)) }
 	default:
 		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown engine %q (want reference or concurrent)\n", *engineName)
+		os.Exit(2)
+	}
+	switch *partitionName {
+	case "even":
+	case "cost":
+		experiments.Partition = pipemare.PartitionCost
+	case "profile":
+		experiments.Partition = pipemare.PartitionProfile
+	default:
+		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown partition mode %q (want even, cost or profile)\n", *partitionName)
 		os.Exit(2)
 	}
 	switch {
@@ -55,7 +73,7 @@ func main() {
 		experiments.EngineFactory = inner
 	}
 	if *jsonOut {
-		if err := benchEngines("BENCH_engine.json"); err != nil {
+		if err := benchEngines("BENCH_engine.json", *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "pipemare-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,25 +116,30 @@ func main() {
 	}
 }
 
-// benchRecord is one engine×stages×replicas measurement of the
-// transformer workload. OverlapEfficiency is speedup/P: the fraction of
-// perfect P-way stage overlap the concurrent engine realizes over
-// Reference (1.0 would be a linear-in-P win; on a single-core runner it
-// sits near 1/P because there is no hardware to overlap onto). For
+// benchRecord is one engine×stages×replicas×partition×workers measurement
+// of the transformer workload. OverlapEfficiency is speedup/P: the
+// fraction of perfect P-way stage overlap the concurrent engine realizes
+// over Reference (on a single-core runner it sits near 1/P because there
+// is no hardware to overlap onto). StageImbalance is max/mean per-stage
+// cost under the record's partition — what cost balancing buys shows up
+// as this dropping toward 1.0 together with the speedup rising. For
 // replicated records the speedup is against single-replica Reference at
 // the same P, and ScalingEfficiency is speedup/R.
 type benchRecord struct {
 	Engine            string  `json:"engine"`
 	Stages            int     `json:"stages"`
 	Replicas          int     `json:"replicas"`
+	Partition         string  `json:"partition"`
+	Workers           int     `json:"workers,omitempty"` // scheduler workers (concurrent engine)
 	NsPerEpoch        int64   `json:"ns_per_epoch"`
 	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"` // speedup / R
+	StageImbalance    float64 `json:"stage_imbalance,omitempty"`    // max/mean per-stage cost
 }
 
 // benchFile is the BENCH_engine.json schema, one record per
-// engine×P×replicas.
+// engine×P×replicas×partition×workers.
 type benchFile struct {
 	Workload   string        `json:"workload"`
 	GoMaxProcs int           `json:"gomaxprocs"`
@@ -127,7 +150,10 @@ type benchFile struct {
 // loadBenchFile reads an existing perf record so a re-run merges into it
 // instead of overwriting rows it did not measure (e.g. another engine×P
 // combination recorded on a different runner). A missing, unreadable or
-// different-workload file starts fresh.
+// different-workload file starts fresh. Records from before the
+// replicas/partition/workers dimensions are normalized: replicas 1,
+// partition "even", and — for concurrent rows — workers = stages (the
+// goroutine-per-stage era pinned one worker to every stage).
 func loadBenchFile(path string) benchFile {
 	out := benchFile{Workload: experiments.EngineBenchWorkload}
 	raw, err := os.ReadFile(path)
@@ -139,19 +165,27 @@ func loadBenchFile(path string) benchFile {
 		return out
 	}
 	for i := range prev.Records {
-		if prev.Records[i].Replicas == 0 {
-			prev.Records[i].Replicas = 1 // records from before the replicas dimension
+		r := &prev.Records[i]
+		if r.Replicas == 0 {
+			r.Replicas = 1
+		}
+		if r.Partition == "" {
+			r.Partition = "even"
+		}
+		if r.Workers == 0 && r.Engine == "concurrent" {
+			r.Workers = r.Stages
 		}
 	}
 	out.Records = prev.Records
 	return out
 }
 
-// upsert replaces the record with rec's (engine, stages, replicas) key or
-// appends it.
+// upsert replaces the record with rec's (engine, stages, replicas,
+// partition, workers) key or appends it.
 func (b *benchFile) upsert(rec benchRecord) {
 	for i, r := range b.Records {
-		if r.Engine == rec.Engine && r.Stages == rec.Stages && r.Replicas == rec.Replicas {
+		if r.Engine == rec.Engine && r.Stages == rec.Stages && r.Replicas == rec.Replicas &&
+			r.Partition == rec.Partition && r.Workers == rec.Workers {
 			b.Records[i] = rec
 			return
 		}
@@ -160,41 +194,57 @@ func (b *benchFile) upsert(rec benchRecord) {
 }
 
 // benchEngines times one training epoch of the transformer workload under
-// the Reference and concurrent engines at P ∈ {4, 8} and the replicated
-// engine at P = 4 with R ∈ {2, 4} Reference-inner replicas, then merges
-// the measurements into the perf record so the engine trajectory is
-// tracked across PRs without clobbering rows from other runs.
-func benchEngines(path string) error {
+// the Reference engine and the work-stealing concurrent engine at
+// P ∈ {4, 8} × partition ∈ {even, cost}, plus the replicated engine at
+// P = 4 with R ∈ {2, 4} Reference-inner replicas, then merges the
+// measurements into the perf record so the engine trajectory — including
+// what cost balancing bought — is tracked across PRs without clobbering
+// rows from other runs.
+func benchEngines(path string, workers int) error {
 	out := loadBenchFile(path)
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 	out.NumCPU = runtime.NumCPU()
 	refNsAt := map[int]int64{}
 	for _, p := range []int{4, 8} {
-		refNs, err := timeEpochs(p, 1, pipemare.NewReferenceEngine())
+		w := workers
+		if w == 0 {
+			w = out.GoMaxProcs
+		}
+		if w > p {
+			w = p
+		}
+		refNs, _, err := timeEpochs(p, 1, pipemare.NewReferenceEngine(), pipemare.PartitionEven)
 		if err != nil {
 			return err
 		}
 		refNsAt[p] = refNs
-		concNs, err := timeEpochs(p, 1, concurrent.New())
-		if err != nil {
-			return err
+		out.upsert(benchRecord{Engine: "reference", Stages: p, Replicas: 1,
+			Partition: "even", NsPerEpoch: refNs})
+		for _, mode := range []pipemare.PartitionMode{pipemare.PartitionEven, pipemare.PartitionCost} {
+			eng := concurrent.New(concurrent.WithWorkers(workers))
+			ns, imbalance, err := timeEpochs(p, 1, eng, mode)
+			if err != nil {
+				return err
+			}
+			speedup := float64(refNs) / float64(ns)
+			out.upsert(benchRecord{Engine: "concurrent", Stages: p, Replicas: 1,
+				Partition: mode.String(), Workers: w, NsPerEpoch: ns,
+				Speedup: speedup, OverlapEfficiency: speedup / float64(p),
+				StageImbalance: imbalance})
+			fmt.Printf("P=%d %s W=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f, stage imbalance %.2f)\n",
+				p, mode, w, float64(refNs)/1e9, float64(ns)/1e9, speedup, speedup/float64(p), imbalance)
 		}
-		speedup := float64(refNs) / float64(concNs)
-		out.upsert(benchRecord{Engine: "reference", Stages: p, Replicas: 1, NsPerEpoch: refNs})
-		out.upsert(benchRecord{Engine: "concurrent", Stages: p, Replicas: 1, NsPerEpoch: concNs,
-			Speedup: speedup, OverlapEfficiency: speedup / float64(p)})
-		fmt.Printf("P=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f)\n",
-			p, float64(refNs)/1e9, float64(concNs)/1e9, speedup, speedup/float64(p))
 	}
 	for _, r := range []int{2, 4} {
 		const p = 4
-		ns, err := timeEpochs(p, r, nil) // nil engine: the default replicated engine
+		ns, _, err := timeEpochs(p, r, nil, pipemare.PartitionEven) // nil engine: the default replicated engine
 		if err != nil {
 			return err
 		}
 		speedup := float64(refNsAt[p]) / float64(ns)
 		out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
-			NsPerEpoch: ns, Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
+			Partition: "even", NsPerEpoch: ns,
+			Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
 		fmt.Printf("P=%d R=%d: replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
 			p, r, float64(ns)/1e9, speedup, speedup/float64(r))
 	}
@@ -213,20 +263,25 @@ func benchEngines(path string) error {
 }
 
 // timeEpochs builds the benchmark trainer (the same workload as the root
-// BenchmarkEngine* benchmarks) and returns ns per epoch: one warm epoch,
-// then the mean of two timed epochs.
-func timeEpochs(stages, replicas int, eng pipemare.Engine) (int64, error) {
-	tr, err := experiments.NewReplicatedBenchTrainer(stages, replicas, eng)
+// BenchmarkEngine* benchmarks) under the given partition mode and returns
+// ns per epoch — one warm epoch, then the mean of two timed epochs — plus
+// the trainer's stage imbalance (max/mean per-stage cost).
+func timeEpochs(stages, replicas int, eng pipemare.Engine, mode pipemare.PartitionMode) (int64, float64, error) {
+	var extra []pipemare.Option
+	if mode != pipemare.PartitionEven {
+		extra = append(extra, pipemare.WithPartition(mode))
+	}
+	tr, err := experiments.NewReplicatedBenchTrainer(stages, replicas, eng, extra...)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if _, err := tr.Run(context.Background(), 1); err != nil { // warm
-		return 0, err
+		return 0, 0, err
 	}
 	const epochs = 2
 	start := time.Now()
 	if _, err := tr.Run(context.Background(), epochs); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return time.Since(start).Nanoseconds() / epochs, nil
+	return time.Since(start).Nanoseconds() / epochs, tr.StageImbalance(), nil
 }

@@ -246,7 +246,7 @@ func TestEnginesEquivalentOnSplitDivergence(t *testing.T) {
 // the same engine instance must restart cleanly across Run calls and
 // trainers.
 func TestConcurrentEngineSurvivesRepeatedRuns(t *testing.T) {
-	eng := concurrent.New(concurrent.WithKernelWorkers(2))
+	eng := concurrent.New(concurrent.WithKernelWorkers(2), concurrent.WithWorkers(2))
 	build := func() pipemare.Task { return newQuadTask(4, 32, 8, 9) }
 	tr, err := pipemare.New(build(),
 		pipemare.WithMethod(pipemare.PipeMare), pipemare.WithT1(8),
@@ -294,6 +294,196 @@ func TestEnginesEquivalentOnDivergence(t *testing.T) {
 		t.Fatal("reference run was expected to diverge")
 	}
 	requireIdentical(t, "divergence", ref, conc)
+}
+
+// --- work-stealing scheduler × partition-mode grid ---
+
+// workersGrid returns the worker counts the scheduler-grid equivalence
+// tests cover: {1, 2, P} by default (one worker = fully serial stealing,
+// two = constant contention, P = one worker per stage like the old
+// engine). PIPEMARE_WORKERS narrows the grid to one cell for the CI
+// matrix.
+func workersGrid(p int) []int {
+	if v := os.Getenv("PIPEMARE_WORKERS"); v != "" {
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 1 {
+			panic("bad PIPEMARE_WORKERS: " + v)
+		}
+		return []int{w}
+	}
+	ws := []int{1, 2}
+	if p > 2 {
+		ws = append(ws, p)
+	}
+	return ws
+}
+
+// TestEnginesEquivalentAcrossSchedulerGrid pins the tentpole determinism
+// claim: for every worker count W and partition mode, the work-stealing
+// engine — sharded StepStage commit included — produces curves
+// bit-identical to the serial Reference engine under the same partition.
+// Covers the stage-split DNN with every PipeMare technique on, and the
+// transformer (AdamW, stage boundaries inside attention blocks).
+func TestEnginesEquivalentAcrossSchedulerGrid(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 64, Test: 32, Noise: 0.4, Seed: 1})
+	ds := data.NewTranslation(data.TranslationConfig{Vocab: 11, SrcLen: 5,
+		Train: 64, Test: 16, Seed: 2})
+	cases := []struct {
+		name   string
+		p      int
+		epochs int
+		build  func() pipemare.Task
+		opts   []pipemare.Option
+	}{
+		{
+			name: "dnn", p: 4, epochs: 3,
+			build: func() pipemare.Task { return model.NewResNetMLP(images, 8, 4, 3) },
+			opts: append(methodOpts(pipemare.PipeMare),
+				pipemare.WithStages(4),
+				pipemare.WithBatchSize(16), pipemare.WithMicrobatches(4),
+				pipemare.WithSchedule(optim.Constant(0.05))),
+		},
+		{
+			name: "transformer", p: 8, epochs: 2,
+			build: func() pipemare.Task {
+				return model.NewTranslation(ds, model.TransformerConfig{
+					Dim: 16, Heads: 2, EncLayers: 1, DecLayers: 1, Seed: 4})
+			},
+			opts: append(methodOpts(pipemare.PipeMare),
+				pipemare.WithStages(8),
+				pipemare.WithBatchSize(16), pipemare.WithMicrobatches(4),
+				pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+					return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+				}),
+				pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 20})),
+		},
+	}
+	for _, tc := range cases {
+		for _, mode := range []pipemare.PartitionMode{pipemare.PartitionEven, pipemare.PartitionCost} {
+			opts := append(append([]pipemare.Option{}, tc.opts...), pipemare.WithPartition(mode))
+			ref := runCurve(t, tc.build, tc.epochs, 1,
+				append(append([]pipemare.Option{}, opts...), pipemare.WithEngine(pipemare.NewReferenceEngine()))...)
+			for _, w := range workersGrid(tc.p) {
+				// The facade constructor is the public face of the
+				// scheduler: NewConcurrentEngine(w) ≡ concurrent.New(WithWorkers(w)).
+				conc := runCurve(t, tc.build, tc.epochs, 1,
+					append(append([]pipemare.Option{}, opts...),
+						pipemare.WithEngine(pipemare.NewConcurrentEngine(w)))...)
+				requireIdentical(t, fmt.Sprintf("%s/%s/W=%d", tc.name, mode, w), ref, conc)
+			}
+		}
+	}
+}
+
+// TestEnginesEquivalentOnDivergenceUnderStealing pins the abort path with
+// fewer workers than stages and a cost-balanced partition: the draining,
+// restore and recorded curve must still match Reference exactly.
+func TestEnginesEquivalentOnDivergenceUnderStealing(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 8})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 3, 9) }
+	opts := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithPartition(pipemare.PartitionCost),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(8),
+		pipemare.WithSeed(4), pipemare.WithLossCap(15),
+		pipemare.WithRecompute(2),
+		pipemare.WithSchedule(optim.Constant(8)), // absurd rate: diverges
+	}
+	ref := runCurve(t, build, 4, 1,
+		append(append([]pipemare.Option{}, opts...), pipemare.WithEngine(pipemare.NewReferenceEngine()))...)
+	if !ref.Diverged {
+		t.Fatal("reference run was expected to diverge")
+	}
+	conc := runCurve(t, build, 4, 1,
+		append(append([]pipemare.Option{}, opts...),
+			pipemare.WithEngine(concurrent.New(concurrent.WithWorkers(2))))...)
+	requireIdentical(t, "stealing-divergence/W=2", ref, conc)
+}
+
+// TestProfilePartitionMode pins the measured-cost path: a profile-mode
+// trainer builds, trains, and its DP split is at least as balanced (under
+// its own measured costs) as the even split; feeding the measured costs
+// back through WithGroupCosts reproduces the partition exactly and gives
+// bit-identical Reference/concurrent curves — the deterministic way to
+// pin a profiled partition across trainers.
+func TestProfilePartitionMode(t *testing.T) {
+	ds := data.NewTranslation(data.TranslationConfig{Vocab: 11, SrcLen: 5,
+		Train: 64, Test: 16, Seed: 2})
+	build := func() pipemare.Task {
+		return model.NewTranslation(ds, model.TransformerConfig{
+			Dim: 16, Heads: 2, EncLayers: 1, DecLayers: 1, Seed: 4})
+	}
+	base := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(8),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(4),
+		pipemare.WithSeed(11),
+		pipemare.WithOptimizer(func(ps []*nn.Param) pipemare.Optimizer {
+			return optim.NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+		}),
+		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 20}),
+	}
+	prof, err := pipemare.New(build(),
+		append(append([]pipemare.Option{}, base...), pipemare.WithPartition(pipemare.PartitionProfile))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.PartitionMode() != pipemare.PartitionProfile {
+		t.Fatalf("mode = %v", prof.PartitionMode())
+	}
+	costs := prof.GroupCosts()
+	for g, c := range costs {
+		if c <= 0 {
+			t.Fatalf("measured cost of group %d is %g, want > 0", g, c)
+		}
+	}
+	// DP optimality: the profiled split's bottleneck can't exceed even's
+	// under the same measured costs.
+	evenPart, err := pipemare.New(build(), base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profMax, evenMax := 0.0, 0.0
+	for _, c := range prof.StageCosts() {
+		if c > profMax {
+			profMax = c
+		}
+	}
+	for _, c := range evenPart.Partition().StageCosts(costs) {
+		if c > evenMax {
+			evenMax = c
+		}
+	}
+	if profMax > evenMax {
+		t.Fatalf("profiled bottleneck %g worse than even %g", profMax, evenMax)
+	}
+	if _, err := prof.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinned measured costs: identical partitions and bit-identical curves
+	// across engines.
+	pinned := append(append([]pipemare.Option{}, base...),
+		pipemare.WithPartition(pipemare.PartitionProfile), pipemare.WithGroupCosts(costs))
+	refTr, err := pipemare.New(build(), append(append([]pipemare.Option{}, pinned...),
+		pipemare.WithEngine(pipemare.NewReferenceEngine()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, s := range refTr.Partition().StageOf {
+		if s != prof.Partition().StageOf[g] {
+			t.Fatalf("pinned costs gave different partition: %v vs %v",
+				refTr.Partition().StageOf, prof.Partition().StageOf)
+		}
+	}
+	ref := runCurve(t, build, 2, 1, append(append([]pipemare.Option{}, pinned...),
+		pipemare.WithEngine(pipemare.NewReferenceEngine()))...)
+	conc := runCurve(t, build, 2, 1, append(append([]pipemare.Option{}, pinned...),
+		pipemare.WithEngine(concurrent.New(concurrent.WithWorkers(3))))...)
+	requireIdentical(t, "profile-pinned/W=3", ref, conc)
 }
 
 // --- replicated data-parallel engine ---
@@ -395,10 +585,15 @@ func TestReplicatedEngineMatchesReferenceOnTransformer(t *testing.T) {
 		}),
 		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 20}))
 	ref := runCurve(t, build, 2, 1, base...)
+	// The inner engines run the new work-stealing scheduler with fewer
+	// workers than stages, so replication composes with stealing.
+	inner := pipemare.NewReplicatedEngine(func() pipemare.Engine {
+		return concurrent.New(concurrent.WithWorkers(2))
+	})
 	opts := append(append([]pipemare.Option{}, base...),
-		pipemare.WithReplicas(2), pipemare.WithEngine(replicatedEngine("concurrent")))
+		pipemare.WithReplicas(2), pipemare.WithEngine(inner))
 	got := runCurve(t, build, 2, 2, opts...)
-	requireIdentical(t, "replicated-transformer/R=2/concurrent", ref, got)
+	requireIdentical(t, "replicated-transformer/R=2/concurrent-W=2", ref, got)
 }
 
 // TestReplicatedEngineMonolithicFallback pins the monolithic path: a task

@@ -24,6 +24,8 @@ func main() {
 	t2d := flag.Float64("t2d", 0.5, "T2 correction decay D (0 disables)")
 	epochs := flag.Int("epochs", 40, "training epochs")
 	engineName := flag.String("engine", "reference", "execution engine: reference | concurrent")
+	workers := flag.Int("workers", 0, "scheduler workers for the concurrent engine (0 = min(P, GOMAXPROCS))")
+	partition := flag.String("partition", "even", "stage partition: even | cost | profile")
 	flag.Parse()
 
 	images := data.NewImages(data.ImagesConfig{
@@ -51,16 +53,25 @@ func main() {
 	switch *engineName {
 	case "reference":
 	case "concurrent":
-		opts = append(opts, pipemare.WithEngine(concurrent.New()))
+		opts = append(opts, pipemare.WithEngine(concurrent.New(concurrent.WithWorkers(*workers))))
 	default:
 		panic("unknown engine " + *engineName + " (want reference or concurrent)")
+	}
+	switch *partition {
+	case "even":
+	case "cost":
+		opts = append(opts, pipemare.WithPartition(pipemare.PartitionCost))
+	case "profile":
+		opts = append(opts, pipemare.WithPartition(pipemare.PartitionProfile))
+	default:
+		panic("unknown partition " + *partition + " (want even, cost or profile)")
 	}
 	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("PipeMare [%s engine]: %d stages, τ_fwd(first stage) = %.2f minibatches, T1K=%d, D=%g\n",
-		tr.Engine().Name(), tr.Stages(), tr.Taus()[0], *t1k, *t2d)
+	fmt.Printf("PipeMare [%s engine, %s partition]: %d stages, stage imbalance %.2f, τ_fwd(first stage) = %.2f minibatches, T1K=%d, D=%g\n",
+		tr.Engine().Name(), tr.PartitionMode(), tr.Stages(), tr.StageImbalance(), tr.Taus()[0], *t1k, *t2d)
 	run, err := tr.Run(context.Background(), *epochs)
 	if err != nil {
 		panic(err)

@@ -127,6 +127,21 @@ type Config struct {
 	BatchSize      int
 	MicrobatchSize int
 
+	// Partition selects how weight groups are split into the P stages:
+	// PartitionEven (the default, by group count), PartitionCost
+	// (bottleneck-minimizing over the analytic per-group cost model), or
+	// PartitionProfile (over measured per-group wall time from a
+	// one-microbatch profiling pass at build time). The partition changes
+	// each parameter's stage and therefore its delay τ_fwd — curves are
+	// deterministic per mode, not across modes.
+	Partition pipeline.PartitionMode
+
+	// GroupCosts optionally supplies explicit per-group costs for the
+	// cost/profile partition modes (e.g. from an offline profiler),
+	// overriding the built-in estimators. Must match the task's group
+	// count; requires a non-even partition mode.
+	GroupCosts []float64
+
 	// T1: learning-rate rescheduling annealing length in optimizer steps
 	// (0 disables T1).
 	T1K int
@@ -173,15 +188,17 @@ type Trainer struct {
 	cfg   Config
 	eng   engine.Engine
 
-	part    *pipeline.Partition
-	clock   pipeline.Clock
-	store   *pipeline.VersionStore
-	params  []*nn.Param // in forward order (matches optimizer order)
-	stage1  []int       // 1-indexed stage per param
-	stageLo []int       // params[stageLo[s]:stageHi[s]] belong to stage s
-	stageHi []int
-	taus    []float64 // per-param τ_fwd in minibatch units
-	masters []*tensor.Tensor
+	part       *pipeline.Partition
+	groupCosts []float64 // per-group costs the partitioner balanced
+	clock      pipeline.Clock
+	store      *pipeline.VersionStore
+	params     []*nn.Param // in forward order (matches optimizer order)
+	stage1     []int       // 1-indexed stage per param
+	stageLo    []int       // params[stageLo[s]:stageHi[s]] belong to stage s
+	stageHi    []int
+	stageLRs   [][]float64 // per-stage learning-rate scratch (StepStage)
+	taus       []float64   // per-param τ_fwd in minibatch units
+	masters    []*tensor.Tensor
 
 	// T2 state: per-param velocity accumulator δ and the materialized
 	// corrected backward weights (master − τ·δ).
@@ -211,12 +228,13 @@ type Trainer struct {
 	replicas []*Trainer
 	leader   *Trainer
 
-	observer Observer
-	rng      *rand.Rand
-	micro    int // global microbatch counter s
-	step     int // optimizer step counter (minibatches committed)
-	epoch    int // cumulative epochs completed (persists across Run calls)
-	diverged bool
+	observer   Observer
+	rng        *rand.Rand
+	micro      int // global microbatch counter s
+	step       int // optimizer step counter (minibatches committed)
+	commitStep int // step index of the update being committed (BeginStep)
+	epoch      int // cumulative epochs completed (persists across Run calls)
+	diverged   bool
 }
 
 // flight is one in-flight microbatch: its sample indices and, for
@@ -236,15 +254,15 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	if p == 0 {
 		p = len(groups)
 	}
-	part, err := pipeline.PartitionGroups(groups, p)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.BatchSize <= 0 || cfg.MicrobatchSize <= 0 || cfg.BatchSize%cfg.MicrobatchSize != 0 {
 		return nil, fmt.Errorf("core: batch size %d must be a positive multiple of microbatch size %d", cfg.BatchSize, cfg.MicrobatchSize)
 	}
 	if task.NumTrain() < cfg.BatchSize {
 		return nil, fmt.Errorf("core: training set (%d samples) smaller than one batch (%d)", task.NumTrain(), cfg.BatchSize)
+	}
+	part, costs, err := buildPartition(task, groups, p, cfg)
+	if err != nil {
+		return nil, err
 	}
 	n := cfg.BatchSize / cfg.MicrobatchSize
 	if cfg.LossCap == 0 {
@@ -281,19 +299,21 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	}
 	t := &Trainer{
 		task: task, opt: opt, sched: sched, cfg: cfg, eng: eng,
-		part:  part,
+		part: part, groupCosts: costs,
 		clock: pipeline.Clock{P: p, N: n},
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	t.params = part.Params()
 	t.stageLo = make([]int, p)
 	t.stageHi = make([]int, p)
+	t.stageLRs = make([][]float64, p)
 	for s, ps := range part.Stages {
 		t.stageLo[s] = len(t.stage1)
 		for range ps {
 			t.stage1 = append(t.stage1, s+1)
 		}
 		t.stageHi[s] = len(t.stage1)
+		t.stageLRs[s] = make([]float64, len(ps))
 	}
 	t.taus = make([]float64, len(t.params))
 	for i := range t.params {
@@ -341,6 +361,107 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	return t, nil
 }
 
+// buildPartition splits the task's weight groups into p stages under the
+// configured partition mode, returning the partition and the per-group
+// cost vector it balanced (the analytic estimate for even mode, so stage
+// imbalance is always reportable).
+func buildPartition(task Task, groups []pipeline.ParamGroup, p int, cfg Config) (*pipeline.Partition, []float64, error) {
+	switch cfg.Partition {
+	case pipeline.PartitionEven:
+		if cfg.GroupCosts != nil {
+			return nil, nil, fmt.Errorf("core: explicit group costs require the cost or profile partition mode")
+		}
+		part, err := pipeline.PartitionGroups(groups, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return part, analyticGroupCosts(task, groups), nil
+	case pipeline.PartitionCost, pipeline.PartitionProfile:
+		var costs []float64
+		switch {
+		case cfg.GroupCosts != nil:
+			if len(cfg.GroupCosts) != len(groups) {
+				return nil, nil, fmt.Errorf("core: %d group costs for %d weight groups", len(cfg.GroupCosts), len(groups))
+			}
+			costs = append([]float64(nil), cfg.GroupCosts...)
+		case cfg.Partition == pipeline.PartitionProfile:
+			if st, ok := task.(StageTask); ok {
+				costs = measuredGroupCosts(st, groups, cfg.MicrobatchSize)
+			} else {
+				// Monolithic tasks cannot attribute wall time to groups;
+				// fall back to the analytic proxy.
+				costs = analyticGroupCosts(task, groups)
+			}
+		default:
+			costs = analyticGroupCosts(task, groups)
+		}
+		part, err := pipeline.PartitionGroupsByCost(groups, costs, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return part, costs, nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown partition mode %d", int(cfg.Partition))
+}
+
+// analyticGroupCosts is the static cost estimate the cost mode balances:
+// the program's per-op FLOP/byte model for stage-split tasks, or scalar
+// weight counts as a proxy for monolithic tasks.
+func analyticGroupCosts(task Task, groups []pipeline.ParamGroup) []float64 {
+	if st, ok := task.(StageTask); ok {
+		cs := st.Program().GroupCosts(len(groups))
+		out := make([]float64, len(cs))
+		for i, c := range cs {
+			out[i] = c.Weight()
+		}
+		return out
+	}
+	out := make([]float64, len(groups))
+	for i, g := range groups {
+		out[i] = float64(g.Size())
+	}
+	return out
+}
+
+// measuredGroupCosts is the profile mode's one-minibatch measurement pass:
+// a warm forward+backward of one microbatch (machine pools and tape arenas
+// reach steady state), then profileRuns timed passes accumulating per-op
+// wall time onto the op's weight group. The gradients the backward halves
+// accumulate are zeroed before training starts. Wall time is inherently
+// noisy, so two builds may profile slightly different costs (and thus
+// partitions); use Config.GroupCosts to pin a measured cost vector when
+// exact reproducibility across trainers is required.
+func measuredGroupCosts(st StageTask, groups []pipeline.ParamGroup, microbatchSize int) []float64 {
+	const profileRuns = 3
+	prog := st.Program()
+	m := nn.NewMachine(prog.NumRegs)
+	idx := make([]int, microbatchSize)
+	for i := range idx {
+		idx[i] = i
+	}
+	costs := make([]float64, len(groups))
+	run := func(c []float64) {
+		m.ResetRun()
+		st.BindMicro(m, idx)
+		if c == nil {
+			prog.ForwardRange(m, 0, len(prog.Ops))
+			prog.BackwardRange(m, 0, len(prog.Ops))
+			return
+		}
+		prog.MeasureGroupCosts(m, c)
+	}
+	run(nil)
+	for r := 0; r < profileRuns; r++ {
+		run(costs)
+	}
+	var ps []*nn.Param
+	for _, g := range groups {
+		ps = append(ps, g.Params...)
+	}
+	nn.ZeroGrads(ps)
+	return costs
+}
+
 // newFollower clones the leader's task, copies the leader's current
 // (initial) weights into the clone — so the follower's version store
 // seeds with the same version-0 snapshot — and builds the follower
@@ -365,6 +486,12 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	fcfg := t.cfg
 	fcfg.Replicas = 0
 	fcfg.Engine = engine.NewReference() // follower engines are never used
+	if fcfg.Partition != pipeline.PartitionEven {
+		// Followers must land on the leader's exact partition: reuse its
+		// (possibly measured) cost vector instead of re-estimating, so a
+		// noisy profile pass cannot skew a follower's stage boundaries.
+		fcfg.GroupCosts = t.groupCosts
+	}
 	f, err := New(ct, optim.NewSGD(cps, 0, 0), t.sched, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: building replica %d: %w", r, err)
@@ -417,6 +544,28 @@ func (t *Trainer) Diverged() bool { return t.diverged }
 // Partition exposes the stage partition (for the memory model).
 func (t *Trainer) Partition() *pipeline.Partition { return t.part }
 
+// PartitionMode returns the configured partition mode.
+func (t *Trainer) PartitionMode() pipeline.PartitionMode { return t.cfg.Partition }
+
+// GroupCosts returns a copy of the per-group cost vector the partitioner
+// balanced: the analytic estimate (even/cost modes), the measured wall
+// times (profile mode), or the explicitly configured costs. For the cost
+// and profile modes, feeding it back through Config.GroupCosts reproduces
+// this trainer's partition exactly — the escape hatch for pinning a
+// profiled partition. (An even-mode trainer's partition ignores costs by
+// definition; the vector is informational there, for imbalance tracking.)
+func (t *Trainer) GroupCosts() []float64 {
+	return append([]float64(nil), t.groupCosts...)
+}
+
+// StageCosts returns the per-stage cost totals under the active partition.
+func (t *Trainer) StageCosts() []float64 { return t.part.StageCosts(t.groupCosts) }
+
+// StageImbalance returns max/mean of the per-stage costs — 1.0 is a
+// perfectly balanced pipeline; the bottleneck stage caps the concurrent
+// engine's overlap at mean/max of ideal.
+func (t *Trainer) StageImbalance() float64 { return pipeline.Imbalance(t.StageCosts()) }
+
 // Engine returns the execution engine driving this trainer.
 func (t *Trainer) Engine() engine.Engine { return t.eng }
 
@@ -433,28 +582,34 @@ func (t *Trainer) synchronous() bool {
 	return t.cfg.Method == GPipe || t.epoch < t.cfg.WarmupEpochs
 }
 
-// learningRates computes the per-parameter rates: plain schedule while
-// synchronous, T1-rescheduled once asynchronous (with the annealing clock
-// starting at the async switch, so warmup epochs do not consume it).
-func (t *Trainer) learningRates() []float64 {
+// ratesInto fills out with the per-parameter learning rates of params
+// [lo, hi) at optimizer step `step`: plain schedule while synchronous,
+// T1-rescheduled once asynchronous (with the annealing clock starting at
+// the async switch, so warmup epochs do not consume it). It is pure in the
+// parameter range given the step index and the epoch phase — both frozen
+// for the whole commit — so distinct stages may compute their rates
+// concurrently (the stage-sharded StepStage commit).
+func (t *Trainer) ratesInto(out []float64, step, lo, hi int) {
+	base := t.sched.LR(step)
 	if t.synchronous() || t.cfg.T1K <= 0 {
-		return optim.UniformLR(t.sched.LR(t.step), len(t.params))
+		for i := range out {
+			out[i] = base
+		}
+		return
 	}
-	async := t.step - t.warmupSteps()
+	async := step - t.warmupSteps()
 	if async < 0 {
 		async = 0
 	}
 	// T1 uses the base schedule at the true step but anneals on async time.
-	base := t.sched.LR(t.step)
-	out := make([]float64, len(t.params))
 	p := 1 - math.Min(float64(async)/float64(t.cfg.T1K), 1)
-	for i, tau := range t.taus {
+	for i := lo; i < hi; i++ {
+		tau := t.taus[i]
 		if tau < 1 {
 			tau = 1
 		}
-		out[i] = base / math.Pow(tau, p)
+		out[i-lo] = base / math.Pow(tau, p)
 	}
-	return out
 }
 
 // warmupSteps returns the number of optimizer steps spent in T3 warmup.
@@ -693,11 +848,27 @@ func (h host) ScaleStage(stage int, scale float64) {
 	}
 }
 
-// StepAll applies one optimizer update over all parameters.
-func (h host) StepAll() {
+// BeginStep advances the step clocks for the update being committed: the
+// trainer's step counter and the optimizer's (Adam bias-correction) clock.
+// The per-stage rates are computed at the pre-advance step index, exactly
+// as the old monolithic step did.
+func (h host) BeginStep() {
 	t := h.t
-	t.opt.Step(t.learningRates())
+	t.commitStep = t.step
 	t.step++
+	t.opt.Advance()
+}
+
+// StepStage applies the optimizer update to the stage's parameter range
+// with that range's (T1) learning rates. Ranges are disjoint and the rate
+// computation is pure given the step clock BeginStep advanced, so distinct
+// stages step concurrently without any cross-stage arithmetic.
+func (h host) StepStage(stage int) {
+	t := h.t
+	lo, hi := t.stageLo[stage], t.stageHi[stage]
+	lrs := t.stageLRs[stage]
+	t.ratesInto(lrs, t.commitStep, lo, hi)
+	t.opt.StepRange(lo, hi, lrs)
 }
 
 // FinishStage zeroes the stage's gradients, updates the stage's T2

@@ -59,8 +59,13 @@ func (t *probeTask) EvalTest() float64 { return 0 }
 // values equal version numbers.
 type countingOptimizer struct{ ps []*nn.Param }
 
-func (c *countingOptimizer) Step([]float64) {
-	for _, p := range c.ps {
+func (c *countingOptimizer) Step(lrs []float64) {
+	c.Advance()
+	c.StepRange(0, len(c.ps), lrs)
+}
+func (c *countingOptimizer) Advance() {}
+func (c *countingOptimizer) StepRange(lo, hi int, _ []float64) {
+	for _, p := range c.ps[lo:hi] {
 		for i := range p.Data.Data {
 			p.Data.Data[i]++
 		}
@@ -274,5 +279,127 @@ func TestWarmupEpochsRunSynchronously(t *testing.T) {
 	s := microsPerEpoch + 2*stages // steady-ish state inside epoch 2
 	if task.fwdSeen[s][0] >= float64(clock.BwdVersion(s)) {
 		t.Fatal("after warmup, the first stage must see stale weights")
+	}
+}
+
+// --- cost-balanced partitioning ---
+
+// sizedProbeTask builds a probe task whose group g holds a weight vector
+// of sizes[g] scalars, so the monolithic cost proxy (weight counts) is
+// skewed on purpose.
+func sizedProbeTask(numTrain int, sizes ...int) *probeTask {
+	t := &probeTask{numTrain: numTrain}
+	for _, sz := range sizes {
+		p := nn.NewParam("probe", sz)
+		t.params = append(t.params, p)
+		t.groups = append(t.groups, pipeline.ParamGroup{Name: "g", Params: []*nn.Param{p}})
+	}
+	return t
+}
+
+func TestPartitionCostModeBalancesMonolithicTaskBySize(t *testing.T) {
+	// One huge group among tiny ones: even-by-count pairs it with a
+	// neighbour, cost mode isolates it.
+	task := sizedProbeTask(64, 1, 1, 100, 1, 1, 1)
+	opt := &countingOptimizer{ps: task.params}
+	tr, err := New(task, opt, optim.Constant(0.1), Config{
+		Stages: 3, BatchSize: 8, MicrobatchSize: 2,
+		Partition: pipeline.PartitionCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PartitionMode() != pipeline.PartitionCost {
+		t.Fatalf("mode = %v", tr.PartitionMode())
+	}
+	gc := tr.GroupCosts()
+	if len(gc) != 6 || gc[2] != 100 {
+		t.Fatalf("group costs = %v, want size proxy with 100 at index 2", gc)
+	}
+	// The heavy group must sit alone on its stage.
+	heavy := tr.Partition().StageOf[2]
+	for g, s := range tr.Partition().StageOf {
+		if g != 2 && s == heavy {
+			t.Fatalf("group %d shares stage %d with the heavy group: %v", g, s, tr.Partition().StageOf)
+		}
+	}
+	if im := tr.StageImbalance(); im != pipeline.Imbalance(tr.StageCosts()) {
+		t.Fatalf("imbalance accessor inconsistent: %g", im)
+	}
+	// The trainer still trains under the skewed partition.
+	tr.TrainEpochs(1, nil)
+}
+
+func TestPartitionEvenKeepsHistoricalSplit(t *testing.T) {
+	task := sizedProbeTask(64, 1, 1, 100, 1, 1, 1)
+	opt := &countingOptimizer{ps: task.params}
+	tr, err := New(task, opt, optim.Constant(0.1), Config{
+		Stages: 3, BatchSize: 8, MicrobatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 2, 2} // ⌊g·P/G⌋
+	for g, s := range tr.Partition().StageOf {
+		if s != want[g] {
+			t.Fatalf("even StageOf = %v, want %v", tr.Partition().StageOf, want)
+		}
+	}
+	// Even mode still reports costs (for imbalance tracking).
+	if len(tr.GroupCosts()) != 6 {
+		t.Fatalf("even mode lost group costs: %v", tr.GroupCosts())
+	}
+}
+
+func TestPartitionExplicitGroupCosts(t *testing.T) {
+	task := newProbeTask(4, 64)
+	opt := &countingOptimizer{ps: task.params}
+	costs := []float64{9, 1, 1, 1}
+	tr, err := New(task, opt, optim.Constant(0.1), Config{
+		Stages: 2, BatchSize: 8, MicrobatchSize: 2,
+		Partition: pipeline.PartitionCost, GroupCosts: costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Partition().StageOf; got[0] != 0 || got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("explicit-cost StageOf = %v", got)
+	}
+	// Feeding a trainer's GroupCosts back reproduces its partition.
+	tr2, err := New(newProbeTask(4, 64), &countingOptimizer{ps: task.params}, optim.Constant(0.1), Config{
+		Stages: 2, BatchSize: 8, MicrobatchSize: 2,
+		Partition: pipeline.PartitionProfile, GroupCosts: tr.GroupCosts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range costs {
+		if tr.Partition().StageOf[g] != tr2.Partition().StageOf[g] {
+			t.Fatalf("pinned costs gave different partition: %v vs %v",
+				tr.Partition().StageOf, tr2.Partition().StageOf)
+		}
+	}
+}
+
+func TestPartitionConfigErrors(t *testing.T) {
+	task := newProbeTask(4, 64)
+	base := Config{Stages: 2, BatchSize: 8, MicrobatchSize: 2}
+	mk := func(mut func(*Config)) error {
+		cfg := base
+		mut(&cfg)
+		_, err := New(task, &countingOptimizer{ps: task.params}, optim.Constant(0.1), cfg)
+		return err
+	}
+	if err := mk(func(c *Config) { c.GroupCosts = []float64{1, 1, 1, 1} }); err == nil {
+		t.Fatal("explicit costs with even mode must fail")
+	}
+	if err := mk(func(c *Config) {
+		c.Partition = pipeline.PartitionCost
+		c.GroupCosts = []float64{1, 1}
+	}); err == nil {
+		t.Fatal("cost length mismatch must fail")
+	}
+	if err := mk(func(c *Config) { c.Partition = pipeline.PartitionMode(99) }); err == nil {
+		t.Fatal("unknown partition mode must fail")
 	}
 }

@@ -1,30 +1,38 @@
-// Package concurrent implements the goroutine-per-stage execution engine:
-// a worker per pipeline stage owns that stage's parameters, weight
-// versions and technique state, and microbatch chains flow between
-// neighbouring workers through bounded channels on the §2 slot schedule —
-// a forward token climbs stage 1→P installing each stage's delayed weights
-// and running that stage's forward segment, an optional recompute token
-// climbs again with the Appendix D recompute versions, and a backward
-// token descends P→1 re-installing each stage's weights and running its
-// backward segment.
+// Package concurrent implements the work-stealing stage-scheduler engine:
+// W workers (WithWorkers, default min(P, GOMAXPROCS)) drain per-stage run
+// queues of microbatch slot jobs on the §2 slot schedule — a forward token
+// climbs stage 1→P installing each stage's delayed weights and running
+// that stage's forward segment, an optional recompute token climbs again
+// with the Appendix D recompute versions, and a backward token descends
+// P→1 re-installing each stage's weights and running its backward segment.
 //
-// With a stage-split task (core.StageTask), up to P microbatch chains are
-// in flight at once, so all P workers compute simultaneously on different
-// microbatches — a real fill/drain pipeline. Determinism is preserved
-// because every accumulation site is owned by exactly one worker and sees
-// the same order as the serial Reference engine: a stage's backward tokens
-// arrive in microbatch order (they descend from a single upstream worker),
-// so per-stage per-parameter gradient accumulation is serial in s; weight
-// installs happen per slot immediately before the segment that reads
-// them; the commit phase reduces stage-partial norms in stage order; and
+// A stage is a serialization domain, never a pinned goroutine: each stage
+// owns a FIFO job queue, and an idle worker claims an entire *stage* (the
+// queue's active flag guarantees at most one worker drains a stage at a
+// time), runs its queued slots in order, and releases it. Workers
+// therefore load-balance across stages automatically — with P ≫ cores the
+// engine no longer pays for P mostly-idle goroutines, and a cost-balanced
+// partition (pipeline.PartitionGroupsByCost) keeps the per-stage queues
+// comparably heavy. With a stage-split task (core.StageTask), up to P
+// microbatch chains are in flight at once — a real fill/drain pipeline.
+//
+// Determinism is preserved for every worker count because scheduling
+// freedom never reorders a serialization domain: jobs enter a stage's
+// queue in microbatch order (stage 0 from the in-order dispatcher, stage
+// i+1 from stage i's in-order drain), the claiming worker runs them in
+// FIFO order, and the active flag forbids two workers inside one stage —
+// so per-stage per-parameter gradient accumulation is serial in s exactly
+// as in the serial Reference engine. Weight installs happen per slot
+// immediately before the segment that reads them; the commit phase — now
+// fully stage-parallel including the sharded optimizer step
+// (Host.StepStage) — reduces stage-partial norms in stage order; and
 // microbatch losses are summed in microbatch order from the result
-// collector. Training curves are therefore bit-identical to Reference —
-// pinned by the equivalence tests at the repository root. Monolithic
-// tasks (Host.Splittable() == false) cap the pipeline at one chain in
-// flight, which reduces to the previous engine behaviour: compute runs in
-// the boundary stages' slots and the parallelism comes from the
-// stage-parallel commit phase and the row-parallel dense kernels
-// (tensor.SetWorkers).
+// collector. Training curves are therefore bit-identical to Reference for
+// every W ∈ {1..P} — pinned by the equivalence tests at the repository
+// root. Monolithic tasks (Host.Splittable() == false) cap the pipeline at
+// one chain in flight; compute runs in the boundary stages' slots and the
+// parallelism comes from the stage-parallel commit phase and the
+// row-parallel dense kernels (tensor.SetWorkers).
 package concurrent
 
 import (
@@ -47,6 +55,7 @@ const (
 	jobRestore                // broadcast: restore master weights
 	jobPrepare                // commit: average grads, T2 snapshot, partial norm
 	jobScale                  // commit: apply the global clip factor
+	jobStep                   // commit: sharded optimizer update for the stage's param range
 	jobFinish                 // commit: T2 update, version push, zero grads
 )
 
@@ -67,22 +76,39 @@ type ack struct {
 	sumSq float64
 }
 
-// Engine is the concurrent stage-worker engine. It implements
+// stageQueue is one stage's FIFO run queue. active marks the stage as
+// claimed by a worker: between the claim and the release only that worker
+// pops jobs, so the stage's slots execute serially in arrival order no
+// matter which workers touch the stage over time.
+type stageQueue struct {
+	mu     sync.Mutex
+	jobs   []job
+	head   int
+	active bool
+}
+
+// Engine is the work-stealing stage-scheduler engine. It implements
 // engine.Engine and engine.Lifecycle; a Trainer starts the workers at the
 // beginning of a run and stops them when the run returns. An Engine
 // instance must not be shared by concurrently running trainers.
 type Engine struct {
 	kernelWorkers int
+	workers       int // requested W; 0 = min(P, GOMAXPROCS)
 
 	h        engine.Host
 	p        int
+	nw       int // workers actually started
 	inflight int // microbatch chains allowed in flight (P, or 1 when monolithic)
-	jobs     []chan job
+	queues   []stageQueue
+	ready    chan int // stages with queued work and no claiming worker
 	results  chan job
 	acks     chan ack
 	aborted  atomic.Bool // set on the first bad loss: later chains skip compute
 	wg       sync.WaitGroup
 	running  bool
+
+	losses []float64 // per-minibatch scratch, reused across calls
+	sumSqs []float64
 }
 
 // Option configures the engine.
@@ -99,7 +125,20 @@ func WithKernelWorkers(n int) Option {
 	}
 }
 
-// New returns a concurrent stage-worker engine.
+// WithWorkers sets W, the number of scheduler workers draining the stage
+// queues (default: min(P, GOMAXPROCS)). Any W produces bit-identical
+// curves; W only changes how many stages make progress simultaneously, so
+// more workers than stages is clamped to P.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.workers = n
+	}
+}
+
+// New returns a work-stealing stage-scheduler engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{kernelWorkers: runtime.GOMAXPROCS(0)}
 	for _, o := range opts {
@@ -111,8 +150,11 @@ func New(opts ...Option) *Engine {
 // Name identifies the engine.
 func (e *Engine) Name() string { return "concurrent" }
 
-// Start spawns one worker per pipeline stage and raises the kernel
-// parallelism for the duration of the run.
+// Workers returns the configured worker count (0 = auto).
+func (e *Engine) Workers() int { return e.workers }
+
+// Start spawns the scheduler workers and raises the kernel parallelism for
+// the duration of the run.
 func (e *Engine) Start(h engine.Host) {
 	if e.running {
 		if e.h == h {
@@ -126,81 +168,142 @@ func (e *Engine) Start(h engine.Host) {
 	if h.Splittable() {
 		e.inflight = e.p
 	}
-	e.jobs = make([]chan job, e.p)
-	for i := range e.jobs {
-		e.jobs[i] = make(chan job, e.inflight)
+	e.nw = e.workers
+	if e.nw == 0 {
+		e.nw = runtime.GOMAXPROCS(0)
 	}
+	if e.nw > e.p {
+		e.nw = e.p
+	}
+	if e.nw < 1 {
+		e.nw = 1
+	}
+	e.queues = make([]stageQueue, e.p)
+	// Each stage is "ready" at most once (the active flag), so capacity P
+	// makes every send non-blocking.
+	e.ready = make(chan int, e.p)
 	e.results = make(chan job, e.inflight)
 	e.acks = make(chan ack, e.p)
-	e.wg.Add(e.p)
-	for i := 0; i < e.p; i++ {
-		go e.worker(i)
+	e.losses = make([]float64, 0, e.inflight)
+	e.sumSqs = make([]float64, e.p)
+	e.wg.Add(e.nw)
+	for i := 0; i < e.nw; i++ {
+		go e.worker()
 	}
 	tensor.RaiseWorkers(e.kernelWorkers)
 	e.running = true
 }
 
-// Stop joins the stage workers and restores the kernel parallelism.
+// Stop joins the workers and restores the kernel parallelism. All queues
+// are empty between minibatches (Minibatch drains every chain and commit
+// phase before returning), so closing the ready channel releases every
+// worker.
 func (e *Engine) Stop() {
 	if !e.running {
 		return
 	}
-	for i := range e.jobs {
-		close(e.jobs[i])
-	}
+	close(e.ready)
 	e.wg.Wait()
 	tensor.LowerWorkers()
-	e.jobs, e.results, e.acks = nil, nil, nil
+	e.queues, e.ready, e.results, e.acks = nil, nil, nil, nil
+	e.losses, e.sumSqs = nil, nil
 	e.h = nil
 	e.running = false
 }
 
-// worker owns stage i: only this goroutine touches the stage's installed
-// weight pointers, T2 accumulators, version ring and parameter gradients
-// while the engine runs, and it processes its slots in arrival order — so
-// every per-stage accumulation happens in microbatch order.
-func (e *Engine) worker(i int) {
+// enqueue appends a job to a stage's queue and, when no worker currently
+// claims the stage, marks it ready. FIFO append order is microbatch order
+// for every producer (the dispatcher and upstream stage drains are both
+// in-order), which is what makes any worker interleaving deterministic.
+func (e *Engine) enqueue(stage int, jb job) {
+	q := &e.queues[stage]
+	q.mu.Lock()
+	q.jobs = append(q.jobs, jb)
+	wake := !q.active
+	if wake {
+		q.active = true
+	}
+	q.mu.Unlock()
+	if wake {
+		e.ready <- stage
+	}
+}
+
+// worker claims ready stages and drains them until the engine stops.
+func (e *Engine) worker() {
 	defer e.wg.Done()
-	last := e.p - 1
-	for jb := range e.jobs[i] {
-		switch jb.kind {
-		case jobFwd:
-			if !e.aborted.Load() {
-				if jb.async {
-					e.h.InstallForward(jb.s, i)
-					e.h.InstallBackward(jb.s, i)
-				}
-				jb.loss = e.h.StageForward(jb.s, i)
-			}
-			if i < last {
-				e.jobs[i+1] <- jb
-				continue
-			}
-			e.crest(i, jb)
-		case jobRecomp:
-			if !e.aborted.Load() {
-				e.h.InstallRecompute(jb.s, i)
-				e.h.StageForward(jb.s, i)
-			}
-			if i < last {
-				e.jobs[i+1] <- jb
-				continue
-			}
-			e.bwd(i, jb)
-		case jobBwd:
-			e.bwd(i, jb)
-		case jobRestore:
-			e.h.Restore(i)
-			e.acks <- ack{stage: i}
-		case jobPrepare:
-			e.acks <- ack{i, e.h.PrepareStage(i, jb.nMicro)}
-		case jobScale:
-			e.h.ScaleStage(i, jb.scale)
-			e.acks <- ack{stage: i}
-		case jobFinish:
-			e.h.FinishStage(i)
-			e.acks <- ack{stage: i}
+	for i := range e.ready {
+		e.drain(i)
+	}
+}
+
+// drain runs the claimed stage's queued jobs in FIFO order until the
+// queue is empty, then releases the claim. While the claim is held this
+// goroutine is the only one touching the stage's installed weight
+// pointers, T2 accumulators, version ring and parameter gradients — the
+// same ownership the goroutine-per-stage design provided, held per burst
+// instead of per run.
+func (e *Engine) drain(i int) {
+	q := &e.queues[i]
+	for {
+		q.mu.Lock()
+		if q.head == len(q.jobs) {
+			q.jobs = q.jobs[:0]
+			q.head = 0
+			q.active = false
+			q.mu.Unlock()
+			return
 		}
+		jb := q.jobs[q.head]
+		q.head++
+		q.mu.Unlock()
+		e.process(i, jb)
+	}
+}
+
+// process executes one slot job of stage i.
+func (e *Engine) process(i int, jb job) {
+	last := e.p - 1
+	switch jb.kind {
+	case jobFwd:
+		if !e.aborted.Load() {
+			if jb.async {
+				e.h.InstallForward(jb.s, i)
+				e.h.InstallBackward(jb.s, i)
+			}
+			jb.loss = e.h.StageForward(jb.s, i)
+		}
+		if i < last {
+			e.enqueue(i+1, jb)
+			return
+		}
+		e.crest(i, jb)
+	case jobRecomp:
+		if !e.aborted.Load() {
+			e.h.InstallRecompute(jb.s, i)
+			e.h.StageForward(jb.s, i)
+		}
+		if i < last {
+			e.enqueue(i+1, jb)
+			return
+		}
+		e.bwd(i, jb)
+	case jobBwd:
+		e.bwd(i, jb)
+	case jobRestore:
+		e.h.Restore(i)
+		e.acks <- ack{stage: i}
+	case jobPrepare:
+		e.acks <- ack{i, e.h.PrepareStage(i, jb.nMicro)}
+	case jobScale:
+		e.h.ScaleStage(i, jb.scale)
+		e.acks <- ack{stage: i}
+	case jobStep:
+		e.h.StepStage(i)
+		e.acks <- ack{stage: i}
+	case jobFinish:
+		e.h.FinishStage(i)
+		e.acks <- ack{stage: i}
 	}
 }
 
@@ -231,7 +334,7 @@ func (e *Engine) crest(i int, jb job) {
 			return
 		}
 		jb.kind = jobRecomp
-		e.jobs[0] <- jb
+		e.enqueue(0, jb)
 		return
 	}
 	e.bwd(i, jb)
@@ -255,7 +358,7 @@ func (e *Engine) bwd(i int, jb job) {
 	}
 	if i > 0 {
 		jb.kind = jobBwd
-		e.jobs[i-1] <- jb
+		e.enqueue(i-1, jb)
 		return
 	}
 	e.h.EndMicro(jb.s)
@@ -263,8 +366,9 @@ func (e *Engine) bwd(i int, jb job) {
 }
 
 // Minibatch executes the N microbatch chains with up to `inflight` of them
-// overlapping across the stage workers, then runs the stage-parallel
-// commit phase.
+// overlapping across the stage queues, then runs the stage-parallel commit
+// phase — including the sharded optimizer step, so no phase of a minibatch
+// is serial in P.
 func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (float64, error) {
 	if !e.running || e.h != h {
 		e.Start(h)
@@ -274,7 +378,11 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	rec := h.Recompute()
 	base := h.MicroBase()
 	n := len(micros)
-	losses := make([]float64, n)
+	losses := e.losses[:0]
+	for len(losses) < n {
+		losses = append(losses, 0)
+	}
+	e.losses = losses
 	dispatched, completed := 0, 0
 	badK := -1
 	var ctxErr error
@@ -285,7 +393,7 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 				break
 			}
 			h.BeginMicro(base+dispatched, micros[dispatched])
-			e.jobs[0] <- job{kind: jobFwd, s: base + dispatched, k: dispatched, async: async, rec: rec}
+			e.enqueue(0, job{kind: jobFwd, s: base + dispatched, k: dispatched, async: async, rec: rec})
 			dispatched++
 		}
 		if completed == dispatched {
@@ -312,13 +420,14 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 		return math.Inf(1), engine.ErrDiverged
 	}
 	lossSum := 0.0
-	for _, l := range losses {
+	for _, l := range losses[:n] {
 		lossSum += l
 	}
 
 	// Commit: stage-parallel prepare, the stage-ordered clip reduction,
-	// the (global) optimizer step, then stage-parallel finalization.
-	sumSqs := make([]float64, e.p)
+	// the step-clock advance, the stage-sharded optimizer step, then
+	// stage-parallel finalization.
+	sumSqs := e.sumSqs
 	e.broadcast(job{kind: jobPrepare, nMicro: n}, func(a ack) { sumSqs[a.stage] = a.sumSq })
 	sumSq := 0.0
 	for _, s := range sumSqs {
@@ -327,16 +436,17 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	if scale := h.ClipScale(sumSq); scale != 1 {
 		e.broadcast(job{kind: jobScale, scale: scale}, nil)
 	}
-	h.StepAll()
+	h.BeginStep()
+	e.broadcast(job{kind: jobStep}, nil)
 	e.broadcast(job{kind: jobFinish}, nil)
 	return lossSum / float64(n), nil
 }
 
-// broadcast sends one job to every stage worker and waits for all acks,
+// broadcast sends one job to every stage queue and waits for all acks,
 // optionally folding them.
 func (e *Engine) broadcast(jb job, fold func(ack)) {
 	for i := 0; i < e.p; i++ {
-		e.jobs[i] <- jb
+		e.enqueue(i, jb)
 	}
 	for i := 0; i < e.p; i++ {
 		a := <-e.acks

@@ -9,11 +9,12 @@
 //
 // Two engines exist: Reference (this package) executes every slot on the
 // calling goroutine — it is the original single-goroutine simulator and the
-// semantic ground truth — and internal/engine/concurrent runs one worker
-// per pipeline stage with up to P microbatches in flight, overlapping the
-// per-stage compute slots like a real fill/drain pipeline. Both produce
-// bit-identical training curves; the equivalence is pinned by tests at the
-// repository root.
+// semantic ground truth — and internal/engine/concurrent runs a
+// work-stealing pool of W workers over per-stage run queues with up to P
+// microbatches in flight, overlapping the per-stage compute slots like a
+// real fill/drain pipeline. Both produce bit-identical training curves for
+// every worker count; the equivalence is pinned by tests at the repository
+// root.
 package engine
 
 import (
@@ -36,19 +37,21 @@ var ErrDiverged = errors.New("engine: training diverged")
 // the backward slots of stages P−1..0 in order, then EndMicro. The loss is
 // returned by the last stage's forward slot.
 //
-// Concurrency contract: the Install*, Restore, PrepareStage, ScaleStage
-// and FinishStage methods touch only the named stage's parameters and
-// state, so an engine may call them for different stages concurrently.
-// StageForward and StageBackward read the named stage's installed weights
-// and the microbatch's private activation state, so calls are safe to
-// overlap when both the stage AND the microbatch differ; all slots of one
-// stage must be serialized (ordered) with each other and with that stage's
-// installs/restores, and a microbatch's chain must run in chain order.
-// When Splittable reports false the substrate is monolithic: the forward
-// compute happens entirely inside the last stage's forward slot and the
-// backward inside stage 0's backward slot, so at most one microbatch may
-// be in flight at a time. BeginMicro/EndMicro and ClipScale/StepAll must
-// be ordered (happen-before) with respect to the slots they bracket.
+// Concurrency contract: the Install*, Restore, PrepareStage, ScaleStage,
+// StepStage and FinishStage methods touch only the named stage's
+// parameters and state, so an engine may call them for different stages
+// concurrently. StageForward and StageBackward read the named stage's
+// installed weights and the microbatch's private activation state, so
+// calls are safe to overlap when both the stage AND the microbatch differ;
+// all slots of one stage must be serialized (ordered) with each other and
+// with that stage's installs/restores, and a microbatch's chain must run
+// in chain order. When Splittable reports false the substrate is
+// monolithic: the forward compute happens entirely inside the last stage's
+// forward slot and the backward inside stage 0's backward slot, so at most
+// one microbatch may be in flight at a time. BeginMicro/EndMicro and
+// ClipScale/BeginStep must be ordered (happen-before) with respect to the
+// slots they bracket; BeginStep must happen-before every StepStage of the
+// commit, and every StepStage before that stage's FinishStage.
 type Host interface {
 	// Stages returns P, the number of pipeline stages.
 	Stages() int
@@ -107,9 +110,15 @@ type Host interface {
 	ClipScale(sumSq float64) float64
 	// ScaleStage multiplies the stage's gradients by the clip factor.
 	ScaleStage(stage int, scale float64)
-	// StepAll computes the per-parameter learning rates (T1) and applies
-	// one optimizer update over all parameters, advancing the step clock.
-	StepAll()
+	// BeginStep advances the trainer's and the optimizer's step clocks for
+	// the update being committed. It runs exactly once per commit, after
+	// every stage is scaled and before any StepStage.
+	BeginStep()
+	// StepStage computes the stage's per-parameter learning rates (T1 —
+	// pure in the stage's parameter range given the step clock) and
+	// applies the optimizer update to that range. Distinct stages may
+	// step concurrently.
+	StepStage(stage int)
 	// FinishStage completes the step for one stage: updates the T2
 	// velocity accumulator and corrected weights, pushes the stage's new
 	// weight version, and zeroes the stage's gradients.
@@ -207,11 +216,14 @@ func restoreAll(h Host, p int) {
 
 // Commit runs the serial optimizer-step phases against a host whose
 // gradients hold a full minibatch of nMicro microbatches: average+snapshot
-// per stage, global clip, the optimizer update, then per-stage
-// finalization. The stage-partial gradient norms are summed in stage order
-// so that the concurrent engine's reduction is bit-identical. It is shared
-// by the Reference engine and the replicated engine (which commits on the
-// leader replica after the gradient all-reduce).
+// per stage, global clip, the step-clock advance, the per-stage optimizer
+// updates, then per-stage finalization. The stage-partial gradient norms
+// are summed in stage order so that the concurrent engine's reduction is
+// bit-identical, and the per-stage update is the same arithmetic as one
+// whole-model step (StepStage ranges are disjoint and pure given the
+// advanced clock). It is shared by the Reference engine and the replicated
+// engine (which commits on the leader replica after the gradient
+// all-reduce).
 func Commit(h Host, nMicro int) {
 	p := h.Stages()
 	sumSq := 0.0
@@ -223,7 +235,10 @@ func Commit(h Host, nMicro int) {
 			h.ScaleStage(st, scale)
 		}
 	}
-	h.StepAll()
+	h.BeginStep()
+	for st := 0; st < p; st++ {
+		h.StepStage(st)
+	}
 	for st := 0; st < p; st++ {
 		h.FinishStage(st)
 	}

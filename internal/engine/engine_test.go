@@ -38,7 +38,8 @@ type fakeHost struct {
 	sawBwd      bool
 
 	prepared, scaled, finished int
-	stepped                    bool
+	stepBegun                  bool
+	stepped                    []bool // per stage: StepStage ran this commit
 
 	errs []string
 }
@@ -53,7 +54,8 @@ type microState struct {
 func newFakeHost(p int, async, rec, split bool, badAt int) *fakeHost {
 	return &fakeHost{p: p, async: async, rec: rec, split: split, badAt: badAt,
 		fwdInst: make([]bool, p), restored: make([]bool, p),
-		open: map[int]*microState{}}
+		stepped: make([]bool, p),
+		open:    map[int]*microState{}}
 }
 
 func (f *fakeHost) errf(format string, args ...any) {
@@ -219,20 +221,35 @@ func (f *fakeHost) ScaleStage(stage int, scale float64) {
 	f.scaled++
 }
 
-func (f *fakeHost) StepAll() {
+func (f *fakeHost) BeginStep() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.prepared != f.p || f.scaled != f.p {
-		f.errf("StepAll before prepare/scale completed (%d/%d)", f.prepared, f.scaled)
+		f.errf("BeginStep before prepare/scale completed (%d/%d)", f.prepared, f.scaled)
 	}
-	f.stepped = true
+	if f.stepBegun {
+		f.errf("BeginStep called twice in one commit")
+	}
+	f.stepBegun = true
+}
+
+func (f *fakeHost) StepStage(stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.stepBegun {
+		f.errf("StepStage(%d) before BeginStep", stage)
+	}
+	if f.stepped[stage] {
+		f.errf("StepStage(%d) called twice in one commit", stage)
+	}
+	f.stepped[stage] = true
 }
 
 func (f *fakeHost) FinishStage(stage int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.stepped {
-		f.errf("FinishStage(%d) before StepAll", stage)
+	if !f.stepped[stage] {
+		f.errf("FinishStage(%d) before its StepStage", stage)
 	}
 	f.finished++
 }
@@ -338,7 +355,7 @@ func TestEnginesReportDivergence(t *testing.T) {
 						t.Fatalf("stage %d not restored after divergence", st)
 					}
 				}
-				if f.stepped || f.prepared > 0 {
+				if f.stepBegun || f.prepared > 0 {
 					t.Fatal("no commit phase may run after divergence")
 				}
 				// The bad microbatch is index 1: exactly 2 losses were

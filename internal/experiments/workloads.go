@@ -26,6 +26,14 @@ var EngineFactory func() pipemare.Engine
 // experiment tables do not change — only the wall-clock does.
 var Replicas int
 
+// Partition, when not PartitionEven, selects the stage-partition mode for
+// every workload run (pipemare.WithPartition). It is set by
+// pipemare-bench's -partition flag. Unlike the engine/replica hooks it
+// changes each parameter's stage and therefore its delay τ_fwd, so the
+// experiment tables shift with it — it exists to study how the paper's
+// techniques behave under cost-balanced pipeline geometry.
+var Partition pipemare.PartitionMode
+
 // Workload bundles a task constructor with its training recipe, mirroring
 // the paper's Appendix C.1 hyperparameter tables for the substituted
 // tasks.
@@ -229,6 +237,9 @@ func (w Workload) Run(spec RunSpec) RunResult {
 	if Replicas > 1 {
 		opts = append(opts, pipemare.WithReplicas(Replicas))
 	}
+	if Partition != pipemare.PartitionEven {
+		opts = append(opts, pipemare.WithPartition(Partition))
+	}
 	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
@@ -289,16 +300,17 @@ const EngineBenchWorkload = "transformer dim=128 enc=2 dec=2 batch=32 micro=8"
 
 // NewEngineBenchTrainer builds the engine-benchmark trainer: the PipeMare
 // method on the EngineBenchWorkload transformer at the given stage count,
-// under the given execution engine.
-func NewEngineBenchTrainer(stages int, eng pipemare.Engine) (*pipemare.Trainer, error) {
-	return NewReplicatedBenchTrainer(stages, 1, eng)
+// under the given execution engine. Extra options (e.g. WithPartition)
+// are appended after the workload recipe.
+func NewEngineBenchTrainer(stages int, eng pipemare.Engine, extra ...pipemare.Option) (*pipemare.Trainer, error) {
+	return NewReplicatedBenchTrainer(stages, 1, eng, extra...)
 }
 
 // NewReplicatedBenchTrainer is NewEngineBenchTrainer with a data-parallel
 // replica count, for the BenchmarkEngineReplicated* benchmarks and the
 // replicas dimension of BENCH_engine.json. replicas must not exceed the
 // workload's 8 microbatches.
-func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine) (*pipemare.Trainer, error) {
+func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine, extra ...pipemare.Option) (*pipemare.Trainer, error) {
 	ds := data.NewTranslation(data.TranslationConfig{
 		Vocab: 13, SrcLen: 6, Train: 256, Test: 32, Seed: 2})
 	task := model.NewTranslation(ds, model.TransformerConfig{
@@ -320,5 +332,6 @@ func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine) (*pipe
 	if eng != nil {
 		opts = append(opts, pipemare.WithEngine(eng))
 	}
+	opts = append(opts, extra...)
 	return pipemare.New(task, opts...)
 }

@@ -7,6 +7,7 @@ import (
 	"pipemare/internal/data"
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
+	"pipemare/internal/pipeline"
 )
 
 func smallImages() *data.Images {
@@ -217,5 +218,75 @@ func TestGatherRows(t *testing.T) {
 		if x.At(0, j) != d.FlatTrain().At(3, j) {
 			t.Fatal("gather row mismatch")
 		}
+	}
+}
+
+// TestModelGroupCostsDriveBalancedPartitions pins the cost model at the
+// model level: the compiled programs yield per-group analytic costs whose
+// bottleneck-balanced partition is no worse — and on the transformer's
+// skewed groups strictly better — than the even-by-count split.
+func TestModelGroupCostsDriveBalancedPartitions(t *testing.T) {
+	tr := NewTranslation(smallTranslation(), TransformerConfig{
+		Dim: 16, Heads: 2, EncLayers: 1, DecLayers: 1, Seed: 4})
+	groups := tr.Groups()
+	cs := tr.Program().GroupCosts(len(groups))
+	costs := make([]float64, len(cs))
+	for i, c := range cs {
+		costs[i] = c.Weight()
+		if costs[i] <= 0 {
+			t.Fatalf("group %d (%s) has non-positive cost %g", i, groups[i].Name, costs[i])
+		}
+	}
+	// A feed-forward projection group must dwarf a norm group: that skew
+	// is what even-by-count splitting cannot see.
+	var ffCost, lnCost float64
+	for i, g := range groups {
+		switch g.Name {
+		case "enc0.ff1":
+			ffCost = costs[i]
+		case "enc0.ln1":
+			lnCost = costs[i]
+		}
+	}
+	if ffCost <= 4*lnCost {
+		t.Fatalf("ff1 cost %g not ≫ ln1 cost %g", ffCost, lnCost)
+	}
+	for _, p := range []int{4, 8} {
+		even, err := pipeline.PartitionGroups(groups, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bal, err := pipeline.PartitionGroupsByCost(groups, costs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ie := pipeline.Imbalance(even.StageCosts(costs))
+		ib := pipeline.Imbalance(bal.StageCosts(costs))
+		if ib > ie {
+			t.Fatalf("P=%d: balanced imbalance %.3f worse than even %.3f", p, ib, ie)
+		}
+		if p == 8 && ib >= ie {
+			t.Fatalf("P=8: balanced imbalance %.3f not strictly better than even %.3f", ib, ie)
+		}
+	}
+
+	// Same property on the residual MLP classifier.
+	cl := NewResNetMLP(smallImages(), 12, 6, 3)
+	cgs := cl.Groups()
+	ccs := cl.Program().GroupCosts(len(cgs))
+	ccosts := make([]float64, len(ccs))
+	for i, c := range ccs {
+		ccosts[i] = c.Weight()
+	}
+	even, err := pipeline.PartitionGroups(cgs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := pipeline.PartitionGroupsByCost(cgs, ccosts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib, ie := pipeline.Imbalance(bal.StageCosts(ccosts)), pipeline.Imbalance(even.StageCosts(ccosts)); ib > ie {
+		t.Fatalf("MLP P=5: balanced imbalance %.3f worse than even %.3f", ib, ie)
 	}
 }

@@ -152,3 +152,72 @@ func TestStageRanges(t *testing.T) {
 		t.Fatal("StageRanges accepted a regressing group order")
 	}
 }
+
+// TestGroupCostsAnalytic pins the analytic cost model's shape: op costs
+// accumulate onto the op's group, projection-dominated groups dwarf glue,
+// and wider layers cost more than narrow ones.
+func TestGroupCostsAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prog, _, _ := buildChain(rng)
+	costs := prog.GroupCosts(3)
+	if len(costs) != 3 {
+		t.Fatalf("got %d group costs, want 3", len(costs))
+	}
+	w := make([]float64, 3)
+	for i, c := range costs {
+		w[i] = c.Weight()
+		if c.FLOPs <= 0 || c.Bytes <= 0 {
+			t.Fatalf("group %d cost %+v not positive", i, c)
+		}
+	}
+	// Group 0 (6×10 linear + relu glue) must out-cost group 1 (layernorm
+	// over 10) and group 2 (10×4 linear + loss glue) — matmuls dominate.
+	if w[0] <= w[1] {
+		t.Fatalf("linear group %g not costlier than layernorm group %g", w[0], w[1])
+	}
+	if w[0] <= w[2] {
+		t.Fatalf("6×10 linear group %g not costlier than 10×4 group %g", w[0], w[2])
+	}
+	// The attention core's cost grows with its key length and width.
+	small := NewAttnCore(8, 2, 4, 4, false).EstimateCost()
+	large := NewAttnCore(16, 2, 4, 16, false).EstimateCost()
+	if large.Weight() <= small.Weight() {
+		t.Fatalf("attn core cost %g not above smaller core %g", large.Weight(), small.Weight())
+	}
+}
+
+// TestMeasureGroupCosts pins the profiling pass: every group accrues
+// positive wall time, and the pass is a real forward+backward (gradients
+// accumulate, the loss is computed).
+func TestMeasureGroupCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prog, rIn, ps := buildChain(rng)
+	m := NewMachine(prog.NumRegs)
+	x := randTensor(rng, 3, 6)
+	m.ResetRun()
+	xm := m.Tape.NewTensor(x.Shape...)
+	xm.CopyFrom(x)
+	m.SetVal(rIn, xm)
+	m.Labels = append(m.Labels[:0], 1, 0, 3)
+	costs := make([]float64, 3)
+	prog.MeasureGroupCosts(m, costs)
+	for g, c := range costs {
+		if c <= 0 {
+			t.Fatalf("group %d measured cost %g, want > 0", g, c)
+		}
+	}
+	if m.Loss == 0 {
+		t.Fatal("profiling pass did not compute a loss")
+	}
+	nonZero := false
+	for _, p := range ps {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				nonZero = true
+			}
+		}
+	}
+	if !nonZero {
+		t.Fatal("profiling pass did not accumulate gradients")
+	}
+}

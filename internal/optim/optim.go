@@ -15,8 +15,21 @@ import (
 // Optimizer updates parameters from their accumulated gradients. Step takes
 // one learning rate per parameter so that per-stage rescheduling (T1) can
 // be applied; use UniformLR for a shared rate.
+//
+// The update is shardable: Advance moves the optimizer's step clock (Adam
+// bias correction) exactly once per update, after which StepRange applies
+// the update to any contiguous parameter range. Ranges of one update must
+// be disjoint; distinct ranges may then run concurrently (each parameter's
+// state is touched only by its own range), which is how the engines commit
+// the step stage-parallel. Step ≡ Advance + StepRange over everything.
 type Optimizer interface {
 	Step(lrs []float64)
+	// Advance moves the step clock for the next update. It must
+	// happen-before every StepRange of that update.
+	Advance()
+	// StepRange applies the just-advanced update to params [lo, hi);
+	// lrs[i] is the learning rate of parameter lo+i.
+	StepRange(lo, hi int, lrs []float64)
 	Params() []*nn.Param
 	// StateCopies reports how many weight-sized buffers the optimizer
 	// holds per parameter including the master weights and the gradient
@@ -58,9 +71,22 @@ func (s *SGD) Step(lrs []float64) {
 	if len(lrs) != len(s.ps) {
 		panic(fmt.Sprintf("optim: %d learning rates for %d params", len(lrs), len(s.ps)))
 	}
-	for i, p := range s.ps {
+	s.Advance()
+	s.StepRange(0, len(s.ps), lrs)
+}
+
+// Advance is a no-op: momentum SGD keeps no step clock.
+func (s *SGD) Advance() {}
+
+// StepRange applies the update to params [lo, hi).
+func (s *SGD) StepRange(lo, hi int, lrs []float64) {
+	if len(lrs) != hi-lo {
+		panic(fmt.Sprintf("optim: %d learning rates for param range [%d, %d)", len(lrs), lo, hi))
+	}
+	for i := lo; i < hi; i++ {
+		p := s.ps[i]
 		v := s.vel[i]
-		lr := lrs[i]
+		lr := lrs[i-lo]
 		for j := range p.Data.Data {
 			g := p.Grad.Data[j] + s.WeightDecay*p.Data.Data[j]
 			v.Data[j] = s.Momentum*v.Data[j] - lr*g
@@ -107,11 +133,26 @@ func (a *AdamW) Step(lrs []float64) {
 	if len(lrs) != len(a.ps) {
 		panic(fmt.Sprintf("optim: %d learning rates for %d params", len(lrs), len(a.ps)))
 	}
-	a.t++
+	a.Advance()
+	a.StepRange(0, len(a.ps), lrs)
+}
+
+// Advance moves the Adam step clock; the bias corrections of the next
+// StepRange calls are computed from the advanced clock.
+func (a *AdamW) Advance() { a.t++ }
+
+// StepRange applies the update to params [lo, hi). The bias-correction
+// factors depend only on the (already advanced) step clock, so disjoint
+// ranges of one update are independent.
+func (a *AdamW) StepRange(lo, hi int, lrs []float64) {
+	if len(lrs) != hi-lo {
+		panic(fmt.Sprintf("optim: %d learning rates for param range [%d, %d)", len(lrs), lo, hi))
+	}
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
-	for i, p := range a.ps {
-		lr := lrs[i]
+	for i := lo; i < hi; i++ {
+		p := a.ps[i]
+		lr := lrs[i-lo]
 		m, v := a.m[i], a.v[i]
 		for j := range p.Data.Data {
 			g := p.Grad.Data[j]

@@ -19,6 +19,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 
 	"pipemare/internal/nn"
 	"pipemare/internal/tensor"
@@ -65,6 +66,148 @@ func PartitionGroups(groups []ParamGroup, p int) (*Partition, error) {
 		part.Stages[s] = append(part.Stages[s], grp.Params...)
 	}
 	return part, nil
+}
+
+// PartitionMode selects how weight groups are split into stages.
+type PartitionMode int
+
+// Partition modes.
+const (
+	// PartitionEven splits by group count — the paper's "divide these
+	// model weights evenly into P stages" (the historical default).
+	PartitionEven PartitionMode = iota
+	// PartitionCost balances the analytic per-group compute cost
+	// (nn.Program.GroupCosts, or scalar weight counts for monolithic
+	// tasks) across stages, minimizing the bottleneck stage.
+	PartitionCost
+	// PartitionProfile balances measured per-group wall time from a
+	// one-microbatch profiling pass (nn.Program.MeasureGroupCosts).
+	PartitionProfile
+)
+
+// String names the mode (the spelling used by bench records and flags).
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionEven:
+		return "even"
+	case PartitionCost:
+		return "cost"
+	case PartitionProfile:
+		return "profile"
+	}
+	return fmt.Sprintf("PartitionMode(%d)", int(m))
+}
+
+// PartitionGroupsByCost assigns the groups, in topological (given) order,
+// to p contiguous stages so that the maximum per-stage cost is minimized —
+// the classic linear-partition dynamic program (the same bottleneck
+// objective PipeDream's profiler-driven planner optimizes). costs[g] is
+// group g's relative cost (any non-negative scale); every stage receives
+// at least one group. Ties are broken deterministically: among splits with
+// equal bottleneck cost, every stage boundary is placed as early as
+// possible, so equal inputs always yield the identical partition.
+func PartitionGroupsByCost(groups []ParamGroup, costs []float64, p int) (*Partition, error) {
+	g := len(groups)
+	if g == 0 {
+		return nil, fmt.Errorf("pipeline: no parameter groups to partition")
+	}
+	if p < 1 || p > g {
+		return nil, fmt.Errorf("pipeline: cannot split %d weight groups into %d stages", g, p)
+	}
+	if len(costs) != g {
+		return nil, fmt.Errorf("pipeline: %d costs for %d weight groups", len(costs), g)
+	}
+	for i, c := range costs {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("pipeline: group %d (%s) has invalid cost %g", i, groups[i].Name, c)
+		}
+	}
+	stageOf := boundaryDP(costs, p)
+	part := &Partition{P: p, Groups: groups, StageOf: stageOf, Stages: make([][]*nn.Param, p)}
+	for i, grp := range groups {
+		part.Stages[stageOf[i]] = append(part.Stages[stageOf[i]], grp.Params...)
+	}
+	return part, nil
+}
+
+// boundaryDP solves the linear-partition problem: split costs[0..g) into p
+// contiguous non-empty runs minimizing the maximum run sum. It returns the
+// stage index of every group. dp[k][i] is the best achievable bottleneck
+// using stages 0..k to cover groups 0..i; cut[k][i] is the first group of
+// stage k in that solution. Scanning split points in ascending order with
+// strict improvement makes tie-breaking deterministic (earliest cuts win).
+func boundaryDP(costs []float64, p int) []int {
+	g := len(costs)
+	prefix := make([]float64, g+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	sum := func(lo, hi int) float64 { return prefix[hi] - prefix[lo] } // groups [lo, hi)
+
+	dp := make([][]float64, p)
+	cut := make([][]int, p)
+	for k := range dp {
+		dp[k] = make([]float64, g)
+		cut[k] = make([]int, g)
+	}
+	for i := 0; i < g; i++ {
+		dp[0][i] = sum(0, i+1)
+	}
+	for k := 1; k < p; k++ {
+		for i := k; i < g; i++ {
+			best := math.Inf(1)
+			bestJ := k
+			// Stage k covers groups [j, i]; stages 0..k−1 cover [0, j).
+			for j := k; j <= i; j++ {
+				b := math.Max(dp[k-1][j-1], sum(j, i+1))
+				if b < best {
+					best, bestJ = b, j
+				}
+			}
+			dp[k][i] = best
+			cut[k][i] = bestJ
+		}
+	}
+
+	stageOf := make([]int, g)
+	hi := g // one past the last group of the stage being reconstructed
+	for k := p - 1; k >= 0; k-- {
+		lo := 0
+		if k > 0 {
+			lo = cut[k][hi-1]
+		}
+		for i := lo; i < hi; i++ {
+			stageOf[i] = k
+		}
+		hi = lo
+	}
+	return stageOf
+}
+
+// StageCosts sums the given per-group costs over the partition's stages.
+func (pt *Partition) StageCosts(costs []float64) []float64 {
+	out := make([]float64, pt.P)
+	for g, s := range pt.StageOf {
+		out[s] += costs[g]
+	}
+	return out
+}
+
+// Imbalance returns max/mean of the per-stage costs — 1.0 is a perfectly
+// balanced pipeline; the bottleneck stage caps overlap at mean/max of the
+// ideal throughput. A zero total reports 1.
+func Imbalance(stageCosts []float64) float64 {
+	max, total := 0.0, 0.0
+	for _, c := range stageCosts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return max / (total / float64(len(stageCosts)))
 }
 
 // Params returns all parameters in forward order.

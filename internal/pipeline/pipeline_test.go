@@ -219,3 +219,197 @@ func TestVersionStorePruning(t *testing.T) {
 		t.Fatalf("clamped new version = %g, want 10", got)
 	}
 }
+
+// --- cost-balanced partitioning ---
+
+// bruteBottleneck finds the optimal bottleneck cost by enumerating every
+// contiguous split of g groups into p non-empty stages.
+func bruteBottleneck(costs []float64, p int) float64 {
+	g := len(costs)
+	best := math.Inf(1)
+	// Choose p−1 cut positions in 1..g−1 via recursion.
+	var rec func(start, stagesLeft int, worst float64)
+	rec = func(start, stagesLeft int, worst float64) {
+		if stagesLeft == 1 {
+			sum := 0.0
+			for _, c := range costs[start:] {
+				sum += c
+			}
+			if m := math.Max(worst, sum); m < best {
+				best = m
+			}
+			return
+		}
+		sum := 0.0
+		// The stage must leave at least stagesLeft−1 groups for the rest.
+		for end := start + 1; end <= g-(stagesLeft-1); end++ {
+			sum += costs[end-1]
+			rec(end, stagesLeft-1, math.Max(worst, sum))
+		}
+	}
+	rec(0, p, 0)
+	return best
+}
+
+func stageCostsOf(pt *Partition, costs []float64) []float64 { return pt.StageCosts(costs) }
+
+func TestPartitionByCostMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		g := 2 + rng.Intn(9)
+		p := 1 + rng.Intn(g)
+		costs := make([]float64, g)
+		for i := range costs {
+			if rng.Intn(5) == 0 {
+				costs[i] = 0 // exercise zero-cost groups
+			} else {
+				costs[i] = math.Floor(rng.Float64()*100) + 1
+			}
+		}
+		pt, err := PartitionGroupsByCost(mkGroups(make([]int, g)...), costs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0.0
+		for _, c := range stageCostsOf(pt, costs) {
+			if c > got {
+				got = c
+			}
+		}
+		want := bruteBottleneck(costs, p)
+		if got != want {
+			t.Fatalf("trial %d (g=%d p=%d costs=%v): DP bottleneck %g, brute force %g (stageOf=%v)",
+				trial, g, p, costs, got, want, pt.StageOf)
+		}
+	}
+}
+
+func TestPartitionByCostEdgeCases(t *testing.T) {
+	// Single group, single stage.
+	pt, err := PartitionGroupsByCost(mkGroups(1), []float64{5}, 1)
+	if err != nil || pt.StageOf[0] != 0 {
+		t.Fatalf("single group: %v %v", pt, err)
+	}
+	// One stage swallows everything.
+	pt, err = PartitionGroupsByCost(mkGroups(1, 1, 1), []float64{3, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pt.StageOf {
+		if s != 0 {
+			t.Fatalf("p=1 StageOf = %v", pt.StageOf)
+		}
+	}
+	// P == groups: exactly one group per stage regardless of cost skew.
+	pt, err = PartitionGroupsByCost(mkGroups(1, 1, 1, 1), []float64{100, 0, 0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range pt.StageOf {
+		if s != i {
+			t.Fatalf("p=g StageOf = %v", pt.StageOf)
+		}
+	}
+	// All-zero costs still yield a valid all-stages-non-empty partition.
+	pt, err = PartitionGroupsByCost(mkGroups(1, 1, 1, 1, 1), make([]float64, 5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, 3)
+	prev := 0
+	for _, s := range pt.StageOf {
+		if s < prev {
+			t.Fatalf("stages regress: %v", pt.StageOf)
+		}
+		prev = s
+		seen[s]++
+	}
+	for s, n := range seen {
+		if n == 0 {
+			t.Fatalf("stage %d empty: %v", s, pt.StageOf)
+		}
+	}
+}
+
+func TestPartitionByCostErrors(t *testing.T) {
+	gs := mkGroups(1, 1, 1)
+	if _, err := PartitionGroupsByCost(gs, []float64{1, 2}, 2); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := PartitionGroupsByCost(gs, []float64{1, -1, 2}, 2); err == nil {
+		t.Fatal("negative cost must fail")
+	}
+	if _, err := PartitionGroupsByCost(gs, []float64{1, math.NaN(), 2}, 2); err == nil {
+		t.Fatal("NaN cost must fail")
+	}
+	if _, err := PartitionGroupsByCost(gs, []float64{1, 1, 1}, 4); err == nil {
+		t.Fatal("p > groups must fail")
+	}
+	if _, err := PartitionGroupsByCost(gs, []float64{1, 1, 1}, 0); err == nil {
+		t.Fatal("p = 0 must fail")
+	}
+	if _, err := PartitionGroupsByCost(nil, nil, 1); err == nil {
+		t.Fatal("no groups must fail")
+	}
+}
+
+// TestPartitionByCostDeterministicTies pins the tie-breaking rule: equal
+// inputs always produce the identical partition, including cost vectors
+// where many splits share the optimal bottleneck.
+func TestPartitionByCostDeterministicTies(t *testing.T) {
+	costs := []float64{1, 1, 1, 1, 1, 1} // every 2-2-2 ish split ties
+	var first []int
+	for trial := 0; trial < 20; trial++ {
+		pt, err := PartitionGroupsByCost(mkGroups(1, 1, 1, 1, 1, 1), costs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = append([]int(nil), pt.StageOf...)
+			continue
+		}
+		for i := range first {
+			if pt.StageOf[i] != first[i] {
+				t.Fatalf("trial %d: StageOf = %v, first = %v", trial, pt.StageOf, first)
+			}
+		}
+	}
+	// The tied uniform case must still be perfectly balanced.
+	pt, _ := PartitionGroupsByCost(mkGroups(1, 1, 1, 1, 1, 1), costs, 3)
+	for _, c := range stageCostsOf(pt, costs) {
+		if c != 2 {
+			t.Fatalf("uniform tie not balanced: %v", stageCostsOf(pt, costs))
+		}
+	}
+}
+
+func TestPartitionByCostBeatsEvenOnSkewedCosts(t *testing.T) {
+	// A transformer-like profile: a huge attention-core group between
+	// cheap norm/bias groups. Even-by-count splits land the heavy group
+	// with neighbours; cost balancing isolates it.
+	costs := []float64{1, 1, 100, 1, 1, 1}
+	gs := mkGroups(1, 1, 1, 1, 1, 1)
+	even, err := PartitionGroups(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := PartitionGroupsByCost(gs, costs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib, ie := Imbalance(bal.StageCosts(costs)), Imbalance(even.StageCosts(costs)); ib >= ie {
+		t.Fatalf("cost partition imbalance %.3f not better than even %.3f", ib, ie)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{2, 2, 2}); got != 1 {
+		t.Fatalf("balanced imbalance = %g, want 1", got)
+	}
+	if got := Imbalance([]float64{4, 1, 1}); got != 2 {
+		t.Fatalf("skewed imbalance = %g, want 2", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 1 {
+		t.Fatalf("zero-cost imbalance = %g, want 1", got)
+	}
+}

@@ -325,8 +325,11 @@ func (c *Compute) ClipScale(sumSq float64) float64 { return 1 }
 // ScaleStage is a no-op (see PrepareStage).
 func (c *Compute) ScaleStage(stage int, scale float64) {}
 
-// StepAll is a no-op (see PrepareStage).
-func (c *Compute) StepAll() {}
+// BeginStep is a no-op (see PrepareStage).
+func (c *Compute) BeginStep() {}
+
+// StepStage is a no-op (see PrepareStage).
+func (c *Compute) StepStage(stage int) {}
 
 // FinishStage is a no-op (see PrepareStage).
 func (c *Compute) FinishStage(stage int) {}

@@ -55,7 +55,8 @@ func (f *fakeMember) BadLoss(loss float64) bool              { return false }
 func (f *fakeMember) PrepareStage(stage, nMicro int) float64 { return 0 }
 func (f *fakeMember) ClipScale(sumSq float64) float64        { return 1 }
 func (f *fakeMember) ScaleStage(stage int, scale float64)    {}
-func (f *fakeMember) StepAll()                               {}
+func (f *fakeMember) BeginStep()                             {}
+func (f *fakeMember) StepStage(stage int)                    {}
 func (f *fakeMember) FinishStage(stage int)                  {}
 
 func (f *fakeMember) TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor {
@@ -196,6 +197,7 @@ func TestComputeSuppressesCommit(t *testing.T) {
 		t.Fatalf("ClipScale returned %g, want inert 1", got)
 	}
 	c.ScaleStage(0, 0.5)
-	c.StepAll()
+	c.BeginStep()
+	c.StepStage(0)
 	c.FinishStage(0)
 }

@@ -99,6 +99,41 @@ func WithMicrobatchSize(sz int) Option {
 	}
 }
 
+// WithPartition selects how weight groups are split into the P stages:
+// PartitionEven (the default — by group count, the paper's rule),
+// PartitionCost (bottleneck-minimizing over the analytic per-group
+// FLOP/byte cost model), or PartitionProfile (bottleneck-minimizing over
+// measured per-group wall time from a one-microbatch profiling pass at
+// build time). The partition determines each parameter's stage and
+// therefore its delay τ_fwd; curves are deterministic per mode (profile
+// mode is deterministic given a cost vector — see WithGroupCosts).
+func WithPartition(m PartitionMode) Option {
+	return func(s *settings) error {
+		switch m {
+		case PartitionEven, PartitionCost, PartitionProfile:
+			s.cfg.Partition = m
+			return nil
+		}
+		return fmt.Errorf("pipemare: unknown partition mode %d", int(m))
+	}
+}
+
+// WithGroupCosts supplies explicit per-group costs for the cost/profile
+// partition modes, overriding the built-in estimators — e.g. a cost
+// vector captured from a previous trainer's GroupCosts(), which pins a
+// measured (profile) partition exactly across trainers and processes.
+// The slice length must match the task's weight-group count; it requires
+// WithPartition(PartitionCost) or WithPartition(PartitionProfile).
+func WithGroupCosts(costs []float64) Option {
+	return func(s *settings) error {
+		if len(costs) == 0 {
+			return fmt.Errorf("pipemare: group costs must not be empty")
+		}
+		s.cfg.GroupCosts = append([]float64(nil), costs...)
+		return nil
+	}
+}
+
 // WithT1 enables Technique 1 (learning-rate rescheduling) with the given
 // annealing length in optimizer steps; 0 disables it.
 func WithT1(k int) Option {

@@ -24,6 +24,8 @@ func TestOptionValidationErrors(t *testing.T) {
 		{"batch", pipemare.WithBatchSize(0), "batch size"},
 		{"microbatches", pipemare.WithMicrobatches(0), "microbatches"},
 		{"microbatchSize", pipemare.WithMicrobatchSize(-2), "microbatch size"},
+		{"partition", pipemare.WithPartition(pipemare.PartitionMode(9)), "partition mode"},
+		{"groupcosts-empty", pipemare.WithGroupCosts(nil), "group costs"},
 		{"t1", pipemare.WithT1(-1), "T1"},
 		{"t2-negative", pipemare.WithT2(-0.1), "T2"},
 		{"t2-above-one", pipemare.WithT2(1.0), "T2"},
@@ -74,6 +76,42 @@ func TestOptionCrossValidation(t *testing.T) {
 	}
 	if _, err := pipemare.New(newOptionProbeTask(), pipemare.WithBatchSize(128)); err == nil {
 		t.Fatal("batch larger than the training set must error")
+	}
+	// Explicit group costs require a cost-driven partition mode …
+	if _, err := pipemare.New(newOptionProbeTask(),
+		pipemare.WithGroupCosts([]float64{1, 1, 1, 1})); err == nil ||
+		!strings.Contains(err.Error(), "partition mode") {
+		t.Fatal("group costs without WithPartition(cost|profile) must error")
+	}
+	// … and must match the task's group count.
+	if _, err := pipemare.New(newOptionProbeTask(),
+		pipemare.WithPartition(pipemare.PartitionCost),
+		pipemare.WithGroupCosts([]float64{1, 2})); err == nil ||
+		!strings.Contains(err.Error(), "weight groups") {
+		t.Fatal("group-cost length mismatch must error")
+	}
+}
+
+func TestWithPartitionConfiguresTrainer(t *testing.T) {
+	tr, err := pipemare.New(newOptionProbeTask(),
+		pipemare.WithStages(2),
+		pipemare.WithPartition(pipemare.PartitionCost),
+		pipemare.WithGroupCosts([]float64{10, 1, 1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PartitionMode() != pipemare.PartitionCost {
+		t.Fatalf("mode = %v, want cost", tr.PartitionMode())
+	}
+	// The heavy group must sit alone on stage 0.
+	if got := tr.Partition().StageOf; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("StageOf = %v, want heavy group isolated", got)
+	}
+	if im := tr.StageImbalance(); im <= 1 {
+		t.Fatalf("imbalance = %g, want > 1 for skewed costs", im)
+	}
+	if _, err := tr.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
 	}
 }
 

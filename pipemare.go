@@ -8,8 +8,10 @@
 //     microbatch-exact Table 1 delays (internal/pipeline, internal/core),
 //     including the GPipe and PipeDream baselines, behind pluggable
 //     execution engines (internal/engine): a single-goroutine Reference
-//     simulator and a goroutine-per-stage concurrent engine
-//     (internal/engine/concurrent) with bit-identical training curves;
+//     simulator and a work-stealing stage-scheduler engine
+//     (internal/engine/concurrent, WithWorkers) with bit-identical
+//     training curves, over even, cost-balanced or profiled stage
+//     partitions (WithPartition);
 //   - the three PipeMare techniques — T1 learning-rate rescheduling,
 //     T2 discrepancy correction, T3 synchronous warmup — plus the
 //     Appendix D recompute delay path and the Appendix E Hogwild! variant;
@@ -43,6 +45,7 @@ package pipemare
 import (
 	"pipemare/internal/core"
 	"pipemare/internal/engine"
+	"pipemare/internal/engine/concurrent"
 	"pipemare/internal/engine/replicated"
 	"pipemare/internal/metrics"
 	"pipemare/internal/optim"
@@ -69,6 +72,9 @@ type (
 	Run = metrics.Run
 	// ParamGroup is a set of weights pinned to one pipeline stage.
 	ParamGroup = pipeline.ParamGroup
+	// PartitionMode selects how weight groups split into stages
+	// (WithPartition): even by count, cost-balanced, or profiled.
+	PartitionMode = pipeline.PartitionMode
 	// Schedule maps optimizer steps to base learning rates.
 	Schedule = optim.Schedule
 	// Optimizer updates parameters with per-parameter learning rates.
@@ -85,9 +91,25 @@ const (
 	PipeMare  = core.PipeMare
 )
 
+// Partition modes (WithPartition).
+const (
+	PartitionEven    = pipeline.PartitionEven
+	PartitionCost    = pipeline.PartitionCost
+	PartitionProfile = pipeline.PartitionProfile
+)
+
 // NewReferenceEngine returns the default single-goroutine engine, the
 // semantic ground truth every other engine is pinned against.
 func NewReferenceEngine() Engine { return engine.NewReference() }
+
+// NewConcurrentEngine returns the work-stealing stage-scheduler engine:
+// `workers` goroutines (0 = min(P, GOMAXPROCS)) drain per-stage run
+// queues with up to P microbatch chains in flight, committing the
+// optimizer step stage-parallel. Curves are bit-identical to Reference
+// for every worker count; see internal/engine/concurrent.
+func NewConcurrentEngine(workers int) Engine {
+	return concurrent.New(concurrent.WithWorkers(workers))
+}
 
 // NewReplicatedEngine returns the multi-replica data-parallel engine for
 // WithReplicas(R > 1): each replica's share of a minibatch runs through
