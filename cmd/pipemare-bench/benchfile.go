@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"pipemare/internal/experiments"
+)
+
+// benchRecord is one engine×stages×replicas×partition×workers×commit
+// measurement of the transformer workload. OverlapEfficiency is speedup/P:
+// the fraction of perfect P-way stage overlap the concurrent engine
+// realizes over Reference (on a single-core runner it sits near 1/P
+// because there is no hardware to overlap onto). StageImbalance is
+// max/mean per-stage cost under the record's partition — what cost
+// balancing buys shows up as this dropping toward 1.0 together with the
+// speedup rising. For replicated records the speedup is against
+// single-replica Reference at the same P, ScalingEfficiency is speedup/R,
+// and Commit records whether the optimizer step ran leader-serial
+// ("serial") or replica-sharded ("sharded") — the sharded rows are what
+// show the commit tail no longer scaling with total model size on the
+// leader.
+type benchRecord struct {
+	Engine            string  `json:"engine"`
+	Stages            int     `json:"stages"`
+	Replicas          int     `json:"replicas"`
+	Partition         string  `json:"partition"`
+	Workers           int     `json:"workers,omitempty"` // scheduler workers (concurrent engine)
+	Commit            string  `json:"commit,omitempty"`  // replicated rows: serial | sharded
+	NsPerEpoch        int64   `json:"ns_per_epoch"`
+	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
+	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"` // speedup / R
+	StageImbalance    float64 `json:"stage_imbalance,omitempty"`    // max/mean per-stage cost
+}
+
+// key is the full merge identity of a record. Every dimension that can
+// legitimately vary between measured rows must appear here, or a re-run
+// measuring one variant clobbers the others (the workers dimension had
+// exactly that bug before PR 4; the commit dimension is guarded by the
+// regression tests alongside this file).
+type benchKey struct {
+	engine    string
+	stages    int
+	replicas  int
+	partition string
+	workers   int
+	commit    string
+}
+
+func (r benchRecord) key() benchKey {
+	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit}
+}
+
+// benchFile is the BENCH_engine.json schema, one record per merge key.
+type benchFile struct {
+	Workload   string        `json:"workload"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Records    []benchRecord `json:"records"`
+}
+
+// normalize upgrades records written before a key dimension existed, so
+// legacy rows land on the same merge identity a re-measurement of the
+// same configuration produces instead of surviving as unreachable
+// duplicates: replicas 1 and partition "even" predate those fields;
+// concurrent rows without a workers count come from the
+// goroutine-per-stage era, which pinned one worker to every stage; and
+// replicated rows without a commit mode predate the sharded step, which
+// only ever ran leader-serial.
+func normalize(recs []benchRecord) {
+	for i := range recs {
+		r := &recs[i]
+		if r.Replicas == 0 {
+			r.Replicas = 1
+		}
+		if r.Partition == "" {
+			r.Partition = "even"
+		}
+		if r.Workers == 0 && r.Engine == "concurrent" {
+			r.Workers = r.Stages
+		}
+		if r.Commit == "" && r.Replicas > 1 {
+			r.Commit = "serial"
+		}
+	}
+}
+
+// loadBenchFile reads an existing perf record so a re-run merges into it
+// instead of overwriting rows it did not measure (e.g. another engine×P
+// combination recorded on a different runner). A missing, unreadable or
+// different-workload file starts fresh.
+func loadBenchFile(path string) benchFile {
+	out := benchFile{Workload: experiments.EngineBenchWorkload}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	var prev benchFile
+	if json.Unmarshal(raw, &prev) != nil || prev.Workload != experiments.EngineBenchWorkload {
+		return out
+	}
+	normalize(prev.Records)
+	out.Records = prev.Records
+	return out
+}
+
+// upsert replaces the record sharing rec's full merge key or appends it.
+func (b *benchFile) upsert(rec benchRecord) {
+	k := rec.key()
+	for i, r := range b.Records {
+		if r.key() == k {
+			b.Records[i] = rec
+			return
+		}
+	}
+	b.Records = append(b.Records, rec)
+}
+
+// write persists the merged record set.
+func (b *benchFile) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

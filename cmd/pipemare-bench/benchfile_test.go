@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipemare/internal/experiments"
+)
+
+// TestUpsertKeyKeepsAllVariantRows is the merge regression test: records
+// differing in ANY key dimension — engine, stages, replicas, partition,
+// workers, commit — must coexist, and re-measuring one key must replace
+// exactly that row. Before PR 4 the workers dimension was missing from
+// the key and W-variant rows clobbered each other; the commit dimension
+// gets the same guard here.
+func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
+	base := benchRecord{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "even", Workers: 4, NsPerEpoch: 100}
+	variants := []benchRecord{
+		base,
+		{Engine: "reference", Stages: 8, Replicas: 1, Partition: "even", NsPerEpoch: 101},
+		{Engine: "concurrent", Stages: 4, Replicas: 1, Partition: "even", Workers: 4, NsPerEpoch: 102},
+		{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "cost", Workers: 4, NsPerEpoch: 103},
+		{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "even", Workers: 1, NsPerEpoch: 104},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", NsPerEpoch: 105},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "sharded", NsPerEpoch: 106},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 4, Partition: "even", Commit: "sharded", NsPerEpoch: 107},
+	}
+	var b benchFile
+	for _, r := range variants {
+		b.upsert(r)
+	}
+	if len(b.Records) != len(variants) {
+		t.Fatalf("%d records after upserting %d distinct keys — variant rows clobbered each other", len(b.Records), len(variants))
+	}
+	// Replacing an existing key touches exactly that row.
+	updated := base
+	updated.NsPerEpoch = 999
+	b.upsert(updated)
+	if len(b.Records) != len(variants) {
+		t.Fatalf("re-measuring an existing key changed the row count to %d", len(b.Records))
+	}
+	for _, r := range b.Records {
+		want := int64(999)
+		if r.key() != base.key() {
+			continue
+		}
+		if r.NsPerEpoch != want {
+			t.Fatalf("re-measured row holds %d ns, want %d", r.NsPerEpoch, want)
+		}
+	}
+	for i, r := range variants[1:] {
+		if got := b.Records[i+1].NsPerEpoch; got != r.NsPerEpoch {
+			t.Fatalf("unrelated row %d changed: %d ns, want %d", i+1, got, r.NsPerEpoch)
+		}
+	}
+}
+
+// TestNormalizeUpgradesLegacyRows pins the legacy-row upgrade rules, so
+// old files merge onto the same keys a re-measurement produces: missing
+// replicas/partition default to 1/"even", workers-less concurrent rows
+// come from the goroutine-per-stage era (one worker per stage), and
+// commit-less replicated rows predate the sharded step (leader-serial).
+func TestNormalizeUpgradesLegacyRows(t *testing.T) {
+	recs := []benchRecord{
+		{Engine: "concurrent", Stages: 8, NsPerEpoch: 1},
+		{Engine: "reference", Stages: 4, NsPerEpoch: 2},
+		{Engine: "replicated(reference)", Stages: 4, Replicas: 2, Partition: "even", NsPerEpoch: 3},
+	}
+	normalize(recs)
+	if r := recs[0]; r.Replicas != 1 || r.Partition != "even" || r.Workers != 8 || r.Commit != "" {
+		t.Fatalf("legacy concurrent row normalized to %+v", r)
+	}
+	if r := recs[1]; r.Replicas != 1 || r.Partition != "even" || r.Workers != 0 {
+		t.Fatalf("legacy reference row normalized to %+v", r)
+	}
+	if r := recs[2]; r.Commit != "serial" {
+		t.Fatalf("legacy replicated row commit = %q, want serial", r.Commit)
+	}
+}
+
+// TestLoadBenchFileMergesAcrossRuns pins the end-to-end merge: a file
+// written by one "run" survives a second run measuring different keys,
+// with legacy rows upgraded rather than duplicated.
+func TestLoadBenchFileMergesAcrossRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	first := benchFile{Workload: experiments.EngineBenchWorkload, GoMaxProcs: 1, NumCPU: 1}
+	// A legacy replicated row (no commit field) and a concurrent row.
+	first.Records = []benchRecord{
+		{Engine: "replicated(reference)", Stages: 4, Replicas: 2, Partition: "even", NsPerEpoch: 10},
+		{Engine: "concurrent", Stages: 4, Replicas: 1, Partition: "even", Workers: 4, NsPerEpoch: 11},
+	}
+	if err := first.write(path); err != nil {
+		t.Fatal(err)
+	}
+	second := loadBenchFile(path)
+	if len(second.Records) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(second.Records))
+	}
+	// The second run re-measures the legacy replicated config serially and
+	// adds a sharded row: the serial measurement must land on the upgraded
+	// legacy row, the sharded one must be new.
+	second.upsert(benchRecord{Engine: "replicated(reference)", Stages: 4, Replicas: 2,
+		Partition: "even", Commit: "serial", NsPerEpoch: 20})
+	second.upsert(benchRecord{Engine: "replicated(reference)", Stages: 4, Replicas: 2,
+		Partition: "even", Commit: "sharded", NsPerEpoch: 21})
+	if len(second.Records) != 3 {
+		t.Fatalf("merge produced %d records, want 3 (serial replaced, sharded appended)", len(second.Records))
+	}
+	if second.Records[0].NsPerEpoch != 20 {
+		t.Fatalf("serial re-measurement did not replace the upgraded legacy row: %+v", second.Records[0])
+	}
+	if err := second.write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk benchFile
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk.Records) != 3 {
+		t.Fatalf("file round-trip holds %d records, want 3", len(onDisk.Records))
+	}
+	// A different workload starts fresh instead of mis-merging.
+	other := benchFile{Workload: "something else"}
+	if err := other.write(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh := loadBenchFile(path); len(fresh.Records) != 0 || fresh.Workload != experiments.EngineBenchWorkload {
+		t.Fatalf("different-workload file did not start fresh: %+v", fresh)
+	}
+}

@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -116,90 +115,14 @@ func main() {
 	}
 }
 
-// benchRecord is one engine×stages×replicas×partition×workers measurement
-// of the transformer workload. OverlapEfficiency is speedup/P: the
-// fraction of perfect P-way stage overlap the concurrent engine realizes
-// over Reference (on a single-core runner it sits near 1/P because there
-// is no hardware to overlap onto). StageImbalance is max/mean per-stage
-// cost under the record's partition — what cost balancing buys shows up
-// as this dropping toward 1.0 together with the speedup rising. For
-// replicated records the speedup is against single-replica Reference at
-// the same P, and ScalingEfficiency is speedup/R.
-type benchRecord struct {
-	Engine            string  `json:"engine"`
-	Stages            int     `json:"stages"`
-	Replicas          int     `json:"replicas"`
-	Partition         string  `json:"partition"`
-	Workers           int     `json:"workers,omitempty"` // scheduler workers (concurrent engine)
-	NsPerEpoch        int64   `json:"ns_per_epoch"`
-	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
-	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
-	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"` // speedup / R
-	StageImbalance    float64 `json:"stage_imbalance,omitempty"`    // max/mean per-stage cost
-}
-
-// benchFile is the BENCH_engine.json schema, one record per
-// engine×P×replicas×partition×workers.
-type benchFile struct {
-	Workload   string        `json:"workload"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Records    []benchRecord `json:"records"`
-}
-
-// loadBenchFile reads an existing perf record so a re-run merges into it
-// instead of overwriting rows it did not measure (e.g. another engine×P
-// combination recorded on a different runner). A missing, unreadable or
-// different-workload file starts fresh. Records from before the
-// replicas/partition/workers dimensions are normalized: replicas 1,
-// partition "even", and — for concurrent rows — workers = stages (the
-// goroutine-per-stage era pinned one worker to every stage).
-func loadBenchFile(path string) benchFile {
-	out := benchFile{Workload: experiments.EngineBenchWorkload}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return out
-	}
-	var prev benchFile
-	if json.Unmarshal(raw, &prev) != nil || prev.Workload != experiments.EngineBenchWorkload {
-		return out
-	}
-	for i := range prev.Records {
-		r := &prev.Records[i]
-		if r.Replicas == 0 {
-			r.Replicas = 1
-		}
-		if r.Partition == "" {
-			r.Partition = "even"
-		}
-		if r.Workers == 0 && r.Engine == "concurrent" {
-			r.Workers = r.Stages
-		}
-	}
-	out.Records = prev.Records
-	return out
-}
-
-// upsert replaces the record with rec's (engine, stages, replicas,
-// partition, workers) key or appends it.
-func (b *benchFile) upsert(rec benchRecord) {
-	for i, r := range b.Records {
-		if r.Engine == rec.Engine && r.Stages == rec.Stages && r.Replicas == rec.Replicas &&
-			r.Partition == rec.Partition && r.Workers == rec.Workers {
-			b.Records[i] = rec
-			return
-		}
-	}
-	b.Records = append(b.Records, rec)
-}
-
 // benchEngines times one training epoch of the transformer workload under
 // the Reference engine and the work-stealing concurrent engine at
 // P ∈ {4, 8} × partition ∈ {even, cost}, plus the replicated engine at
-// P = 4 with R ∈ {2, 4} Reference-inner replicas, then merges the
-// measurements into the perf record so the engine trajectory — including
-// what cost balancing bought — is tracked across PRs without clobbering
-// rows from other runs.
+// P = 4 with R ∈ {2, 4} Reference-inner replicas under both commit modes
+// (leader-serial vs replica-sharded — the pair that shows the commit tail
+// moving off the leader), then merges the measurements into the perf
+// record so the engine trajectory is tracked across PRs without
+// clobbering rows from other runs (see benchfile.go for the merge key).
 func benchEngines(path string, workers int) error {
 	out := loadBenchFile(path)
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -237,25 +160,22 @@ func benchEngines(path string, workers int) error {
 	}
 	for _, r := range []int{2, 4} {
 		const p = 4
-		ns, _, err := timeEpochs(p, r, nil, pipemare.PartitionEven) // nil engine: the default replicated engine
-		if err != nil {
-			return err
+		for _, commit := range []string{"serial", "sharded"} {
+			// nil engine: the default replicated engine over Reference inners.
+			ns, _, err := timeEpochs(p, r, nil, pipemare.PartitionEven,
+				pipemare.WithShardedStep(commit == "sharded"))
+			if err != nil {
+				return err
+			}
+			speedup := float64(refNsAt[p]) / float64(ns)
+			out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
+				Partition: "even", Commit: commit, NsPerEpoch: ns,
+				Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
+			fmt.Printf("P=%d R=%d %s commit: replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
+				p, r, commit, float64(ns)/1e9, speedup, speedup/float64(r))
 		}
-		speedup := float64(refNsAt[p]) / float64(ns)
-		out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
-			Partition: "even", NsPerEpoch: ns,
-			Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
-		fmt.Printf("P=%d R=%d: replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
-			p, r, float64(ns)/1e9, speedup, speedup/float64(r))
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := out.write(path); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
@@ -266,8 +186,7 @@ func benchEngines(path string, workers int) error {
 // BenchmarkEngine* benchmarks) under the given partition mode and returns
 // ns per epoch — one warm epoch, then the mean of two timed epochs — plus
 // the trainer's stage imbalance (max/mean per-stage cost).
-func timeEpochs(stages, replicas int, eng pipemare.Engine, mode pipemare.PartitionMode) (int64, float64, error) {
-	var extra []pipemare.Option
+func timeEpochs(stages, replicas int, eng pipemare.Engine, mode pipemare.PartitionMode, extra ...pipemare.Option) (int64, float64, error) {
 	if mode != pipemare.PartitionEven {
 		extra = append(extra, pipemare.WithPartition(mode))
 	}

@@ -650,6 +650,85 @@ func TestReplicatedEngineDivergenceAcrossReplicas(t *testing.T) {
 	}
 }
 
+// TestReplicatedShardedCommitMatchesReference pins the replica-sharded
+// (ZeRO-style) optimizer commit: with the sharded step explicitly
+// required, R ∈ {2, 4} replicas × both inner engines × scheduler workers
+// W ∈ {1, 2} must train the all-techniques DNN bit-identically to a
+// single-replica Reference run — every replica stepping only its stage
+// shard against its local optimizer state, with the all-gather replacing
+// the full broadcast. The leader-serial path (WithShardedStep(false))
+// stays pinned alongside so both commit modes remain ground-truth equal.
+func TestReplicatedShardedCommitMatchesReference(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 6})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 4, 8) }
+	base := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	ref := runCurve(t, build, 3, 1, base...)
+	rs, inners := replicaGrid()
+	for _, r := range rs {
+		for _, inner := range inners {
+			ws := []int{0} // reference inner: worker count is moot
+			if inner == "concurrent" {
+				ws = []int{1, 2}
+			}
+			for _, w := range ws {
+				eng := pipemare.NewReplicatedEngine(nil)
+				if inner == "concurrent" {
+					w := w
+					eng = pipemare.NewReplicatedEngine(func() pipemare.Engine {
+						return concurrent.New(concurrent.WithWorkers(w))
+					})
+				}
+				opts := append(append([]pipemare.Option{}, base...),
+					pipemare.WithReplicas(r), pipemare.WithShardedStep(true),
+					pipemare.WithEngine(eng))
+				got := runCurve(t, build, 3, r, opts...)
+				requireIdentical(t, fmt.Sprintf("sharded/R=%d/%s/W=%d", r, inner, w), ref, got)
+			}
+		}
+		// The leader-serial commit must stay bit-identical too.
+		serial := append(append([]pipemare.Option{}, base...),
+			pipemare.WithReplicas(r), pipemare.WithShardedStep(false),
+			pipemare.WithEngine(pipemare.NewReplicatedEngine(nil)))
+		got := runCurve(t, build, 3, r, serial...)
+		requireIdentical(t, fmt.Sprintf("leader-serial/R=%d", r), ref, got)
+	}
+}
+
+// TestReplicatedShardedCommitDivergenceAbort pins the abort path of the
+// sharded commit: a capped loss in any replica's chunk must cancel the
+// whole commit — no scatter, no shard steps, no gather — leaving every
+// replica's state restored and the recorded curve equal to Reference's
+// divergence curve.
+func TestReplicatedShardedCommitDivergenceAbort(t *testing.T) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 8})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 3, 9) }
+	base := []pipemare.Option{
+		pipemare.WithMethod(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(16), pipemare.WithMicrobatches(8),
+		pipemare.WithSeed(4), pipemare.WithLossCap(15),
+		pipemare.WithRecompute(2),
+		pipemare.WithSchedule(optim.Constant(8)), // absurd rate: diverges
+	}
+	ref := runCurve(t, build, 4, 1, base...)
+	if !ref.Diverged {
+		t.Fatal("reference run was expected to diverge")
+	}
+	rs, _ := replicaGrid()
+	for _, r := range rs {
+		opts := append(append([]pipemare.Option{}, base...),
+			pipemare.WithReplicas(r), pipemare.WithShardedStep(true),
+			pipemare.WithEngine(pipemare.NewReplicatedEngine(nil)))
+		got := runCurve(t, build, 4, r, opts...)
+		requireIdentical(t, fmt.Sprintf("sharded-divergence/R=%d", r), ref, got)
+	}
+}
+
 // TestReplicatedEngineSurvivesRepeatedRuns pins the Lifecycle contract for
 // the replicated engine: chunked RunInto calls and a second trainer must
 // restart the replica group cleanly.

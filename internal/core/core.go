@@ -167,12 +167,37 @@ type Config struct {
 	// single-replica curves. R must not exceed the microbatch count N.
 	Replicas int
 
+	// ShardedStep selects whether the optimizer commit is sharded across
+	// the data-parallel replicas (ZeRO / PipeDream-2BW style): each replica
+	// owns a contiguous shard of the pipeline stages, holds the optimizer
+	// moment state only for that shard, and steps it locally after the
+	// gradient all-reduce; the stepped weights (and T2 state) then
+	// all-gather back. Curves stay bit-identical to the leader-serial
+	// commit. The default (ShardedStepAuto) shards whenever Replicas > 1
+	// and the optimizer supports it (optim.ShardCloner).
+	ShardedStep ShardedStepMode
+
 	// Engine selects the execution engine; nil means the single-goroutine
 	// Reference engine (or, with Replicas > 1, the replicated engine over
 	// Reference inners). With Replicas > 1 the engine must be
 	// replica-aware (replica.Aware).
 	Engine engine.Engine
 }
+
+// ShardedStepMode selects the replica-sharded optimizer commit
+// (Config.ShardedStep).
+type ShardedStepMode int
+
+const (
+	// ShardedStepAuto shards the commit when Replicas > 1 and the
+	// optimizer implements optim.ShardCloner.
+	ShardedStepAuto ShardedStepMode = iota
+	// ShardedStepOn requires the sharded commit; building the trainer
+	// fails when Replicas < 2 or the optimizer cannot shard.
+	ShardedStepOn
+	// ShardedStepOff forces the leader-serial commit + full broadcast.
+	ShardedStepOff
+)
 
 // Observer receives the curve after each completed epoch. epoch is the
 // 1-based index of the entry just recorded — run.Loss[epoch-1] is always
@@ -224,9 +249,14 @@ type Trainer struct {
 
 	// Data-parallel replication state: a leader trainer owns its follower
 	// trainers; a follower holds a pointer back to its leader for the
-	// post-step weight broadcast.
-	replicas []*Trainer
-	leader   *Trainer
+	// post-step weight broadcast (or epoch-clock sync under the sharded
+	// commit). plan assigns each stage's optimizer commit to a replica
+	// owner when the sharded step is on.
+	replicas   []*Trainer
+	leader     *Trainer
+	sharded    bool
+	plan       engine.CommitPlan
+	stageState [][]*tensor.Tensor // per-stage gather layout (masters, T2 δ, corrected)
 
 	observer   Observer
 	rng        *rand.Rand
@@ -297,6 +327,23 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 			return nil, fmt.Errorf("core: task %T does not implement Replicable; %d-replica training needs CloneTask", task, replicas)
 		}
 	}
+	sharded := false
+	switch cfg.ShardedStep {
+	case ShardedStepAuto:
+		_, ok := opt.(optim.ShardCloner)
+		sharded = replicas > 1 && ok
+	case ShardedStepOn:
+		if replicas < 2 {
+			return nil, fmt.Errorf("core: the sharded optimizer step needs at least 2 replicas, got %d (it shards the commit across replicas)", replicas)
+		}
+		if _, ok := opt.(optim.ShardCloner); !ok {
+			return nil, fmt.Errorf("core: optimizer %T does not support state sharding (optim.ShardCloner); use ShardedStepOff for the leader-serial commit", opt)
+		}
+		sharded = true
+	case ShardedStepOff:
+	default:
+		return nil, fmt.Errorf("core: unknown sharded-step mode %d", int(cfg.ShardedStep))
+	}
 	t := &Trainer{
 		task: task, opt: opt, sched: sched, cfg: cfg, eng: eng,
 		part: part, groupCosts: costs,
@@ -351,6 +398,31 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 		t.stageTask, t.prog, t.opLo, t.opHi = st, prog, lo, hi
 	}
 	t.flows = make(map[int]*flight)
+	t.sharded = sharded
+	t.plan = engine.NewCommitPlan(p, replicas)
+	// Per-stage state layout for the sharded-commit gather (StageState):
+	// fixed after construction, so build it once instead of per commit.
+	t.stageState = make([][]*tensor.Tensor, p)
+	for s := 0; s < p; s++ {
+		lo, hi := t.stageLo[s], t.stageHi[s]
+		n := hi - lo
+		if t.delta != nil {
+			n *= 3
+		}
+		buf := make([]*tensor.Tensor, 0, n)
+		for i := lo; i < hi; i++ {
+			buf = append(buf, t.masters[i])
+		}
+		if t.delta != nil {
+			for i := lo; i < hi; i++ {
+				buf = append(buf, t.delta[i])
+			}
+			for i := lo; i < hi; i++ {
+				buf = append(buf, t.corrected[i])
+			}
+		}
+		t.stageState[s] = buf
+	}
 	for r := 1; r < replicas; r++ {
 		f, err := t.newFollower(task.(Replicable), r)
 		if err != nil {
@@ -359,6 +431,16 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 		t.replicas = append(t.replicas, f)
 	}
 	return t, nil
+}
+
+// shardOf maps replica r's stage shard to its optimizer parameter range
+// under the current partition (empty when the replica owns no stages).
+func (t *Trainer) shardOf(r int) optim.Shard {
+	lo, hi := t.plan.Shard(r)
+	if lo == hi {
+		return optim.Shard{}
+	}
+	return optim.Shard{Lo: t.stageLo[lo], Hi: t.stageHi[hi-1]}
 }
 
 // buildPartition splits the task's weight groups into p stages under the
@@ -465,8 +547,10 @@ func measuredGroupCosts(st StageTask, groups []pipeline.ParamGroup, microbatchSi
 // newFollower clones the leader's task, copies the leader's current
 // (initial) weights into the clone — so the follower's version store
 // seeds with the same version-0 snapshot — and builds the follower
-// trainer. The follower's optimizer is never stepped: the leader commits
-// the shared step and broadcasts the result.
+// trainer. Under the sharded commit the follower's optimizer is a
+// state-sharded sibling of the leader's (optim.ShardCloner) holding
+// moment buffers only for the stages the follower owns; otherwise the
+// follower is never stepped and gets a stateless placeholder.
 func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	ct := rep.CloneTask()
 	var cps []*nn.Param
@@ -485,6 +569,7 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	}
 	fcfg := t.cfg
 	fcfg.Replicas = 0
+	fcfg.ShardedStep = ShardedStepOff
 	fcfg.Engine = engine.NewReference() // follower engines are never used
 	if fcfg.Partition != pipeline.PartitionEven {
 		// Followers must land on the leader's exact partition: reuse its
@@ -492,7 +577,15 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 		// noisy profile pass cannot skew a follower's stage boundaries.
 		fcfg.GroupCosts = t.groupCosts
 	}
-	f, err := New(ct, optim.NewSGD(cps, 0, 0), t.sched, fcfg)
+	var fopt optim.Optimizer
+	if t.sharded {
+		fopt = t.opt.(optim.ShardCloner).CloneShard(cps, t.shardOf(r))
+	} else {
+		// Leader-serial commit: the follower never steps, so it holds no
+		// moment state at all (an empty shard).
+		fopt = optim.NewSGDShard(cps, 0, 0, optim.Shard{})
+	}
+	f, err := New(ct, fopt, t.sched, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: building replica %d: %w", r, err)
 	}
@@ -572,6 +665,10 @@ func (t *Trainer) Engine() engine.Engine { return t.eng }
 // Replicas returns the data-parallel replica count R (1 when replication
 // is off).
 func (t *Trainer) Replicas() int { return len(t.replicas) + 1 }
+
+// ShardedStep reports whether the optimizer commit is sharded across the
+// replicas (always false for single-replica trainers).
+func (t *Trainer) ShardedStep() bool { return t.sharded }
 
 // Observe registers an observer invoked after every completed epoch.
 func (t *Trainer) Observe(fn Observer) { t.observer = fn }
@@ -903,6 +1000,16 @@ func (h host) Replicas() int { return len(h.t.replicas) + 1 }
 // Follower returns follower r's member surface (replica.Leader).
 func (h host) Follower(r int) replica.Member { return host{h.t.replicas[r-1]} }
 
+// ShardedStep reports whether the optimizer commit is sharded across the
+// replicas (replica.Leader).
+func (h host) ShardedStep() bool { return h.t.sharded }
+
+// CommitShards returns the stage→replica owner plan (replica.Leader) —
+// the same plan the followers' optimizer moment shards were allocated
+// from (shardOf), so the replica layer steps exactly the state each
+// member holds.
+func (h host) CommitShards() engine.CommitPlan { return h.t.plan }
+
 // TakeStageGrads moves the stage's accumulated gradients into bufs and
 // zeroes the accumulators, so the next microbatch accumulates from zero
 // again. Buffers are allocated on first use and recycled by the caller.
@@ -930,6 +1037,68 @@ func (h host) FoldStageGrads(stage int, bufs []*tensor.Tensor) {
 	t := h.t
 	for j, i := 0, t.stageLo[stage]; i < t.stageHi[stage]; i, j = i+1, j+1 {
 		tensor.AddInto(t.params[i].Grad, bufs[j])
+	}
+}
+
+// SetStageGrads overwrites the stage's gradient accumulators with bufs —
+// the scatter half of the sharded commit: the leader's fully reduced
+// minibatch gradient moves to the stage's owner as a pure copy, no
+// arithmetic, so the owner's PrepareStage sees bitwise the gradient the
+// leader-serial commit would have averaged.
+func (h host) SetStageGrads(stage int, bufs []*tensor.Tensor) {
+	t := h.t
+	for j, i := 0, t.stageLo[stage]; i < t.stageHi[stage]; i, j = i+1, j+1 {
+		t.params[i].Grad.CopyFrom(bufs[j])
+	}
+}
+
+// StageState returns the stage's live post-step state tensors — the
+// master weights, then (when T2 is enabled) the δ velocity accumulators
+// and corrected backward weights — in a fixed layout the gather copies
+// from. Callers must treat the slice and its tensors as read-only.
+func (h host) StageState(stage int) []*tensor.Tensor {
+	return h.t.stageState[stage]
+}
+
+// ImportStageState copies a stage's post-step state from src (an owner's
+// StageState layout) into this replica and pushes the stage's next weight
+// version — the gather half of the sharded commit, mirroring the version
+// push the owner's FinishStage did so every replica's version queue
+// replays the same history.
+func (h host) ImportStageState(stage int, src []*tensor.Tensor) {
+	t := h.t
+	lo, hi := t.stageLo[stage], t.stageHi[stage]
+	want := hi - lo
+	if t.delta != nil {
+		want *= 3
+	}
+	if len(src) != want {
+		panic(fmt.Sprintf("core: stage %d state has %d tensors, want %d", stage, len(src), want))
+	}
+	k := 0
+	for i := lo; i < hi; i++ {
+		t.masters[i].CopyFrom(src[k])
+		k++
+	}
+	if t.delta != nil {
+		for i := lo; i < hi; i++ {
+			t.delta[i].CopyFrom(src[k])
+			k++
+		}
+		for i := lo; i < hi; i++ {
+			t.corrected[i].CopyFrom(src[k])
+			k++
+		}
+	}
+	t.store.PushStage(stage)
+}
+
+// SyncEpoch aligns a follower's epoch clock with its leader's so the
+// commit-phase learning rates (T1 annealing, T3 warmup phase) are
+// computed from the same epoch everywhere. The leader is its own clock.
+func (h host) SyncEpoch() {
+	if h.t.leader != nil {
+		h.t.epoch = h.t.leader.epoch
 	}
 }
 

@@ -23,11 +23,12 @@
 // FIFO order, and the active flag forbids two workers inside one stage —
 // so per-stage per-parameter gradient accumulation is serial in s exactly
 // as in the serial Reference engine. Weight installs happen per slot
-// immediately before the segment that reads them; the commit phase — now
-// fully stage-parallel including the sharded optimizer step
-// (Host.StepStage) — reduces stage-partial norms in stage order; and
-// microbatch losses are summed in microbatch order from the result
-// collector. Training curves are therefore bit-identical to Reference for
+// immediately before the segment that reads them; the commit phase runs
+// through an engine.CommitPlan that shards the P stages contiguously
+// across the W workers — every phase, optimizer step (Host.StepStage)
+// included, is shard-parallel and the stage-partial norms are reduced in
+// stage order; and microbatch losses are summed in microbatch order from
+// the result collector. Training curves are therefore bit-identical to Reference for
 // every W ∈ {1..P} — pinned by the equivalence tests at the repository
 // root. Monolithic tasks (Host.Splittable() == false) cap the pipeline at
 // one chain in flight; compute runs in the boundary stages' slots and the
@@ -53,10 +54,10 @@ const (
 	jobRecomp                 // climb: install recompute versions, rerun the stage's forward segment
 	jobBwd                    // descend: re-install, run the stage's backward segment
 	jobRestore                // broadcast: restore master weights
-	jobPrepare                // commit: average grads, T2 snapshot, partial norm
-	jobScale                  // commit: apply the global clip factor
-	jobStep                   // commit: sharded optimizer update for the stage's param range
-	jobFinish                 // commit: T2 update, version push, zero grads
+	jobPrepare                // commit shard: average grads, T2 snapshot, partial norms
+	jobScale                  // commit shard: apply the global clip factor
+	jobStep                   // commit shard: optimizer update for the stages' param ranges
+	jobFinish                 // commit shard: T2 update, version push, zero grads
 )
 
 type job struct {
@@ -69,11 +70,7 @@ type job struct {
 	bad    bool
 	scale  float64
 	nMicro int
-}
-
-type ack struct {
-	stage int
-	sumSq float64
+	lo, hi int // commit jobs: the plan shard [lo, hi) of stages to process
 }
 
 // stageQueue is one stage's FIFO run queue. active marks the stage as
@@ -99,10 +96,11 @@ type Engine struct {
 	p        int
 	nw       int // workers actually started
 	inflight int // microbatch chains allowed in flight (P, or 1 when monolithic)
+	plan     engine.CommitPlan
 	queues   []stageQueue
 	ready    chan int // stages with queued work and no claiming worker
 	results  chan job
-	acks     chan ack
+	acks     chan struct{}
 	aborted  atomic.Bool // set on the first bad loss: later chains skip compute
 	wg       sync.WaitGroup
 	running  bool
@@ -178,12 +176,13 @@ func (e *Engine) Start(h engine.Host) {
 	if e.nw < 1 {
 		e.nw = 1
 	}
+	e.plan = engine.NewCommitPlan(e.p, e.nw)
 	e.queues = make([]stageQueue, e.p)
 	// Each stage is "ready" at most once (the active flag), so capacity P
 	// makes every send non-blocking.
 	e.ready = make(chan int, e.p)
 	e.results = make(chan job, e.inflight)
-	e.acks = make(chan ack, e.p)
+	e.acks = make(chan struct{}, e.p)
 	e.losses = make([]float64, 0, e.inflight)
 	e.sumSqs = make([]float64, e.p)
 	e.wg.Add(e.nw)
@@ -292,18 +291,30 @@ func (e *Engine) process(i int, jb job) {
 		e.bwd(i, jb)
 	case jobRestore:
 		e.h.Restore(i)
-		e.acks <- ack{stage: i}
+		e.acks <- struct{}{}
 	case jobPrepare:
-		e.acks <- ack{i, e.h.PrepareStage(i, jb.nMicro)}
+		// Commit-shard jobs run on the claiming worker of their first
+		// stage but touch every stage of the shard: all chains have
+		// drained, so no other job can reference those stages.
+		for st := jb.lo; st < jb.hi; st++ {
+			e.sumSqs[st] = e.h.PrepareStage(st, jb.nMicro)
+		}
+		e.acks <- struct{}{}
 	case jobScale:
-		e.h.ScaleStage(i, jb.scale)
-		e.acks <- ack{stage: i}
+		for st := jb.lo; st < jb.hi; st++ {
+			e.h.ScaleStage(st, jb.scale)
+		}
+		e.acks <- struct{}{}
 	case jobStep:
-		e.h.StepStage(i)
-		e.acks <- ack{stage: i}
+		for st := jb.lo; st < jb.hi; st++ {
+			e.h.StepStage(st)
+		}
+		e.acks <- struct{}{}
 	case jobFinish:
-		e.h.FinishStage(i)
-		e.acks <- ack{stage: i}
+		for st := jb.lo; st < jb.hi; st++ {
+			e.h.FinishStage(st)
+		}
+		e.acks <- struct{}{}
 	}
 }
 
@@ -412,7 +423,7 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	// Every chain has drained. Restore all stages to the master weights
 	// before committing (or before handing a divergence/cancellation back
 	// to the trainer, which restores-by-contract too).
-	e.broadcast(job{kind: jobRestore}, nil)
+	e.broadcast(job{kind: jobRestore})
 	if ctxErr != nil {
 		return 0, ctxErr
 	}
@@ -424,34 +435,51 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 		lossSum += l
 	}
 
-	// Commit: stage-parallel prepare, the stage-ordered clip reduction,
-	// the step-clock advance, the stage-sharded optimizer step, then
-	// stage-parallel finalization.
-	sumSqs := e.sumSqs
-	e.broadcast(job{kind: jobPrepare, nMicro: n}, func(a ack) { sumSqs[a.stage] = a.sumSq })
+	// Commit via the commit plan: the P stages shard contiguously across
+	// the W workers (one owner-shard job per worker and phase, instead of
+	// P per-stage jobs), with a barrier between phases — shard-parallel
+	// prepare, the stage-ordered clip reduction, the step-clock advance,
+	// the sharded optimizer step, then shard-parallel finalization.
+	e.shardcast(job{kind: jobPrepare, nMicro: n})
 	sumSq := 0.0
-	for _, s := range sumSqs {
+	for _, s := range e.sumSqs {
 		sumSq += s
 	}
 	if scale := h.ClipScale(sumSq); scale != 1 {
-		e.broadcast(job{kind: jobScale, scale: scale}, nil)
+		e.shardcast(job{kind: jobScale, scale: scale})
 	}
 	h.BeginStep()
-	e.broadcast(job{kind: jobStep}, nil)
-	e.broadcast(job{kind: jobFinish}, nil)
+	e.shardcast(job{kind: jobStep})
+	e.shardcast(job{kind: jobFinish})
 	return lossSum / float64(n), nil
 }
 
-// broadcast sends one job to every stage queue and waits for all acks,
-// optionally folding them.
-func (e *Engine) broadcast(jb job, fold func(ack)) {
+// broadcast sends one job to every stage queue and waits for all acks.
+func (e *Engine) broadcast(jb job) {
 	for i := 0; i < e.p; i++ {
 		e.enqueue(i, jb)
 	}
 	for i := 0; i < e.p; i++ {
-		a := <-e.acks
-		if fold != nil {
-			fold(a)
+		<-e.acks
+	}
+}
+
+// shardcast sends one commit-phase job per owner shard of the commit plan
+// (enqueued on the shard's first stage) and waits for all acks — the
+// within-pipeline instantiation of the stage→owner commit sharding the
+// replica layer uses across machines.
+func (e *Engine) shardcast(jb job) {
+	owners := 0
+	for r := 0; r < e.plan.Owners(); r++ {
+		lo, hi := e.plan.Shard(r)
+		if lo == hi {
+			continue
 		}
+		jb.lo, jb.hi = lo, hi
+		e.enqueue(lo, jb)
+		owners++
+	}
+	for ; owners > 0; owners-- {
+		<-e.acks
 	}
 }

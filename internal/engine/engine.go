@@ -204,42 +204,12 @@ func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64
 		h.EndMicro(s)
 		restoreAll(h, p)
 	}
-	Commit(h, len(micros))
+	NewCommitPlan(p, 1).Commit(h, len(micros))
 	return lossSum / float64(len(micros)), nil
 }
 
 func restoreAll(h Host, p int) {
 	for st := 0; st < p; st++ {
 		h.Restore(st)
-	}
-}
-
-// Commit runs the serial optimizer-step phases against a host whose
-// gradients hold a full minibatch of nMicro microbatches: average+snapshot
-// per stage, global clip, the step-clock advance, the per-stage optimizer
-// updates, then per-stage finalization. The stage-partial gradient norms
-// are summed in stage order so that the concurrent engine's reduction is
-// bit-identical, and the per-stage update is the same arithmetic as one
-// whole-model step (StepStage ranges are disjoint and pure given the
-// advanced clock). It is shared by the Reference engine and the replicated
-// engine (which commits on the leader replica after the gradient
-// all-reduce).
-func Commit(h Host, nMicro int) {
-	p := h.Stages()
-	sumSq := 0.0
-	for st := 0; st < p; st++ {
-		sumSq += h.PrepareStage(st, nMicro)
-	}
-	if scale := h.ClipScale(sumSq); scale != 1 {
-		for st := 0; st < p; st++ {
-			h.ScaleStage(st, scale)
-		}
-	}
-	h.BeginStep()
-	for st := 0; st < p; st++ {
-		h.StepStage(st)
-	}
-	for st := 0; st < p; st++ {
-		h.FinishStage(st)
 	}
 }

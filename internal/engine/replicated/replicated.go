@@ -4,16 +4,21 @@
 // contiguous share of every minibatch's microbatches through their own
 // inner engine (Reference or the concurrent stage-worker engine, so
 // pipeline overlap composes with replication), concurrently. One shared
-// optimizer step commits on the leader after a deterministic tree
-// all-reduce of the followers' per-microbatch gradients, and the
-// post-step weights broadcast back to the followers.
+// optimizer step commits after a deterministic tree all-reduce of the
+// followers' per-microbatch gradients: leader-serial with a full-state
+// broadcast when the sharded step is off, or — the default for R > 1 —
+// the ZeRO-style replica-sharded commit in which every replica steps only
+// its own stage shard against its local shard of the optimizer state and
+// the stepped weights all-gather back (replica.Group.Commit).
 //
 // Training curves are bit-identical to a single-replica run of the same
-// global microbatch set under the Reference engine, for any R and either
-// inner engine: see package replica for the determinism argument
-// (contiguous ordered chunks, one-add-per-element gradient export, all
-// reduction arithmetic at the tree root in global microbatch order). The
-// equivalence is pinned by tests at the repository root.
+// global microbatch set under the Reference engine, for any R, either
+// inner engine and either commit mode: see package replica for the
+// determinism argument (contiguous ordered chunks, one-add-per-element
+// gradient export, all reduction arithmetic at the tree root in global
+// microbatch order, copy-only scatter/gather around location-independent
+// shard arithmetic). The equivalence is pinned by tests at the repository
+// root.
 package replicated
 
 import (
@@ -119,8 +124,9 @@ func (e *Engine) Stop() {
 
 // Minibatch splits the minibatch across the replicas, runs the R chunk
 // computations concurrently (each through its own inner engine), then
-// tree-reduces the gradients into the leader, commits one optimizer step
-// there, and broadcasts the post-step state to the followers.
+// tree-reduces the gradients into the leader and commits one shared
+// optimizer step through the group — leader-serial + broadcast, or the
+// replica-sharded owner protocol when the leader enables it.
 func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (float64, error) {
 	if !e.running || e.h != h {
 		e.Start(h)
@@ -162,7 +168,6 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	}
 
 	e.group.Reduce()
-	engine.Commit(h, len(micros))
-	e.group.Broadcast()
+	e.group.Commit(len(micros))
 	return e.group.LossSum() / float64(len(micros)), nil
 }

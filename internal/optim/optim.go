@@ -46,6 +46,54 @@ func UniformLR(lr float64, n int) []float64 {
 	return out
 }
 
+// Shard is a contiguous range [Lo, Hi) of optimizer parameter indices. A
+// sharded optimizer holds moment state (SGD velocity, Adam moments) only
+// for its shard — the ZeRO / PipeDream-2BW weight-sharded update: each
+// data-parallel replica owns the optimizer state of its shard and steps
+// only that range, so no replica holds the full redundant state. The zero
+// Shard is empty (a stateless placeholder for replicas that own nothing).
+type Shard struct {
+	Lo, Hi int
+}
+
+// FullShard covers all n parameters.
+func FullShard(n int) Shard { return Shard{0, n} }
+
+// Len returns the number of parameters in the shard.
+func (s Shard) Len() int {
+	if s.Hi <= s.Lo {
+		return 0
+	}
+	return s.Hi - s.Lo
+}
+
+// Contains reports whether [lo, hi) lies within the shard.
+func (s Shard) Contains(lo, hi int) bool { return s.Lo <= lo && hi <= s.Hi }
+
+// ShardCloner is implemented by optimizers whose state can be sharded
+// across data-parallel replicas. CloneShard builds an optimizer of the
+// same type and hyperparameters over params — a replica's parameter
+// copies, in the same order and shapes as Params() — holding moment state
+// only for sh; its StepRange may only be called within sh. StateRange
+// reports the shard an optimizer holds state for (the full range for the
+// ordinary constructors).
+type ShardCloner interface {
+	Optimizer
+	CloneShard(params []*nn.Param, sh Shard) Optimizer
+	StateRange() Shard
+}
+
+// checkRange panics when a StepRange call leaves the optimizer's state
+// shard or disagrees with its learning-rate count.
+func checkRange(sh Shard, lo, hi, nLRs int) {
+	if !sh.Contains(lo, hi) {
+		panic(fmt.Sprintf("optim: param range [%d, %d) outside the optimizer's state shard [%d, %d)", lo, hi, sh.Lo, sh.Hi))
+	}
+	if nLRs != hi-lo {
+		panic(fmt.Sprintf("optim: %d learning rates for param range [%d, %d)", nLRs, lo, hi))
+	}
+}
+
 // SGD is stochastic gradient descent with heavy-ball momentum and L2
 // weight decay (decay added to the gradient, as in the paper's ResNet
 // recipe).
@@ -53,18 +101,35 @@ type SGD struct {
 	ps          []*nn.Param
 	Momentum    float64
 	WeightDecay float64
-	vel         []*tensor.Tensor
+	shard       Shard
+	vel         []*tensor.Tensor // velocity of params [shard.Lo, shard.Hi), indexed i−shard.Lo
 }
 
-// NewSGD returns an SGD optimizer over params.
+// NewSGD returns an SGD optimizer over params, holding state for all of
+// them.
 func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
-	s := &SGD{ps: params, Momentum: momentum, WeightDecay: weightDecay}
-	s.vel = make([]*tensor.Tensor, len(params))
-	for i, p := range params {
-		s.vel[i] = tensor.New(p.Data.Shape...)
+	return NewSGDShard(params, momentum, weightDecay, FullShard(len(params)))
+}
+
+// NewSGDShard returns an SGD optimizer over params holding velocity state
+// only for the parameters in sh (see Shard).
+func NewSGDShard(params []*nn.Param, momentum, weightDecay float64, sh Shard) *SGD {
+	s := &SGD{ps: params, Momentum: momentum, WeightDecay: weightDecay, shard: sh}
+	s.vel = make([]*tensor.Tensor, sh.Len())
+	for i := range s.vel {
+		s.vel[i] = tensor.New(params[sh.Lo+i].Data.Shape...)
 	}
 	return s
 }
+
+// CloneShard builds an SGD sibling over a replica's parameter copies with
+// state only for sh (ShardCloner).
+func (s *SGD) CloneShard(params []*nn.Param, sh Shard) Optimizer {
+	return NewSGDShard(params, s.Momentum, s.WeightDecay, sh)
+}
+
+// StateRange reports the parameter shard this optimizer holds state for.
+func (s *SGD) StateRange() Shard { return s.shard }
 
 // Step applies v ← βv − lr·(g + wd·w); w ← w + v for each parameter.
 func (s *SGD) Step(lrs []float64) {
@@ -78,14 +143,13 @@ func (s *SGD) Step(lrs []float64) {
 // Advance is a no-op: momentum SGD keeps no step clock.
 func (s *SGD) Advance() {}
 
-// StepRange applies the update to params [lo, hi).
+// StepRange applies the update to params [lo, hi), which must lie within
+// the optimizer's state shard.
 func (s *SGD) StepRange(lo, hi int, lrs []float64) {
-	if len(lrs) != hi-lo {
-		panic(fmt.Sprintf("optim: %d learning rates for param range [%d, %d)", len(lrs), lo, hi))
-	}
+	checkRange(s.shard, lo, hi, len(lrs))
 	for i := lo; i < hi; i++ {
 		p := s.ps[i]
-		v := s.vel[i]
+		v := s.vel[i-s.shard.Lo]
 		lr := lrs[i-lo]
 		for j := range p.Data.Data {
 			g := p.Grad.Data[j] + s.WeightDecay*p.Data.Data[j]
@@ -111,22 +175,38 @@ type AdamW struct {
 	Eps         float64
 	WeightDecay float64
 
-	m, v []*tensor.Tensor
-	t    int
+	shard Shard
+	m, v  []*tensor.Tensor // moments of params [shard.Lo, shard.Hi), indexed i−shard.Lo
+	t     int
 }
 
 // NewAdamW returns an AdamW optimizer with the paper's Transformer betas
-// (0.9, 0.98) unless overridden.
+// (0.9, 0.98) unless overridden, holding state for all params.
 func NewAdamW(params []*nn.Param, beta1, beta2, eps, weightDecay float64) *AdamW {
-	a := &AdamW{ps: params, Beta1: beta1, Beta2: beta2, Eps: eps, WeightDecay: weightDecay}
-	a.m = make([]*tensor.Tensor, len(params))
-	a.v = make([]*tensor.Tensor, len(params))
-	for i, p := range params {
-		a.m[i] = tensor.New(p.Data.Shape...)
-		a.v[i] = tensor.New(p.Data.Shape...)
+	return NewAdamWShard(params, beta1, beta2, eps, weightDecay, FullShard(len(params)))
+}
+
+// NewAdamWShard returns an AdamW optimizer over params holding moment
+// state only for the parameters in sh (see Shard).
+func NewAdamWShard(params []*nn.Param, beta1, beta2, eps, weightDecay float64, sh Shard) *AdamW {
+	a := &AdamW{ps: params, Beta1: beta1, Beta2: beta2, Eps: eps, WeightDecay: weightDecay, shard: sh}
+	a.m = make([]*tensor.Tensor, sh.Len())
+	a.v = make([]*tensor.Tensor, sh.Len())
+	for i := range a.m {
+		a.m[i] = tensor.New(params[sh.Lo+i].Data.Shape...)
+		a.v[i] = tensor.New(params[sh.Lo+i].Data.Shape...)
 	}
 	return a
 }
+
+// CloneShard builds an AdamW sibling over a replica's parameter copies
+// with state only for sh (ShardCloner).
+func (a *AdamW) CloneShard(params []*nn.Param, sh Shard) Optimizer {
+	return NewAdamWShard(params, a.Beta1, a.Beta2, a.Eps, a.WeightDecay, sh)
+}
+
+// StateRange reports the parameter shard this optimizer holds state for.
+func (a *AdamW) StateRange() Shard { return a.shard }
 
 // Step applies one AdamW update with bias correction.
 func (a *AdamW) Step(lrs []float64) {
@@ -141,19 +221,18 @@ func (a *AdamW) Step(lrs []float64) {
 // StepRange calls are computed from the advanced clock.
 func (a *AdamW) Advance() { a.t++ }
 
-// StepRange applies the update to params [lo, hi). The bias-correction
-// factors depend only on the (already advanced) step clock, so disjoint
-// ranges of one update are independent.
+// StepRange applies the update to params [lo, hi), which must lie within
+// the optimizer's state shard. The bias-correction factors depend only on
+// the (already advanced) step clock, so disjoint ranges of one update are
+// independent.
 func (a *AdamW) StepRange(lo, hi int, lrs []float64) {
-	if len(lrs) != hi-lo {
-		panic(fmt.Sprintf("optim: %d learning rates for param range [%d, %d)", len(lrs), lo, hi))
-	}
+	checkRange(a.shard, lo, hi, len(lrs))
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i := lo; i < hi; i++ {
 		p := a.ps[i]
 		lr := lrs[i-lo]
-		m, v := a.m[i], a.v[i]
+		m, v := a.m[i-a.shard.Lo], a.v[i-a.shard.Lo]
 		for j := range p.Data.Data {
 			g := p.Grad.Data[j]
 			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g

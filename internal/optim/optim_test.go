@@ -241,3 +241,116 @@ func TestOptimizersTrainTinyNetwork(t *testing.T) {
 func nnTensor(data []float64, shape ...int) *tensor.Tensor {
 	return tensor.FromSlice(append([]float64(nil), data...), shape...)
 }
+
+// shardParams builds n scalar params with distinct weights and gradients.
+func shardParams(n int) []*nn.Param {
+	ps := make([]*nn.Param, n)
+	for i := range ps {
+		ps[i] = quadParam(float64(i + 1))
+		ps[i].Grad.Data[0] = 0.5 * float64(i+1)
+	}
+	return ps
+}
+
+// TestShardedStepMatchesFullStep pins the ZeRO-style split: stepping the
+// full optimizer once must be bit-identical to stepping each shard of a
+// sharded sibling set over the same initial state — the arithmetic the
+// replica-sharded commit distributes across replicas.
+func TestShardedStepMatchesFullStep(t *testing.T) {
+	const n = 7
+	builders := []struct {
+		name  string
+		full  func(ps []*nn.Param) Optimizer
+		shard func(ps []*nn.Param, sh Shard) Optimizer
+	}{
+		{"sgd",
+			func(ps []*nn.Param) Optimizer { return NewSGD(ps, 0.9, 0.01) },
+			func(ps []*nn.Param, sh Shard) Optimizer { return NewSGDShard(ps, 0.9, 0.01, sh) }},
+		{"adamw",
+			func(ps []*nn.Param) Optimizer { return NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4) },
+			func(ps []*nn.Param, sh Shard) Optimizer { return NewAdamWShard(ps, 0.9, 0.98, 1e-9, 1e-4, sh) }},
+	}
+	shards := []Shard{{0, 3}, {3, 5}, {5, 7}} // uneven split
+	for _, b := range builders {
+		ref := shardParams(n)
+		full := b.full(ref)
+		split := shardParams(n)
+		var parts []Optimizer
+		for _, sh := range shards {
+			parts = append(parts, b.shard(split, sh))
+		}
+		lrs := make([]float64, n)
+		for i := range lrs {
+			lrs[i] = 0.01 * float64(i+1)
+		}
+		for step := 0; step < 3; step++ {
+			full.Step(lrs)
+			for j, sh := range shards {
+				parts[j].Advance()
+				parts[j].StepRange(sh.Lo, sh.Hi, lrs[sh.Lo:sh.Hi])
+			}
+			for i := range ref {
+				if ref[i].Data.Data[0] != split[i].Data.Data[0] {
+					t.Fatalf("%s step %d param %d: full %v != sharded %v",
+						b.name, step, i, ref[i].Data.Data[0], split[i].Data.Data[0])
+				}
+			}
+		}
+	}
+}
+
+// TestShardStateFootprint pins the memory point of the refactor: a
+// sharded optimizer allocates moment state only for its shard, and an
+// empty shard allocates none.
+func TestShardStateFootprint(t *testing.T) {
+	ps := shardParams(6)
+	sgd := NewSGDShard(ps, 0.9, 0, Shard{Lo: 2, Hi: 5})
+	if got := sgd.StateRange(); got != (Shard{2, 5}) {
+		t.Fatalf("StateRange = %+v, want {2 5}", got)
+	}
+	if len(sgd.vel) != 3 {
+		t.Fatalf("sharded SGD holds %d velocity buffers, want 3", len(sgd.vel))
+	}
+	adam := NewAdamWShard(ps, 0.9, 0.98, 1e-9, 0, Shard{})
+	if len(adam.m) != 0 || len(adam.v) != 0 {
+		t.Fatalf("empty-shard AdamW holds %d/%d moment buffers, want none", len(adam.m), len(adam.v))
+	}
+	if full := NewSGD(ps, 0.9, 0); full.StateRange() != FullShard(6) {
+		t.Fatalf("full SGD StateRange = %+v, want {0 6}", full.StateRange())
+	}
+}
+
+// TestShardCloneMatchesOriginal pins CloneShard: a clone over fresh
+// parameter copies steps its shard bit-identically to the original.
+func TestShardCloneMatchesOriginal(t *testing.T) {
+	ps := shardParams(5)
+	var full ShardCloner = NewAdamW(ps, 0.9, 0.98, 1e-9, 1e-4)
+	clonePs := shardParams(5)
+	sh := Shard{Lo: 1, Hi: 4}
+	clone := full.CloneShard(clonePs, sh)
+	lrs := []float64{0.01, 0.02, 0.03, 0.04, 0.05}
+	full.Advance()
+	full.StepRange(sh.Lo, sh.Hi, lrs[sh.Lo:sh.Hi])
+	clone.Advance()
+	clone.StepRange(sh.Lo, sh.Hi, lrs[sh.Lo:sh.Hi])
+	for i := sh.Lo; i < sh.Hi; i++ {
+		if ps[i].Data.Data[0] != clonePs[i].Data.Data[0] {
+			t.Fatalf("param %d: original %v != clone %v", i, ps[i].Data.Data[0], clonePs[i].Data.Data[0])
+		}
+	}
+	var _ ShardCloner = NewSGD(ps, 0, 0) // both optimizers support sharding
+}
+
+// TestShardOutOfRangePanics pins the ownership guard: stepping outside
+// the optimizer's state shard is a programming error, not silent
+// corruption.
+func TestShardOutOfRangePanics(t *testing.T) {
+	ps := shardParams(4)
+	sgd := NewSGDShard(ps, 0.9, 0, Shard{Lo: 1, Hi: 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepRange outside the state shard did not panic")
+		}
+	}()
+	sgd.StepRange(0, 2, []float64{0.1, 0.1})
+}

@@ -3,8 +3,16 @@
 // partition driven by its own inner execution engine) split a minibatch's
 // microbatches between them, and a deterministic tree all-reduce folds the
 // per-microbatch gradients into the leader replica before one shared
-// optimizer step, whose result is broadcast back to the followers — the
-// PipeDream-style hybrid of pipeline and data parallelism.
+// optimizer step — the PipeDream-style hybrid of pipeline and data
+// parallelism. The step itself commits in one of two modes (Group.Commit):
+// leader-serial, with the post-step state broadcast back to the followers,
+// or — the default for R > 1 — replica-sharded ZeRO / PipeDream-2BW
+// style: an engine.CommitPlan assigns each stage to a replica owner, the
+// leader's reduced gradients scatter to their owners, every owner steps
+// its shard against its local shard of the optimizer state, and the
+// stepped weights all-gather back (the inverted broadcast), so the commit
+// tail no longer runs serially on the leader and followers hold no
+// redundant optimizer state.
 //
 // # Determinism
 //
@@ -38,8 +46,9 @@ import (
 )
 
 // Member is one replica's trainer-side surface: the engine.Host that
-// drives its pipeline plus the gradient/weight exchange operations the
-// replica layer needs. It is implemented by internal/core.Trainer's host.
+// drives its pipeline plus the gradient/weight/state exchange operations
+// the replica layer needs. It is implemented by internal/core.Trainer's
+// host.
 type Member interface {
 	engine.Host
 	// TakeStageGrads moves the stage's accumulated parameter gradients
@@ -50,10 +59,25 @@ type Member interface {
 	// FoldStageGrads adds previously exported buffers into the stage's
 	// accumulators with exactly one add per element.
 	FoldStageGrads(stage int, bufs []*tensor.Tensor)
+	// SetStageGrads overwrites the stage's gradient accumulators with
+	// bufs (a pure copy) — the scatter half of the sharded commit.
+	SetStageGrads(stage int, bufs []*tensor.Tensor)
+	// StageState returns the stage's live post-step state tensors
+	// (masters, then T2 δ and corrected when enabled) in a fixed layout;
+	// the returned tensors are read-only for the gather.
+	StageState(stage int) []*tensor.Tensor
+	// ImportStageState copies a stage's post-step state from the owner's
+	// StageState layout and pushes the replica's next weight version for
+	// that stage — the gather half of the sharded commit.
+	ImportStageState(stage int, src []*tensor.Tensor)
+	// SyncEpoch aligns a follower's epoch clock with its leader's so the
+	// commit-phase learning rates (T1/T3 phase) agree on every owner.
+	SyncEpoch()
 	// SyncFromLeader imports the leader replica's post-step state —
 	// master weights and technique (T2) accumulators — and pushes the
 	// replica's next per-stage weight version, keeping the follower's
-	// version queue aligned with the leader's.
+	// version queue aligned with the leader's. It is the full-state
+	// broadcast of the leader-serial (non-sharded) commit.
 	SyncFromLeader()
 }
 
@@ -66,6 +90,15 @@ type Leader interface {
 	Replicas() int
 	// Follower returns follower r's member surface, 1 ≤ r < Replicas().
 	Follower(r int) Member
+	// ShardedStep reports whether the optimizer commit is sharded across
+	// the replicas (the ZeRO-style owner protocol) instead of running
+	// leader-serial with a full broadcast.
+	ShardedStep() bool
+	// CommitShards returns the stage→replica owner plan of the sharded
+	// commit — the same plan the leader allocated its followers' optimizer
+	// moment shards from, so commit ownership and state ownership cannot
+	// drift apart.
+	CommitShards() engine.CommitPlan
 }
 
 // Aware marks execution engines that understand the replica surface and
@@ -79,10 +112,18 @@ type Aware interface {
 // Group coordinates one leader and its followers for a replicated
 // execution engine: it owns the per-replica compute wrappers, splits each
 // minibatch into contiguous per-replica chunks, and runs the reduce and
-// broadcast phases around the leader's commit.
+// commit phases — either the leader-serial commit with a full-state
+// broadcast, or (when the leader reports ShardedStep) the replica-sharded
+// commit protocol of Commit.
 type Group struct {
 	lead    Leader
-	members []*Compute // members[0] wraps the leader
+	members []*Compute        // members[0] wraps the leader
+	plan    engine.CommitPlan // stage→replica owners (sharded commit)
+	serial  engine.CommitPlan // single-owner plan (leader-serial commit)
+	sharded bool
+
+	scatter [][]*tensor.Tensor // per-stage staging for the grad scatter
+	sumSqs  []float64          // per-stage clip-norm partials
 }
 
 // NewGroup builds the coordination group for a leader and its followers.
@@ -93,6 +134,9 @@ func NewGroup(lead Leader) *Group {
 	for i := 1; i < r; i++ {
 		g.members[i] = newCompute(lead.Follower(i), false)
 	}
+	g.plan = lead.CommitShards()
+	g.serial = engine.NewCommitPlan(lead.Stages(), 1)
+	g.sharded = r > 1 && lead.ShardedStep()
 	return g
 }
 
@@ -177,6 +221,125 @@ func (g *Group) Broadcast() {
 		go func() {
 			defer wg.Done()
 			m.member.SyncFromLeader()
+		}()
+	}
+	wg.Wait()
+}
+
+// Commit commits one shared optimizer step for the minibatch Reduce just
+// folded into the leader: the leader-serial commit followed by the full
+// Broadcast when sharding is off, or the replica-sharded owner protocol.
+func (g *Group) Commit(nMicro int) {
+	if !g.sharded {
+		g.serial.Commit(g.lead, nMicro)
+		g.Broadcast()
+		return
+	}
+	g.shardedCommit(nMicro)
+}
+
+// shardedCommit is the ZeRO / PipeDream-2BW style replica-sharded commit.
+// The commit plan assigns each stage to a replica owner (contiguous
+// shards, sizes differing by at most one); each owner runs the commit
+// phases for its shard against its own parameter copies and its local
+// shard of the optimizer state, so no replica — leader included — steps
+// more than ⌈P/R⌉ stages and followers hold no moment state outside their
+// shard.
+//
+// Determinism (bit-identical to the leader-serial commit, and hence to
+// single-replica Reference):
+//
+//  1. The scatter is a pure copy. All gradient arithmetic stayed at the
+//     tree root (Reduce); an owner's accumulator receives the leader's
+//     reduced gradient bitwise.
+//  2. Per-stage phase arithmetic is location-independent. PrepareStage,
+//     ScaleStage, StepStage and FinishStage touch only the stage's
+//     parameter range, and every input — masters (broadcast-synced),
+//     reduced gradients (scattered), moment state (stepped only by the
+//     owner, every step, from identical inputs), step clocks (every
+//     member advances once per commit), τ delays and schedules (identical
+//     by construction), the epoch phase (SyncEpoch) — is bitwise equal to
+//     the leader's, so the owner performs bitwise the arithmetic the
+//     leader would have.
+//  3. Cross-stage reductions keep stage order. The clip-norm partials are
+//     folded st = 0..P−1 on the orchestrator, exactly as the serial
+//     commit sums them, and the resulting scale is computed once.
+//  4. The gather is a pure copy. Every member imports each stage it does
+//     not own from the owner's post-step state (the inverse of the old
+//     leader broadcast) and pushes its version queue exactly once per
+//     stage, so every replica's version history replays identically.
+func (g *Group) shardedCommit(nMicro int) {
+	p := g.lead.Stages()
+	// Scatter: move the leader's reduced gradients to their owners and
+	// align follower epoch clocks. TakeStageGrads zeroes the leader's
+	// accumulator, so gradient ownership moves wholesale.
+	for _, m := range g.members[1:] {
+		m.member.SyncEpoch()
+	}
+	if g.scatter == nil {
+		g.scatter = make([][]*tensor.Tensor, p)
+		g.sumSqs = make([]float64, p)
+	}
+	for st := 0; st < p; st++ {
+		if o := g.plan.OwnerOf(st); o != 0 {
+			g.scatter[st] = g.lead.TakeStageGrads(st, g.scatter[st])
+			g.members[o].member.SetStageGrads(st, g.scatter[st])
+		}
+	}
+	// Prepare: owners average their shard's gradients and report the
+	// per-stage clip partials.
+	g.eachMember(func(i int, m Member, lo, hi int) {
+		for st := lo; st < hi; st++ {
+			g.sumSqs[st] = m.PrepareStage(st, nMicro)
+		}
+	})
+	sumSq := 0.0
+	for _, s := range g.sumSqs {
+		sumSq += s
+	}
+	scale := g.lead.ClipScale(sumSq)
+	// Step: every member advances its step clocks (owners and idle
+	// members alike, keeping the R trainers' step counters and Adam
+	// clocks in lockstep), then owners scale, step and finish their
+	// shards.
+	g.eachMember(func(i int, m Member, lo, hi int) {
+		m.BeginStep()
+		if scale != 1 {
+			for st := lo; st < hi; st++ {
+				m.ScaleStage(st, scale)
+			}
+		}
+		for st := lo; st < hi; st++ {
+			m.StepStage(st)
+		}
+		for st := lo; st < hi; st++ {
+			m.FinishStage(st)
+		}
+	})
+	// Gather: the inverted broadcast — every member imports each stage it
+	// does not own straight from the owner's post-step state, in stage
+	// order, pushing its own version queue.
+	g.eachMember(func(i int, m Member, _, _ int) {
+		for st := 0; st < p; st++ {
+			if o := g.plan.OwnerOf(st); o != i {
+				m.ImportStageState(st, g.members[o].member.StageState(st))
+			}
+		}
+	})
+}
+
+// eachMember runs fn concurrently for every member with its owner shard,
+// waiting for all: one goroutine per replica, each touching only its own
+// trainer's state (plus read-only peers during the gather).
+func (g *Group) eachMember(fn func(i int, m Member, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(len(g.members))
+	for i, c := range g.members {
+		i, c := i, c
+		go func() {
+			defer wg.Done()
+			lo, hi := g.plan.Shard(i)
+			fn(i, c.member, lo, hi)
 		}()
 	}
 	wg.Wait()

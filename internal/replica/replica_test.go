@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"pipemare/internal/engine"
 	"pipemare/internal/replica"
 	"pipemare/internal/tensor"
 )
@@ -21,10 +22,22 @@ type fakeMember struct {
 	acc    []float64 // per-stage accumulator
 	synced int       // SyncFromLeader calls
 	folds  [][]float64
+
+	// Sharded-commit recording: per-stage commit-phase call counts and
+	// per-stage "state" scalars for the scatter/gather assertions.
+	state      []float64 // per-stage post-step state (stepped by owner, imported elsewhere)
+	prepared   []int
+	stepped    []int
+	finished   []int
+	imported   []int
+	beginSteps int
+	epochSyncs int
 }
 
 func newFakeMember(p int) *fakeMember {
-	return &fakeMember{p: p, acc: make([]float64, p), folds: make([][]float64, p)}
+	return &fakeMember{p: p, acc: make([]float64, p), folds: make([][]float64, p),
+		state: make([]float64, p), prepared: make([]int, p), stepped: make([]int, p),
+		finished: make([]int, p), imported: make([]int, p)}
 }
 
 func (f *fakeMember) Stages() int                  { return f.p }
@@ -50,14 +63,41 @@ func (f *fakeMember) StageBackward(s, stage int) {
 	f.acc[stage] += float64(s + 1)
 }
 
-func (f *fakeMember) EndMicro(s int)                         {}
-func (f *fakeMember) BadLoss(loss float64) bool              { return false }
-func (f *fakeMember) PrepareStage(stage, nMicro int) float64 { return 0 }
-func (f *fakeMember) ClipScale(sumSq float64) float64        { return 1 }
-func (f *fakeMember) ScaleStage(stage int, scale float64)    {}
-func (f *fakeMember) BeginStep()                             {}
-func (f *fakeMember) StepStage(stage int)                    {}
-func (f *fakeMember) FinishStage(stage int)                  {}
+func (f *fakeMember) EndMicro(s int)            {}
+func (f *fakeMember) BadLoss(loss float64) bool { return false }
+
+func (f *fakeMember) PrepareStage(stage, nMicro int) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prepared[stage]++
+	return float64(stage + 1) // distinct partials: checks the stage-ordered fold
+}
+
+func (f *fakeMember) ClipScale(sumSq float64) float64     { return 1 }
+func (f *fakeMember) ScaleStage(stage int, scale float64) {}
+
+func (f *fakeMember) BeginStep() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.beginSteps++
+}
+
+// StepStage "steps" the stage by publishing the reduced gradient the owner
+// holds into its state scalar, so the gather assertions can check that
+// non-owners receive exactly the owner's post-step value.
+func (f *fakeMember) StepStage(stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stepped[stage]++
+	f.state[stage] = 1000 + f.acc[stage]
+}
+
+func (f *fakeMember) FinishStage(stage int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.finished[stage]++
+	f.acc[stage] = 0
+}
 
 func (f *fakeMember) TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor {
 	f.mu.Lock()
@@ -76,6 +116,33 @@ func (f *fakeMember) FoldStageGrads(stage int, bufs []*tensor.Tensor) {
 	f.folds[stage] = append(f.folds[stage], bufs[0].Data[0])
 }
 
+func (f *fakeMember) SetStageGrads(stage int, bufs []*tensor.Tensor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.acc[stage] = bufs[0].Data[0]
+}
+
+func (f *fakeMember) StageState(stage int) []*tensor.Tensor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := tensor.New(1)
+	t.Data[0] = f.state[stage]
+	return []*tensor.Tensor{t}
+}
+
+func (f *fakeMember) ImportStageState(stage int, src []*tensor.Tensor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.imported[stage]++
+	f.state[stage] = src[0].Data[0]
+}
+
+func (f *fakeMember) SyncEpoch() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epochSyncs++
+}
+
 func (f *fakeMember) SyncFromLeader() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -86,10 +153,15 @@ func (f *fakeMember) SyncFromLeader() {
 type fakeLead struct {
 	*fakeMember
 	followers []*fakeMember
+	sharded   bool
 }
 
 func (f *fakeLead) Replicas() int                 { return len(f.followers) + 1 }
 func (f *fakeLead) Follower(r int) replica.Member { return f.followers[r-1] }
+func (f *fakeLead) ShardedStep() bool             { return f.sharded }
+func (f *fakeLead) CommitShards() engine.CommitPlan {
+	return engine.NewCommitPlan(f.p, f.Replicas())
+}
 
 var _ replica.Leader = (*fakeLead)(nil)
 
@@ -179,6 +251,105 @@ func TestGroupReduceFoldsInGlobalMicrobatchOrder(t *testing.T) {
 		if f.synced != 1 {
 			t.Fatalf("follower %d synced %d times, want 1", i+1, f.synced)
 		}
+	}
+}
+
+// TestGroupShardedCommitProtocol drives the replica-sharded commit over
+// fake members with an uneven stage count (P=5 across R=3: shards of 2, 2
+// and 1 stages) and checks the ownership contract the determinism claim
+// rests on: every stage is prepared/stepped/finished exactly once, at its
+// owner; the leader's reduced gradient reaches the owner by pure copy
+// (and leaves the leader's accumulator empty); every member advances its
+// step clock exactly once; every non-owner imports exactly the owner's
+// post-step state; and no full SyncFromLeader broadcast runs.
+func TestGroupShardedCommitProtocol(t *testing.T) {
+	const p, r = 5, 3
+	lead := &fakeLead{fakeMember: newFakeMember(p), sharded: true}
+	for i := 1; i < r; i++ {
+		lead.followers = append(lead.followers, newFakeMember(p))
+	}
+	g := replica.NewGroup(lead)
+	// Stand in for Reduce: the leader holds the fully reduced minibatch
+	// gradient, one distinct scalar per stage.
+	for st := 0; st < p; st++ {
+		lead.acc[st] = float64(10 * (st + 1))
+	}
+	g.Commit(4)
+
+	members := append([]*fakeMember{lead.fakeMember}, lead.followers...)
+	wantOwner := []int{0, 0, 1, 1, 2} // contiguous shards 2/2/1
+	for st := 0; st < p; st++ {
+		want := 1000.0 + float64(10*(st+1))
+		for i, m := range members {
+			owns := wantOwner[st] == i
+			if owns {
+				if m.prepared[st] != 1 || m.stepped[st] != 1 || m.finished[st] != 1 {
+					t.Fatalf("owner %d of stage %d ran prepare/step/finish %d/%d/%d times, want 1/1/1",
+						i, st, m.prepared[st], m.stepped[st], m.finished[st])
+				}
+				if m.imported[st] != 0 {
+					t.Fatalf("owner %d imported its own stage %d", i, st)
+				}
+			} else {
+				if m.prepared[st] != 0 || m.stepped[st] != 0 || m.finished[st] != 0 {
+					t.Fatalf("non-owner %d of stage %d ran commit phases %d/%d/%d times, want none",
+						i, st, m.prepared[st], m.stepped[st], m.finished[st])
+				}
+				if m.imported[st] != 1 {
+					t.Fatalf("non-owner %d imported stage %d %d times, want 1", i, st, m.imported[st])
+				}
+			}
+			if m.state[st] != want {
+				t.Fatalf("member %d stage %d state %g, want the owner's post-step %g", i, st, m.state[st], want)
+			}
+		}
+	}
+	for i, m := range members {
+		if m.beginSteps != 1 {
+			t.Fatalf("member %d advanced its step clock %d times, want exactly 1", i, m.beginSteps)
+		}
+		if m.synced != 0 {
+			t.Fatalf("member %d ran the full SyncFromLeader broadcast under the sharded commit", i)
+		}
+	}
+	for i, m := range lead.followers {
+		if m.epochSyncs != 1 {
+			t.Fatalf("follower %d synced its epoch clock %d times, want 1", i+1, m.epochSyncs)
+		}
+	}
+	// The scatter moved gradient ownership wholesale: the leader's
+	// accumulators for follower-owned stages are empty.
+	for st := 2; st < p; st++ {
+		if lead.acc[st] != 0 {
+			t.Fatalf("leader still holds %g gradient for scattered stage %d", lead.acc[st], st)
+		}
+	}
+}
+
+// TestGroupSerialCommitBroadcasts pins the non-sharded path: the whole
+// commit runs on the leader and every follower receives the full-state
+// broadcast.
+func TestGroupSerialCommitBroadcasts(t *testing.T) {
+	const p, r = 3, 2
+	lead := &fakeLead{fakeMember: newFakeMember(p)}
+	lead.followers = append(lead.followers, newFakeMember(p))
+	g := replica.NewGroup(lead)
+	g.Commit(2)
+	for st := 0; st < p; st++ {
+		if lead.prepared[st] != 1 || lead.stepped[st] != 1 || lead.finished[st] != 1 {
+			t.Fatalf("leader stage %d prepare/step/finish = %d/%d/%d, want 1/1/1",
+				st, lead.prepared[st], lead.stepped[st], lead.finished[st])
+		}
+	}
+	if lead.beginSteps != 1 {
+		t.Fatalf("leader advanced its step clock %d times, want 1", lead.beginSteps)
+	}
+	f := lead.followers[0]
+	if f.synced != 1 {
+		t.Fatalf("follower synced %d times, want the full broadcast once", f.synced)
+	}
+	if f.beginSteps != 0 || f.prepared[0] != 0 {
+		t.Fatal("follower must stay inert under the leader-serial commit")
 	}
 }
 

@@ -238,6 +238,29 @@ func WithReplicas(r int) Option {
 	}
 }
 
+// WithShardedStep enables (true) or disables (false) the ZeRO-style
+// replica-sharded optimizer commit. When sharded, each replica owns a
+// contiguous shard of the pipeline stages, holds optimizer moment state
+// only for that shard (followers allocate nothing else), and steps it
+// locally after the gradient all-reduce; the stepped weights, T2 state
+// and version pushes all-gather back — so the commit tail no longer runs
+// serially on the leader, while curves stay bit-identical to the
+// leader-serial commit and to single-replica runs. Without this option
+// the commit is sharded automatically whenever WithReplicas(R > 1) is set
+// and the optimizer supports sharding (optim.ShardCloner — SGD and AdamW
+// do). WithShardedStep(true) makes that a requirement: building the
+// trainer fails when replicas < 2 or the optimizer cannot shard.
+func WithShardedStep(on bool) Option {
+	return func(s *settings) error {
+		if on {
+			s.cfg.ShardedStep = core.ShardedStepOn
+		} else {
+			s.cfg.ShardedStep = core.ShardedStepOff
+		}
+		return nil
+	}
+}
+
 // WithSeed sets the data-order RNG seed.
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {

@@ -58,9 +58,6 @@ import (
 type (
 	// Method selects GPipe, PipeDream or PipeMare execution.
 	Method = core.Method
-	// Config configures a training run (stages, microbatching, T1/T2/T3).
-	// It is consumed by the deprecated NewTrainer; prefer New with Options.
-	Config = core.Config
 	// Task is a model+loss bound to an indexed dataset.
 	Task = core.Task
 	// Replicable is a Task that can clone itself for data-parallel
@@ -121,15 +118,6 @@ func NewReplicatedEngine(inner func() Engine) Engine {
 		return replicated.New()
 	}
 	return replicated.New(replicated.WithInner(inner))
-}
-
-// NewTrainer builds a pipeline-parallel trainer from a flat Config; see
-// core.New.
-//
-// Deprecated: use New with functional options, which owns optimizer
-// construction and engine selection. NewTrainer remains for one release.
-func NewTrainer(task Task, opt Optimizer, sched Schedule, cfg Config) (*Trainer, error) {
-	return core.New(task, opt, sched, cfg)
 }
 
 // FwdDelay returns τ_fwd = (2(P−i)+1)/N for 1-indexed stage i (Table 1).
