@@ -25,8 +25,9 @@ type benchRecord struct {
 	Stages            int     `json:"stages"`
 	Replicas          int     `json:"replicas"`
 	Partition         string  `json:"partition"`
-	Workers           int     `json:"workers,omitempty"` // scheduler workers (concurrent engine)
-	Commit            string  `json:"commit,omitempty"`  // replicated rows: serial | sharded
+	Workers           int     `json:"workers,omitempty"`   // scheduler workers (concurrent engine)
+	Commit            string  `json:"commit,omitempty"`    // replicated rows: serial | sharded
+	Transport         string  `json:"transport,omitempty"` // inproc | loopback | tcp
 	NsPerEpoch        int64   `json:"ns_per_epoch"`
 	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
@@ -46,10 +47,11 @@ type benchKey struct {
 	partition string
 	workers   int
 	commit    string
+	transport string
 }
 
 func (r benchRecord) key() benchKey {
-	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit}
+	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport}
 }
 
 // benchFile is the BENCH_engine.json schema, one record per merge key.
@@ -67,7 +69,8 @@ type benchFile struct {
 // concurrent rows without a workers count come from the
 // goroutine-per-stage era, which pinned one worker to every stage; and
 // replicated rows without a commit mode predate the sharded step, which
-// only ever ran leader-serial.
+// only ever ran leader-serial; and rows without a transport predate the
+// wire subsystem, when every replica lived in the leader's process.
 func normalize(recs []benchRecord) {
 	for i := range recs {
 		r := &recs[i]
@@ -82,6 +85,9 @@ func normalize(recs []benchRecord) {
 		}
 		if r.Commit == "" && r.Replicas > 1 {
 			r.Commit = "serial"
+		}
+		if r.Transport == "" {
+			r.Transport = "inproc"
 		}
 	}
 }

@@ -11,10 +11,10 @@ import (
 
 // TestUpsertKeyKeepsAllVariantRows is the merge regression test: records
 // differing in ANY key dimension — engine, stages, replicas, partition,
-// workers, commit — must coexist, and re-measuring one key must replace
-// exactly that row. Before PR 4 the workers dimension was missing from
-// the key and W-variant rows clobbered each other; the commit dimension
-// gets the same guard here.
+// workers, commit, transport — must coexist, and re-measuring one key
+// must replace exactly that row. Before PR 4 the workers dimension was
+// missing from the key and W-variant rows clobbered each other; the
+// commit and transport dimensions get the same guard here.
 func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 	base := benchRecord{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "even", Workers: 4, NsPerEpoch: 100}
 	variants := []benchRecord{
@@ -26,6 +26,8 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", NsPerEpoch: 105},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "sharded", NsPerEpoch: 106},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 4, Partition: "even", Commit: "sharded", NsPerEpoch: 107},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", NsPerEpoch: 108},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "tcp", NsPerEpoch: 109},
 	}
 	var b benchFile
 	for _, r := range variants {
@@ -60,8 +62,9 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 // TestNormalizeUpgradesLegacyRows pins the legacy-row upgrade rules, so
 // old files merge onto the same keys a re-measurement produces: missing
 // replicas/partition default to 1/"even", workers-less concurrent rows
-// come from the goroutine-per-stage era (one worker per stage), and
-// commit-less replicated rows predate the sharded step (leader-serial).
+// come from the goroutine-per-stage era (one worker per stage),
+// commit-less replicated rows predate the sharded step (leader-serial),
+// and transport-less rows predate the wire subsystem (in-process).
 func TestNormalizeUpgradesLegacyRows(t *testing.T) {
 	recs := []benchRecord{
 		{Engine: "concurrent", Stages: 8, NsPerEpoch: 1},
@@ -77,6 +80,11 @@ func TestNormalizeUpgradesLegacyRows(t *testing.T) {
 	}
 	if r := recs[2]; r.Commit != "serial" {
 		t.Fatalf("legacy replicated row commit = %q, want serial", r.Commit)
+	}
+	for i, r := range recs {
+		if r.Transport != "inproc" {
+			t.Fatalf("legacy row %d transport = %q, want inproc", i, r.Transport)
+		}
 	}
 }
 
@@ -102,9 +110,9 @@ func TestLoadBenchFileMergesAcrossRuns(t *testing.T) {
 	// adds a sharded row: the serial measurement must land on the upgraded
 	// legacy row, the sharded one must be new.
 	second.upsert(benchRecord{Engine: "replicated(reference)", Stages: 4, Replicas: 2,
-		Partition: "even", Commit: "serial", NsPerEpoch: 20})
+		Partition: "even", Commit: "serial", Transport: "inproc", NsPerEpoch: 20})
 	second.upsert(benchRecord{Engine: "replicated(reference)", Stages: 4, Replicas: 2,
-		Partition: "even", Commit: "sharded", NsPerEpoch: 21})
+		Partition: "even", Commit: "sharded", Transport: "inproc", NsPerEpoch: 21})
 	if len(second.Records) != 3 {
 		t.Fatalf("merge produced %d records, want 3 (serial replaced, sharded appended)", len(second.Records))
 	}

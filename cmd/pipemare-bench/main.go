@@ -11,14 +11,20 @@
 //	pipemare-bench -partition cost table2      # cost-balanced stage split
 //	pipemare-bench -replicas 2 table2          # 2 data-parallel replicas
 //	pipemare-bench -json         # engine perf record, merged into BENCH_engine.json
+//	pipemare-bench -json -transport loopback   # replicated rows over the wire protocol
+//	pipemare-bench -json -transport tcp        # spawn pipemare-worker processes, real sockets
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"pipemare"
@@ -33,10 +39,30 @@ func main() {
 	partitionName := flag.String("partition", "even", "stage partition mode: even | cost | profile")
 	replicas := flag.Int("replicas", 1, "data-parallel pipeline replicas per training run (curves are bit-identical to -replicas 1)")
 	jsonOut := flag.Bool("json", false, "benchmark the engines on the transformer workload and merge the records into BENCH_engine.json")
+	transportName := flag.String("transport", "inproc", "where replicated followers live for -json or -smoke: inproc | loopback | tcp (tcp spawns pipemare-worker processes)")
+	workerBin := flag.String("worker", "pipemare-worker", "pipemare-worker binary for -transport tcp (resolved via PATH)")
+	smoke := flag.Bool("smoke", false, "train the benchmark workload R=2 for one epoch over -transport and exit (CI distributed smoke test)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -workers must be >= 0, got %d\n", *workers)
 		os.Exit(2)
+	}
+	switch *transportName {
+	case "inproc", "loopback", "tcp":
+	default:
+		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown transport %q (want inproc, loopback or tcp)\n", *transportName)
+		os.Exit(2)
+	}
+	if *transportName != "inproc" && !*jsonOut && !*smoke {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -transport %s applies to -json or -smoke\n", *transportName)
+		os.Exit(2)
+	}
+	if *smoke {
+		if err := smokeRun(*transportName, *workerBin); err != nil {
+			fmt.Fprintf(os.Stderr, "pipemare-bench: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var inner func() pipemare.Engine
 	switch *engineName {
@@ -72,7 +98,7 @@ func main() {
 		experiments.EngineFactory = inner
 	}
 	if *jsonOut {
-		if err := benchEngines("BENCH_engine.json", *workers); err != nil {
+		if err := benchEngines("BENCH_engine.json", *workers, *transportName, *workerBin); err != nil {
 			fmt.Fprintf(os.Stderr, "pipemare-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -123,7 +149,13 @@ func main() {
 // moving off the leader), then merges the measurements into the perf
 // record so the engine trajectory is tracked across PRs without
 // clobbering rows from other runs (see benchfile.go for the merge key).
-func benchEngines(path string, workers int) error {
+//
+// transportName places the replicated rows' followers: "inproc" keeps
+// them in the leader's process, "loopback" serves them over the wire
+// protocol on in-process pipes, and "tcp" spawns one workerBin process
+// per follower and dials real sockets — what the wire costs shows up as
+// the gap between the inproc and loopback/tcp rows at the same key.
+func benchEngines(path string, workers int, transportName, workerBin string) error {
 	out := loadBenchFile(path)
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 	out.NumCPU = runtime.NumCPU()
@@ -142,7 +174,7 @@ func benchEngines(path string, workers int) error {
 		}
 		refNsAt[p] = refNs
 		out.upsert(benchRecord{Engine: "reference", Stages: p, Replicas: 1,
-			Partition: "even", NsPerEpoch: refNs})
+			Partition: "even", Transport: "inproc", NsPerEpoch: refNs})
 		for _, mode := range []pipemare.PartitionMode{pipemare.PartitionEven, pipemare.PartitionCost} {
 			eng := concurrent.New(concurrent.WithWorkers(workers))
 			ns, imbalance, err := timeEpochs(p, 1, eng, mode)
@@ -151,7 +183,7 @@ func benchEngines(path string, workers int) error {
 			}
 			speedup := float64(refNs) / float64(ns)
 			out.upsert(benchRecord{Engine: "concurrent", Stages: p, Replicas: 1,
-				Partition: mode.String(), Workers: w, NsPerEpoch: ns,
+				Partition: mode.String(), Workers: w, Transport: "inproc", NsPerEpoch: ns,
 				Speedup: speedup, OverlapEfficiency: speedup / float64(p),
 				StageImbalance: imbalance})
 			fmt.Printf("P=%d %s W=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f, stage imbalance %.2f)\n",
@@ -161,18 +193,28 @@ func benchEngines(path string, workers int) error {
 	for _, r := range []int{2, 4} {
 		const p = 4
 		for _, commit := range []string{"serial", "sharded"} {
-			// nil engine: the default replicated engine over Reference inners.
-			ns, _, err := timeEpochs(p, r, nil, pipemare.PartitionEven,
-				pipemare.WithShardedStep(commit == "sharded"))
+			dialers, release, err := startFollowers(transportName, workerBin, p, r-1)
 			if err != nil {
 				return err
 			}
+			extra := []pipemare.Option{pipemare.WithShardedStep(commit == "sharded")}
+			if len(dialers) > 0 {
+				extra = append(extra, pipemare.WithTransport(dialers...))
+			}
+			// nil engine: the default replicated engine over Reference inners.
+			ns, _, err := timeEpochs(p, r, nil, pipemare.PartitionEven, extra...)
+			if err != nil {
+				return err
+			}
+			if err := release(); err != nil {
+				return fmt.Errorf("%s follower: %w", transportName, err)
+			}
 			speedup := float64(refNsAt[p]) / float64(ns)
 			out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
-				Partition: "even", Commit: commit, NsPerEpoch: ns,
+				Partition: "even", Commit: commit, Transport: transportName, NsPerEpoch: ns,
 				Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
-			fmt.Printf("P=%d R=%d %s commit: replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
-				p, r, commit, float64(ns)/1e9, speedup, speedup/float64(r))
+			fmt.Printf("P=%d R=%d %s commit (%s): replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
+				p, r, commit, transportName, float64(ns)/1e9, speedup, speedup/float64(r))
 		}
 	}
 	if err := out.write(path); err != nil {
@@ -182,10 +224,123 @@ func benchEngines(path string, workers int) error {
 	return nil
 }
 
+// smokeRun trains the benchmark workload for one epoch with R=2 replicas
+// over the chosen transport — the CI end-to-end check that a leader and a
+// real worker process complete training together. It prints the final
+// train loss so the log shows the run actually trained.
+func smokeRun(transportName, workerBin string) error {
+	dialers, release, err := startFollowers(transportName, workerBin, 4, 1)
+	if err != nil {
+		return err
+	}
+	var extra []pipemare.Option
+	if len(dialers) > 0 {
+		extra = append(extra, pipemare.WithTransport(dialers...))
+	}
+	tr, err := experiments.NewReplicatedBenchTrainer(4, 2, nil, extra...)
+	if err != nil {
+		return err
+	}
+	run, err := tr.Run(context.Background(), 1)
+	if err != nil {
+		return err
+	}
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	if err := release(); err != nil {
+		return fmt.Errorf("%s follower: %w", transportName, err)
+	}
+	fmt.Printf("smoke ok: R=2 over %s, train loss %.6f\n", transportName, run.Loss[run.Epochs()-1])
+	return nil
+}
+
+// startFollowers launches n follower endpoints for one timing run and
+// returns the dialers for WithTransport plus a release function to call
+// after Trainer.Close: it reaps the followers and returns the first
+// session error. "inproc" returns no dialers — the trainer builds its
+// followers in-process as before.
+func startFollowers(transportName, workerBin string, stages, n int) ([]pipemare.Dialer, func() error, error) {
+	switch transportName {
+	case "inproc":
+		return nil, func() error { return nil }, nil
+	case "loopback":
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		var dialers []pipemare.Dialer
+		for i := 0; i < n; i++ {
+			lis, dial := pipemare.Loopback()
+			dialers = append(dialers, dial)
+			wg.Add(1)
+			go func(i int, lis pipemare.Listener) {
+				defer wg.Done()
+				errs[i] = pipemare.ServeFollower(context.Background(), lis,
+					experiments.EngineBenchTask(), experiments.EngineBenchOptions(stages)...)
+			}(i, lis)
+		}
+		return dialers, func() error {
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case "tcp":
+		var dialers []pipemare.Dialer
+		var cmds []*exec.Cmd
+		release := func() error {
+			var first error
+			for _, cmd := range cmds {
+				if err := cmd.Wait(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+		for i := 0; i < n; i++ {
+			cmd := exec.Command(workerBin, "-addr", "127.0.0.1:0", "-stages", fmt.Sprint(stages))
+			cmd.Stderr = os.Stderr
+			stdout, err := cmd.StdoutPipe()
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := cmd.Start(); err != nil {
+				return nil, nil, fmt.Errorf("spawning %s: %w", workerBin, err)
+			}
+			cmds = append(cmds, cmd)
+			sc := bufio.NewScanner(stdout)
+			addr := ""
+			for sc.Scan() {
+				if a, ok := strings.CutPrefix(sc.Text(), "listening "); ok {
+					addr = a
+					break
+				}
+			}
+			if addr == "" {
+				cmd.Process.Kill()
+				release()
+				return nil, nil, fmt.Errorf("%s exited without announcing its address", workerBin)
+			}
+			// Drain the remaining worker output in the background so the
+			// child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			dialers = append(dialers, pipemare.DialTCP(addr))
+		}
+		return dialers, release, nil
+	}
+	return nil, nil, fmt.Errorf("unknown transport %q", transportName)
+}
+
 // timeEpochs builds the benchmark trainer (the same workload as the root
 // BenchmarkEngine* benchmarks) under the given partition mode and returns
 // ns per epoch — one warm epoch, then the mean of two timed epochs — plus
-// the trainer's stage imbalance (max/mean per-stage cost).
+// the trainer's stage imbalance (max/mean per-stage cost). The trainer is
+// closed before returning, releasing any remote followers.
 func timeEpochs(stages, replicas int, eng pipemare.Engine, mode pipemare.PartitionMode, extra ...pipemare.Option) (int64, float64, error) {
 	if mode != pipemare.PartitionEven {
 		extra = append(extra, pipemare.WithPartition(mode))
@@ -194,6 +349,7 @@ func timeEpochs(stages, replicas int, eng pipemare.Engine, mode pipemare.Partiti
 	if err != nil {
 		return 0, 0, err
 	}
+	defer tr.Close()
 	if _, err := tr.Run(context.Background(), 1); err != nil { // warm
 		return 0, 0, err
 	}
@@ -202,5 +358,9 @@ func timeEpochs(stages, replicas int, eng pipemare.Engine, mode pipemare.Partiti
 	if _, err := tr.Run(context.Background(), epochs); err != nil {
 		return 0, 0, err
 	}
-	return time.Since(start).Nanoseconds() / epochs, tr.StageImbalance(), nil
+	ns, imbalance := time.Since(start).Nanoseconds()/epochs, tr.StageImbalance()
+	if err := tr.Close(); err != nil {
+		return 0, 0, err
+	}
+	return ns, imbalance, nil
 }

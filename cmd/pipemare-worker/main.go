@@ -1,0 +1,60 @@
+// Command pipemare-worker hosts one follower replica of the engine
+// benchmark workload as a standalone process. A pipemare-bench leader
+// (run with -transport tcp) dials it, and the handshake assigns the
+// replica id, replica count and commit mode — the same invocation serves
+// any follower slot.
+//
+//	pipemare-worker                    # listen on a free port, print it
+//	pipemare-worker -addr :9400        # fixed port
+//	pipemare-worker -engine concurrent # work-stealing chunk engine
+//
+// The worker prints "listening <addr>" once it accepts connections, so a
+// spawning leader can scrape the resolved port, serves exactly one
+// leader session, and exits 0 after a clean goodbye (Trainer.Close).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pipemare"
+	"pipemare/internal/engine/concurrent"
+	"pipemare/internal/experiments"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port)")
+	stages := flag.Int("stages", 4, "pipeline stages; must match the leader's -P")
+	engineName := flag.String("engine", "reference", "chunk execution engine: reference | concurrent")
+	workers := flag.Int("workers", 0, "scheduler workers for the concurrent engine (0 = min(P, GOMAXPROCS))")
+	flag.Parse()
+
+	opts := experiments.EngineBenchOptions(*stages)
+	switch *engineName {
+	case "reference":
+	case "concurrent":
+		opts = append(opts, pipemare.WithEngine(concurrent.New(concurrent.WithWorkers(*workers))))
+	default:
+		fmt.Fprintf(os.Stderr, "pipemare-worker: unknown engine %q (want reference or concurrent)\n", *engineName)
+		os.Exit(2)
+	}
+
+	lis, err := pipemare.ListenTCP(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipemare-worker: %v\n", err)
+		os.Exit(1)
+	}
+	defer lis.Close()
+	fmt.Printf("listening %s\n", lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := pipemare.ServeFollower(ctx, lis, experiments.EngineBenchTask(), opts...); err != nil {
+		fmt.Fprintf(os.Stderr, "pipemare-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sync"
@@ -182,6 +183,30 @@ type Config struct {
 	// Reference inners). With Replicas > 1 the engine must be
 	// replica-aware (replica.Aware).
 	Engine engine.Engine
+
+	// Followers optionally supplies the member surface for follower
+	// replicas 1..Replicas-1 instead of building in-process follower
+	// trainers — the hook the transport layer uses to connect remote
+	// worker processes (pipemare.WithTransport). New calls it once per
+	// follower, after the leader is fully built, with the resolved
+	// replication environment.
+	Followers func(r int, env ReplicaEnv) (replica.Member, error)
+}
+
+// ReplicaEnv is what a Config.Followers factory needs to connect a
+// follower: the leader's member surface (initial state, clocks) and the
+// resolved replication topology the remote side must agree with.
+type ReplicaEnv struct {
+	Leader   replica.Leader
+	Replicas int
+	Stages   int
+	Sharded  bool
+	Method   Method
+	T2       bool
+	// GroupCosts is the per-group cost vector the leader's partitioner
+	// balanced, so a measured (profile) partition pins identically on a
+	// remote worker.
+	GroupCosts []float64
 }
 
 // ShardedStepMode selects the replica-sharded optimizer commit
@@ -248,11 +273,12 @@ type Trainer struct {
 	freeFlows  []*flight
 
 	// Data-parallel replication state: a leader trainer owns its follower
-	// trainers; a follower holds a pointer back to its leader for the
-	// post-step weight broadcast (or epoch-clock sync under the sharded
-	// commit). plan assigns each stage's optimizer commit to a replica
-	// owner when the sharded step is on.
-	replicas   []*Trainer
+	// members — in-process follower trainers, or remote proxies from
+	// Config.Followers; a follower trainer holds a pointer back to its
+	// leader for the post-step weight broadcast (or epoch-clock sync
+	// under the sharded commit). plan assigns each stage's optimizer
+	// commit to a replica owner when the sharded step is on.
+	followers  []replica.Member
 	leader     *Trainer
 	sharded    bool
 	plan       engine.CommitPlan
@@ -323,8 +349,8 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 		if _, ok := eng.(replica.Aware); !ok {
 			return nil, fmt.Errorf("core: engine %q is not replica-aware; use the replicated engine (internal/engine/replicated) to train %d replicas", eng.Name(), replicas)
 		}
-		if _, ok := task.(Replicable); !ok {
-			return nil, fmt.Errorf("core: task %T does not implement Replicable; %d-replica training needs CloneTask", task, replicas)
+		if _, ok := task.(Replicable); !ok && cfg.Followers == nil {
+			return nil, fmt.Errorf("core: task %T does not implement Replicable; %d-replica training needs CloneTask (or a Followers factory)", task, replicas)
 		}
 	}
 	sharded := false
@@ -423,12 +449,30 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 		}
 		t.stageState[s] = buf
 	}
+	if replicas > 1 && cfg.Followers != nil {
+		env := ReplicaEnv{
+			Leader: host{t}, Replicas: replicas, Stages: p,
+			Sharded: sharded, Method: cfg.Method, T2: cfg.T2D > 0,
+			GroupCosts: costs,
+		}
+		for r := 1; r < replicas; r++ {
+			m, err := cfg.Followers(r, env)
+			if err != nil {
+				return nil, fmt.Errorf("core: connecting replica %d: %w", r, err)
+			}
+			if m == nil {
+				return nil, fmt.Errorf("core: follower factory returned nil member for replica %d", r)
+			}
+			t.followers = append(t.followers, m)
+		}
+		return t, nil
+	}
 	for r := 1; r < replicas; r++ {
 		f, err := t.newFollower(task.(Replicable), r)
 		if err != nil {
 			return nil, err
 		}
-		t.replicas = append(t.replicas, f)
+		t.followers = append(t.followers, host{f})
 	}
 	return t, nil
 }
@@ -571,6 +615,7 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	fcfg.Replicas = 0
 	fcfg.ShardedStep = ShardedStepOff
 	fcfg.Engine = engine.NewReference() // follower engines are never used
+	fcfg.Followers = nil
 	if fcfg.Partition != pipeline.PartitionEven {
 		// Followers must land on the leader's exact partition: reuse its
 		// (possibly measured) cost vector instead of re-estimating, so a
@@ -591,6 +636,63 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	}
 	f.leader = t
 	return f, nil
+}
+
+// NewFollower builds the standalone worker-process counterpart of the
+// in-process followers New builds for Replicas > 1: a follower trainer
+// for replica r of cfg.Replicas, returned as its member surface, ready
+// to be served to a remote leader (internal/transport). The caller
+// supplies a task, optimizer and schedule constructed exactly as the
+// leader's — same seeds, same options — which the transport handshake
+// verifies end to end with a checksum over the initial per-stage state.
+// Unlike the in-process path the task is used directly, not cloned: the
+// worker process owns it.
+func NewFollower(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config, r int) (replica.Member, error) {
+	R := cfg.Replicas
+	if R < 2 {
+		return nil, fmt.Errorf("core: a follower needs Replicas >= 2, got %d", R)
+	}
+	if r < 1 || r >= R {
+		return nil, fmt.Errorf("core: follower replica %d out of range [1, %d)", r, R)
+	}
+	sharded := false
+	switch cfg.ShardedStep {
+	case ShardedStepAuto:
+		_, sharded = opt.(optim.ShardCloner)
+	case ShardedStepOn:
+		if _, ok := opt.(optim.ShardCloner); !ok {
+			return nil, fmt.Errorf("core: optimizer %T does not support state sharding (optim.ShardCloner); use ShardedStepOff for the leader-serial commit", opt)
+		}
+		sharded = true
+	case ShardedStepOff:
+	default:
+		return nil, fmt.Errorf("core: unknown sharded-step mode %d", int(cfg.ShardedStep))
+	}
+	var ps []*nn.Param
+	for _, g := range task.Groups() {
+		ps = append(ps, g.Params...)
+	}
+	fcfg := cfg
+	fcfg.Replicas = 0
+	fcfg.ShardedStep = ShardedStepOff
+	fcfg.Engine = engine.NewReference() // chunks run through the serve loop's engine
+	fcfg.Followers = nil
+	f, err := New(task, optim.NewSGDShard(ps, 0, 0, optim.Shard{}), sched, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building follower %d: %w", r, err)
+	}
+	if sharded {
+		// Same shard geometry as the leader's plan for R replicas, mapped
+		// through this follower's (identical) stage boundaries.
+		plan := engine.NewCommitPlan(f.clock.P, R)
+		lo, hi := plan.Shard(r)
+		sh := optim.Shard{}
+		if lo != hi {
+			sh = optim.Shard{Lo: f.stageLo[lo], Hi: f.stageHi[hi-1]}
+		}
+		f.opt = opt.(optim.ShardCloner).CloneShard(ps, sh)
+	}
+	return host{f}, nil
 }
 
 // gammaFromD mirrors quad.GammaFromD for τ_bkwd = 0 without importing the
@@ -664,7 +766,23 @@ func (t *Trainer) Engine() engine.Engine { return t.eng }
 
 // Replicas returns the data-parallel replica count R (1 when replication
 // is off).
-func (t *Trainer) Replicas() int { return len(t.replicas) + 1 }
+func (t *Trainer) Replicas() int { return len(t.followers) + 1 }
+
+// Close releases the trainer's follower members: a remote transport
+// proxy says goodbye to its worker process and closes the connection;
+// in-process followers hold nothing to release. Returns the first close
+// error.
+func (t *Trainer) Close() error {
+	var first error
+	for _, m := range t.followers {
+		if c, ok := m.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
 
 // ShardedStep reports whether the optimizer commit is sharded across the
 // replicas (always false for single-replica trainers).
@@ -995,10 +1113,24 @@ func (h host) FinishStage(stage int) {
 // --- replica surface (replica.Leader / replica.Member) ---
 
 // Replicas returns the total replica count R (replica.Leader).
-func (h host) Replicas() int { return len(h.t.replicas) + 1 }
+func (h host) Replicas() int { return len(h.t.followers) + 1 }
 
 // Follower returns follower r's member surface (replica.Leader).
-func (h host) Follower(r int) replica.Member { return host{h.t.replicas[r-1]} }
+func (h host) Follower(r int) replica.Member { return h.t.followers[r-1] }
+
+// Step returns the optimizer step clock (transport.LeaderState).
+func (h host) Step() int { return h.t.step }
+
+// Epoch returns the epoch clock (transport.LeaderState).
+func (h host) Epoch() int { return h.t.epoch }
+
+// SetStep aligns the step clock — the remote-worker counterpart of the
+// SyncFromLeader step copy (transport.ClockSetter).
+func (h host) SetStep(step int) { h.t.step = step }
+
+// SetEpoch aligns the epoch clock — the remote-worker counterpart of
+// SyncEpoch (transport.ClockSetter).
+func (h host) SetEpoch(epoch int) { h.t.epoch = epoch }
 
 // ShardedStep reports whether the optimizer commit is sharded across the
 // replicas (replica.Leader).

@@ -66,7 +66,8 @@ func TestFollowersHoldOnlyTheirOptimizerShard(t *testing.T) {
 		}
 	}
 	markShard(tr.shardOf(0)) // the leader's own shard
-	for r, f := range tr.replicas {
+	for r, m := range tr.followers {
+		f := m.(host).t
 		got := f.opt.(interface{ StateRange() optim.Shard }).StateRange()
 		want := tr.shardOf(r + 1)
 		if got != want {
@@ -90,7 +91,7 @@ func TestFollowersHoldOnlyTheirOptimizerShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 2; r <= 3; r++ {
-		if sh := tr2.replicas[r-1].opt.(interface{ StateRange() optim.Shard }).StateRange(); sh.Len() != 0 {
+		if sh := tr2.followers[r-1].(host).t.opt.(interface{ StateRange() optim.Shard }).StateRange(); sh.Len() != 0 {
 			t.Fatalf("surplus replica %d holds state for %+v, want nothing", r, sh)
 		}
 	}
@@ -110,7 +111,7 @@ func TestShardedStepOffKeepsFollowersStateless(t *testing.T) {
 	if tr.ShardedStep() {
 		t.Fatal("ShardedStepOff did not disable sharding")
 	}
-	f := tr.replicas[0]
+	f := tr.followers[0].(host).t
 	if sh := f.opt.(interface{ StateRange() optim.Shard }).StateRange(); sh.Len() != 0 {
 		t.Fatalf("leader-serial follower holds moment state %+v, want none", sh)
 	}

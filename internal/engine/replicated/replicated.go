@@ -24,6 +24,7 @@ package replicated
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 
@@ -99,6 +100,11 @@ func (e *Engine) Start(h engine.Host) {
 		e.group = replica.NewGroup(lead)
 		e.engines = make([]engine.Engine, r)
 		for i := range e.engines {
+			// Remote members run their chunks through the inner engine of
+			// their own worker process; no local engine drives them.
+			if c, ok := e.group.Member(i).(*replica.Compute); ok && c.Remote() {
+				continue
+			}
 			e.engines[i] = e.inner()
 			if lc, ok := e.engines[i].(engine.Lifecycle); ok {
 				lc.Start(e.group.Member(i))
@@ -134,7 +140,7 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	if e.group == nil {
 		return e.engines[0].Minibatch(ctx, h, micros)
 	}
-	chunks := e.group.Begin(micros)
+	chunks := e.group.Begin(ctx, micros)
 	r := e.group.Replicas()
 	errs := make([]error, r)
 	var wg sync.WaitGroup
@@ -143,7 +149,14 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 		i := i
 		go func() {
 			defer wg.Done()
-			_, errs[i] = e.engines[i].Minibatch(ctx, e.group.Member(i), chunks[i])
+			host := e.group.Member(i)
+			if c, ok := host.(*replica.Compute); ok && c.Remote() {
+				// Remote replica: ship the chunk; the worker's inner engine
+				// drives the pipeline and returns losses + gradient exports.
+				errs[i] = c.Run(ctx, chunks[i])
+				return
+			}
+			_, errs[i] = e.engines[i].Minibatch(ctx, host, chunks[i])
 		}()
 	}
 	wg.Wait()
@@ -168,6 +181,8 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	}
 
 	e.group.Reduce()
-	e.group.Commit(len(micros))
+	if err := e.group.Commit(len(micros)); err != nil {
+		return 0, fmt.Errorf("replicated: commit: %w", err)
+	}
 	return e.group.LossSum() / float64(len(micros)), nil
 }

@@ -306,16 +306,22 @@ func NewEngineBenchTrainer(stages int, eng pipemare.Engine, extra ...pipemare.Op
 	return NewReplicatedBenchTrainer(stages, 1, eng, extra...)
 }
 
-// NewReplicatedBenchTrainer is NewEngineBenchTrainer with a data-parallel
-// replica count, for the BenchmarkEngineReplicated* benchmarks and the
-// replicas dimension of BENCH_engine.json. replicas must not exceed the
-// workload's 8 microbatches.
-func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine, extra ...pipemare.Option) (*pipemare.Trainer, error) {
+// EngineBenchTask builds the EngineBenchWorkload transformer. Leader and
+// worker processes both call it, so a remote bench run starts from
+// bit-identical weights on every replica (the transport handshake
+// verifies this with a state checksum).
+func EngineBenchTask() core.Task {
 	ds := data.NewTranslation(data.TranslationConfig{
 		Vocab: 13, SrcLen: 6, Train: 256, Test: 32, Seed: 2})
-	task := model.NewTranslation(ds, model.TransformerConfig{
+	return model.NewTranslation(ds, model.TransformerConfig{
 		Dim: 128, Heads: 4, EncLayers: 2, DecLayers: 2, Seed: 1})
-	opts := []pipemare.Option{
+}
+
+// EngineBenchOptions returns the EngineBenchWorkload training recipe —
+// the option set shared by the leader trainer and `pipemare-worker`
+// follower processes (which pass it to ServeFollower).
+func EngineBenchOptions(stages int) []pipemare.Option {
+	return []pipemare.Option{
 		pipemare.WithMethod(pipemare.PipeMare),
 		pipemare.WithStages(stages),
 		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
@@ -326,6 +332,14 @@ func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine, extra 
 		}),
 		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 100}),
 	}
+}
+
+// NewReplicatedBenchTrainer is NewEngineBenchTrainer with a data-parallel
+// replica count, for the BenchmarkEngineReplicated* benchmarks and the
+// replicas dimension of BENCH_engine.json. replicas must not exceed the
+// workload's 8 microbatches.
+func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine, extra ...pipemare.Option) (*pipemare.Trainer, error) {
+	opts := EngineBenchOptions(stages)
 	if replicas > 1 {
 		opts = append(opts, pipemare.WithReplicas(replicas))
 	}
@@ -333,5 +347,5 @@ func NewReplicatedBenchTrainer(stages, replicas int, eng pipemare.Engine, extra 
 		opts = append(opts, pipemare.WithEngine(eng))
 	}
 	opts = append(opts, extra...)
-	return pipemare.New(task, opts...)
+	return pipemare.New(EngineBenchTask(), opts...)
 }

@@ -39,6 +39,8 @@
 package replica
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"pipemare/internal/engine"
@@ -109,6 +111,32 @@ type Aware interface {
 	DrivesReplicas()
 }
 
+// Runner is implemented by members whose microbatch chunk executes out
+// of process (transport.RemoteMember): the replicated engine ships the
+// whole chunk in one call — the worker drives it through its own inner
+// engine — instead of driving the member's pipeline slots locally. The
+// returned losses and per-(microbatch, stage) gradient exports are
+// exactly what a local follower's Compute wrapper would have captured.
+type Runner interface {
+	RunChunk(ctx context.Context, start int, async bool, micros [][]int) (losses []float64, grads [][][]*tensor.Tensor, err error)
+}
+
+// Erring is implemented by members whose collective operations can fail
+// after the fact — remote members latch the first transport error and
+// fail every later operation fast. Group checks it after each collective
+// phase, so an I/O failure surfaces as a wrapped error from Commit or
+// Broadcast instead of a hang or a corrupted step.
+type Erring interface {
+	Err() error
+}
+
+// ContextBinder is implemented by members whose collective operations
+// block on I/O: Group binds the minibatch context at Begin so a cancel
+// mid-collective unwinds every blocked read and write.
+type ContextBinder interface {
+	BindContext(ctx context.Context)
+}
+
 // Group coordinates one leader and its followers for a replicated
 // execution engine: it owns the per-replica compute wrappers, splits each
 // minibatch into contiguous per-replica chunks, and runs the reduce and
@@ -150,9 +178,10 @@ func (g *Group) Member(r int) engine.Host { return g.members[r] }
 // Begin prepares the group for one minibatch: it splits the N microbatch
 // index sets into R contiguous, ordered chunks (sizes differing by at
 // most one), snapshots the leader's epoch phase (async) and microbatch
-// base, and resets the per-replica loss and gradient staging. It returns
-// the chunk for each replica.
-func (g *Group) Begin(micros [][]int) [][][]int {
+// base, resets the per-replica loss and gradient staging, and binds ctx
+// into remote members so cancellation reaches their blocking I/O. It
+// returns the chunk for each replica.
+func (g *Group) Begin(ctx context.Context, micros [][]int) [][][]int {
 	r := len(g.members)
 	n := len(micros)
 	base := g.lead.MicroBase()
@@ -166,9 +195,25 @@ func (g *Group) Begin(micros [][]int) [][][]int {
 		}
 		chunks[i] = micros[lo : lo+sz]
 		g.members[i].begin(base+lo, sz, async)
+		if cb, ok := g.members[i].member.(ContextBinder); ok {
+			cb.BindContext(ctx)
+		}
 		lo += sz
 	}
 	return chunks
+}
+
+// Err returns the first latched member failure (replica I/O errors are
+// sticky), wrapped with the replica index, or nil.
+func (g *Group) Err() error {
+	for i, c := range g.members {
+		if e, ok := c.member.(Erring); ok {
+			if err := e.Err(); err != nil {
+				return fmt.Errorf("replica %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Reduce performs the deterministic tree all-reduce: a binary-tree gather
@@ -212,8 +257,8 @@ func (g *Group) Reduce() {
 
 // Broadcast pushes the leader's post-step state to every follower
 // (concurrently: followers write disjoint state and only read the
-// leader's).
-func (g *Group) Broadcast() {
+// leader's). It returns the first follower I/O failure.
+func (g *Group) Broadcast() error {
 	var wg sync.WaitGroup
 	for _, m := range g.members[1:] {
 		m := m
@@ -224,18 +269,21 @@ func (g *Group) Broadcast() {
 		}()
 	}
 	wg.Wait()
+	return g.Err()
 }
 
 // Commit commits one shared optimizer step for the minibatch Reduce just
 // folded into the leader: the leader-serial commit followed by the full
 // Broadcast when sharding is off, or the replica-sharded owner protocol.
-func (g *Group) Commit(nMicro int) {
+// It returns the first member I/O failure (remote members latch them);
+// the group must not commit again after an error.
+func (g *Group) Commit(nMicro int) error {
 	if !g.sharded {
 		g.serial.Commit(g.lead, nMicro)
-		g.Broadcast()
-		return
+		return g.Broadcast()
 	}
 	g.shardedCommit(nMicro)
+	return g.Err()
 }
 
 // shardedCommit is the ZeRO / PipeDream-2BW style replica-sharded commit.
@@ -316,13 +364,20 @@ func (g *Group) shardedCommit(nMicro int) {
 			m.FinishStage(st)
 		}
 	})
-	// Gather: the inverted broadcast — every member imports each stage it
-	// does not own straight from the owner's post-step state, in stage
-	// order, pushing its own version queue.
+	// Gather: the inverted broadcast — every member imports each stage
+	// from the owner's post-step state, in stage order, pushing its own
+	// version queue. Owner states are read once, before the fan-out: for
+	// in-process owners that is the same live-tensor read as before, and
+	// for remote owners it fetches the stage exactly once into a stable
+	// buffer that the concurrent importers then only read.
+	states := make([][]*tensor.Tensor, p)
+	for st := 0; st < p; st++ {
+		states[st] = g.members[g.plan.OwnerOf(st)].member.StageState(st)
+	}
 	g.eachMember(func(i int, m Member, _, _ int) {
 		for st := 0; st < p; st++ {
-			if o := g.plan.OwnerOf(st); o != i {
-				m.ImportStageState(st, g.members[o].member.StageState(st))
+			if g.plan.OwnerOf(st) != i && states[st] != nil {
+				m.ImportStageState(st, states[st])
 			}
 		}
 	})
@@ -382,6 +437,53 @@ type Compute struct {
 
 func newCompute(m Member, leader bool) *Compute {
 	return &Compute{member: m, leader: leader, p: m.Stages()}
+}
+
+// NewCompute wraps a follower member for chunk execution outside a
+// Group — the worker-process side of the remote protocol, where the
+// serve loop drives its local follower through an inner engine and ships
+// the captured losses and gradient exports back (transport.ServeConn).
+func NewCompute(m Member) *Compute { return newCompute(m, false) }
+
+// BeginChunk resets the wrapper for a chunk of n microbatches starting
+// at global microbatch counter start, under the leader's epoch phase.
+func (c *Compute) BeginChunk(start, n int, async bool) { c.begin(start, n, async) }
+
+// Losses returns the chunk's captured per-microbatch losses, in chunk
+// order.
+func (c *Compute) Losses() []float64 { return c.losses[:c.n] }
+
+// Grads returns the chunk's exported per-(microbatch, stage) gradients.
+func (c *Compute) Grads() [][][]*tensor.Tensor { return c.grads[:c.n] }
+
+// Remote reports whether the wrapped member runs its chunks out of
+// process (implements Runner) — in which case the replicated engine
+// calls Run instead of driving an inner engine over this wrapper.
+func (c *Compute) Remote() bool {
+	_, ok := c.member.(Runner)
+	return ok
+}
+
+// Run ships the chunk to a remote member and stores the returned losses
+// and gradient exports where Reduce and LossSum read them — the remote
+// counterpart of an inner engine driving the wrapper's slots locally.
+func (c *Compute) Run(ctx context.Context, micros [][]int) error {
+	r, ok := c.member.(Runner)
+	if !ok {
+		return fmt.Errorf("replica: member %T cannot run chunks remotely", c.member)
+	}
+	losses, grads, err := r.RunChunk(ctx, c.start, c.async, micros)
+	if err != nil {
+		return err
+	}
+	if len(losses) != c.n || len(grads) != c.n {
+		return fmt.Errorf("replica: remote chunk returned %d losses and %d gradient exports, want %d", len(losses), len(grads), c.n)
+	}
+	copy(c.losses[:c.n], losses)
+	for k := range grads {
+		c.grads[k] = grads[k]
+	}
+	return nil
 }
 
 // begin resets the wrapper for a chunk of n microbatches starting at

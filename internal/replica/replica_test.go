@@ -1,6 +1,7 @@
 package replica_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -202,7 +203,7 @@ func TestGroupReduceFoldsInGlobalMicrobatchOrder(t *testing.T) {
 	for i := range micros {
 		micros[i] = []int{i}
 	}
-	chunks := g.Begin(micros)
+	chunks := g.Begin(context.Background(), micros)
 	wantSizes := []int{3, 3, 2, 2}
 	start := 0
 	for i, want := range wantSizes {
@@ -243,7 +244,9 @@ func TestGroupReduceFoldsInGlobalMicrobatchOrder(t *testing.T) {
 		t.Fatalf("loss sum %g, want %g", got, wantLoss)
 	}
 
-	g.Broadcast()
+	if err := g.Broadcast(); err != nil {
+		t.Fatal(err)
+	}
 	if lead.synced != 0 {
 		t.Fatal("the leader must not sync from itself")
 	}
@@ -274,7 +277,9 @@ func TestGroupShardedCommitProtocol(t *testing.T) {
 	for st := 0; st < p; st++ {
 		lead.acc[st] = float64(10 * (st + 1))
 	}
-	g.Commit(4)
+	if err := g.Commit(4); err != nil {
+		t.Fatal(err)
+	}
 
 	members := append([]*fakeMember{lead.fakeMember}, lead.followers...)
 	wantOwner := []int{0, 0, 1, 1, 2} // contiguous shards 2/2/1
@@ -334,7 +339,9 @@ func TestGroupSerialCommitBroadcasts(t *testing.T) {
 	lead := &fakeLead{fakeMember: newFakeMember(p)}
 	lead.followers = append(lead.followers, newFakeMember(p))
 	g := replica.NewGroup(lead)
-	g.Commit(2)
+	if err := g.Commit(2); err != nil {
+		t.Fatal(err)
+	}
 	for st := 0; st < p; st++ {
 		if lead.prepared[st] != 1 || lead.stepped[st] != 1 || lead.finished[st] != 1 {
 			t.Fatalf("leader stage %d prepare/step/finish = %d/%d/%d, want 1/1/1",
@@ -359,7 +366,7 @@ func TestComputeSuppressesCommit(t *testing.T) {
 	lead := &fakeLead{fakeMember: newFakeMember(2)}
 	lead.followers = append(lead.followers, newFakeMember(2))
 	g := replica.NewGroup(lead)
-	g.Begin([][]int{{0}, {1}})
+	g.Begin(context.Background(), [][]int{{0}, {1}})
 	c := g.Member(0).(*replica.Compute)
 	if got := c.PrepareStage(0, 2); got != 0 {
 		t.Fatalf("PrepareStage returned %g, want inert 0", got)

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Msg is one reassembled protocol message: a frame header's routing
+// fields plus the concatenated payload of its chunks.
+type Msg struct {
+	Type    byte
+	Replica uint16
+	Stage   int32
+	Data    []byte
+}
+
+// Conn frames messages over a byte stream. Both transports produce one:
+// loopback wraps an in-process net.Pipe end, TCP a real socket — both
+// support deadlines, which is how context cancellation propagates into
+// every blocking read and write (see Send/Recv).
+//
+// A Conn is not safe for concurrent use; callers (RemoteMember, the
+// serve loop) serialize access.
+type Conn struct {
+	nc  net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+	buf []byte // frame scratch
+}
+
+// NewConn frames messages over nc. nc must honor SetDeadline (net.Pipe
+// and TCP connections both do).
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReaderSize(nc, 64<<10), w: bufio.NewWriterSize(nc, 64<<10)}
+}
+
+// Close closes the underlying connection, unblocking any in-flight read
+// or write on it.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr names the connection's local end.
+func (c *Conn) LocalAddr() string { return c.nc.LocalAddr().String() }
+
+// arm applies ctx to the connection: an existing deadline maps to a
+// connection deadline, and cancellation forces an immediate one so any
+// blocked read/write unwinds with a timeout error. The returned stop
+// function releases the watcher; mapErr rewrites the resulting I/O error
+// to ctx.Err() once the context is done, so callers see cancellation,
+// not a spurious timeout.
+func (c *Conn) arm(ctx context.Context) (stop func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deadline := time.Time{}
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if err := c.nc.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("transport: set deadline: %w", err)
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			// Unblock the pending I/O immediately.
+			c.nc.SetDeadline(time.Unix(1, 0))
+		case <-done:
+		}
+	}()
+	// stop joins the watcher: a cancellation racing the operation's
+	// completion must land its past-deadline before stop returns, or it
+	// would clobber the deadline the NEXT operation arms (e.g. a dial
+	// context canceled right after a successful handshake poisoning the
+	// first collective).
+	return func() { close(done); <-exited }, nil
+}
+
+func mapErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if _, hasDeadline := ctx.Deadline(); hasDeadline {
+			// The connection deadline mirrors the context deadline, and its
+			// timer can fire a hair before the context's own. Wait out the
+			// skew so callers always see the context error.
+			<-ctx.Done()
+			return ctx.Err()
+		}
+	}
+	return err
+}
+
+// Send writes one message, splitting payloads larger than the chunk size
+// into consecutive frames with the more-flag set on all but the last.
+// The write is context-aware: cancellation or a context deadline unwinds
+// a blocked write.
+func (c *Conn) Send(ctx context.Context, m Msg) error {
+	stop, err := c.arm(ctx)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	h := Header{Type: m.Type, Replica: m.Replica, Stage: m.Stage}
+	data := m.Data
+	for {
+		chunk := data
+		if len(chunk) > maxChunk {
+			chunk = chunk[:maxChunk]
+		}
+		data = data[len(chunk):]
+		h.Flags = 0
+		if len(data) > 0 {
+			h.Flags = flagMore
+		}
+		c.buf = AppendFrame(c.buf[:0], h, chunk)
+		if _, err := c.w.Write(c.buf); err != nil {
+			return mapErr(ctx, fmt.Errorf("transport: write frame: %w", err))
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return mapErr(ctx, fmt.Errorf("transport: flush: %w", err))
+	}
+	return nil
+}
+
+// Recv reads one message, reassembling chunked frames and verifying each
+// frame's magic, version, bounds and CRC. The read is context-aware:
+// cancellation or a context deadline unwinds a blocked read. Malformed
+// input returns an error, never a panic.
+func (c *Conn) Recv(ctx context.Context) (Msg, error) {
+	stop, err := c.arm(ctx)
+	if err != nil {
+		return Msg{}, err
+	}
+	defer stop()
+	var m Msg
+	first := true
+	for {
+		h, payload, err := c.readFrame()
+		if err != nil {
+			return Msg{}, mapErr(ctx, err)
+		}
+		if first {
+			m = Msg{Type: h.Type, Replica: h.Replica, Stage: h.Stage}
+			first = false
+		} else if h.Type != m.Type || h.Replica != m.Replica || h.Stage != m.Stage {
+			return Msg{}, fmt.Errorf("transport: chunk header mismatch: type %d/%d", h.Type, m.Type)
+		}
+		if len(m.Data)+len(payload) > maxMsg {
+			return Msg{}, fmt.Errorf("transport: message exceeds %d bytes", maxMsg)
+		}
+		m.Data = append(m.Data, payload...)
+		if !h.More() {
+			return m, nil
+		}
+	}
+}
+
+// readFrame reads and validates one frame from the stream.
+func (c *Conn) readFrame() (Header, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("transport: read frame header: %w", err)
+	}
+	_, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	need := n + trailerLen
+	if cap(c.buf) < headerLen+need {
+		c.buf = make([]byte, headerLen+need)
+	}
+	c.buf = c.buf[:headerLen+need]
+	copy(c.buf, hdr[:])
+	if _, err := io.ReadFull(c.r, c.buf[headerLen:]); err != nil {
+		return Header{}, nil, fmt.Errorf("transport: read frame payload: %w", err)
+	}
+	hh, payload, _, err := DecodeFrame(c.buf)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return hh, payload, nil
+}

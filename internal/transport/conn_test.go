@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pipeConns() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+// TestConnRoundTrip sends messages — including one large enough to
+// stream as many chunks — over an in-process pipe and checks they
+// reassemble exactly.
+func TestConnRoundTrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	big := make([]byte, 3*maxChunk+12345) // 4 chunks
+	for i := range big {
+		big[i] = byte(i)
+	}
+	msgs := []Msg{
+		{Type: msgHello, Replica: 1, Stage: -1, Data: []byte("spec")},
+		{Type: msgSetGrads, Replica: 2, Stage: 5, Data: nil},
+		{Type: msgSetState, Replica: 3, Stage: 0, Data: big},
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := a.Send(ctx, m); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for i, want := range msgs {
+		got, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Replica != want.Replica || got.Stage != want.Stage {
+			t.Fatalf("recv %d: header %v/%v/%v, want %v/%v/%v",
+				i, got.Type, got.Replica, got.Stage, want.Type, want.Replica, want.Stage)
+		}
+		if string(got.Data) != string(want.Data) {
+			t.Fatalf("recv %d: %d payload bytes, want %d (or bytes differ)", i, len(got.Data), len(want.Data))
+		}
+	}
+	wg.Wait()
+}
+
+// TestConnRecvCancel pins context propagation into a blocked read: with
+// no sender, Recv must unwind with ctx.Err() when the context cancels —
+// the property every blocked collective relies on to avoid deadlock.
+func TestConnRecvCancel(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Recv returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unwind after cancel")
+	}
+}
+
+// TestConnSendCancel pins the write side: a send blocked on an unread
+// pipe unwinds with ctx.Err() when the context cancels.
+func TestConnSendCancel(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Larger than any internal buffering, and nobody reads b.
+		done <- a.Send(ctx, Msg{Type: msgSetState, Stage: -1, Data: make([]byte, 4*maxChunk)})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Send returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send did not unwind after cancel")
+	}
+}
+
+// TestConnDeadline pins that a context deadline (not just cancellation)
+// bounds a blocked read.
+func TestConnDeadline(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Recv returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestTCPRoundTrip runs the same framed protocol over a real socket.
+func TestTCPRoundTrip(t *testing.T) {
+	lis, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept(ctx)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Recv(ctx)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- conn.Send(ctx, m) // echo
+	}()
+	conn, err := NewTCPDialer(lis.Addr()).Dial(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	want := Msg{Type: msgPrepare, Replica: 2, Stage: 3, Data: make([]byte, maxChunk+99)}
+	for i := range want.Data {
+		want.Data[i] = byte(i >> 3)
+	}
+	if err := conn.Send(ctx, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stage != want.Stage || string(got.Data) != string(want.Data) {
+		t.Fatal("echoed message differs")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestTCPDialerRetries pins the orchestration race the backoff exists
+// for: a leader dialing before its worker listens converges once the
+// listener appears, instead of failing on the first refused connection.
+func TestTCPDialerRetries(t *testing.T) {
+	// Reserve a port, then free it so the first dials are refused.
+	lis, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr()
+	lis.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	d := NewTCPDialer(addr)
+	d.BaseDelay = 10 * time.Millisecond
+	type result struct {
+		conn *Conn
+		err  error
+	}
+	res := make(chan result, 1)
+	go func() {
+		c, err := d.Dial(ctx)
+		res <- result{c, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer ln.Close()
+	r := <-res
+	if r.err != nil {
+		t.Fatalf("dial did not converge after the listener appeared: %v", r.err)
+	}
+	r.conn.Close()
+}
+
+// TestTCPDialerGivesUp pins the other half: with no listener ever, the
+// dial fails when its context expires rather than retrying forever.
+func TestTCPDialerGivesUp(t *testing.T) {
+	lis, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr()
+	lis.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	d := NewTCPDialer(addr)
+	d.BaseDelay = 10 * time.Millisecond
+	if _, err := d.Dial(ctx); err == nil {
+		t.Fatal("dial succeeded against a dead address")
+	}
+}

@@ -1,0 +1,180 @@
+// Package transport implements the wire layer that turns the in-process
+// replica collectives (package replica) into distributed ones: a
+// length-prefixed, CRC-checked binary frame protocol with chunked
+// streaming for large tensors, two interchangeable byte transports —
+// loopback (in-process pipes, zero network) and TCP (real sockets with
+// dial retry/backoff and context-aware reads and writes) — and, on top,
+// RemoteMember and Serve, which adapt the wire to the replica.Member
+// surface so replica.Group's tree all-reduce, sharded commit and
+// broadcast run unchanged whether a follower lives in the same process
+// or behind a socket.
+//
+// # Wire format
+//
+// Every message travels as one or more frames:
+//
+//	offset  size  field
+//	0       2     magic "PM" (0x50 0x4D)
+//	2       1     protocol version (1)
+//	3       1     message type
+//	4       1     flags (bit 0: more chunks of this message follow)
+//	5       1     reserved (0)
+//	6       2     replica id (big-endian uint16)
+//	8       4     stage / shard id (big-endian int32; -1 = none)
+//	12      4     payload length (big-endian uint32, ≤ maxFramePayload)
+//	16      n     payload
+//	16+n    4     CRC-32 (IEEE) over header+payload
+//
+// Tensor payloads larger than maxChunk split into consecutive frames
+// with the more-flag set on all but the last; the receiver reassembles
+// them into one message. Malformed input — bad magic, unknown version,
+// oversized length prefixes, truncated payloads, CRC mismatches — is
+// reported as an error, never a panic (FuzzDecodeFrame pins this).
+//
+// # Determinism across serialization
+//
+// Payload floats are raw IEEE-754 bit patterns (math.Float64bits), so a
+// tensor round-trips bit-exactly: no formatting, no rounding. Every
+// collective that moves floats — gradient export, scatter, state gather,
+// broadcast — is therefore the same pure copy it is in process, and the
+// replica layer's determinism argument (all arithmetic at the tree root,
+// in global microbatch order) survives the wire unchanged.
+package transport
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// frameMagic starts every frame: "PM".
+	frameMagic0 = 0x50
+	frameMagic1 = 0x4D
+	// Version is the protocol version this package speaks.
+	Version = 1
+
+	headerLen  = 16
+	trailerLen = 4 // CRC-32
+
+	// flagMore marks a frame whose message continues in the next frame.
+	flagMore = 0x01
+
+	// maxChunk is the largest payload a sender puts in one frame: larger
+	// messages stream as chunks so a multi-megabyte tensor never needs a
+	// contiguous wire buffer at once.
+	maxChunk = 1 << 18
+	// maxFramePayload is the largest payload length a receiver accepts in
+	// a single frame (a small safety factor over maxChunk).
+	maxFramePayload = 1 << 20
+	// maxMsg caps a reassembled message, bounding memory against a
+	// corrupt or hostile peer.
+	maxMsg = 1 << 30
+)
+
+// Message types. Requests flow leader→worker; every request has exactly
+// one reply (msgAck, a typed reply, or msgErr).
+const (
+	msgHello     = 1  // leader→worker: Spec handshake
+	msgHelloOK   = 2  // worker→leader: handshake accepted
+	msgRunChunk  = 3  // leader→worker: run a chunk of microbatches
+	msgChunkDone = 4  // worker→leader: chunk losses + exported gradients
+	msgSetGrads  = 5  // leader→worker: overwrite a stage's gradient accumulators
+	msgPrepare   = 6  // leader→worker: PrepareStage(stage, nMicro)
+	msgPrepared  = 7  // worker→leader: the stage's clip-norm partial
+	msgBeginStep = 8  // leader→worker: advance the step clocks
+	msgScale     = 9  // leader→worker: ScaleStage(stage, scale)
+	msgStep      = 10 // leader→worker: StepStage(stage)
+	msgFinish    = 11 // leader→worker: FinishStage(stage)
+	msgGetState  = 12 // leader→worker: read a stage's post-step state
+	msgState     = 13 // worker→leader: the stage's state tensors
+	msgSetState  = 14 // leader→worker: import a stage's state (gather/broadcast)
+	msgSyncEpoch = 15 // leader→worker: align the follower's epoch clock
+	msgSync      = 16 // leader→worker: align the follower's step clock (broadcast tail)
+	msgAck       = 17 // worker→leader: generic success reply
+	msgErr       = 18 // worker→leader: failure reply (code + text)
+	msgBye       = 19 // leader→worker: clean shutdown
+)
+
+// Error codes carried by msgErr.
+const (
+	errGeneric  = 1 // the worker failed; the connection is unusable
+	errDiverged = 2 // the chunk diverged (a normal training outcome, not a transport fault)
+)
+
+// Header is the fixed per-frame metadata.
+type Header struct {
+	Type    byte
+	Flags   byte
+	Replica uint16
+	Stage   int32 // -1 when the message is not stage-scoped
+}
+
+// More reports whether the message continues in the next frame.
+func (h Header) More() bool { return h.Flags&flagMore != 0 }
+
+var crcTable = crc32.IEEETable
+
+// AppendFrame appends one encoded frame (header, payload, CRC trailer)
+// to dst and returns the extended slice. The payload must not exceed
+// maxChunk; message chunking is the caller's job (Conn.Send).
+func AppendFrame(dst []byte, h Header, payload []byte) []byte {
+	if len(payload) > maxChunk {
+		panic(fmt.Sprintf("transport: frame payload %d exceeds max chunk %d", len(payload), maxChunk))
+	}
+	start := len(dst)
+	dst = append(dst,
+		frameMagic0, frameMagic1, Version, h.Type, h.Flags, 0,
+		byte(h.Replica>>8), byte(h.Replica),
+		byte(uint32(h.Stage)>>24), byte(uint32(h.Stage)>>16), byte(uint32(h.Stage)>>8), byte(uint32(h.Stage)),
+		byte(uint32(len(payload))>>24), byte(uint32(len(payload))>>16), byte(uint32(len(payload))>>8), byte(uint32(len(payload))),
+	)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// parseHeader validates and decodes a 16-byte frame header, returning
+// the header and the payload length.
+func parseHeader(b []byte) (Header, int, error) {
+	if len(b) < headerLen {
+		return Header{}, 0, fmt.Errorf("transport: truncated frame header: %d bytes", len(b))
+	}
+	if b[0] != frameMagic0 || b[1] != frameMagic1 {
+		return Header{}, 0, fmt.Errorf("transport: bad frame magic %#02x%02x", b[0], b[1])
+	}
+	if b[2] != Version {
+		return Header{}, 0, fmt.Errorf("transport: protocol version %d, want %d", b[2], Version)
+	}
+	n := int(uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15]))
+	if n > maxFramePayload {
+		return Header{}, 0, fmt.Errorf("transport: frame payload length %d exceeds limit %d", n, maxFramePayload)
+	}
+	h := Header{
+		Type:    b[3],
+		Flags:   b[4],
+		Replica: uint16(b[6])<<8 | uint16(b[7]),
+		Stage:   int32(uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])),
+	}
+	return h, n, nil
+}
+
+// DecodeFrame decodes the first frame in b, verifying magic, version,
+// length bounds and the CRC trailer. It returns the header, the payload
+// (a sub-slice of b) and the remainder of b after the frame. Malformed
+// input returns an error; it never panics.
+func DecodeFrame(b []byte) (Header, []byte, []byte, error) {
+	h, n, err := parseHeader(b)
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	total := headerLen + n + trailerLen
+	if len(b) < total {
+		return Header{}, nil, nil, fmt.Errorf("transport: truncated frame: have %d bytes, frame needs %d", len(b), total)
+	}
+	body := b[:headerLen+n]
+	want := uint32(b[headerLen+n])<<24 | uint32(b[headerLen+n+1])<<16 | uint32(b[headerLen+n+2])<<8 | uint32(b[headerLen+n+3])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return Header{}, nil, nil, fmt.Errorf("transport: frame CRC mismatch: got %#08x, want %#08x", got, want)
+	}
+	return h, b[headerLen : headerLen+n], b[total:], nil
+}

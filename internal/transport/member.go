@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/replica"
+	"pipemare/internal/tensor"
+)
+
+// LeaderState is what RemoteMember reads from the local leader replica
+// to serve the leader-originated syncs: the per-stage post-step state
+// for the full broadcast, and the step/epoch clocks. The trainer's host
+// (internal/core) satisfies it.
+type LeaderState interface {
+	StateSource
+	Step() int
+	Epoch() int
+}
+
+// RemoteMember is the leader-side proxy for a follower replica hosted in
+// another process (or another goroutine, over the loopback transport).
+// It implements replica.Member — the collective surface replica.Group
+// drives for the reduce, sharded commit and broadcast — plus
+// replica.Runner, so the replicated engine ships the follower's
+// microbatch chunk to the worker as one message instead of driving the
+// pipeline slots over the wire.
+//
+// Transport failures are sticky: the first I/O error poisons the member,
+// every subsequent operation fails fast, and replica.Group surfaces the
+// error through the engine to Trainer.Run. A diverged chunk is a normal
+// reply, not a fault.
+type RemoteMember struct {
+	conn    *Conn
+	replica int
+	stages  int
+	lead    LeaderState
+
+	mu     sync.Mutex
+	ctx    context.Context // bound per minibatch (BindContext); Background otherwise
+	err    error           // sticky transport error
+	closed bool
+
+	losses  []float64
+	grads   [][][]*tensor.Tensor
+	states  [][]*tensor.Tensor // per-stage StageState decode buffers
+	scratch []byte
+}
+
+// NewRemoteMember dials nothing — conn is already established — but runs
+// the handshake: it announces spec, waits for the worker's verdict, and
+// returns the proxy on msgHelloOK. lead is the local leader replica the
+// proxy reads when serving SyncEpoch/SyncFromLeader.
+func NewRemoteMember(ctx context.Context, conn *Conn, spec Spec, lead LeaderState) (*RemoteMember, error) {
+	m := &RemoteMember{
+		conn:    conn,
+		replica: spec.Replica,
+		stages:  spec.Stages,
+		lead:    lead,
+		ctx:     context.Background(),
+		states:  make([][]*tensor.Tensor, spec.Stages),
+	}
+	resp, err := m.roundTrip(ctx, Msg{Type: msgHello, Replica: uint16(spec.Replica), Stage: -1, Data: spec.encode()})
+	if err != nil {
+		return nil, fmt.Errorf("transport: handshake with replica %d: %w", spec.Replica, err)
+	}
+	if resp.Type != msgHelloOK {
+		return nil, fmt.Errorf("transport: handshake with replica %d: unexpected reply type %d", spec.Replica, resp.Type)
+	}
+	return m, nil
+}
+
+// BindContext binds the context every subsequent wire operation uses for
+// cancellation and deadline — replica.Group calls it at minibatch Begin,
+// so a cancel mid-collective unwinds each blocked read/write.
+func (m *RemoteMember) BindContext(ctx context.Context) {
+	m.mu.Lock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
+	m.mu.Unlock()
+}
+
+// Err returns the sticky transport error, if any (replica.Erring).
+func (m *RemoteMember) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Close says goodbye (best effort) and closes the connection. Further
+// Closes are no-ops.
+func (m *RemoteMember) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.err == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		m.conn.Send(ctx, Msg{Type: msgBye, Replica: uint16(m.replica), Stage: -1})
+		cancel()
+	}
+	m.err = errors.New("transport: member closed")
+	return m.conn.Close()
+}
+
+// roundTrip sends one request and reads its reply without the sticky
+// error machinery (used by the handshake).
+func (m *RemoteMember) roundTrip(ctx context.Context, req Msg) (Msg, error) {
+	if err := m.conn.Send(ctx, req); err != nil {
+		return Msg{}, err
+	}
+	resp, err := m.conn.Recv(ctx)
+	if err != nil {
+		return Msg{}, err
+	}
+	if resp.Type == msgErr {
+		return Msg{}, decodeWireErr(resp.Data)
+	}
+	return resp, nil
+}
+
+// call is the request/response engine for member operations: serialized
+// per connection, sticky on transport failure, with the bound context
+// applied to both the write and the read. A diverged reply passes
+// through as engine.ErrDiverged without poisoning the member.
+func (m *RemoteMember) call(req Msg, want byte) (Msg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return Msg{}, m.err
+	}
+	req.Replica = uint16(m.replica)
+	resp, err := m.roundTrip(m.ctx, req)
+	if err != nil {
+		if errors.Is(err, engine.ErrDiverged) {
+			return Msg{}, err
+		}
+		m.err = fmt.Errorf("transport: replica %d: %w", m.replica, err)
+		return Msg{}, m.err
+	}
+	if resp.Type != want {
+		m.err = fmt.Errorf("transport: replica %d: reply type %d to request %d, want %d", m.replica, resp.Type, req.Type, want)
+		return Msg{}, m.err
+	}
+	return resp, nil
+}
+
+func decodeWireErr(data []byte) error {
+	c := &cursor{b: data}
+	code := c.u32()
+	text := string(c.b)
+	if c.err != nil {
+		return fmt.Errorf("malformed error reply")
+	}
+	if code == errDiverged {
+		return engine.ErrDiverged
+	}
+	return fmt.Errorf("worker: %s", text)
+}
+
+// RunChunk ships the follower's share of a minibatch to the worker: the
+// chunk's global microbatch base, the leader's epoch phase, and the
+// sample indices. The worker drives the chunk through its own inner
+// engine and replies with the per-microbatch losses and the exported
+// per-(microbatch, stage) gradients (replica.Runner).
+func (m *RemoteMember) RunChunk(ctx context.Context, start int, async bool, micros [][]int) ([]float64, [][][]*tensor.Tensor, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, nil, m.err
+	}
+	b := appendU32(m.scratch[:0], uint32(start))
+	b = appendBool(b, async)
+	b = appendU32(b, uint32(len(micros)))
+	for _, mb := range micros {
+		b = appendU32(b, uint32(len(mb)))
+		for _, i := range mb {
+			b = appendU32(b, uint32(i))
+		}
+	}
+	m.scratch = b
+	resp, err := m.roundTrip(ctx, Msg{Type: msgRunChunk, Replica: uint16(m.replica), Stage: -1, Data: b})
+	if err != nil {
+		if errors.Is(err, engine.ErrDiverged) {
+			return nil, nil, err
+		}
+		m.err = fmt.Errorf("transport: replica %d: run chunk: %w", m.replica, err)
+		return nil, nil, m.err
+	}
+	if resp.Type != msgChunkDone {
+		m.err = fmt.Errorf("transport: replica %d: reply type %d to run chunk", m.replica, resp.Type)
+		return nil, nil, m.err
+	}
+	losses, grads, err := m.decodeChunkDone(resp.Data, len(micros))
+	if err != nil {
+		m.err = fmt.Errorf("transport: replica %d: %w", m.replica, err)
+		return nil, nil, m.err
+	}
+	return losses, grads, nil
+}
+
+func (m *RemoteMember) decodeChunkDone(data []byte, wantK int) ([]float64, [][][]*tensor.Tensor, error) {
+	c := &cursor{b: data}
+	nl := c.count(8)
+	if cap(m.losses) < nl {
+		m.losses = make([]float64, nl)
+	}
+	m.losses = m.losses[:nl]
+	for i := range m.losses {
+		m.losses[i] = c.f64()
+	}
+	k := c.count(1)
+	p := c.count(1)
+	if c.err == nil && (nl != wantK || k != wantK || p != m.stages) {
+		return nil, nil, fmt.Errorf("chunk reply shape %d losses/%d micros/%d stages, want %d/%d/%d", nl, k, p, wantK, wantK, m.stages)
+	}
+	for len(m.grads) < k {
+		m.grads = append(m.grads, make([][]*tensor.Tensor, m.stages))
+	}
+	for i := 0; i < k; i++ {
+		for st := 0; st < p; st++ {
+			m.grads[i][st] = c.tensorsInto(m.grads[i][st])
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, nil, err
+	}
+	return m.losses, m.grads[:k:k], nil
+}
+
+// --- collective surface (replica.Member beyond the Host slots) ---
+
+func (m *RemoteMember) stageMsg(typ byte, stage int, data []byte) Msg {
+	return Msg{Type: typ, Stage: int32(stage), Data: data}
+}
+
+// SetStageGrads scatters the leader's reduced gradients for one stage to
+// this owner as a pure copy over the wire.
+func (m *RemoteMember) SetStageGrads(stage int, bufs []*tensor.Tensor) {
+	m.call(m.stageMsg(msgSetGrads, stage, appendTensors(nil, bufs)), msgAck)
+}
+
+// PrepareStage runs the stage's gradient averaging on the worker and
+// returns its clip-norm partial (0 after a transport failure — the
+// commit unwinds through Group's error check, not through the sum).
+func (m *RemoteMember) PrepareStage(stage, nMicro int) float64 {
+	resp, err := m.call(m.stageMsg(msgPrepare, stage, appendU32(nil, uint32(nMicro))), msgPrepared)
+	if err != nil {
+		return 0
+	}
+	c := &cursor{b: resp.Data}
+	v := c.f64()
+	if err := c.done(); err != nil {
+		m.fail(err)
+		return 0
+	}
+	return v
+}
+
+// BeginStep advances the worker replica's step clocks.
+func (m *RemoteMember) BeginStep() {
+	m.call(Msg{Type: msgBeginStep, Stage: -1}, msgAck)
+}
+
+// ScaleStage applies the clip factor to the stage's gradients remotely.
+func (m *RemoteMember) ScaleStage(stage int, scale float64) {
+	m.call(m.stageMsg(msgScale, stage, appendF64(nil, scale)), msgAck)
+}
+
+// StepStage applies the optimizer update for the stage remotely.
+func (m *RemoteMember) StepStage(stage int) {
+	m.call(m.stageMsg(msgStep, stage, nil), msgAck)
+}
+
+// FinishStage finalizes the stage's step remotely.
+func (m *RemoteMember) FinishStage(stage int) {
+	m.call(m.stageMsg(msgFinish, stage, nil), msgAck)
+}
+
+// StageState fetches the stage's post-step state from the worker into a
+// per-stage reuse buffer. replica.Group reads each owner's state from a
+// single goroutine before fanning it out, so the buffer is never written
+// while an importer reads it. Returns nil after a transport failure.
+func (m *RemoteMember) StageState(stage int) []*tensor.Tensor {
+	resp, err := m.call(m.stageMsg(msgGetState, stage, nil), msgState)
+	if err != nil {
+		return nil
+	}
+	c := &cursor{b: resp.Data}
+	m.states[stage] = c.tensorsInto(m.states[stage])
+	if err := c.done(); err != nil {
+		m.fail(err)
+		return nil
+	}
+	return m.states[stage]
+}
+
+// ImportStageState ships an owner's post-step stage state to the worker,
+// which imports it and pushes its version queue.
+func (m *RemoteMember) ImportStageState(stage int, src []*tensor.Tensor) {
+	m.call(m.stageMsg(msgSetState, stage, appendTensors(nil, src)), msgAck)
+}
+
+// SyncEpoch pushes the leader's epoch clock to the worker.
+func (m *RemoteMember) SyncEpoch() {
+	m.call(Msg{Type: msgSyncEpoch, Stage: -1, Data: appendU32(nil, uint32(m.lead.Epoch()))}, msgAck)
+}
+
+// SyncFromLeader is the full-state broadcast of the leader-serial
+// commit: every stage's leader state ships to the worker (chunked for
+// large tensors), then the step clock aligns.
+func (m *RemoteMember) SyncFromLeader() {
+	for st := 0; st < m.stages; st++ {
+		if _, err := m.call(m.stageMsg(msgSetState, st, appendTensors(nil, m.lead.StageState(st))), msgAck); err != nil {
+			return
+		}
+	}
+	m.call(Msg{Type: msgSync, Stage: -1, Data: appendU32(nil, uint32(m.lead.Step()))}, msgAck)
+}
+
+func (m *RemoteMember) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = fmt.Errorf("transport: replica %d: %w", m.replica, err)
+	}
+	m.mu.Unlock()
+}
+
+// --- engine.Host surface ---
+//
+// The pipeline slots of a remote member run in the worker process,
+// driven by its own inner engine via msgRunChunk; the replicated engine
+// never drives them through this proxy. Stages is real (replica.Compute
+// reads it at wrap time); the slot methods refuse loudly.
+
+// Stages returns P.
+func (m *RemoteMember) Stages() int { return m.stages }
+
+// TakeStageGrads is leader-local in every collective; a remote call is a
+// protocol bug.
+func (m *RemoteMember) TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor {
+	panic("transport: TakeStageGrads on a remote member")
+}
+
+// FoldStageGrads is leader-local in every collective; a remote call is a
+// protocol bug.
+func (m *RemoteMember) FoldStageGrads(stage int, bufs []*tensor.Tensor) {
+	panic("transport: FoldStageGrads on a remote member")
+}
+
+func (m *RemoteMember) remoteSlot(name string) string {
+	return "transport: " + name + " on a remote member (its pipeline runs in the worker process)"
+}
+
+// Async panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) Async() bool { panic(m.remoteSlot("Async")) }
+
+// Recompute panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) Recompute() bool { panic(m.remoteSlot("Recompute")) }
+
+// MicroBase panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) MicroBase() int { panic(m.remoteSlot("MicroBase")) }
+
+// Splittable panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) Splittable() bool { panic(m.remoteSlot("Splittable")) }
+
+// InstallForward panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) InstallForward(s, stage int) { panic(m.remoteSlot("InstallForward")) }
+
+// InstallBackward panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) InstallBackward(s, stage int) { panic(m.remoteSlot("InstallBackward")) }
+
+// InstallRecompute panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) InstallRecompute(s, stage int) { panic(m.remoteSlot("InstallRecompute")) }
+
+// Restore panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) Restore(stage int) { panic(m.remoteSlot("Restore")) }
+
+// BeginMicro panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) BeginMicro(s int, mb []int) { panic(m.remoteSlot("BeginMicro")) }
+
+// StageForward panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) StageForward(s, stage int) float64 { panic(m.remoteSlot("StageForward")) }
+
+// StageBackward panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) StageBackward(s, stage int) { panic(m.remoteSlot("StageBackward")) }
+
+// EndMicro panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) EndMicro(s int) { panic(m.remoteSlot("EndMicro")) }
+
+// BadLoss panics: the worker's pipeline is driven remotely.
+func (m *RemoteMember) BadLoss(loss float64) bool { panic(m.remoteSlot("BadLoss")) }
+
+// ClipScale is leader-local in every collective; a remote call is a
+// protocol bug.
+func (m *RemoteMember) ClipScale(sumSq float64) float64 { panic(m.remoteSlot("ClipScale")) }
+
+var (
+	_ replica.Member = (*RemoteMember)(nil)
+	_ replica.Runner = (*RemoteMember)(nil)
+	_ replica.Erring = (*RemoteMember)(nil)
+)

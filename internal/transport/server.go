@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pipemare/internal/engine"
+	"pipemare/internal/replica"
+)
+
+// Builder constructs (or verifies) the worker's local follower member
+// for the spec the leader announced — typically core.NewFollower over a
+// task the worker rebuilt from the same seed and options as the leader.
+// It runs after msgHello, so a spec-dependent configuration (replica id,
+// replica count, commit mode, pinned partition costs) needs no worker
+// flags.
+type Builder func(spec Spec) (replica.Member, error)
+
+// ClockSetter is the clock-alignment surface the serve loop writes:
+// msgSync sets the follower's step clock after a full-state broadcast,
+// and msgSyncEpoch aligns its epoch clock before a sharded commit. The
+// trainer's member (internal/core) satisfies it.
+type ClockSetter interface {
+	SetStep(step int)
+	SetEpoch(epoch int)
+}
+
+// Serve accepts one leader connection on lis and serves it until the
+// leader says goodbye, the connection drops, or ctx ends. inner is the
+// engine that drives the follower's microbatch chunks (nil means the
+// serial Reference engine) — the worker-process counterpart of the
+// replicated engine's per-replica inner engines.
+func Serve(ctx context.Context, lis Listener, build Builder, inner engine.Engine) error {
+	conn, err := lis.Accept(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return ServeConn(ctx, conn, build, inner)
+}
+
+// ServeConn serves one established leader connection (see Serve).
+func ServeConn(ctx context.Context, conn *Conn, build Builder, inner engine.Engine) error {
+	if inner == nil {
+		inner = engine.NewReference()
+	}
+	s := &server{conn: conn, inner: inner}
+	member, err := s.handshake(ctx, build)
+	if err != nil {
+		return err
+	}
+	s.member = member
+	s.comp = replica.NewCompute(member)
+	if lc, ok := inner.(engine.Lifecycle); ok {
+		lc.Start(s.comp)
+		defer lc.Stop()
+	}
+	return s.loop(ctx)
+}
+
+type server struct {
+	conn   *Conn
+	inner  engine.Engine
+	member replica.Member
+	comp   *replica.Compute
+
+	replica uint16
+	micros  [][]int // RunChunk decode buffer
+	scratch []byte  // reply encode buffer
+}
+
+func (s *server) reply(ctx context.Context, m Msg) error {
+	m.Replica = s.replica
+	return s.conn.Send(ctx, m)
+}
+
+func (s *server) replyErr(ctx context.Context, code uint32, text string) error {
+	data := appendU32(nil, code)
+	data = append(data, text...)
+	return s.reply(ctx, Msg{Type: msgErr, Stage: -1, Data: data})
+}
+
+// handshake reads msgHello, builds the follower from the spec, verifies
+// topology and the initial-state checksum, aligns the clocks, and
+// acknowledges. A mismatch is reported to the leader and returned.
+func (s *server) handshake(ctx context.Context, build Builder) (replica.Member, error) {
+	req, err := s.conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	if req.Type != msgHello {
+		return nil, fmt.Errorf("transport: handshake: first message type %d, want hello", req.Type)
+	}
+	s.replica = req.Replica
+	spec, err := decodeSpec(req.Data)
+	if err != nil {
+		s.replyErr(ctx, errGeneric, err.Error())
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	reject := func(format string, args ...any) (replica.Member, error) {
+		err := fmt.Errorf(format, args...)
+		s.replyErr(ctx, errGeneric, err.Error())
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	if spec.Replica < 1 || spec.Replica >= spec.Replicas {
+		return reject("replica %d out of range for %d replicas", spec.Replica, spec.Replicas)
+	}
+	member, err := build(spec)
+	if err != nil {
+		return reject("building follower: %v", err)
+	}
+	if got := member.Stages(); got != spec.Stages {
+		return reject("follower has %d stages, leader has %d", got, spec.Stages)
+	}
+	if got := StateChecksum(member, spec.Stages); got != spec.Checksum {
+		return reject("initial state checksum %#08x differs from leader's %#08x (seed, task or partition mismatch)", got, spec.Checksum)
+	}
+	if cs, ok := member.(ClockSetter); ok {
+		cs.SetStep(spec.Step)
+		cs.SetEpoch(spec.Epoch)
+	} else if spec.Step != 0 || spec.Epoch != 0 {
+		return reject("leader clocks (step %d, epoch %d) cannot be applied: member has no clock setters", spec.Step, spec.Epoch)
+	}
+	if err := s.reply(ctx, Msg{Type: msgHelloOK, Stage: -1}); err != nil {
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	return member, nil
+}
+
+// loop is the request/response serve loop. Member operations run under a
+// panic guard: a malformed message (bad stage index, wrong tensor count)
+// becomes an error reply and a clean return, never a worker crash.
+func (s *server) loop(ctx context.Context) error {
+	for {
+		req, err := s.conn.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			return fmt.Errorf("transport: serve: %w", err)
+		}
+		if req.Type == msgBye {
+			return nil
+		}
+		resp, fatal := s.dispatch(ctx, req)
+		if fatal != nil {
+			s.replyErr(ctx, errGeneric, fatal.Error())
+			return fmt.Errorf("transport: serve: %w", fatal)
+		}
+		if err := s.reply(ctx, resp); err != nil {
+			return fmt.Errorf("transport: serve: %w", err)
+		}
+	}
+}
+
+// dispatch handles one request, returning the reply or a fatal error.
+func (s *server) dispatch(ctx context.Context, req Msg) (resp Msg, fatal error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fatal = fmt.Errorf("request type %d: %v", req.Type, r)
+		}
+	}()
+	ack := Msg{Type: msgAck, Stage: req.Stage}
+	stage := int(req.Stage)
+	c := &cursor{b: req.Data}
+	switch req.Type {
+	case msgRunChunk:
+		return s.runChunk(ctx, c)
+	case msgSetGrads:
+		bufs := c.tensorsInto(nil)
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		s.member.SetStageGrads(stage, bufs)
+		return ack, nil
+	case msgPrepare:
+		nMicro := c.i32()
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		sumSq := s.member.PrepareStage(stage, nMicro)
+		return Msg{Type: msgPrepared, Stage: req.Stage, Data: appendF64(s.scratch[:0], sumSq)}, nil
+	case msgBeginStep:
+		s.member.BeginStep()
+		return ack, nil
+	case msgScale:
+		scale := c.f64()
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		s.member.ScaleStage(stage, scale)
+		return ack, nil
+	case msgStep:
+		s.member.StepStage(stage)
+		return ack, nil
+	case msgFinish:
+		s.member.FinishStage(stage)
+		return ack, nil
+	case msgGetState:
+		state := s.member.StageState(stage)
+		return Msg{Type: msgState, Stage: req.Stage, Data: appendTensors(s.scratch[:0], state)}, nil
+	case msgSetState:
+		bufs := c.tensorsInto(nil)
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		s.member.ImportStageState(stage, bufs)
+		return ack, nil
+	case msgSyncEpoch:
+		epoch := c.i32()
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		cs, ok := s.member.(ClockSetter)
+		if !ok {
+			return Msg{}, fmt.Errorf("member has no epoch clock setter")
+		}
+		cs.SetEpoch(epoch)
+		return ack, nil
+	case msgSync:
+		step := c.i32()
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		cs, ok := s.member.(ClockSetter)
+		if !ok {
+			return Msg{}, fmt.Errorf("member has no step clock setter")
+		}
+		cs.SetStep(step)
+		return ack, nil
+	}
+	return Msg{}, fmt.Errorf("unknown request type %d", req.Type)
+}
+
+// runChunk decodes a chunk request, drives it through the inner engine
+// against the follower's compute wrapper, and encodes the losses and
+// exported gradients back. A diverged chunk replies errDiverged — a
+// normal outcome the leader maps back to engine.ErrDiverged — without
+// ending the session.
+func (s *server) runChunk(ctx context.Context, c *cursor) (Msg, error) {
+	start := c.i32()
+	async := c.boolean()
+	k := c.count(4)
+	if cap(s.micros) < k {
+		s.micros = make([][]int, k)
+	}
+	micros := s.micros[:k]
+	for i := range micros {
+		n := c.count(4)
+		if cap(micros[i]) < n {
+			micros[i] = make([]int, n)
+		}
+		micros[i] = micros[i][:n]
+		for j := range micros[i] {
+			micros[i][j] = c.i32()
+		}
+	}
+	if err := c.done(); err != nil {
+		return Msg{}, err
+	}
+	s.comp.BeginChunk(start, k, async)
+	if _, err := s.inner.Minibatch(ctx, s.comp, micros); err != nil {
+		if errors.Is(err, engine.ErrDiverged) {
+			data := appendU32(s.scratch[:0], errDiverged)
+			return Msg{Type: msgErr, Stage: -1, Data: data}, nil
+		}
+		return Msg{}, fmt.Errorf("chunk failed: %w", err)
+	}
+	losses := s.comp.Losses()
+	grads := s.comp.Grads()
+	b := appendU32(s.scratch[:0], uint32(len(losses)))
+	for _, l := range losses {
+		b = appendF64(b, l)
+	}
+	b = appendU32(b, uint32(len(grads)))
+	b = appendU32(b, uint32(s.member.Stages()))
+	for _, micro := range grads {
+		for _, stage := range micro {
+			b = appendTensors(b, stage)
+		}
+	}
+	s.scratch = b
+	return Msg{Type: msgChunkDone, Stage: -1, Data: b}, nil
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPDialer dials a worker's TCP endpoint with exponential backoff and
+// jitter, so a leader started before its workers converges instead of
+// failing — the usual orchestration race. The zero delays take sensible
+// defaults; the overall budget is the Dial context's deadline.
+type TCPDialer struct {
+	Addr string
+	// BaseDelay is the first retry delay (default 50ms); each retry
+	// doubles it up to MaxDelay (default 2s), plus up to 50% jitter.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTCPDialer returns a backoff dialer for addr.
+func NewTCPDialer(addr string) *TCPDialer { return &TCPDialer{Addr: addr} }
+
+// Dial connects, retrying with exponential backoff + jitter until ctx
+// expires.
+func (d *TCPDialer) Dial(ctx context.Context) (*Conn, error) {
+	base := d.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := d.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	delay := base
+	var nd net.Dialer
+	for {
+		nc, err := nd.DialContext(ctx, "tcp", d.Addr)
+		if err == nil {
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return NewConn(nc), nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: dial %s: %w", d.Addr, err)
+		}
+		select {
+		case <-time.After(delay + d.jitter(delay/2)):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: dial %s: %w", d.Addr, err)
+		}
+		if delay *= 2; delay > max {
+			delay = max
+		}
+	}
+}
+
+func (d *TCPDialer) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(d.rng.Int63n(int64(max)))
+}
+
+// tcpListener adapts net.Listener to the context-aware Listener surface.
+type tcpListener struct {
+	ln net.Listener
+}
+
+// ListenTCP listens on addr ("host:port"; port 0 picks a free port —
+// read it back from Addr).
+func ListenTCP(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// Accept waits for one connection; ctx cancellation closes the wait.
+func (t *tcpListener) Accept(ctx context.Context) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type result struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		nc, err := t.ln.Accept()
+		ch <- result{nc, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", r.err)
+		}
+		if tc, ok := r.nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		return NewConn(r.nc), nil
+	case <-ctx.Done():
+		// Leave the accept goroutine to drain: it exits when the listener
+		// closes, and a late connection is closed rather than leaked.
+		go func() {
+			if r := <-ch; r.nc != nil {
+				r.nc.Close()
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// Addr returns the bound address (with the resolved port).
+func (t *tcpListener) Addr() string { return t.ln.Addr().String() }
+
+// Close closes the listener.
+func (t *tcpListener) Close() error { return t.ln.Close() }

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"pipemare/internal/tensor"
+)
+
+// Payload encoding: big-endian fixed-width integers and raw IEEE-754
+// float bits, composed with a panic-free cursor so malformed payloads
+// surface as errors (FuzzDecodeFrame covers the frame layer; the message
+// decoders below never index past their input).
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// cursor reads a payload left to right, latching the first error.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("transport: "+format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.b) < n {
+		c.fail("payload truncated: need %d bytes, have %d", n, len(c.b))
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) boolean() bool { return c.u8() != 0 }
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// i32 decodes a u32 written by appendU32(uint32(v)) back to a signed int.
+func (c *cursor) i32() int { return int(int32(c.u32())) }
+
+// count decodes a u32 element count, bounding it so a corrupt length
+// cannot force a huge allocation: each element needs at least min bytes
+// of remaining payload.
+func (c *cursor) count(min int) int {
+	n := int(c.u32())
+	if c.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n < 0 || n > len(c.b)/min {
+		c.fail("payload count %d exceeds remaining %d bytes", n, len(c.b))
+		return 0
+	}
+	return n
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("transport: %d trailing payload bytes", len(c.b))
+	}
+	return nil
+}
+
+// appendTensor encodes a tensor: rank, dims, then the raw float64 bits of
+// the contiguous data.
+func appendTensor(dst []byte, t *tensor.Tensor) []byte {
+	dst = appendU32(dst, uint32(len(t.Shape)))
+	for _, d := range t.Shape {
+		dst = appendU32(dst, uint32(d))
+	}
+	for _, v := range t.Data {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// tensorInto decodes one tensor, reusing buf when its shape matches
+// (the steady-state path for per-stage gradient and state traffic).
+func (c *cursor) tensorInto(buf *tensor.Tensor) *tensor.Tensor {
+	rank := c.count(4)
+	shape := make([]int, rank)
+	size := 1
+	for i := range shape {
+		d := int(c.u32())
+		if c.err != nil {
+			return nil
+		}
+		if d <= 0 || (size > 0 && d > len(c.b)/(8*size)+1) {
+			c.fail("tensor dim %d out of range", d)
+			return nil
+		}
+		shape[i] = d
+		size *= d
+	}
+	if size > len(c.b)/8 {
+		c.fail("tensor size %d exceeds remaining payload", size)
+		return nil
+	}
+	dst := buf
+	if dst == nil || !sameShape(dst.Shape, shape) {
+		dst = tensor.New(shape...)
+	}
+	for i := 0; i < size; i++ {
+		dst.Data[i] = c.f64()
+	}
+	if c.err != nil {
+		return nil
+	}
+	return dst
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTensors encodes a counted list of tensors.
+func appendTensors(dst []byte, ts []*tensor.Tensor) []byte {
+	dst = appendU32(dst, uint32(len(ts)))
+	for _, t := range ts {
+		dst = appendTensor(dst, t)
+	}
+	return dst
+}
+
+// tensorsInto decodes a counted tensor list, reusing bufs elementwise.
+func (c *cursor) tensorsInto(bufs []*tensor.Tensor) []*tensor.Tensor {
+	n := c.count(4)
+	if c.err != nil {
+		return nil
+	}
+	out := bufs
+	if cap(out) < n {
+		out = make([]*tensor.Tensor, n)
+		copy(out, bufs)
+	}
+	out = out[:n]
+	for i := 0; i < n; i++ {
+		out[i] = c.tensorInto(out[i])
+		if c.err != nil {
+			return nil
+		}
+	}
+	return out
+}

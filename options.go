@@ -1,12 +1,16 @@
 package pipemare
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"pipemare/internal/core"
 	"pipemare/internal/engine"
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
+	"pipemare/internal/replica"
+	"pipemare/internal/transport"
 )
 
 // OptimizerFactory builds an optimizer over a task's parameters in
@@ -26,6 +30,8 @@ type settings struct {
 	optFactory   OptimizerFactory
 	sched        Schedule
 	observer     Observer
+	dialers      []transport.Dialer
+	dialTimeout  time.Duration
 }
 
 // Option configures New. Options validate eagerly: the first failing
@@ -261,6 +267,46 @@ func WithShardedStep(on bool) Option {
 	}
 }
 
+// WithTransport makes the trainer's follower replicas remote: instead of
+// building R−1 in-process follower trainers, New dials one worker per
+// follower (in replica order — dialer r−1 hosts replica r) and drives it
+// over the wire transport (internal/transport). Each worker must be
+// running ServeFollower with the same task construction and options as
+// the leader; the handshake verifies topology, method, technique flags,
+// commit mode and a checksum over the initial weights, so a mismatch
+// fails New instead of silently diverging the curves. Exactly R−1
+// dialers are required; with no WithReplicas option, R = len(dialers)+1
+// is implied. Training curves stay bit-identical to in-process replicas
+// and to a single-replica run (float64 bits cross the wire verbatim).
+// Close the trainer (Trainer.Close) to release the worker connections.
+func WithTransport(dialers ...Dialer) Option {
+	return func(s *settings) error {
+		if len(dialers) == 0 {
+			return fmt.Errorf("pipemare: WithTransport needs at least one dialer")
+		}
+		for i, d := range dialers {
+			if d == nil {
+				return fmt.Errorf("pipemare: WithTransport dialer %d is nil", i)
+			}
+		}
+		s.dialers = append([]transport.Dialer(nil), dialers...)
+		return nil
+	}
+}
+
+// WithDialTimeout bounds each WithTransport dial + handshake (default
+// 30s). Dialers retry with backoff inside this budget, so a leader
+// started before its workers converges.
+func WithDialTimeout(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("pipemare: dial timeout must be positive, got %v", d)
+		}
+		s.dialTimeout = d
+		return nil
+	}
+}
+
 // WithSeed sets the data-order RNG seed.
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
@@ -311,14 +357,41 @@ func WithObserver(fn Observer) Option {
 // optimizer, schedule, engine, seed) is an Option. Train with
 // Trainer.Run(ctx, epochs).
 func New(task Task, opts ...Option) (*Trainer, error) {
-	s := settings{}
+	s, opt, err := resolveSettings(task, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.dialers) > 0 {
+		if s.cfg.Replicas == 0 {
+			s.cfg.Replicas = len(s.dialers) + 1
+		} else if s.cfg.Replicas != len(s.dialers)+1 {
+			return nil, fmt.Errorf("pipemare: %d transport dialers for %d replicas; WithTransport needs exactly R-1", len(s.dialers), s.cfg.Replicas)
+		}
+		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout)
+	}
+	tr, err := core.New(task, opt, s.sched, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.observer != nil {
+		tr.Observe(s.observer)
+	}
+	return tr, nil
+}
+
+// resolveSettings applies the options and fills every default, returning
+// the resolved settings and the built optimizer — the shared front half
+// of New and ServeFollower, so a worker process resolving the same
+// option list lands on the same configuration as its leader.
+func resolveSettings(task Task, opts []Option) (*settings, Optimizer, error) {
+	s := &settings{}
 	s.cfg.BatchSize = 32
 	for _, o := range opts {
 		if o == nil {
-			return nil, fmt.Errorf("pipemare: nil Option")
+			return nil, nil, fmt.Errorf("pipemare: nil Option")
 		}
-		if err := o(&s); err != nil {
-			return nil, err
+		if err := o(s); err != nil {
+			return nil, nil, err
 		}
 	}
 	if s.cfg.MicrobatchSize == 0 {
@@ -327,7 +400,7 @@ func New(task Task, opts ...Option) (*Trainer, error) {
 			n = 4
 		}
 		if s.cfg.BatchSize%n != 0 {
-			return nil, fmt.Errorf("pipemare: batch size %d not divisible into %d microbatches", s.cfg.BatchSize, n)
+			return nil, nil, fmt.Errorf("pipemare: batch size %d not divisible into %d microbatches", s.cfg.BatchSize, n)
 		}
 		s.cfg.MicrobatchSize = s.cfg.BatchSize / n
 	}
@@ -343,16 +416,44 @@ func New(task Task, opts ...Option) (*Trainer, error) {
 	}
 	opt := s.optFactory(ps)
 	if opt == nil {
-		return nil, fmt.Errorf("pipemare: optimizer factory returned nil")
+		return nil, nil, fmt.Errorf("pipemare: optimizer factory returned nil")
 	}
-	tr, err := core.New(task, opt, s.sched, s.cfg)
-	if err != nil {
-		return nil, err
+	return s, opt, nil
+}
+
+// remoteFollowers returns the core follower factory for WithTransport:
+// dial worker r's endpoint (with the backoff the dialer implements),
+// announce the resolved replication spec, and wrap the connection as the
+// leader-side member proxy.
+func remoteFollowers(dialers []transport.Dialer, timeout time.Duration) func(int, core.ReplicaEnv) (replica.Member, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
 	}
-	if s.observer != nil {
-		tr.Observe(s.observer)
+	return func(r int, env core.ReplicaEnv) (replica.Member, error) {
+		lead, ok := env.Leader.(transport.LeaderState)
+		if !ok {
+			return nil, fmt.Errorf("pipemare: leader %T lacks the transport state surface", env.Leader)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		conn, err := dialers[r-1].Dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		spec := transport.Spec{
+			Replica: r, Replicas: env.Replicas, Stages: env.Stages,
+			Method: int(env.Method), T2: env.T2, Sharded: env.Sharded,
+			Step: lead.Step(), Epoch: lead.Epoch(),
+			Checksum:   transport.StateChecksum(lead, env.Stages),
+			GroupCosts: env.GroupCosts,
+		}
+		m, err := transport.NewRemoteMember(ctx, conn, spec, lead)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return m, nil
 	}
-	return tr, nil
 }
 
 // ensure the engine package's types satisfy the facade aliases.
