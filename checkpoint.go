@@ -1,0 +1,29 @@
+package pipemare
+
+import "fmt"
+
+// Restore builds a trainer exactly as New would — task and opts must
+// reconstruct the checkpointed run's configuration (same seeds, same
+// options, including the WithCheckpoint that wrote the files) — then
+// restores it from the newest valid checkpoint under dir, re-syncing any
+// follower replicas (in-process or remote) with the restored state. The
+// resumed run continues from the restored step with a curve bit-identical
+// to the uninterrupted run's remaining steps: the data order is a pure
+// function of (seed, epoch), the per-stage weight-version rings are
+// restored wholesale, and the already-committed minibatches of the
+// interrupted epoch are skipped.
+//
+// The replica count may differ from the checkpointed run's — restoring an
+// R=3 run's checkpoint into an R=2 trainer is exactly the state a
+// mid-run eviction converges to.
+func Restore(dir string, task Task, opts ...Option) (*Trainer, error) {
+	tr, err := New(task, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tr.RestoreLatest(dir); err != nil {
+		tr.Close()
+		return nil, fmt.Errorf("pipemare: %w", err)
+	}
+	return tr, nil
+}

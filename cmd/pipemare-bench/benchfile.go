@@ -28,11 +28,15 @@ type benchRecord struct {
 	Workers           int     `json:"workers,omitempty"`   // scheduler workers (concurrent engine)
 	Commit            string  `json:"commit,omitempty"`    // replicated rows: serial | sharded
 	Transport         string  `json:"transport,omitempty"` // inproc | loopback | tcp
+	Faults            string  `json:"faults,omitempty"`    // injected fault script (-faults), "" = fault-free
 	NsPerEpoch        int64   `json:"ns_per_epoch"`
 	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"` // speedup / R
 	StageImbalance    float64 `json:"stage_imbalance,omitempty"`    // max/mean per-stage cost
+	Evictions         int     `json:"evictions,omitempty"`          // replicas evicted during the faulted run
+	RecoveryNs        int64   `json:"recovery_ns,omitempty"`        // wall time spent in eviction + replay
+	CheckpointNs      int64   `json:"checkpoint_ns,omitempty"`      // wall time spent writing checkpoints
 }
 
 // key is the full merge identity of a record. Every dimension that can
@@ -48,10 +52,11 @@ type benchKey struct {
 	workers   int
 	commit    string
 	transport string
+	faults    string
 }
 
 func (r benchRecord) key() benchKey {
-	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport}
+	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport, r.Faults}
 }
 
 // benchFile is the BENCH_engine.json schema, one record per merge key.

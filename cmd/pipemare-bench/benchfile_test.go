@@ -11,10 +11,12 @@ import (
 
 // TestUpsertKeyKeepsAllVariantRows is the merge regression test: records
 // differing in ANY key dimension — engine, stages, replicas, partition,
-// workers, commit, transport — must coexist, and re-measuring one key
-// must replace exactly that row. Before PR 4 the workers dimension was
-// missing from the key and W-variant rows clobbered each other; the
-// commit and transport dimensions get the same guard here.
+// workers, commit, transport, faults — must coexist, and re-measuring one
+// key must replace exactly that row. Before PR 4 the workers dimension
+// was missing from the key and W-variant rows clobbered each other; the
+// commit, transport and faults dimensions get the same guard here (a
+// fault-injected recovery row must never overwrite the fault-free
+// baseline at the same configuration, and vice versa).
 func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 	base := benchRecord{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "even", Workers: 4, NsPerEpoch: 100}
 	variants := []benchRecord{
@@ -28,6 +30,8 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 4, Partition: "even", Commit: "sharded", NsPerEpoch: 107},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", NsPerEpoch: 108},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "tcp", NsPerEpoch: 109},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Faults: "kill@3", NsPerEpoch: 110, Evictions: 1},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Faults: "drop@2", NsPerEpoch: 111},
 	}
 	var b benchFile
 	for _, r := range variants {
@@ -55,6 +59,22 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 	for i, r := range variants[1:] {
 		if got := b.Records[i+1].NsPerEpoch; got != r.NsPerEpoch {
 			t.Fatalf("unrelated row %d changed: %d ns, want %d", i+1, got, r.NsPerEpoch)
+		}
+	}
+}
+
+// TestParseFaults pins the -faults spec grammar: op@N[:dur] rules over
+// the leader's outbound chunk requests, with malformed specs rejected
+// before any trainer is built.
+func TestParseFaults(t *testing.T) {
+	for _, spec := range []string{"kill@3", "drop@1", "delay@2", "delay@2:5ms", "drop@2, kill@5"} {
+		if _, err := parseFaults(spec); err != nil {
+			t.Errorf("parseFaults(%q) = %v, want ok", spec, err)
+		}
+	}
+	for _, spec := range []string{"", "kill", "kill@0", "kill@-1", "kill@x", "explode@3", "kill@3:5ms", "delay@2:xx"} {
+		if _, err := parseFaults(spec); err == nil {
+			t.Errorf("parseFaults(%q) succeeded, want error", spec)
 		}
 	}
 }

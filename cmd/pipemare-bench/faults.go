@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pipemare"
+	"pipemare/internal/engine/replicated"
+	"pipemare/internal/experiments"
+	"pipemare/internal/faults"
+	"pipemare/internal/transport"
+)
+
+// parseFaults compiles a -faults spec into an injection script. The spec
+// is a comma-separated rule list, each rule op@N[:dur], counting the
+// leader's outbound chunk requests (MsgRunChunk) on the first follower's
+// link:
+//
+//	drop@N      swallow the Nth chunk request (transient; the retry
+//	            layer resends it and the curve must not move)
+//	delay@N:d   stall the Nth chunk request for d (default 2ms)
+//	kill@N      sever the connection at the Nth chunk request (fatal;
+//	            the leader must evict the replica and replay)
+func parseFaults(spec string) (*faults.Script, error) {
+	var rules []faults.Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("fault rule %q: want op@N[:dur]", part)
+		}
+		nStr, durStr, hasDur := strings.Cut(rest, ":")
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("fault rule %q: N must be a positive chunk ordinal", part)
+		}
+		r := faults.Rule{Dir: faults.Send, Type: transport.MsgRunChunk, Nth: n}
+		switch op {
+		case "drop":
+			r.Op = faults.Drop
+		case "delay":
+			r.Op = faults.Delay
+			r.Delay = 2 * time.Millisecond
+			if hasDur {
+				d, err := time.ParseDuration(durStr)
+				if err != nil {
+					return nil, fmt.Errorf("fault rule %q: %w", part, err)
+				}
+				r.Delay = d
+			}
+		case "kill":
+			r.Op = faults.Kill
+		default:
+			return nil, fmt.Errorf("fault rule %q: unknown op (want drop, delay or kill)", part)
+		}
+		if hasDur && op != "delay" {
+			return nil, fmt.Errorf("fault rule %q: only delay takes a duration", part)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("empty -faults spec")
+	}
+	return faults.NewScript(rules...), nil
+}
+
+// benchFaults measures what recovery costs: one epoch of the benchmark
+// workload at P=4, R=2 with the spec's faults injected on the leader's
+// link to its only remote follower, fault tolerance on and a checkpoint
+// every 4 steps. The resulting row records the epoch wall time alongside
+// how many replicas were evicted, the wall time spent inside
+// eviction+replay, and the wall time spent writing checkpoints — the
+// recovery overhead the fault-free rows at the same key don't pay.
+func benchFaults(out *benchFile, spec, transportName, workerBin string) error {
+	const p, r = 4, 2
+	script, err := parseFaults(spec)
+	if err != nil {
+		return err
+	}
+	dialers, release, err := startFollowers(transportName, workerBin, p, r-1)
+	if err != nil {
+		return err
+	}
+	if len(dialers) == 0 {
+		return fmt.Errorf("-faults needs a wire transport (loopback or tcp) to inject into")
+	}
+	dialers[0] = &faults.Dialer{Inner: dialers[0], Script: script}
+	ckdir, err := os.MkdirTemp("", "pipemare-ckpt-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(ckdir)
+	rep := replicated.New()
+	tr, err := experiments.NewReplicatedBenchTrainer(p, r, rep,
+		pipemare.WithTransport(dialers...),
+		pipemare.WithShardedStep(false),
+		pipemare.WithFaultTolerance(),
+		pipemare.WithCheckpoint(ckdir, 4))
+	if err != nil {
+		release()
+		return err
+	}
+	start := time.Now()
+	_, runErr := tr.Run(context.Background(), 1)
+	ns := time.Since(start).Nanoseconds()
+	evictions, recoveryNs := rep.FaultStats()
+	_, checkpointNs := tr.CheckpointStats()
+	closeErr := tr.Close()
+	relErr := release()
+	if runErr != nil {
+		return fmt.Errorf("faulted run (%s): %w", spec, runErr)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	// A severed follower's serve loop ends in an error by design; only
+	// surface release failures when nothing was evicted.
+	if relErr != nil && evictions == 0 {
+		return fmt.Errorf("%s follower: %w", transportName, relErr)
+	}
+	out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
+		Partition: "even", Commit: "serial", Transport: transportName, Faults: spec,
+		NsPerEpoch: ns, Evictions: evictions, RecoveryNs: recoveryNs, CheckpointNs: checkpointNs})
+	fmt.Printf("P=%d R=%d faults=%s (%s): %.2fs/epoch, %d evicted, recovery %.1fms, checkpoints %.1fms\n",
+		p, r, spec, transportName, float64(ns)/1e9, evictions,
+		float64(recoveryNs)/1e6, float64(checkpointNs)/1e6)
+	return nil
+}

@@ -42,6 +42,8 @@ func main() {
 	transportName := flag.String("transport", "inproc", "where replicated followers live for -json or -smoke: inproc | loopback | tcp (tcp spawns pipemare-worker processes)")
 	workerBin := flag.String("worker", "pipemare-worker", "pipemare-worker binary for -transport tcp (resolved via PATH)")
 	smoke := flag.Bool("smoke", false, "train the benchmark workload R=2 for one epoch over -transport and exit (CI distributed smoke test)")
+	faultsSpec := flag.String("faults", "", `inject scripted faults into a -json replicated row and record the recovery overhead: comma-separated op@N[:dur] rules, e.g. "drop@2,kill@5" (see parseFaults); needs -transport loopback or tcp`)
+	crashWorker := flag.Int("crash-worker", 0, "with -smoke -transport tcp: spawn the worker with -crash-after N so it exit(137)s at its Nth chunk, and require the leader to evict it and finish (0 disables)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -workers must be >= 0, got %d\n", *workers)
@@ -57,8 +59,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -transport %s applies to -json or -smoke\n", *transportName)
 		os.Exit(2)
 	}
+	if *faultsSpec != "" && (!*jsonOut || *transportName == "inproc") {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -faults applies to -json with -transport loopback or tcp\n")
+		os.Exit(2)
+	}
+	if *crashWorker != 0 && (!*smoke || *transportName != "tcp" || *crashWorker < 0) {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -crash-worker takes a positive chunk ordinal and applies to -smoke -transport tcp\n")
+		os.Exit(2)
+	}
 	if *smoke {
-		if err := smokeRun(*transportName, *workerBin); err != nil {
+		if err := smokeRun(*transportName, *workerBin, *crashWorker); err != nil {
 			fmt.Fprintf(os.Stderr, "pipemare-bench: smoke: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,7 +108,7 @@ func main() {
 		experiments.EngineFactory = inner
 	}
 	if *jsonOut {
-		if err := benchEngines("BENCH_engine.json", *workers, *transportName, *workerBin); err != nil {
+		if err := benchEngines("BENCH_engine.json", *workers, *transportName, *workerBin, *faultsSpec); err != nil {
 			fmt.Fprintf(os.Stderr, "pipemare-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -155,7 +165,9 @@ func main() {
 // protocol on in-process pipes, and "tcp" spawns one workerBin process
 // per follower and dials real sockets — what the wire costs shows up as
 // the gap between the inproc and loopback/tcp rows at the same key.
-func benchEngines(path string, workers int, transportName, workerBin string) error {
+// A non-empty faultsSpec adds one fault-injected recovery row (see
+// benchFaults) under its own merge key.
+func benchEngines(path string, workers int, transportName, workerBin, faultsSpec string) error {
 	out := loadBenchFile(path)
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 	out.NumCPU = runtime.NumCPU()
@@ -217,6 +229,11 @@ func benchEngines(path string, workers int, transportName, workerBin string) err
 				p, r, commit, transportName, float64(ns)/1e9, speedup, speedup/float64(r))
 		}
 	}
+	if faultsSpec != "" {
+		if err := benchFaults(&out, faultsSpec, transportName, workerBin); err != nil {
+			return err
+		}
+	}
 	if err := out.write(path); err != nil {
 		return err
 	}
@@ -228,14 +245,26 @@ func benchEngines(path string, workers int, transportName, workerBin string) err
 // over the chosen transport — the CI end-to-end check that a leader and a
 // real worker process complete training together. It prints the final
 // train loss so the log shows the run actually trained.
-func smokeRun(transportName, workerBin string) error {
-	dialers, release, err := startFollowers(transportName, workerBin, 4, 1)
+//
+// crashWorker > 0 is the kill -9 smoke: the worker process hard-exits
+// (status 137, no goodbye, no TCP FIN courtesy) upon receiving its
+// crashWorker'th chunk request, and the run only passes if the leader
+// detects the death, evicts the replica and finishes the epoch solo.
+func smokeRun(transportName, workerBin string, crashWorker int) error {
+	var workerArgs []string
+	if crashWorker > 0 {
+		workerArgs = append(workerArgs, "-crash-after", fmt.Sprint(crashWorker))
+	}
+	dialers, release, err := startFollowers(transportName, workerBin, 4, 1, workerArgs...)
 	if err != nil {
 		return err
 	}
 	var extra []pipemare.Option
 	if len(dialers) > 0 {
 		extra = append(extra, pipemare.WithTransport(dialers...))
+	}
+	if crashWorker > 0 {
+		extra = append(extra, pipemare.WithShardedStep(false), pipemare.WithFaultTolerance())
 	}
 	tr, err := experiments.NewReplicatedBenchTrainer(4, 2, nil, extra...)
 	if err != nil {
@@ -248,8 +277,19 @@ func smokeRun(transportName, workerBin string) error {
 	if err := tr.Close(); err != nil {
 		return err
 	}
-	if err := release(); err != nil {
-		return fmt.Errorf("%s follower: %w", transportName, err)
+	relErr := release()
+	if crashWorker > 0 {
+		// The killed worker's exit(137) is the point of the exercise; what
+		// must hold is that the leader evicted it and trained on.
+		if got := tr.Replicas(); got != 1 {
+			return fmt.Errorf("killed worker was not evicted: %d replicas survive, want 1", got)
+		}
+		fmt.Printf("smoke ok: R=2 over %s, worker killed at chunk %d, evicted to R=1, train loss %.6f\n",
+			transportName, crashWorker, run.Loss[run.Epochs()-1])
+		return nil
+	}
+	if relErr != nil {
+		return fmt.Errorf("%s follower: %w", transportName, relErr)
 	}
 	fmt.Printf("smoke ok: R=2 over %s, train loss %.6f\n", transportName, run.Loss[run.Epochs()-1])
 	return nil
@@ -259,8 +299,9 @@ func smokeRun(transportName, workerBin string) error {
 // returns the dialers for WithTransport plus a release function to call
 // after Trainer.Close: it reaps the followers and returns the first
 // session error. "inproc" returns no dialers — the trainer builds its
-// followers in-process as before.
-func startFollowers(transportName, workerBin string, stages, n int) ([]pipemare.Dialer, func() error, error) {
+// followers in-process as before. workerArgs are passed through to each
+// spawned tcp worker (e.g. -crash-after for the kill -9 smoke).
+func startFollowers(transportName, workerBin string, stages, n int, workerArgs ...string) ([]pipemare.Dialer, func() error, error) {
 	switch transportName {
 	case "inproc":
 		return nil, func() error { return nil }, nil
@@ -300,7 +341,8 @@ func startFollowers(transportName, workerBin string, stages, n int) ([]pipemare.
 			return first
 		}
 		for i := 0; i < n; i++ {
-			cmd := exec.Command(workerBin, "-addr", "127.0.0.1:0", "-stages", fmt.Sprint(stages))
+			args := append([]string{"-addr", "127.0.0.1:0", "-stages", fmt.Sprint(stages)}, workerArgs...)
+			cmd := exec.Command(workerBin, args...)
 			cmd.Stderr = os.Stderr
 			stdout, err := cmd.StdoutPipe()
 			if err != nil {

@@ -7,14 +7,21 @@
 //	pipemare-worker                    # listen on a free port, print it
 //	pipemare-worker -addr :9400        # fixed port
 //	pipemare-worker -engine concurrent # work-stealing chunk engine
+//	pipemare-worker -crash-after 3     # kill -9 itself at its 3rd chunk
 //
 // The worker prints "listening <addr>" once it accepts connections, so a
 // spawning leader can scrape the resolved port, serves exactly one
 // leader session, and exits 0 after a clean goodbye (Trainer.Close).
+// SIGTERM drains: the serve loop unwinds at the next protocol boundary
+// and the worker exits 0, so an orchestrator's ordinary stop is not an
+// error. -crash-after N exits with status 137 (the kill -9 status) upon
+// receiving the Nth chunk request — the reproducible mid-training crash
+// the leader's fault-tolerance layer is tested against.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,8 @@ import (
 	"pipemare"
 	"pipemare/internal/engine/concurrent"
 	"pipemare/internal/experiments"
+	"pipemare/internal/faults"
+	"pipemare/internal/transport"
 )
 
 func main() {
@@ -31,6 +40,7 @@ func main() {
 	stages := flag.Int("stages", 4, "pipeline stages; must match the leader's -P")
 	engineName := flag.String("engine", "reference", "chunk execution engine: reference | concurrent")
 	workers := flag.Int("workers", 0, "scheduler workers for the concurrent engine (0 = min(P, GOMAXPROCS))")
+	crashAfter := flag.Int("crash-after", 0, "exit(137) upon receiving the Nth chunk request (fault-injection testing; 0 disables)")
 	flag.Parse()
 
 	opts := experiments.EngineBenchOptions(*stages)
@@ -51,9 +61,23 @@ func main() {
 	defer lis.Close()
 	fmt.Printf("listening %s\n", lis.Addr())
 
+	served := pipemare.Listener(lis)
+	if *crashAfter > 0 {
+		served = &faults.Listener{Inner: lis, Script: faults.NewScript(faults.Rule{
+			Dir: faults.Recv, Type: transport.MsgRunChunk, Nth: *crashAfter,
+			Op: faults.Hook, Hook: func() { os.Exit(137) },
+		})}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := pipemare.ServeFollower(ctx, lis, experiments.EngineBenchTask(), opts...); err != nil {
+	if err := pipemare.ServeFollower(ctx, served, experiments.EngineBenchTask(), opts...); err != nil {
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			// SIGTERM/SIGINT drain: an orchestrator asked us to stop; the
+			// serve loop unwound cleanly at a protocol boundary.
+			fmt.Println("drained (signal)")
+			return
+		}
 		fmt.Fprintf(os.Stderr, "pipemare-worker: %v\n", err)
 		os.Exit(1)
 	}

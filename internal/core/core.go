@@ -191,6 +191,26 @@ type Config struct {
 	// follower, after the leader is fully built, with the resolved
 	// replication environment.
 	Followers func(r int, env ReplicaEnv) (replica.Member, error)
+
+	// FaultTolerant makes follower failures survivable under the sharded
+	// commit: every replica holds the full optimizer moment state
+	// (optim.Stateful over the full parameter range), stage state carries
+	// the moments through every gather and broadcast, and a dead owner's
+	// shard therefore survives on its peers — the precondition for
+	// deterministic eviction when the commit is sharded. Serial-commit
+	// eviction needs no extra state and works regardless. Enabled
+	// automatically when checkpointing is configured with a sharded
+	// commit (the restore path needs the mirrored moments).
+	FaultTolerant bool
+
+	// CheckpointDir, when non-empty, makes the leader serialize its full
+	// training state (masters, optimizer moments, T2 accumulators, the
+	// per-stage weight-version rings, and the step/epoch/microbatch
+	// clocks) to a CRC'd frame file in that directory every
+	// CheckpointEvery optimizer steps. Restore with Trainer.RestoreLatest
+	// (or pipemare.Restore). Followers never checkpoint.
+	CheckpointDir   string
+	CheckpointEvery int
 }
 
 // ReplicaEnv is what a Config.Followers factory needs to connect a
@@ -207,6 +227,10 @@ type ReplicaEnv struct {
 	// balanced, so a measured (profile) partition pins identically on a
 	// remote worker.
 	GroupCosts []float64
+	// FaultTolerant propagates the leader's resolved fault-tolerance mode
+	// so a remote follower builds the same (moment-extended) stage-state
+	// layout.
+	FaultTolerant bool
 }
 
 // ShardedStepMode selects the replica-sharded optimizer commit
@@ -282,15 +306,27 @@ type Trainer struct {
 	leader     *Trainer
 	sharded    bool
 	plan       engine.CommitPlan
-	stageState [][]*tensor.Tensor // per-stage gather layout (masters, T2 δ, corrected)
+	stageState [][]*tensor.Tensor // per-stage gather layout (masters, T2 δ, corrected, FT moments)
+
+	// Fault-tolerance state: stateful is the optimizer's moment surface
+	// when it spans the full parameter range (nil otherwise); momentShare
+	// marks the fault-tolerant stage-state layout (moments ride along in
+	// stageState, so gathers and broadcasts mirror them onto every
+	// replica).
+	stateful    optim.Stateful
+	momentShare bool
 
 	observer   Observer
-	rng        *rand.Rand
 	micro      int // global microbatch counter s
 	step       int // optimizer step counter (minibatches committed)
 	commitStep int // step index of the update being committed (BeginStep)
 	epoch      int // cumulative epochs completed (persists across Run calls)
 	diverged   bool
+	resumeSkip int // full minibatches to skip in the first epoch after a restore
+	closed     bool
+
+	ckptWrites int   // checkpoints written
+	ckptNs     int64 // cumulative wall time spent writing them
 }
 
 // flight is one in-flight microbatch: its sample indices and, for
@@ -370,12 +406,35 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	default:
 		return nil, fmt.Errorf("core: unknown sharded-step mode %d", int(cfg.ShardedStep))
 	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.CheckpointDir != "" && sharded {
+		// Restoring a sharded run redistributes the leader's full state to
+		// the followers, which needs the mirrored-moment layout.
+		cfg.FaultTolerant = true
+	}
+	// The fault-tolerant layout needs the full moment state resident on
+	// this trainer: Stateful over the complete parameter range.
+	var stateful optim.Stateful
+	if st, ok := opt.(optim.Stateful); ok {
+		if sc, ok := opt.(optim.ShardCloner); ok {
+			if r := sc.StateRange(); r.Lo == 0 && r.Hi == len(opt.Params()) {
+				stateful = st
+			}
+		}
+	}
+	momentShare := cfg.FaultTolerant && stateful != nil
+	if cfg.FaultTolerant && replicas > 1 && stateful == nil {
+		return nil, fmt.Errorf("core: fault-tolerant replication needs an optimizer exposing its full moment state (optim.Stateful + optim.ShardCloner over every parameter), got %T", opt)
+	}
 	t := &Trainer{
 		task: task, opt: opt, sched: sched, cfg: cfg, eng: eng,
 		part: part, groupCosts: costs,
 		clock: pipeline.Clock{P: p, N: n},
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	t.stateful = stateful
+	t.momentShare = momentShare
 	t.params = part.Params()
 	t.stageLo = make([]int, p)
 	t.stageHi = make([]int, p)
@@ -428,6 +487,9 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	t.plan = engine.NewCommitPlan(p, replicas)
 	// Per-stage state layout for the sharded-commit gather (StageState):
 	// fixed after construction, so build it once instead of per commit.
+	// Under the fault-tolerant layout the stage's optimizer moments ride
+	// at the end (aliasing the live optimizer tensors), so every gather
+	// and broadcast mirrors them onto all replicas.
 	t.stageState = make([][]*tensor.Tensor, p)
 	for s := 0; s < p; s++ {
 		lo, hi := t.stageLo[s], t.stageHi[s]
@@ -447,13 +509,19 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 				buf = append(buf, t.corrected[i])
 			}
 		}
+		if t.momentShare {
+			for i := lo; i < hi; i++ {
+				buf = append(buf, t.stateful.MomentTensors(i)...)
+			}
+		}
 		t.stageState[s] = buf
 	}
 	if replicas > 1 && cfg.Followers != nil {
 		env := ReplicaEnv{
 			Leader: host{t}, Replicas: replicas, Stages: p,
 			Sharded: sharded, Method: cfg.Method, T2: cfg.T2D > 0,
-			GroupCosts: costs,
+			GroupCosts:    costs,
+			FaultTolerant: cfg.FaultTolerant,
 		}
 		for r := 1; r < replicas; r++ {
 			m, err := cfg.Followers(r, env)
@@ -616,6 +684,7 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	fcfg.ShardedStep = ShardedStepOff
 	fcfg.Engine = engine.NewReference() // follower engines are never used
 	fcfg.Followers = nil
+	fcfg.CheckpointDir = "" // only the leader checkpoints
 	if fcfg.Partition != pipeline.PartitionEven {
 		// Followers must land on the leader's exact partition: reuse its
 		// (possibly measured) cost vector instead of re-estimating, so a
@@ -623,9 +692,14 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 		fcfg.GroupCosts = t.groupCosts
 	}
 	var fopt optim.Optimizer
-	if t.sharded {
+	switch {
+	case t.cfg.FaultTolerant:
+		// Fault tolerance mirrors the full moment state onto every replica
+		// so any survivor can own any stage after an eviction.
+		fopt = t.opt.(optim.ShardCloner).CloneShard(cps, optim.FullShard(len(cps)))
+	case t.sharded:
 		fopt = t.opt.(optim.ShardCloner).CloneShard(cps, t.shardOf(r))
-	} else {
+	default:
 		// Leader-serial commit: the follower never steps, so it holds no
 		// moment state at all (an empty shard).
 		fopt = optim.NewSGDShard(cps, 0, 0, optim.Shard{})
@@ -677,13 +751,27 @@ func NewFollower(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Confi
 	fcfg.ShardedStep = ShardedStepOff
 	fcfg.Engine = engine.NewReference() // chunks run through the serve loop's engine
 	fcfg.Followers = nil
-	f, err := New(task, optim.NewSGDShard(ps, 0, 0, optim.Shard{}), sched, fcfg)
+	fcfg.CheckpointDir = "" // only the leader checkpoints
+	fopt := optim.Optimizer(optim.NewSGDShard(ps, 0, 0, optim.Shard{}))
+	if cfg.FaultTolerant {
+		// The fault-tolerant stage-state layout aliases the live moment
+		// tensors, so the real (full-state) optimizer must exist before the
+		// trainer is built — it cannot be swapped in afterwards.
+		sc, ok := opt.(optim.ShardCloner)
+		if !ok {
+			return nil, fmt.Errorf("core: fault-tolerant follower needs a shardable optimizer (optim.ShardCloner), got %T", opt)
+		}
+		fopt = sc.CloneShard(ps, optim.FullShard(len(ps)))
+	}
+	f, err := New(task, fopt, sched, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: building follower %d: %w", r, err)
 	}
-	if sharded {
+	if sharded && !cfg.FaultTolerant {
 		// Same shard geometry as the leader's plan for R replicas, mapped
-		// through this follower's (identical) stage boundaries.
+		// through this follower's (identical) stage boundaries. Without the
+		// fault-tolerant layout no stage state aliases the optimizer, so
+		// swapping it in after construction is safe.
 		plan := engine.NewCommitPlan(f.clock.P, R)
 		lo, hi := plan.Shard(r)
 		sh := optim.Shard{}
@@ -770,18 +858,23 @@ func (t *Trainer) Replicas() int { return len(t.followers) + 1 }
 
 // Close releases the trainer's follower members: a remote transport
 // proxy says goodbye to its worker process and closes the connection;
-// in-process followers hold nothing to release. Returns the first close
-// error.
+// in-process followers hold nothing to release. Close is idempotent —
+// the second and later calls return nil — and joins every member's
+// close error rather than stopping at the first.
 func (t *Trainer) Close() error {
-	var first error
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var errs []error
 	for _, m := range t.followers {
 		if c, ok := m.(io.Closer); ok {
-			if err := c.Close(); err != nil && first == nil {
-				first = err
+			if err := c.Close(); err != nil {
+				errs = append(errs, err)
 			}
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // ShardedStep reports whether the optimizer commit is sharded across the
@@ -1126,7 +1219,18 @@ func (h host) Epoch() int { return h.t.epoch }
 
 // SetStep aligns the step clock — the remote-worker counterpart of the
 // SyncFromLeader step copy (transport.ClockSetter).
-func (h host) SetStep(step int) { h.t.step = step }
+func (h host) SetStep(step int) { h.t.setStep(step) }
+
+// setStep moves the optimizer step clock, keeping the optimizer's own
+// update counter (AdamW bias correction) in lockstep when the full
+// moment state is resident — the invariant a checkpoint restore or
+// leader sync relies on.
+func (t *Trainer) setStep(step int) {
+	t.step = step
+	if t.stateful != nil {
+		t.stateful.SetClock(step)
+	}
+}
 
 // SetEpoch aligns the epoch clock — the remote-worker counterpart of
 // SyncEpoch (transport.ClockSetter).
@@ -1204,6 +1308,9 @@ func (h host) ImportStageState(stage int, src []*tensor.Tensor) {
 	if t.delta != nil {
 		want *= 3
 	}
+	if t.momentShare {
+		want += (hi - lo) * t.stateful.MomentCount()
+	}
 	if len(src) != want {
 		panic(fmt.Sprintf("core: stage %d state has %d tensors, want %d", stage, len(src), want))
 	}
@@ -1220,6 +1327,14 @@ func (h host) ImportStageState(stage int, src []*tensor.Tensor) {
 		for i := lo; i < hi; i++ {
 			t.corrected[i].CopyFrom(src[k])
 			k++
+		}
+	}
+	if t.momentShare {
+		for i := lo; i < hi; i++ {
+			for _, mt := range t.stateful.MomentTensors(i) {
+				mt.CopyFrom(src[k])
+				k++
+			}
 		}
 	}
 	t.store.PushStage(stage)
@@ -1250,14 +1365,50 @@ func (h host) SyncFromLeader() {
 			t.corrected[i].CopyFrom(ld.corrected[i])
 		}
 	}
-	t.step = ld.step
+	if t.momentShare && ld.momentShare {
+		for i := range t.masters {
+			src := ld.stateful.MomentTensors(i)
+			for j, mt := range t.stateful.MomentTensors(i) {
+				mt.CopyFrom(src[j])
+			}
+		}
+	}
+	t.setStep(ld.step)
 	for st := range t.part.Stages {
 		t.store.PushStage(st)
 	}
 }
 
+// FaultTolerant reports whether this trainer runs the fault-tolerant
+// stage-state layout (replica.FaultTolerer) — the precondition for
+// evicting a failed member under the sharded commit.
+func (h host) FaultTolerant() bool { return h.t.momentShare }
+
+// EvictFollower removes follower replica r from the trainer and rebuilds
+// the commit plan over the survivors (replica.Evictor). The replica
+// group drives this — it splices its own member list and re-chunks in
+// lockstep.
+func (h host) EvictFollower(r int) {
+	t := h.t
+	t.followers = append(t.followers[:r-1], t.followers[r:]...)
+	t.plan = engine.NewCommitPlan(t.clock.P, len(t.followers)+1)
+}
+
+// RestoreVersions replaces a stage's weight-version ring
+// (replica.VersionRestorer) — the restore path for the historical
+// versions the asynchronous methods read.
+func (h host) RestoreVersions(stage, base int, snaps [][]*tensor.Tensor) {
+	h.t.store.RestoreStage(stage, base, snaps)
+}
+
 // The trainer's host satisfies the full replica surface.
 var _ replica.Leader = host{}
+
+var (
+	_ replica.FaultTolerer    = host{}
+	_ replica.Evictor         = host{}
+	_ replica.VersionRestorer = host{}
+)
 
 // Run trains for the given number of epochs under ctx, recording one entry
 // per epoch. Epochs accumulate across calls: warmup (T3) and divergence
@@ -1288,9 +1439,21 @@ func (t *Trainer) run(ctx context.Context, epochs int, run *metrics.Run) (*metri
 			return run, err
 		}
 		epochLoss, batches := 0.0, 0
-		for _, batch := range data.Batches(t.task.NumTrain(), t.cfg.BatchSize, t.rng) {
+		// The batch order is a pure function of (seed, epoch) — no RNG
+		// state survives between epochs — so a restored run replays the
+		// interrupted epoch's order exactly.
+		epochRng := rand.New(rand.NewSource(epochSeed(t.cfg.Seed, t.epoch)))
+		skip := t.resumeSkip
+		t.resumeSkip = 0
+		for _, batch := range data.Batches(t.task.NumTrain(), t.cfg.BatchSize, epochRng) {
 			if len(batch) < t.cfg.BatchSize {
 				continue // keep N constant; drop the final short batch
+			}
+			if skip > 0 {
+				// Minibatches already committed before the checkpoint this
+				// run restored from; their state is baked in.
+				skip--
+				continue
 			}
 			micros := data.Microbatches(batch, t.cfg.MicrobatchSize)
 			loss, err := t.eng.Minibatch(ctx, h, micros)
@@ -1312,6 +1475,9 @@ func (t *Trainer) run(ctx context.Context, epochs int, run *metrics.Run) (*metri
 			t.micro += len(micros)
 			epochLoss += loss
 			batches++
+			if err := t.maybeCheckpoint(); err != nil {
+				return run, err
+			}
 		}
 		metric := t.task.EvalTest()
 		run.Record(epochLoss/float64(batches), metric, nn.ParamNorm(t.params))

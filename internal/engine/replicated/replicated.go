@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"pipemare/internal/engine"
 	"pipemare/internal/replica"
@@ -45,6 +46,9 @@ type Engine struct {
 	group   *replica.Group
 	engines []engine.Engine
 	running bool
+
+	evictions  int   // members evicted over the engine's lifetime
+	recoveryNs int64 // wall time spent recovering from those failures
 }
 
 // Option configures the engine.
@@ -133,6 +137,15 @@ func (e *Engine) Stop() {
 // tree-reduces the gradients into the leader and commits one shared
 // optimizer step through the group — leader-serial + broadcast, or the
 // replica-sharded owner protocol when the leader enables it.
+//
+// A fatal but evictable member failure (replica.MemberError — a dead
+// remote follower under the serial commit, or any commit mode when the
+// leader trains fault-tolerantly) does not abort the run: the member is
+// evicted, the group re-chunks over the survivors, and the interrupted
+// minibatch replays when its result was lost with the member. The
+// replayed minibatch — and the whole curve after it — is bit-identical
+// to a fresh (R−1)-replica run from the same state, because per-
+// minibatch results are replica-count-invariant (package replica).
 func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (float64, error) {
 	if !e.running || e.h != h {
 		e.Start(h)
@@ -140,6 +153,34 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	if e.group == nil {
 		return e.engines[0].Minibatch(ctx, h, micros)
 	}
+	var recoverStart time.Time
+	for {
+		loss, err := e.runOnce(ctx, micros)
+		if err == nil && !recoverStart.IsZero() {
+			e.recoveryNs += time.Since(recoverStart).Nanoseconds()
+		}
+		var me *replica.MemberError
+		if !errors.As(err, &me) {
+			return loss, err
+		}
+		if recoverStart.IsZero() {
+			recoverStart = time.Now()
+		}
+		e.evictions++
+		e.evict(me.Replica)
+		if !me.Replay {
+			// The commit completed before the failure surfaced (serial
+			// commit: the leader stepped and every survivor synced
+			// independently) — the minibatch stands, no replay.
+			e.recoveryNs += time.Since(recoverStart).Nanoseconds()
+			return loss, nil
+		}
+		e.group.ResetGrads()
+	}
+}
+
+// runOnce drives one attempt at the minibatch over the current group.
+func (e *Engine) runOnce(ctx context.Context, micros [][]int) (float64, error) {
 	chunks := e.group.Begin(ctx, micros)
 	r := e.group.Replicas()
 	errs := make([]error, r)
@@ -166,12 +207,19 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	// because every follower backward slot exports-and-zeroes. A
 	// divergence anywhere matches the serial run — the bad microbatch's
 	// loss is computed from identical weights and samples there too — and
-	// the leader's partial accumulation is dropped by the trainer.
+	// the leader's partial accumulation is dropped by the trainer. A
+	// member failure is only evictable when no other member failed
+	// non-evictably (a cancel or leader failure always aborts).
 	var ctxErr error
-	for _, err := range errs {
+	evictPos := -1
+	for i, err := range errs {
 		switch {
 		case errors.Is(err, engine.ErrDiverged):
 			return math.Inf(1), engine.ErrDiverged
+		case err != nil && e.group.CanEvict(i, err):
+			if evictPos < 0 {
+				evictPos = i
+			}
 		case err != nil && ctxErr == nil:
 			ctxErr = err
 		}
@@ -179,10 +227,36 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 	if ctxErr != nil {
 		return 0, ctxErr
 	}
+	if evictPos >= 0 {
+		// The member died with its chunk: its losses and gradient exports
+		// are gone, so the whole minibatch replays after eviction.
+		return 0, &replica.MemberError{Replica: evictPos, Replay: true, Err: errs[evictPos]}
+	}
 
 	e.group.Reduce()
+	loss := e.group.LossSum() / float64(len(micros))
 	if err := e.group.Commit(len(micros)); err != nil {
-		return 0, fmt.Errorf("replicated: commit: %w", err)
+		return loss, fmt.Errorf("replicated: commit: %w", err)
 	}
-	return e.group.LossSum() / float64(len(micros)), nil
+	return loss, nil
+}
+
+// evict removes group member pos: its local inner engine (if any) stops,
+// and the group closes the member, re-chunks, and rebuilds the leader's
+// commit plan over the survivors.
+func (e *Engine) evict(pos int) {
+	if in := e.engines[pos]; in != nil {
+		if lc, ok := in.(engine.Lifecycle); ok {
+			lc.Stop()
+		}
+	}
+	e.engines = append(e.engines[:pos], e.engines[pos+1:]...)
+	e.group.Evict(pos)
+}
+
+// FaultStats reports how many members this engine has evicted and the
+// cumulative wall time spent recovering (eviction, gradient reset, and
+// minibatch replays until training resumed).
+func (e *Engine) FaultStats() (evictions int, recoveryNs int64) {
+	return e.evictions, e.recoveryNs
 }

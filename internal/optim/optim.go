@@ -83,6 +83,21 @@ type ShardCloner interface {
 	StateRange() Shard
 }
 
+// Stateful is implemented by optimizers whose moment state can be read
+// and written tensor-by-tensor — the fault-tolerance and checkpoint
+// surface. MomentTensors returns the live moment tensors of one
+// parameter (it must lie within StateRange), in a fixed per-optimizer
+// order; MomentCount is that order's length. Clock/SetClock expose the
+// step clock Advance moves (0 and a no-op for clockless optimizers), so
+// a restored optimizer resumes with bit-identical bias corrections.
+type Stateful interface {
+	Optimizer
+	MomentTensors(i int) []*tensor.Tensor
+	MomentCount() int
+	Clock() int
+	SetClock(t int)
+}
+
 // checkRange panics when a StepRange call leaves the optimizer's state
 // shard or disagrees with its learning-rate count.
 func checkRange(sh Shard, lo, hi, nLRs int) {
@@ -161,6 +176,23 @@ func (s *SGD) StepRange(lo, hi int, lrs []float64) {
 
 // Params returns the optimized parameters.
 func (s *SGD) Params() []*nn.Param { return s.ps }
+
+// MomentTensors returns parameter i's live velocity tensor (Stateful).
+func (s *SGD) MomentTensors(i int) []*tensor.Tensor {
+	if !s.shard.Contains(i, i+1) {
+		panic(fmt.Sprintf("optim: moment tensors of param %d outside state shard [%d, %d)", i, s.shard.Lo, s.shard.Hi))
+	}
+	return []*tensor.Tensor{s.vel[i-s.shard.Lo]}
+}
+
+// MomentCount is 1: the velocity.
+func (s *SGD) MomentCount() int { return 1 }
+
+// Clock is 0: momentum SGD keeps no step clock.
+func (s *SGD) Clock() int { return 0 }
+
+// SetClock is a no-op (see Clock).
+func (s *SGD) SetClock(int) {}
 
 // StateCopies is 3: master weights, gradient, momentum (the paper's
 // footnote 2 accounting, which makes T2's extra buffer a 33% increase).
@@ -247,6 +279,24 @@ func (a *AdamW) StepRange(lo, hi int, lrs []float64) {
 // Params returns the optimized parameters.
 func (a *AdamW) Params() []*nn.Param { return a.ps }
 
+// MomentTensors returns parameter i's live first and second moment
+// tensors, in that order (Stateful).
+func (a *AdamW) MomentTensors(i int) []*tensor.Tensor {
+	if !a.shard.Contains(i, i+1) {
+		panic(fmt.Sprintf("optim: moment tensors of param %d outside state shard [%d, %d)", i, a.shard.Lo, a.shard.Hi))
+	}
+	return []*tensor.Tensor{a.m[i-a.shard.Lo], a.v[i-a.shard.Lo]}
+}
+
+// MomentCount is 2: first and second moments.
+func (a *AdamW) MomentCount() int { return 2 }
+
+// Clock returns the Adam step clock (bias-correction exponent).
+func (a *AdamW) Clock() int { return a.t }
+
+// SetClock restores the Adam step clock (checkpoint restore).
+func (a *AdamW) SetClock(t int) { a.t = t }
+
 // StateCopies is 4: master weights, gradient, first and second moments.
 func (a *AdamW) StateCopies() int { return 4 }
 
@@ -325,3 +375,8 @@ func (t *T1) LRs(step int) []float64 {
 	}
 	return out
 }
+
+var (
+	_ Stateful = (*SGD)(nil)
+	_ Stateful = (*AdamW)(nil)
+)

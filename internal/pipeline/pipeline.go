@@ -354,3 +354,27 @@ func (vs *VersionStore) Get(stage, version int) []*tensor.Tensor {
 func (vs *VersionStore) Latest(stage int) int {
 	return vs.base[stage] + len(vs.snaps[stage]) - 1
 }
+
+// History returns a stage's full version ring: the oldest retained
+// version number and the live snapshots, oldest to newest. The tensors
+// are owned by the store — checkpoint writers read, never mutate.
+func (vs *VersionStore) History(stage int) (base int, snaps [][]*tensor.Tensor) {
+	return vs.base[stage], vs.snaps[stage]
+}
+
+// RestoreStage replaces a stage's version ring wholesale with deep
+// copies of snaps (versions base, base+1, ...) — the checkpoint-restore
+// path. Restoring the ring, not just the latest weights, keeps
+// historical-version installs after a resume bit-identical to the
+// checkpointed run's.
+func (vs *VersionStore) RestoreStage(stage, base int, snaps [][]*tensor.Tensor) {
+	ring := make([][]*tensor.Tensor, len(snaps))
+	for k, snap := range snaps {
+		ring[k] = make([]*tensor.Tensor, len(snap))
+		for i, t := range snap {
+			ring[k][i] = t.Clone()
+		}
+	}
+	vs.snaps[stage] = ring
+	vs.base[stage] = base
+}

@@ -149,6 +149,7 @@ type Group struct {
 	plan    engine.CommitPlan // stage→replica owners (sharded commit)
 	serial  engine.CommitPlan // single-owner plan (leader-serial commit)
 	sharded bool
+	ft      bool // leader trains fault-tolerantly (full moments everywhere)
 
 	scatter [][]*tensor.Tensor // per-stage staging for the grad scatter
 	sumSqs  []float64          // per-stage clip-norm partials
@@ -165,6 +166,9 @@ func NewGroup(lead Leader) *Group {
 	g.plan = lead.CommitShards()
 	g.serial = engine.NewCommitPlan(lead.Stages(), 1)
 	g.sharded = r > 1 && lead.ShardedStep()
+	if ftl, ok := lead.(FaultTolerer); ok {
+		g.ft = ftl.FaultTolerant()
+	}
 	return g
 }
 
@@ -275,15 +279,22 @@ func (g *Group) Broadcast() error {
 // Commit commits one shared optimizer step for the minibatch Reduce just
 // folded into the leader: the leader-serial commit followed by the full
 // Broadcast when sharding is off, or the replica-sharded owner protocol.
-// It returns the first member I/O failure (remote members latch them);
-// the group must not commit again after an error.
+// A member failure surfaces as *MemberError when eviction can handle it
+// (CanEvict) and as a plain wrapped error otherwise; the group must not
+// commit again after a non-evictable error.
 func (g *Group) Commit(nMicro int) error {
 	if !g.sharded {
 		g.serial.Commit(g.lead, nMicro)
-		return g.Broadcast()
+		g.Broadcast()
+		if pos, err := g.firstFault(); pos >= 0 {
+			// The leader has stepped and every healthy follower synced from
+			// it independently, so a dead broadcast target evicts without
+			// replay: the minibatch's loss and step are already final.
+			return g.classify(pos, err, false)
+		}
+		return nil
 	}
-	g.shardedCommit(nMicro)
-	return g.Err()
+	return g.shardedCommit(nMicro)
 }
 
 // shardedCommit is the ZeRO / PipeDream-2BW style replica-sharded commit.
@@ -316,7 +327,7 @@ func (g *Group) Commit(nMicro int) error {
 //     not own from the owner's post-step state (the inverse of the old
 //     leader broadcast) and pushes its version queue exactly once per
 //     stage, so every replica's version history replays identically.
-func (g *Group) shardedCommit(nMicro int) {
+func (g *Group) shardedCommit(nMicro int) error {
 	p := g.lead.Stages()
 	// Scatter: move the leader's reduced gradients to their owners and
 	// align follower epoch clocks. TakeStageGrads zeroes the leader's
@@ -341,6 +352,12 @@ func (g *Group) shardedCommit(nMicro int) {
 			g.sumSqs[st] = m.PrepareStage(st, nMicro)
 		}
 	})
+	if pos, err := g.firstFault(); pos >= 0 {
+		// No member has advanced its step clock yet, so an evictable
+		// failure up to Prepare replays the whole minibatch over the
+		// survivors (ResetGrads first — the scatter moved gradients).
+		return g.classify(pos, err, true)
+	}
 	sumSq := 0.0
 	for _, s := range g.sumSqs {
 		sumSq += s
@@ -381,6 +398,13 @@ func (g *Group) shardedCommit(nMicro int) {
 			}
 		}
 	})
+	if pos, err := g.firstFault(); pos >= 0 {
+		// Step clocks have advanced and a dead owner's stepped shard is
+		// unrecoverable mid-commit: survivors hold a mix of pre- and
+		// post-step stages. Only a checkpoint restore recovers this.
+		return fmt.Errorf("replica %d: %w", pos, err)
+	}
+	return nil
 }
 
 // eachMember runs fn concurrently for every member with its owner shard,

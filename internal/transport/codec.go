@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+
+	"pipemare/internal/tensor"
+)
+
+// Exported payload codec. The checkpoint writer (internal/core) encodes
+// trainer state with the exact primitives the wire uses — big-endian
+// integers, raw IEEE-754 float bits, counted tensor lists — so a
+// checkpoint file round-trips state as bit-exactly as a collective does.
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte { return appendU32(dst, v) }
+
+// AppendU64 appends a big-endian uint64.
+func AppendU64(dst []byte, v uint64) []byte { return appendU64(dst, v) }
+
+// AppendF64 appends the raw IEEE-754 bits of v.
+func AppendF64(dst []byte, v float64) []byte { return appendF64(dst, v) }
+
+// AppendBool appends one byte, 1 for true.
+func AppendBool(dst []byte, v bool) []byte { return appendBool(dst, v) }
+
+// AppendTensor appends one tensor (rank, dims, raw float bits).
+func AppendTensor(dst []byte, t *tensor.Tensor) []byte { return appendTensor(dst, t) }
+
+// AppendTensors appends a counted tensor list.
+func AppendTensors(dst []byte, ts []*tensor.Tensor) []byte { return appendTensors(dst, ts) }
+
+// Cursor reads a payload left to right, latching the first error — the
+// exported face of the wire decoder for checkpoint readers.
+type Cursor struct{ c cursor }
+
+// NewCursor reads b.
+func NewCursor(b []byte) *Cursor { return &Cursor{c: cursor{b: b}} }
+
+// U32 decodes a big-endian uint32.
+func (r *Cursor) U32() uint32 { return r.c.u32() }
+
+// U64 decodes a big-endian uint64.
+func (r *Cursor) U64() uint64 { return r.c.u64() }
+
+// F64 decodes raw IEEE-754 bits.
+func (r *Cursor) F64() float64 { return r.c.f64() }
+
+// Bool decodes one byte as a bool.
+func (r *Cursor) Bool() bool { return r.c.boolean() }
+
+// I32 decodes a u32 written from a signed int back to that int.
+func (r *Cursor) I32() int { return r.c.i32() }
+
+// Count decodes a bounded element count (each element needs at least
+// min remaining bytes).
+func (r *Cursor) Count(min int) int { return r.c.count(min) }
+
+// TensorsInto decodes a counted tensor list, reusing bufs elementwise.
+func (r *Cursor) TensorsInto(bufs []*tensor.Tensor) []*tensor.Tensor { return r.c.tensorsInto(bufs) }
+
+// Rest returns the undecoded remainder.
+func (r *Cursor) Rest() []byte { return r.c.b }
+
+// Err returns the latched decode error, if any.
+func (r *Cursor) Err() error { return r.c.err }
+
+// Done errors unless the payload decoded exactly.
+func (r *Cursor) Done() error { return r.c.done() }
+
+// AppendMessage appends one message to dst as wire frames: payloads
+// larger than the chunk size split with the more-flag, mirroring
+// Conn.Send, so a checkpoint file is byte-for-byte a valid frame stream
+// (magic, version, CRC per frame).
+func AppendMessage(dst []byte, h Header, payload []byte) []byte {
+	for {
+		chunk := payload
+		if len(chunk) > maxChunk {
+			chunk = chunk[:maxChunk]
+		}
+		payload = payload[len(chunk):]
+		h.Flags = 0
+		if len(payload) > 0 {
+			h.Flags = flagMore
+		}
+		dst = AppendFrame(dst, h, chunk)
+		if len(payload) == 0 {
+			return dst
+		}
+	}
+}
+
+// NextMessage decodes the next message from a frame stream produced by
+// AppendMessage, reassembling chunked frames and verifying each frame's
+// magic, version, bounds and CRC. It returns the header, the payload
+// (copied out when chunked, a sub-slice of b otherwise), and the
+// remainder of b after the message.
+func NextMessage(b []byte) (Header, []byte, []byte, error) {
+	var m Msg
+	first := true
+	for {
+		h, payload, rest, err := DecodeFrame(b)
+		if err != nil {
+			return Header{}, nil, nil, err
+		}
+		b = rest
+		if first {
+			if !h.More() {
+				return h, payload, b, nil
+			}
+			m = Msg{Type: h.Type, Replica: h.Replica, Stage: h.Stage}
+			first = false
+		} else if h.Type != m.Type || h.Replica != m.Replica || h.Stage != m.Stage {
+			return Header{}, nil, nil, fmt.Errorf("transport: chunk header mismatch: type %d/%d", h.Type, m.Type)
+		}
+		if len(m.Data)+len(payload) > maxMsg {
+			return Header{}, nil, nil, fmt.Errorf("transport: message exceeds %d bytes", maxMsg)
+		}
+		m.Data = append(m.Data, payload...)
+		if !h.More() {
+			return Header{Type: m.Type, Replica: m.Replica, Stage: m.Stage}, m.Data, b, nil
+		}
+	}
+}

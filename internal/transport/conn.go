@@ -19,6 +19,21 @@ type Msg struct {
 	Data    []byte
 }
 
+// MsgConn is the message-level connection surface: everything above the
+// framing layer (RemoteMember, the serve loop) speaks it, so a fault
+// injector (internal/faults) or any other middleware can wrap a *Conn
+// without the protocol code noticing.
+type MsgConn interface {
+	// Send writes one message, honoring ctx.
+	Send(ctx context.Context, m Msg) error
+	// Recv reads one message, honoring ctx.
+	Recv(ctx context.Context) (Msg, error)
+	// Close closes the connection, unblocking in-flight I/O.
+	Close() error
+	// LocalAddr names the connection's local end.
+	LocalAddr() string
+}
+
 // Conn frames messages over a byte stream. Both transports produce one:
 // loopback wraps an in-process net.Pipe end, TCP a real socket — both
 // support deadlines, which is how context cancellation propagates into
@@ -60,7 +75,13 @@ func (c *Conn) arm(ctx context.Context) (stop func(), err error) {
 	if d, ok := ctx.Deadline(); ok {
 		deadline = d
 	}
-	if err := c.nc.SetDeadline(deadline); err != nil {
+	// A closed-connection report is NOT an arm failure: net.Pipe surfaces
+	// the PEER's close here, and a frame already buffered — the leader's
+	// goodbye in particular — must still drain. I/O on a closed connection
+	// cannot block, so losing the deadline is safe, and the operation
+	// itself reports the connection's real state.
+	if err := c.nc.SetDeadline(deadline); err != nil &&
+		!errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
 		return nil, fmt.Errorf("transport: set deadline: %w", err)
 	}
 	done := make(chan struct{})
@@ -69,8 +90,12 @@ func (c *Conn) arm(ctx context.Context) (stop func(), err error) {
 		defer close(exited)
 		select {
 		case <-ctx.Done():
-			// Unblock the pending I/O immediately.
-			c.nc.SetDeadline(time.Unix(1, 0))
+			// Unblock the pending I/O immediately. If the connection refuses
+			// the forced deadline, closing it is the only remaining way to
+			// guarantee the blocked read or write unwinds.
+			if err := c.nc.SetDeadline(time.Unix(1, 0)); err != nil {
+				c.nc.Close()
+			}
 		case <-done:
 		}
 	}()
@@ -170,6 +195,8 @@ func (c *Conn) Recv(ctx context.Context) (Msg, error) {
 		}
 	}
 }
+
+var _ MsgConn = (*Conn)(nil)
 
 // readFrame reads and validates one frame from the stream.
 func (c *Conn) readFrame() (Header, []byte, error) {

@@ -26,9 +26,9 @@ func TestConnRoundTrip(t *testing.T) {
 		big[i] = byte(i)
 	}
 	msgs := []Msg{
-		{Type: msgHello, Replica: 1, Stage: -1, Data: []byte("spec")},
-		{Type: msgSetGrads, Replica: 2, Stage: 5, Data: nil},
-		{Type: msgSetState, Replica: 3, Stage: 0, Data: big},
+		{Type: MsgHello, Replica: 1, Stage: -1, Data: []byte("spec")},
+		{Type: MsgSetGrads, Replica: 2, Stage: 5, Data: nil},
+		{Type: MsgSetState, Replica: 3, Stage: 0, Data: big},
 	}
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -93,7 +93,7 @@ func TestConnSendCancel(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		// Larger than any internal buffering, and nobody reads b.
-		done <- a.Send(ctx, Msg{Type: msgSetState, Stage: -1, Data: make([]byte, 4*maxChunk)})
+		done <- a.Send(ctx, Msg{Type: MsgSetState, Stage: -1, Data: make([]byte, 4*maxChunk)})
 	}()
 	time.Sleep(20 * time.Millisecond)
 	cancel()
@@ -148,7 +148,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	want := Msg{Type: msgPrepare, Replica: 2, Stage: 3, Data: make([]byte, maxChunk+99)}
+	want := Msg{Type: MsgPrepare, Replica: 2, Stage: 3, Data: make([]byte, maxChunk+99)}
 	for i := range want.Data {
 		want.Data[i] = byte(i >> 3)
 	}
@@ -184,7 +184,7 @@ func TestTCPDialerRetries(t *testing.T) {
 	d := NewTCPDialer(addr)
 	d.BaseDelay = 10 * time.Millisecond
 	type result struct {
-		conn *Conn
+		conn MsgConn
 		err  error
 	}
 	res := make(chan result, 1)

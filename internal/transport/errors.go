@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Error taxonomy. Every failure a wire operation can surface is either
+// transient — the message never reached the peer, so resending it is
+// safe and changes nothing the peer observed — or fatal, meaning the
+// connection's state is unknown (a reply may be lost mid-protocol) and
+// the member must be evicted or the run aborted. RemoteMember retries
+// transient failures with bounded deterministic backoff; everything
+// else sticks.
+var (
+	// ErrTransient marks a failure where the request provably never left
+	// this process (e.g. an injected drop before the write). Wrap it with
+	// %w; IsTransient classifies.
+	ErrTransient = errors.New("transient transport fault")
+
+	// ErrPeerTimeout reports a peer that stopped heartbeating: no reply
+	// and no MsgPing within the heartbeat window. The peer is presumed
+	// hung or dead; the connection is unusable.
+	ErrPeerTimeout = errors.New("transport: peer heartbeat timeout")
+)
+
+// IsTransient reports whether err is safe to retry: the request never
+// reached the wire, so a resend is invisible to the peer.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Retry policy for transient faults: up to retryAttempts resends with
+// exponential backoff from retryBase, plus a small deterministic jitter
+// derived from the member's replica id (no global RNG — retries must
+// not perturb run determinism).
+const (
+	retryAttempts = 3
+	retryBase     = 2 * time.Millisecond
+)
+
+// DefaultHeartbeat is the worker→leader liveness interval during chunk
+// compute when the facade doesn't override it. The miss budget is
+// heartbeatMisses intervals: a peer silent for longer is declared hung.
+const (
+	DefaultHeartbeat = time.Second
+	heartbeatMisses  = 10
+)

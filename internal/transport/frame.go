@@ -72,30 +72,34 @@ const (
 )
 
 // Message types. Requests flow leader→worker; every request has exactly
-// one reply (msgAck, a typed reply, or msgErr).
+// one reply (MsgAck, a typed reply, or MsgErr). MsgPing is the one
+// exception: the worker interleaves it with a pending MsgChunkDone as a
+// liveness signal, and the leader consumes it without replying.
 const (
-	msgHello     = 1  // leader→worker: Spec handshake
-	msgHelloOK   = 2  // worker→leader: handshake accepted
-	msgRunChunk  = 3  // leader→worker: run a chunk of microbatches
-	msgChunkDone = 4  // worker→leader: chunk losses + exported gradients
-	msgSetGrads  = 5  // leader→worker: overwrite a stage's gradient accumulators
-	msgPrepare   = 6  // leader→worker: PrepareStage(stage, nMicro)
-	msgPrepared  = 7  // worker→leader: the stage's clip-norm partial
-	msgBeginStep = 8  // leader→worker: advance the step clocks
-	msgScale     = 9  // leader→worker: ScaleStage(stage, scale)
-	msgStep      = 10 // leader→worker: StepStage(stage)
-	msgFinish    = 11 // leader→worker: FinishStage(stage)
-	msgGetState  = 12 // leader→worker: read a stage's post-step state
-	msgState     = 13 // worker→leader: the stage's state tensors
-	msgSetState  = 14 // leader→worker: import a stage's state (gather/broadcast)
-	msgSyncEpoch = 15 // leader→worker: align the follower's epoch clock
-	msgSync      = 16 // leader→worker: align the follower's step clock (broadcast tail)
-	msgAck       = 17 // worker→leader: generic success reply
-	msgErr       = 18 // worker→leader: failure reply (code + text)
-	msgBye       = 19 // leader→worker: clean shutdown
+	MsgHello     = 1  // leader→worker: Spec handshake
+	MsgHelloOK   = 2  // worker→leader: handshake accepted
+	MsgRunChunk  = 3  // leader→worker: run a chunk of microbatches
+	MsgChunkDone = 4  // worker→leader: chunk losses + exported gradients
+	MsgSetGrads  = 5  // leader→worker: overwrite a stage's gradient accumulators
+	MsgPrepare   = 6  // leader→worker: PrepareStage(stage, nMicro)
+	MsgPrepared  = 7  // worker→leader: the stage's clip-norm partial
+	MsgBeginStep = 8  // leader→worker: advance the step clocks
+	MsgScale     = 9  // leader→worker: ScaleStage(stage, scale)
+	MsgStep      = 10 // leader→worker: StepStage(stage)
+	MsgFinish    = 11 // leader→worker: FinishStage(stage)
+	MsgGetState  = 12 // leader→worker: read a stage's post-step state
+	MsgState     = 13 // worker→leader: the stage's state tensors
+	MsgSetState  = 14 // leader→worker: import a stage's state (gather/broadcast)
+	MsgSyncEpoch = 15 // leader→worker: align the follower's epoch clock
+	MsgSync      = 16 // leader→worker: align the follower's step clock (broadcast tail)
+	MsgAck       = 17 // worker→leader: generic success reply
+	MsgErr       = 18 // worker→leader: failure reply (code + text)
+	MsgBye       = 19 // leader→worker: clean shutdown
+	MsgPing      = 20 // worker→leader: heartbeat while a chunk computes (no reply)
+	MsgSetRing   = 21 // leader→worker: restore a stage's weight-version ring
 )
 
-// Error codes carried by msgErr.
+// Error codes carried by MsgErr.
 const (
 	errGeneric  = 1 // the worker failed; the connection is unusable
 	errDiverged = 2 // the chunk diverged (a normal training outcome, not a transport fault)

@@ -19,9 +19,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		payloads[3][i] = byte(i * 31)
 	}
 	headers := []Header{
-		{Type: msgHello, Replica: 0, Stage: -1},
-		{Type: msgSetGrads, Flags: flagMore, Replica: 3, Stage: 7},
-		{Type: msgChunkDone, Replica: 65535, Stage: 1<<31 - 1},
+		{Type: MsgHello, Replica: 0, Stage: -1},
+		{Type: MsgSetGrads, Flags: flagMore, Replica: 3, Stage: 7},
+		{Type: MsgChunkDone, Replica: 65535, Stage: 1<<31 - 1},
 	}
 	var buf []byte
 	var want []struct {
@@ -62,7 +62,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // every boundary, bad magic, unknown version, oversized length prefixes
 // and CRC mismatches all error — never panic, never return garbage.
 func TestDecodeFrameErrors(t *testing.T) {
-	good := AppendFrame(nil, Header{Type: msgAck, Replica: 1, Stage: 2}, []byte{1, 2, 3})
+	good := AppendFrame(nil, Header{Type: MsgAck, Replica: 1, Stage: 2}, []byte{1, 2, 3})
 	cases := []struct {
 		name string
 		b    []byte
@@ -113,11 +113,11 @@ func TestDecodeFrameErrors(t *testing.T) {
 // within bounds and re-encode to a decodable frame.
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte(nil))
-	f.Add(AppendFrame(nil, Header{Type: msgHello, Stage: -1}, nil))
-	f.Add(AppendFrame(nil, Header{Type: msgSetGrads, Flags: flagMore, Replica: 9, Stage: 4}, []byte("tensor bits")))
-	trunc := AppendFrame(nil, Header{Type: msgAck}, []byte{1, 2, 3})
+	f.Add(AppendFrame(nil, Header{Type: MsgHello, Stage: -1}, nil))
+	f.Add(AppendFrame(nil, Header{Type: MsgSetGrads, Flags: flagMore, Replica: 9, Stage: 4}, []byte("tensor bits")))
+	trunc := AppendFrame(nil, Header{Type: MsgAck}, []byte{1, 2, 3})
 	f.Add(trunc[:len(trunc)-2])
-	corrupt := AppendFrame(nil, Header{Type: msgErr}, []byte{9})
+	corrupt := AppendFrame(nil, Header{Type: MsgErr}, []byte{9})
 	corrupt[len(corrupt)-1] ^= 0xff
 	f.Add(corrupt)
 	f.Fuzz(func(t *testing.T, b []byte) {

@@ -12,14 +12,14 @@ import (
 type Dialer interface {
 	// Dial establishes a framed connection, honoring ctx for cancellation
 	// and deadline.
-	Dial(ctx context.Context) (*Conn, error)
+	Dial(ctx context.Context) (MsgConn, error)
 }
 
 // Listener accepts framed connections. Implementations: the loopback
 // half of Loopback, and the TCP listener from ListenTCP.
 type Listener interface {
 	// Accept waits for one connection, honoring ctx.
-	Accept(ctx context.Context) (*Conn, error)
+	Accept(ctx context.Context) (MsgConn, error)
 	// Addr names the listening endpoint (a dialable address for TCP).
 	Addr() string
 	// Close releases the listener; blocked Accepts return an error.
@@ -44,7 +44,7 @@ func Loopback() (Listener, Dialer) {
 }
 
 // Dial hands the accept side one pipe end and frames the other.
-func (l *loopback) Dial(ctx context.Context) (*Conn, error) {
+func (l *loopback) Dial(ctx context.Context) (MsgConn, error) {
 	a, b := net.Pipe()
 	select {
 	case l.ch <- b:
@@ -61,7 +61,7 @@ func (l *loopback) Dial(ctx context.Context) (*Conn, error) {
 }
 
 // Accept waits for a Dial.
-func (l *loopback) Accept(ctx context.Context) (*Conn, error) {
+func (l *loopback) Accept(ctx context.Context) (MsgConn, error) {
 	select {
 	case nc := <-l.ch:
 		return NewConn(nc), nil

@@ -35,15 +35,17 @@ type LeaderState interface {
 // error through the engine to Trainer.Run. A diverged chunk is a normal
 // reply, not a fault.
 type RemoteMember struct {
-	conn    *Conn
+	conn    MsgConn
 	replica int
 	stages  int
 	lead    LeaderState
+	hb      time.Duration // heartbeat interval (0 disables the liveness window)
 
 	mu     sync.Mutex
 	ctx    context.Context // bound per minibatch (BindContext); Background otherwise
 	err    error           // sticky transport error
 	closed bool
+	jit    uint64 // deterministic retry-jitter state (per-member LCG)
 
 	losses  []float64
 	grads   [][][]*tensor.Tensor
@@ -53,22 +55,24 @@ type RemoteMember struct {
 
 // NewRemoteMember dials nothing — conn is already established — but runs
 // the handshake: it announces spec, waits for the worker's verdict, and
-// returns the proxy on msgHelloOK. lead is the local leader replica the
+// returns the proxy on MsgHelloOK. lead is the local leader replica the
 // proxy reads when serving SyncEpoch/SyncFromLeader.
-func NewRemoteMember(ctx context.Context, conn *Conn, spec Spec, lead LeaderState) (*RemoteMember, error) {
+func NewRemoteMember(ctx context.Context, conn MsgConn, spec Spec, lead LeaderState) (*RemoteMember, error) {
 	m := &RemoteMember{
 		conn:    conn,
 		replica: spec.Replica,
 		stages:  spec.Stages,
 		lead:    lead,
+		hb:      spec.Heartbeat,
 		ctx:     context.Background(),
+		jit:     uint64(spec.Replica)*0x9E3779B97F4A7C15 + 1,
 		states:  make([][]*tensor.Tensor, spec.Stages),
 	}
-	resp, err := m.roundTrip(ctx, Msg{Type: msgHello, Replica: uint16(spec.Replica), Stage: -1, Data: spec.encode()})
+	resp, err := m.roundTrip(ctx, Msg{Type: MsgHello, Replica: uint16(spec.Replica), Stage: -1, Data: spec.encode()})
 	if err != nil {
 		return nil, fmt.Errorf("transport: handshake with replica %d: %w", spec.Replica, err)
 	}
-	if resp.Type != msgHelloOK {
+	if resp.Type != MsgHelloOK {
 		return nil, fmt.Errorf("transport: handshake with replica %d: unexpected reply type %d", spec.Replica, resp.Type)
 	}
 	return m, nil
@@ -104,7 +108,7 @@ func (m *RemoteMember) Close() error {
 	m.closed = true
 	if m.err == nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
-		m.conn.Send(ctx, Msg{Type: msgBye, Replica: uint16(m.replica), Stage: -1})
+		m.conn.Send(ctx, Msg{Type: MsgBye, Replica: uint16(m.replica), Stage: -1})
 		cancel()
 	}
 	m.err = errors.New("transport: member closed")
@@ -112,19 +116,78 @@ func (m *RemoteMember) Close() error {
 }
 
 // roundTrip sends one request and reads its reply without the sticky
-// error machinery (used by the handshake).
+// error machinery (the handshake uses it directly). Transient send
+// failures — the request provably never left this process — retry with
+// bounded exponential backoff and deterministic per-member jitter; a
+// resend after such a failure is invisible to the peer, so the curve is
+// untouched. Any failure after the request is on the wire is final: the
+// peer's state is unknown.
 func (m *RemoteMember) roundTrip(ctx context.Context, req Msg) (Msg, error) {
-	if err := m.conn.Send(ctx, req); err != nil {
-		return Msg{}, err
+	for attempt := 0; ; attempt++ {
+		if err := m.conn.Send(ctx, req); err != nil {
+			if IsTransient(err) && attempt < retryAttempts {
+				if serr := m.backoff(ctx, attempt); serr != nil {
+					return Msg{}, serr
+				}
+				continue
+			}
+			return Msg{}, err
+		}
+		resp, err := m.recvReply(ctx)
+		if err != nil {
+			return Msg{}, err
+		}
+		if resp.Type == MsgErr {
+			return Msg{}, decodeWireErr(resp.Data)
+		}
+		return resp, nil
 	}
-	resp, err := m.conn.Recv(ctx)
-	if err != nil {
-		return Msg{}, err
+}
+
+// recvReply reads the next reply, consuming interleaved heartbeat pings.
+// With heartbeats enabled, each read runs under a liveness window of
+// heartbeatMisses intervals: a peer that neither replies nor pings
+// within it is declared hung (ErrPeerTimeout) instead of waited on
+// forever.
+func (m *RemoteMember) recvReply(ctx context.Context) (Msg, error) {
+	for {
+		rctx := ctx
+		var cancel context.CancelFunc
+		if m.hb > 0 {
+			rctx, cancel = context.WithTimeout(ctx, m.hb*heartbeatMisses)
+		}
+		resp, err := m.conn.Recv(rctx)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			if m.hb > 0 && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+				return Msg{}, fmt.Errorf("%w: replica %d silent for %v", ErrPeerTimeout, m.replica, m.hb*heartbeatMisses)
+			}
+			return Msg{}, err
+		}
+		if resp.Type == MsgPing {
+			continue
+		}
+		return resp, nil
 	}
-	if resp.Type == msgErr {
-		return Msg{}, decodeWireErr(resp.Data)
+}
+
+// backoff sleeps for the attempt's retry delay (exponential from
+// retryBase, plus deterministic jitter from the member's LCG — no
+// global RNG, so retries cannot perturb run determinism), honoring ctx.
+func (m *RemoteMember) backoff(ctx context.Context, attempt int) error {
+	d := retryBase << attempt
+	m.jit = m.jit*6364136223846793005 + 1442695040888963407
+	d += time.Duration(m.jit>>33) % (d/2 + 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	return resp, nil
 }
 
 // call is the request/response engine for member operations: serialized
@@ -187,7 +250,7 @@ func (m *RemoteMember) RunChunk(ctx context.Context, start int, async bool, micr
 		}
 	}
 	m.scratch = b
-	resp, err := m.roundTrip(ctx, Msg{Type: msgRunChunk, Replica: uint16(m.replica), Stage: -1, Data: b})
+	resp, err := m.roundTrip(ctx, Msg{Type: MsgRunChunk, Replica: uint16(m.replica), Stage: -1, Data: b})
 	if err != nil {
 		if errors.Is(err, engine.ErrDiverged) {
 			return nil, nil, err
@@ -195,7 +258,7 @@ func (m *RemoteMember) RunChunk(ctx context.Context, start int, async bool, micr
 		m.err = fmt.Errorf("transport: replica %d: run chunk: %w", m.replica, err)
 		return nil, nil, m.err
 	}
-	if resp.Type != msgChunkDone {
+	if resp.Type != MsgChunkDone {
 		m.err = fmt.Errorf("transport: replica %d: reply type %d to run chunk", m.replica, resp.Type)
 		return nil, nil, m.err
 	}
@@ -245,14 +308,14 @@ func (m *RemoteMember) stageMsg(typ byte, stage int, data []byte) Msg {
 // SetStageGrads scatters the leader's reduced gradients for one stage to
 // this owner as a pure copy over the wire.
 func (m *RemoteMember) SetStageGrads(stage int, bufs []*tensor.Tensor) {
-	m.call(m.stageMsg(msgSetGrads, stage, appendTensors(nil, bufs)), msgAck)
+	m.call(m.stageMsg(MsgSetGrads, stage, appendTensors(nil, bufs)), MsgAck)
 }
 
 // PrepareStage runs the stage's gradient averaging on the worker and
 // returns its clip-norm partial (0 after a transport failure — the
 // commit unwinds through Group's error check, not through the sum).
 func (m *RemoteMember) PrepareStage(stage, nMicro int) float64 {
-	resp, err := m.call(m.stageMsg(msgPrepare, stage, appendU32(nil, uint32(nMicro))), msgPrepared)
+	resp, err := m.call(m.stageMsg(MsgPrepare, stage, appendU32(nil, uint32(nMicro))), MsgPrepared)
 	if err != nil {
 		return 0
 	}
@@ -267,22 +330,22 @@ func (m *RemoteMember) PrepareStage(stage, nMicro int) float64 {
 
 // BeginStep advances the worker replica's step clocks.
 func (m *RemoteMember) BeginStep() {
-	m.call(Msg{Type: msgBeginStep, Stage: -1}, msgAck)
+	m.call(Msg{Type: MsgBeginStep, Stage: -1}, MsgAck)
 }
 
 // ScaleStage applies the clip factor to the stage's gradients remotely.
 func (m *RemoteMember) ScaleStage(stage int, scale float64) {
-	m.call(m.stageMsg(msgScale, stage, appendF64(nil, scale)), msgAck)
+	m.call(m.stageMsg(MsgScale, stage, appendF64(nil, scale)), MsgAck)
 }
 
 // StepStage applies the optimizer update for the stage remotely.
 func (m *RemoteMember) StepStage(stage int) {
-	m.call(m.stageMsg(msgStep, stage, nil), msgAck)
+	m.call(m.stageMsg(MsgStep, stage, nil), MsgAck)
 }
 
 // FinishStage finalizes the stage's step remotely.
 func (m *RemoteMember) FinishStage(stage int) {
-	m.call(m.stageMsg(msgFinish, stage, nil), msgAck)
+	m.call(m.stageMsg(MsgFinish, stage, nil), MsgAck)
 }
 
 // StageState fetches the stage's post-step state from the worker into a
@@ -290,7 +353,7 @@ func (m *RemoteMember) FinishStage(stage int) {
 // single goroutine before fanning it out, so the buffer is never written
 // while an importer reads it. Returns nil after a transport failure.
 func (m *RemoteMember) StageState(stage int) []*tensor.Tensor {
-	resp, err := m.call(m.stageMsg(msgGetState, stage, nil), msgState)
+	resp, err := m.call(m.stageMsg(MsgGetState, stage, nil), MsgState)
 	if err != nil {
 		return nil
 	}
@@ -306,12 +369,26 @@ func (m *RemoteMember) StageState(stage int) []*tensor.Tensor {
 // ImportStageState ships an owner's post-step stage state to the worker,
 // which imports it and pushes its version queue.
 func (m *RemoteMember) ImportStageState(stage int, src []*tensor.Tensor) {
-	m.call(m.stageMsg(msgSetState, stage, appendTensors(nil, src)), msgAck)
+	m.call(m.stageMsg(MsgSetState, stage, appendTensors(nil, src)), MsgAck)
+}
+
+// RestoreVersions ships a stage's weight-version ring to the worker
+// (checkpoint restore): the ring's base version number and its
+// snapshots, oldest to newest. The worker replaces its ring wholesale,
+// so historical-version installs after a restore are bit-identical to
+// the checkpointed run's (replica.VersionRestorer).
+func (m *RemoteMember) RestoreVersions(stage, base int, snaps [][]*tensor.Tensor) {
+	b := appendU32(nil, uint32(base))
+	b = appendU32(b, uint32(len(snaps)))
+	for _, snap := range snaps {
+		b = appendTensors(b, snap)
+	}
+	m.call(m.stageMsg(MsgSetRing, stage, b), MsgAck)
 }
 
 // SyncEpoch pushes the leader's epoch clock to the worker.
 func (m *RemoteMember) SyncEpoch() {
-	m.call(Msg{Type: msgSyncEpoch, Stage: -1, Data: appendU32(nil, uint32(m.lead.Epoch()))}, msgAck)
+	m.call(Msg{Type: MsgSyncEpoch, Stage: -1, Data: appendU32(nil, uint32(m.lead.Epoch()))}, MsgAck)
 }
 
 // SyncFromLeader is the full-state broadcast of the leader-serial
@@ -319,11 +396,11 @@ func (m *RemoteMember) SyncEpoch() {
 // large tensors), then the step clock aligns.
 func (m *RemoteMember) SyncFromLeader() {
 	for st := 0; st < m.stages; st++ {
-		if _, err := m.call(m.stageMsg(msgSetState, st, appendTensors(nil, m.lead.StageState(st))), msgAck); err != nil {
+		if _, err := m.call(m.stageMsg(MsgSetState, st, appendTensors(nil, m.lead.StageState(st))), MsgAck); err != nil {
 			return
 		}
 	}
-	m.call(Msg{Type: msgSync, Stage: -1, Data: appendU32(nil, uint32(m.lead.Step()))}, msgAck)
+	m.call(Msg{Type: MsgSync, Stage: -1, Data: appendU32(nil, uint32(m.lead.Step()))}, MsgAck)
 }
 
 func (m *RemoteMember) fail(err error) {
@@ -337,7 +414,7 @@ func (m *RemoteMember) fail(err error) {
 // --- engine.Host surface ---
 //
 // The pipeline slots of a remote member run in the worker process,
-// driven by its own inner engine via msgRunChunk; the replicated engine
+// driven by its own inner engine via MsgRunChunk; the replicated engine
 // never drives them through this proxy. Stages is real (replica.Compute
 // reads it at wrap time); the slot methods refuse loudly.
 
@@ -404,7 +481,8 @@ func (m *RemoteMember) BadLoss(loss float64) bool { panic(m.remoteSlot("BadLoss"
 func (m *RemoteMember) ClipScale(sumSq float64) float64 { panic(m.remoteSlot("ClipScale")) }
 
 var (
-	_ replica.Member = (*RemoteMember)(nil)
-	_ replica.Runner = (*RemoteMember)(nil)
-	_ replica.Erring = (*RemoteMember)(nil)
+	_ replica.Member          = (*RemoteMember)(nil)
+	_ replica.Runner          = (*RemoteMember)(nil)
+	_ replica.Erring          = (*RemoteMember)(nil)
+	_ replica.VersionRestorer = (*RemoteMember)(nil)
 )

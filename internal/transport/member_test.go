@@ -323,7 +323,7 @@ func TestCancelMidCollectiveUnwinds(t *testing.T) {
 		if _, err := conn.Recv(ctx); err != nil {
 			return
 		}
-		conn.Send(ctx, Msg{Type: msgHelloOK, Stage: -1})
+		conn.Send(ctx, Msg{Type: MsgHelloOK, Stage: -1})
 		select {} // never reply again (goroutine dies with the process)
 	}()
 	conn, err := NewTCPDialer(lis.Addr()).Dial(ctx)
@@ -377,7 +377,7 @@ func TestWorkerDeathMidChunkIsAnError(t *testing.T) {
 		if _, err := conn.Recv(ctx); err != nil {
 			return
 		}
-		conn.Send(ctx, Msg{Type: msgHelloOK, Stage: -1})
+		conn.Send(ctx, Msg{Type: MsgHelloOK, Stage: -1})
 		conn.Recv(ctx) // the chunk request...
 		conn.Close()   // ...and the worker dies
 	}()
@@ -425,20 +425,20 @@ func TestServerSurvivesMalformedRequests(t *testing.T) {
 	leader := newWireMember(2)
 	spec := Spec{Replica: 1, Replicas: 2, Stages: 2,
 		Checksum: StateChecksum(leadState{leader}, 2)}
-	if err := conn.Send(ctx, Msg{Type: msgHello, Replica: 1, Stage: -1, Data: spec.encode()}); err != nil {
+	if err := conn.Send(ctx, Msg{Type: MsgHello, Replica: 1, Stage: -1, Data: spec.encode()}); err != nil {
 		t.Fatal(err)
 	}
-	if resp, err := conn.Recv(ctx); err != nil || resp.Type != msgHelloOK {
+	if resp, err := conn.Recv(ctx); err != nil || resp.Type != MsgHelloOK {
 		t.Fatalf("handshake: %v / type %d", err, resp.Type)
 	}
 	// A stage index far out of range panics the member; the guard must
-	// turn it into msgErr.
-	if err := conn.Send(ctx, Msg{Type: msgStep, Replica: 1, Stage: 99}); err != nil {
+	// turn it into MsgErr.
+	if err := conn.Send(ctx, Msg{Type: MsgStep, Replica: 1, Stage: 99}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := conn.Recv(ctx)
-	if err != nil || resp.Type != msgErr {
-		t.Fatalf("reply to malformed request: %v / type %d, want msgErr", err, resp.Type)
+	if err != nil || resp.Type != MsgErr {
+		t.Fatalf("reply to malformed request: %v / type %d, want MsgErr", err, resp.Type)
 	}
 	if err := <-serveDone; err == nil {
 		t.Fatal("serve loop ignored a fatal request error")

@@ -4,22 +4,24 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"pipemare/internal/engine"
 	"pipemare/internal/replica"
+	"pipemare/internal/tensor"
 )
 
 // Builder constructs (or verifies) the worker's local follower member
 // for the spec the leader announced — typically core.NewFollower over a
 // task the worker rebuilt from the same seed and options as the leader.
-// It runs after msgHello, so a spec-dependent configuration (replica id,
+// It runs after MsgHello, so a spec-dependent configuration (replica id,
 // replica count, commit mode, pinned partition costs) needs no worker
 // flags.
 type Builder func(spec Spec) (replica.Member, error)
 
 // ClockSetter is the clock-alignment surface the serve loop writes:
-// msgSync sets the follower's step clock after a full-state broadcast,
-// and msgSyncEpoch aligns its epoch clock before a sharded commit. The
+// MsgSync sets the follower's step clock after a full-state broadcast,
+// and MsgSyncEpoch aligns its epoch clock before a sharded commit. The
 // trainer's member (internal/core) satisfies it.
 type ClockSetter interface {
 	SetStep(step int)
@@ -41,7 +43,7 @@ func Serve(ctx context.Context, lis Listener, build Builder, inner engine.Engine
 }
 
 // ServeConn serves one established leader connection (see Serve).
-func ServeConn(ctx context.Context, conn *Conn, build Builder, inner engine.Engine) error {
+func ServeConn(ctx context.Context, conn MsgConn, build Builder, inner engine.Engine) error {
 	if inner == nil {
 		inner = engine.NewReference()
 	}
@@ -60,14 +62,15 @@ func ServeConn(ctx context.Context, conn *Conn, build Builder, inner engine.Engi
 }
 
 type server struct {
-	conn   *Conn
+	conn   MsgConn
 	inner  engine.Engine
 	member replica.Member
 	comp   *replica.Compute
 
 	replica uint16
-	micros  [][]int // RunChunk decode buffer
-	scratch []byte  // reply encode buffer
+	hb      time.Duration // heartbeat interval from the leader's spec (0 = off)
+	micros  [][]int       // RunChunk decode buffer
+	scratch []byte        // reply encode buffer
 }
 
 func (s *server) reply(ctx context.Context, m Msg) error {
@@ -78,10 +81,10 @@ func (s *server) reply(ctx context.Context, m Msg) error {
 func (s *server) replyErr(ctx context.Context, code uint32, text string) error {
 	data := appendU32(nil, code)
 	data = append(data, text...)
-	return s.reply(ctx, Msg{Type: msgErr, Stage: -1, Data: data})
+	return s.reply(ctx, Msg{Type: MsgErr, Stage: -1, Data: data})
 }
 
-// handshake reads msgHello, builds the follower from the spec, verifies
+// handshake reads MsgHello, builds the follower from the spec, verifies
 // topology and the initial-state checksum, aligns the clocks, and
 // acknowledges. A mismatch is reported to the leader and returned.
 func (s *server) handshake(ctx context.Context, build Builder) (replica.Member, error) {
@@ -89,7 +92,7 @@ func (s *server) handshake(ctx context.Context, build Builder) (replica.Member, 
 	if err != nil {
 		return nil, fmt.Errorf("transport: handshake: %w", err)
 	}
-	if req.Type != msgHello {
+	if req.Type != MsgHello {
 		return nil, fmt.Errorf("transport: handshake: first message type %d, want hello", req.Type)
 	}
 	s.replica = req.Replica
@@ -106,9 +109,10 @@ func (s *server) handshake(ctx context.Context, build Builder) (replica.Member, 
 	if spec.Replica < 1 || spec.Replica >= spec.Replicas {
 		return reject("replica %d out of range for %d replicas", spec.Replica, spec.Replicas)
 	}
+	s.hb = spec.Heartbeat
 	member, err := build(spec)
 	if err != nil {
-		return reject("building follower: %v", err)
+		return reject("building follower: %w", err)
 	}
 	if got := member.Stages(); got != spec.Stages {
 		return reject("follower has %d stages, leader has %d", got, spec.Stages)
@@ -122,7 +126,7 @@ func (s *server) handshake(ctx context.Context, build Builder) (replica.Member, 
 	} else if spec.Step != 0 || spec.Epoch != 0 {
 		return reject("leader clocks (step %d, epoch %d) cannot be applied: member has no clock setters", spec.Step, spec.Epoch)
 	}
-	if err := s.reply(ctx, Msg{Type: msgHelloOK, Stage: -1}); err != nil {
+	if err := s.reply(ctx, Msg{Type: MsgHelloOK, Stage: -1}); err != nil {
 		return nil, fmt.Errorf("transport: handshake: %w", err)
 	}
 	return member, nil
@@ -140,7 +144,7 @@ func (s *server) loop(ctx context.Context) error {
 			}
 			return fmt.Errorf("transport: serve: %w", err)
 		}
-		if req.Type == msgBye {
+		if req.Type == MsgBye {
 			return nil
 		}
 		resp, fatal := s.dispatch(ctx, req)
@@ -161,53 +165,69 @@ func (s *server) dispatch(ctx context.Context, req Msg) (resp Msg, fatal error) 
 			fatal = fmt.Errorf("request type %d: %v", req.Type, r)
 		}
 	}()
-	ack := Msg{Type: msgAck, Stage: req.Stage}
+	ack := Msg{Type: MsgAck, Stage: req.Stage}
 	stage := int(req.Stage)
 	c := &cursor{b: req.Data}
 	switch req.Type {
-	case msgRunChunk:
+	case MsgRunChunk:
 		return s.runChunk(ctx, c)
-	case msgSetGrads:
+	case MsgSetGrads:
 		bufs := c.tensorsInto(nil)
 		if err := c.done(); err != nil {
 			return Msg{}, err
 		}
 		s.member.SetStageGrads(stage, bufs)
 		return ack, nil
-	case msgPrepare:
+	case MsgPrepare:
 		nMicro := c.i32()
 		if err := c.done(); err != nil {
 			return Msg{}, err
 		}
 		sumSq := s.member.PrepareStage(stage, nMicro)
-		return Msg{Type: msgPrepared, Stage: req.Stage, Data: appendF64(s.scratch[:0], sumSq)}, nil
-	case msgBeginStep:
+		return Msg{Type: MsgPrepared, Stage: req.Stage, Data: appendF64(s.scratch[:0], sumSq)}, nil
+	case MsgBeginStep:
 		s.member.BeginStep()
 		return ack, nil
-	case msgScale:
+	case MsgScale:
 		scale := c.f64()
 		if err := c.done(); err != nil {
 			return Msg{}, err
 		}
 		s.member.ScaleStage(stage, scale)
 		return ack, nil
-	case msgStep:
+	case MsgStep:
 		s.member.StepStage(stage)
 		return ack, nil
-	case msgFinish:
+	case MsgFinish:
 		s.member.FinishStage(stage)
 		return ack, nil
-	case msgGetState:
+	case MsgGetState:
 		state := s.member.StageState(stage)
-		return Msg{Type: msgState, Stage: req.Stage, Data: appendTensors(s.scratch[:0], state)}, nil
-	case msgSetState:
+		return Msg{Type: MsgState, Stage: req.Stage, Data: appendTensors(s.scratch[:0], state)}, nil
+	case MsgSetState:
 		bufs := c.tensorsInto(nil)
 		if err := c.done(); err != nil {
 			return Msg{}, err
 		}
 		s.member.ImportStageState(stage, bufs)
 		return ack, nil
-	case msgSyncEpoch:
+	case MsgSetRing:
+		base := c.i32()
+		nSnaps := c.count(4)
+		snaps := make([][]*tensor.Tensor, nSnaps)
+		for i := range snaps {
+			snaps[i] = c.tensorsInto(nil)
+		}
+		if err := c.done(); err != nil {
+			return Msg{}, err
+		}
+		vr, ok := s.member.(replica.VersionRestorer)
+		if !ok {
+			return Msg{}, fmt.Errorf("member cannot restore version rings")
+		}
+		vr.RestoreVersions(stage, base, snaps)
+		return ack, nil
+	case MsgSyncEpoch:
 		epoch := c.i32()
 		if err := c.done(); err != nil {
 			return Msg{}, err
@@ -218,7 +238,7 @@ func (s *server) dispatch(ctx context.Context, req Msg) (resp Msg, fatal error) 
 		}
 		cs.SetEpoch(epoch)
 		return ack, nil
-	case msgSync:
+	case MsgSync:
 		step := c.i32()
 		if err := c.done(); err != nil {
 			return Msg{}, err
@@ -260,10 +280,23 @@ func (s *server) runChunk(ctx context.Context, c *cursor) (Msg, error) {
 		return Msg{}, err
 	}
 	s.comp.BeginChunk(start, k, async)
-	if _, err := s.inner.Minibatch(ctx, s.comp, micros); err != nil {
+	// While the chunk computes — the one long-running request — a pinger
+	// streams MsgPing so the leader can tell "slow" from "hung". It is
+	// stopped and joined before the reply is encoded: Conn is not safe
+	// for concurrent use, so the pinger must never overlap another Send.
+	stopPing := func() {}
+	if s.hb > 0 {
+		pctx, cancel := context.WithCancel(ctx)
+		done := make(chan struct{})
+		go s.ping(pctx, done)
+		stopPing = func() { cancel(); <-done }
+	}
+	_, err := s.inner.Minibatch(ctx, s.comp, micros)
+	stopPing()
+	if err != nil {
 		if errors.Is(err, engine.ErrDiverged) {
 			data := appendU32(s.scratch[:0], errDiverged)
-			return Msg{Type: msgErr, Stage: -1, Data: data}, nil
+			return Msg{Type: MsgErr, Stage: -1, Data: data}, nil
 		}
 		return Msg{}, fmt.Errorf("chunk failed: %w", err)
 	}
@@ -281,5 +314,22 @@ func (s *server) runChunk(ctx context.Context, c *cursor) (Msg, error) {
 		}
 	}
 	s.scratch = b
-	return Msg{Type: msgChunkDone, Stage: -1, Data: b}, nil
+	return Msg{Type: MsgChunkDone, Stage: -1, Data: b}, nil
+}
+
+// ping streams heartbeats at the spec'd interval until ctx ends.
+func (s *server) ping(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.conn.Send(ctx, Msg{Type: MsgPing, Replica: s.replica, Stage: -1}); err != nil {
+				return
+			}
+		}
+	}
 }

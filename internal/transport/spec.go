@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"time"
 
 	"pipemare/internal/tensor"
 )
 
-// Spec is the handshake the leader announces in msgHello: everything the
+// Spec is the handshake the leader announces in MsgHello: everything the
 // worker must agree on for the distributed curves to stay bit-identical
 // to the in-process ones. The worker rebuilds its follower from its own
 // task and options, then verifies the spec — replica identity, topology,
@@ -31,6 +32,13 @@ type Spec struct {
 	// GroupCosts pins the leader's per-group partition costs so a
 	// measured (profile) partition reproduces exactly on the worker.
 	GroupCosts []float64
+	// FT tells the worker the leader trains fault-tolerantly: followers
+	// hold full optimizer moments (so stage state includes them and an
+	// evicted member's shard survives on every peer).
+	FT bool
+	// Heartbeat is the worker→leader liveness interval during chunk
+	// compute; 0 disables heartbeats.
+	Heartbeat time.Duration
 }
 
 func (s Spec) encode() []byte {
@@ -47,6 +55,8 @@ func (s Spec) encode() []byte {
 	for _, c := range s.GroupCosts {
 		b = appendF64(b, c)
 	}
+	b = appendBool(b, s.FT)
+	b = appendU64(b, uint64(s.Heartbeat))
 	return b
 }
 
@@ -70,6 +80,8 @@ func decodeSpec(data []byte) (Spec, error) {
 			s.GroupCosts[i] = c.f64()
 		}
 	}
+	s.FT = c.boolean()
+	s.Heartbeat = time.Duration(c.u64())
 	if err := c.done(); err != nil {
 		return Spec{}, fmt.Errorf("bad hello: %w", err)
 	}

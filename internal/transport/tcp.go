@@ -29,7 +29,7 @@ func NewTCPDialer(addr string) *TCPDialer { return &TCPDialer{Addr: addr} }
 
 // Dial connects, retrying with exponential backoff + jitter until ctx
 // expires.
-func (d *TCPDialer) Dial(ctx context.Context) (*Conn, error) {
+func (d *TCPDialer) Dial(ctx context.Context) (MsgConn, error) {
 	base := d.BaseDelay
 	if base <= 0 {
 		base = 50 * time.Millisecond
@@ -90,7 +90,7 @@ func ListenTCP(addr string) (Listener, error) {
 }
 
 // Accept waits for one connection; ctx cancellation closes the wait.
-func (t *tcpListener) Accept(ctx context.Context) (*Conn, error) {
+func (t *tcpListener) Accept(ctx context.Context) (MsgConn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -32,6 +32,8 @@ type settings struct {
 	observer     Observer
 	dialers      []transport.Dialer
 	dialTimeout  time.Duration
+	heartbeat    time.Duration // remote-follower liveness cadence
+	heartbeatSet bool
 }
 
 // Option configures New. Options validate eagerly: the first failing
@@ -307,6 +309,71 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithFaultTolerance makes follower failures survivable in every commit
+// mode: each replica mirrors the full optimizer moment state (stage
+// state carries the moments through every gather and broadcast), so
+// when a follower dies mid-run the leader evicts it, rebuilds the
+// reduce tree and commit plan over the survivors, and replays the
+// interrupted minibatch — with a post-eviction curve bit-identical to a
+// fresh run over the surviving replica count from the same state.
+// Serial-commit (WithShardedStep(false)) groups evict without this
+// option; the sharded commit requires it, because without mirrored
+// moments a dead owner's optimizer shard is simply gone. Requires an
+// optimizer exposing its moment state (optim.Stateful — SGD and AdamW
+// do). Implied by WithCheckpoint under the sharded commit.
+func WithFaultTolerance() Option {
+	return func(s *settings) error {
+		s.cfg.FaultTolerant = true
+		return nil
+	}
+}
+
+// WithCheckpoint makes the leader serialize its complete training state
+// — master weights, optimizer moments, T2 accumulators, the per-stage
+// weight-version rings, and the step/epoch/microbatch clocks — to a
+// CRC'd frame file under dir every `every` optimizer steps (every <= 1
+// means every step). Restore with pipemare.Restore, which resumes the
+// run exactly where the newest valid checkpoint left it: the data order
+// is a pure function of (seed, epoch), so the resumed curve is
+// bit-identical to the uninterrupted run's from that step on. Followers
+// never checkpoint.
+func WithCheckpoint(dir string, every int) Option {
+	return func(s *settings) error {
+		if dir == "" {
+			return fmt.Errorf("pipemare: checkpoint directory must not be empty")
+		}
+		if every < 0 {
+			return fmt.Errorf("pipemare: checkpoint cadence must be >= 0, got %d", every)
+		}
+		s.cfg.CheckpointDir = dir
+		s.cfg.CheckpointEvery = every
+		return nil
+	}
+}
+
+// WithHeartbeat sets the liveness cadence for remote followers
+// (WithTransport): a worker pings its leader at this interval while
+// computing a chunk, and the leader treats a peer silent for ten
+// missed heartbeats as dead — surfacing a hang as a failure the
+// fault-tolerance layer can evict instead of blocking until the context
+// ends. 0 disables liveness detection. Without this option, liveness
+// detection follows WithFaultTolerance: 1s when fault tolerance is on,
+// off otherwise — a run that cannot evict a dead peer gains nothing
+// from declaring one, and a heavily oversubscribed host (many
+// in-process workers per core) can starve the ping goroutine past any
+// fixed window. Fault-tolerant runs on such hosts should widen the
+// cadence explicitly.
+func WithHeartbeat(d time.Duration) Option {
+	return func(s *settings) error {
+		if d < 0 {
+			return fmt.Errorf("pipemare: heartbeat must be >= 0, got %v", d)
+		}
+		s.heartbeat = d
+		s.heartbeatSet = true
+		return nil
+	}
+}
+
 // WithSeed sets the data-order RNG seed.
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
@@ -367,7 +434,11 @@ func New(task Task, opts ...Option) (*Trainer, error) {
 		} else if s.cfg.Replicas != len(s.dialers)+1 {
 			return nil, fmt.Errorf("pipemare: %d transport dialers for %d replicas; WithTransport needs exactly R-1", len(s.dialers), s.cfg.Replicas)
 		}
-		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout)
+		hb := s.heartbeat
+		if !s.heartbeatSet && s.cfg.FaultTolerant {
+			hb = transport.DefaultHeartbeat
+		}
+		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout, hb)
 	}
 	tr, err := core.New(task, opt, s.sched, s.cfg)
 	if err != nil {
@@ -425,7 +496,7 @@ func resolveSettings(task Task, opts []Option) (*settings, Optimizer, error) {
 // dial worker r's endpoint (with the backoff the dialer implements),
 // announce the resolved replication spec, and wrap the connection as the
 // leader-side member proxy.
-func remoteFollowers(dialers []transport.Dialer, timeout time.Duration) func(int, core.ReplicaEnv) (replica.Member, error) {
+func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat time.Duration) func(int, core.ReplicaEnv) (replica.Member, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -446,6 +517,8 @@ func remoteFollowers(dialers []transport.Dialer, timeout time.Duration) func(int
 			Step: lead.Step(), Epoch: lead.Epoch(),
 			Checksum:   transport.StateChecksum(lead, env.Stages),
 			GroupCosts: env.GroupCosts,
+			FT:         env.FaultTolerant,
+			Heartbeat:  heartbeat,
 		}
 		m, err := transport.NewRemoteMember(ctx, conn, spec, lead)
 		if err != nil {

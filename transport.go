@@ -68,6 +68,11 @@ func ServeFollower(ctx context.Context, lis Listener, task Task, opts ...Option)
 		fcfg := s.cfg
 		fcfg.Engine = nil
 		fcfg.Replicas = spec.Replicas
+		// The leader decides fault tolerance and checkpointing: the
+		// handshake propagates its resolved mode (so stage-state layouts
+		// agree), and a follower never writes checkpoints of its own.
+		fcfg.FaultTolerant = spec.FT
+		fcfg.CheckpointDir = ""
 		if spec.Sharded {
 			fcfg.ShardedStep = core.ShardedStepOn
 		} else {
