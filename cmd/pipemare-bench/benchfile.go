@@ -19,7 +19,10 @@ import (
 // and Commit records whether the optimizer step ran leader-serial
 // ("serial") or replica-sharded ("sharded") — the sharded rows are what
 // show the commit tail no longer scaling with total model size on the
-// leader.
+// leader. BubbleFraction and MFU come from a one-epoch traced re-run of
+// the row's configuration (see tracedMetrics): the idle share of
+// worker-track time and the cost-model ideal wall over the traced wall.
+// Like the other derived metrics they are not part of the merge key.
 type benchRecord struct {
 	Engine            string  `json:"engine"`
 	Stages            int     `json:"stages"`
@@ -37,6 +40,8 @@ type benchRecord struct {
 	Evictions         int     `json:"evictions,omitempty"`          // replicas evicted during the faulted run
 	RecoveryNs        int64   `json:"recovery_ns,omitempty"`        // wall time spent in eviction + replay
 	CheckpointNs      int64   `json:"checkpoint_ns,omitempty"`      // wall time spent writing checkpoints
+	BubbleFraction    float64 `json:"bubble_fraction,omitempty"`    // traced idle share of worker-track time (1 epoch)
+	MFU               float64 `json:"mfu,omitempty"`                // traced cost-model-ideal wall / measured wall
 }
 
 // key is the full merge identity of a record. Every dimension that can

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -60,6 +61,66 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 		if got := b.Records[i+1].NsPerEpoch; got != r.NsPerEpoch {
 			t.Fatalf("unrelated row %d changed: %d ns, want %d", i+1, got, r.NsPerEpoch)
 		}
+	}
+}
+
+// TestTraceMetricsAreNotKeyDimensions pins the observability fields'
+// merge behavior: bubble_fraction and mfu are derived metrics, not key
+// dimensions, so re-measuring a key replaces the old row's trace metrics
+// instead of forking a duplicate row — and rows written before the
+// fields existed (zero values) land on the same key as a traced
+// re-measurement and survive normalize unchanged.
+func TestTraceMetricsAreNotKeyDimensions(t *testing.T) {
+	plain := benchRecord{Engine: "concurrent", Stages: 4, Replicas: 1,
+		Partition: "even", Workers: 2, Transport: "inproc", NsPerEpoch: 100}
+	traced := plain
+	traced.NsPerEpoch = 90
+	traced.BubbleFraction = 0.25
+	traced.MFU = 0.75
+	if plain.key() != traced.key() {
+		t.Fatal("bubble_fraction/mfu leaked into the merge key")
+	}
+	var b benchFile
+	b.upsert(plain)
+	b.upsert(traced)
+	if len(b.Records) != 1 {
+		t.Fatalf("traced re-measurement forked %d rows, want 1", len(b.Records))
+	}
+	if r := b.Records[0]; r.BubbleFraction != 0.25 || r.MFU != 0.75 || r.NsPerEpoch != 90 {
+		t.Fatalf("traced re-measurement did not replace the row: %+v", r)
+	}
+	// An untraced re-measurement clears the stale metrics with the row.
+	b.upsert(plain)
+	if r := b.Records[0]; r.BubbleFraction != 0 || r.MFU != 0 {
+		t.Fatalf("untraced re-measurement kept stale trace metrics: %+v", r)
+	}
+	// Legacy rows (pre-field zero values) normalize without invention.
+	recs := []benchRecord{{Engine: "reference", Stages: 4, NsPerEpoch: 1}}
+	normalize(recs)
+	if recs[0].BubbleFraction != 0 || recs[0].MFU != 0 {
+		t.Fatalf("normalize invented trace metrics: %+v", recs[0])
+	}
+	// omitempty keeps legacy-shaped files legacy-shaped: a metric-less
+	// row round-trips without the new fields appearing at all.
+	raw, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"bubble_fraction", "mfu"} {
+		if bytes.Contains(raw, []byte(field)) {
+			t.Errorf("zero %s serialized: %s", field, raw)
+		}
+	}
+	raw, err = json.Marshal(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.BubbleFraction != 0.25 || back.MFU != 0.75 {
+		t.Fatalf("trace metrics did not round-trip: %+v", back)
 	}
 }
 

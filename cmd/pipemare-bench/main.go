@@ -13,6 +13,7 @@
 //	pipemare-bench -json         # engine perf record, merged into BENCH_engine.json
 //	pipemare-bench -json -transport loopback   # replicated rows over the wire protocol
 //	pipemare-bench -json -transport tcp        # spawn pipemare-worker processes, real sockets
+//	pipemare-bench -trace out.json -engine concurrent -replicas 2  # record a traced epoch, report bubble fraction + MFU
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	transportName := flag.String("transport", "inproc", "where replicated followers live for -json or -smoke: inproc | loopback | tcp (tcp spawns pipemare-worker processes)")
 	workerBin := flag.String("worker", "pipemare-worker", "pipemare-worker binary for -transport tcp (resolved via PATH)")
 	smoke := flag.Bool("smoke", false, "train the benchmark workload R=2 for one epoch over -transport and exit (CI distributed smoke test)")
+	traceOut := flag.String("trace", "", "record one traced training epoch, write Chrome trace-event JSON (Perfetto-loadable) to this file, and print the bubble-fraction/MFU report; honors -engine, -workers, -replicas and -transport")
 	faultsSpec := flag.String("faults", "", `inject scripted faults into a -json replicated row and record the recovery overhead: comma-separated op@N[:dur] rules, e.g. "drop@2,kill@5" (see parseFaults); needs -transport loopback or tcp`)
 	crashWorker := flag.Int("crash-worker", 0, "with -smoke -transport tcp: spawn the worker with -crash-after N so it exit(137)s at its Nth chunk, and require the leader to evict it and finish (0 disables)")
 	flag.Parse()
@@ -55,8 +57,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown transport %q (want inproc, loopback or tcp)\n", *transportName)
 		os.Exit(2)
 	}
-	if *transportName != "inproc" && !*jsonOut && !*smoke {
-		fmt.Fprintf(os.Stderr, "pipemare-bench: -transport %s applies to -json or -smoke\n", *transportName)
+	if *transportName != "inproc" && !*jsonOut && !*smoke && *traceOut == "" {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -transport %s applies to -json, -smoke or -trace\n", *transportName)
 		os.Exit(2)
 	}
 	if *faultsSpec != "" && (!*jsonOut || *transportName == "inproc") {
@@ -106,6 +108,13 @@ func main() {
 		experiments.EngineFactory = func() pipemare.Engine { return pipemare.NewReplicatedEngine(inner) }
 	case inner != nil:
 		experiments.EngineFactory = inner
+	}
+	if *traceOut != "" {
+		if err := traceRun(*traceOut, inner, *replicas, *transportName, *workerBin); err != nil {
+			fmt.Fprintf(os.Stderr, "pipemare-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *jsonOut {
 		if err := benchEngines("BENCH_engine.json", *workers, *transportName, *workerBin, *faultsSpec); err != nil {
@@ -185,11 +194,20 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 			return err
 		}
 		refNsAt[p] = refNs
+		bubble, mfu, err := tracedMetrics(p, 1, pipemare.NewReferenceEngine(), pipemare.PartitionEven)
+		if err != nil {
+			return err
+		}
 		out.upsert(benchRecord{Engine: "reference", Stages: p, Replicas: 1,
-			Partition: "even", Transport: "inproc", NsPerEpoch: refNs})
+			Partition: "even", Transport: "inproc", NsPerEpoch: refNs,
+			BubbleFraction: bubble, MFU: mfu})
 		for _, mode := range []pipemare.PartitionMode{pipemare.PartitionEven, pipemare.PartitionCost} {
 			eng := concurrent.New(concurrent.WithWorkers(workers))
 			ns, imbalance, err := timeEpochs(p, 1, eng, mode)
+			if err != nil {
+				return err
+			}
+			bubble, mfu, err := tracedMetrics(p, 1, concurrent.New(concurrent.WithWorkers(workers)), mode)
 			if err != nil {
 				return err
 			}
@@ -197,7 +215,7 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 			out.upsert(benchRecord{Engine: "concurrent", Stages: p, Replicas: 1,
 				Partition: mode.String(), Workers: w, Transport: "inproc", NsPerEpoch: ns,
 				Speedup: speedup, OverlapEfficiency: speedup / float64(p),
-				StageImbalance: imbalance})
+				StageImbalance: imbalance, BubbleFraction: bubble, MFU: mfu})
 			fmt.Printf("P=%d %s W=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f, stage imbalance %.2f)\n",
 				p, mode, w, float64(refNs)/1e9, float64(ns)/1e9, speedup, speedup/float64(p), imbalance)
 		}
@@ -221,10 +239,28 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 			if err := release(); err != nil {
 				return fmt.Errorf("%s follower: %w", transportName, err)
 			}
+			// The traced re-run needs its own followers: the timed run's were
+			// consumed by the Close above.
+			tdialers, trelease, err := startFollowers(transportName, workerBin, p, r-1)
+			if err != nil {
+				return err
+			}
+			textra := []pipemare.Option{pipemare.WithShardedStep(commit == "sharded")}
+			if len(tdialers) > 0 {
+				textra = append(textra, pipemare.WithTransport(tdialers...))
+			}
+			bubble, mfu, err := tracedMetrics(p, r, nil, pipemare.PartitionEven, textra...)
+			if err != nil {
+				return err
+			}
+			if err := trelease(); err != nil {
+				return fmt.Errorf("%s follower: %w", transportName, err)
+			}
 			speedup := float64(refNsAt[p]) / float64(ns)
 			out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
 				Partition: "even", Commit: commit, Transport: transportName, NsPerEpoch: ns,
-				Speedup: speedup, ScalingEfficiency: speedup / float64(r)})
+				Speedup: speedup, ScalingEfficiency: speedup / float64(r),
+				BubbleFraction: bubble, MFU: mfu})
 			fmt.Printf("P=%d R=%d %s commit (%s): replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
 				p, r, commit, transportName, float64(ns)/1e9, speedup, speedup/float64(r))
 		}
@@ -239,6 +275,89 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// traceRun trains the benchmark workload (P=4) for one traced epoch —
+// replicas > 1 wraps the chosen engine in the replicated engine, like a
+// timing run — writes the recording as Chrome trace-event JSON to path,
+// and prints the derived utilization report (per-stage busy time, bubble
+// fraction, MFU) against the measured wall clock.
+func traceRun(path string, inner func() pipemare.Engine, replicas int, transportName, workerBin string) error {
+	const stages = 4
+	dialers, release, err := startFollowers(transportName, workerBin, stages, replicas-1)
+	if err != nil {
+		return err
+	}
+	rec := pipemare.NewTraceRecorder()
+	extra := []pipemare.Option{pipemare.WithTrace(rec)}
+	if len(dialers) > 0 {
+		extra = append(extra, pipemare.WithTransport(dialers...))
+	}
+	var eng pipemare.Engine
+	switch {
+	case replicas > 1 && inner != nil:
+		eng = pipemare.NewReplicatedEngine(inner)
+	case inner != nil:
+		eng = inner()
+	}
+	tr, err := experiments.NewReplicatedBenchTrainer(stages, replicas, eng, extra...)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := tr.Run(context.Background(), 1); err != nil {
+		return err
+	}
+	wall := time.Since(start).Nanoseconds()
+	costs := tr.StageCosts()
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	if err := release(); err != nil {
+		return fmt.Errorf("%s follower: %w", transportName, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pipemare.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep := pipemare.BuildTraceReport(rec, costs)
+	rep.Format(os.Stdout, wall)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// tracedMetrics re-runs one epoch of a -json row's configuration with
+// tracing on and returns its bubble fraction and MFU. The traced run is
+// separate from the timed run so recording overhead — small as it is —
+// never lands in NsPerEpoch; rows living over a transport get fresh
+// followers from the caller via extra.
+func tracedMetrics(stages, replicas int, eng pipemare.Engine, mode pipemare.PartitionMode, extra ...pipemare.Option) (bubble, mfu float64, err error) {
+	rec := pipemare.NewTraceRecorder()
+	opts := append([]pipemare.Option{pipemare.WithTrace(rec)}, extra...)
+	if mode != pipemare.PartitionEven {
+		opts = append(opts, pipemare.WithPartition(mode))
+	}
+	tr, err := experiments.NewReplicatedBenchTrainer(stages, replicas, eng, opts...)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := tr.Run(context.Background(), 1); err != nil {
+		tr.Close()
+		return 0, 0, err
+	}
+	costs := tr.StageCosts()
+	if err := tr.Close(); err != nil {
+		return 0, 0, err
+	}
+	rep := pipemare.BuildTraceReport(rec, costs)
+	return rep.BubbleFraction, rep.MFU, nil
 }
 
 // smokeRun trains the benchmark workload for one epoch with R=2 replicas

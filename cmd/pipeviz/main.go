@@ -1,14 +1,24 @@
 // Command pipeviz renders the bubble-free pipeline schedule of §2 as
 // ASCII (Figure 1): which microbatch each stage is forwarding and
-// backwarding at every slot, and the weight version it reads.
+// backwarding at every slot, and the weight version it reads. With
+// -trace it renders a recorded run instead — the Chrome trace-event
+// JSON written by `pipemare-bench -trace` or pipemare.WriteChromeTrace
+// — as the same stage×time occupancy grid, so the analytic schedule and
+// what the engines actually executed are compared side by side.
 //
 //	pipeviz -p 4 -n 2 -slots 16
+//	pipeviz -trace out.json -replica 0 -slots 24
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"pipemare/internal/pipeline"
 )
@@ -16,27 +26,51 @@ import (
 func main() {
 	p := flag.Int("p", 4, "pipeline stages")
 	n := flag.Int("n", 2, "microbatches per minibatch")
-	slots := flag.Int("slots", 20, "time slots to render")
+	slots := flag.Int("slots", 20, "time slots to render (analytic) or time buckets (trace)")
+	traceFile := flag.String("trace", "", "render a recorded Chrome trace-event JSON (pipemare-bench -trace) instead of the analytic schedule")
+	replica := flag.Int("replica", 0, "with -trace: the replica (trace pid) to render")
 	flag.Parse()
 
-	clock := pipeline.Clock{P: *p, N: *n}
-	fmt.Printf("bubble-free pipeline: P=%d stages, N=%d microbatches/minibatch\n", *p, *n)
-	fmt.Printf("forward of microbatch s at stage i occupies slot s+i-1; backward slot s+2P-i\n\n")
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeviz: %v\n", err)
+			os.Exit(1)
+		}
+		err = renderTrace(os.Stdout, f, *replica, *slots)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeviz: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	renderAnalytic(os.Stdout, *p, *n, *slots)
+}
+
+// renderAnalytic prints the paper's analytic bubble-free schedule:
+// forward of microbatch s at stage i occupies slot s+i-1, backward slot
+// s+2P-i, followed by the Table 1 forward delays and the steady-state
+// weight versions.
+func renderAnalytic(w io.Writer, p, n, slots int) {
+	clock := pipeline.Clock{P: p, N: n}
+	fmt.Fprintf(w, "bubble-free pipeline: P=%d stages, N=%d microbatches/minibatch\n", p, n)
+	fmt.Fprintf(w, "forward of microbatch s at stage i occupies slot s+i-1; backward slot s+2P-i\n\n")
 
 	header := "stage |"
-	for t := 0; t < *slots; t++ {
+	for t := 0; t < slots; t++ {
 		header += fmt.Sprintf("%8d", t)
 	}
-	fmt.Println(header)
-	fmt.Println(strings.Repeat("-", len(header)))
-	for i1 := 1; i1 <= *p; i1++ {
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for i1 := 1; i1 <= p; i1++ {
 		row := fmt.Sprintf("%5d |", i1)
-		for t := 0; t < *slots; t++ {
+		for t := 0; t < slots; t++ {
 			fwd, bwd := "  ", "  "
 			if s := t - i1 + 1; s >= 0 {
 				fwd = fmt.Sprintf("F%d", s%100)
 			}
-			if s := t - 2**p + i1; s >= 0 {
+			if s := t - 2*p + i1; s >= 0 {
 				bwd = fmt.Sprintf("B%d", s%100)
 			}
 			cell := "."
@@ -45,18 +79,151 @@ func main() {
 			}
 			row += fmt.Sprintf("%8s", cell)
 		}
-		fmt.Println(row)
+		fmt.Fprintln(w, row)
 	}
 
-	fmt.Printf("\nforward delays (Table 1): slot delay 2(P-i)+1, minibatch delay (2(P-i)+1)/N\n")
-	for i1 := 1; i1 <= *p; i1++ {
-		fmt.Printf("  stage %d: %2d slots = %.3f minibatches\n",
-			i1, pipeline.FwdDelaySlots(i1, *p), pipeline.FwdDelay(i1, *p, *n))
+	fmt.Fprintf(w, "\nforward delays (Table 1): slot delay 2(P-i)+1, minibatch delay (2(P-i)+1)/N\n")
+	for i1 := 1; i1 <= p; i1++ {
+		fmt.Fprintf(w, "  stage %d: %2d slots = %.3f minibatches\n",
+			i1, pipeline.FwdDelaySlots(i1, p), pipeline.FwdDelay(i1, p, n))
 	}
-	s := 6 * *n
-	fmt.Printf("\nweight versions read by microbatch %d (steady state):\n", s)
-	for i1 := 1; i1 <= *p; i1++ {
-		fmt.Printf("  stage %d: forward reads version %d; update consuming its gradient is %d\n",
+	s := 6 * n
+	fmt.Fprintf(w, "\nweight versions read by microbatch %d (steady state):\n", s)
+	for i1 := 1; i1 <= p; i1++ {
+		fmt.Fprintf(w, "  stage %d: forward reads version %d; update consuming its gradient is %d\n",
 			i1, clock.FwdVersion(s, i1), clock.Minibatch(s)+1)
 	}
+}
+
+// traceEvent is the subset of a Chrome trace event pipeviz reads back.
+// Ts and Dur are microseconds, as written by trace.WriteChrome.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		Stage *int `json:"stage"`
+		Micro *int `json:"micro"`
+	} `json:"args"`
+}
+
+// computeSpan is one stage-scoped compute span of the rendered replica.
+type computeSpan struct {
+	kind       byte // 'F', 'B' or 'R'
+	stage      int
+	micro      int
+	start, end float64 // µs
+}
+
+// renderTrace reads a Chrome trace-event JSON recording and renders one
+// replica's compute spans (fwd/bwd/recompute) as a stage×time occupancy
+// grid: time is bucketed into the requested number of columns, and each
+// cell shows the microbatch whose forward (F), backward (B) or
+// recompute (R) span covers most of the bucket on that stage — the
+// recorded analogue of the analytic schedule's slot grid.
+func renderTrace(w io.Writer, r io.Reader, replica, buckets int) error {
+	var file struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("parsing trace: %w", err)
+	}
+	pids := map[int]bool{}
+	var spans []computeSpan
+	maxStage := 0
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" || ev.Args.Stage == nil {
+			continue
+		}
+		var kind byte
+		switch ev.Name {
+		case "fwd":
+			kind = 'F'
+		case "bwd":
+			kind = 'B'
+		case "recompute":
+			kind = 'R'
+		default:
+			continue
+		}
+		pids[ev.Pid] = true
+		if ev.Pid != replica {
+			continue
+		}
+		micro := -1
+		if ev.Args.Micro != nil {
+			micro = *ev.Args.Micro
+		}
+		spans = append(spans, computeSpan{kind, *ev.Args.Stage, micro, ev.Ts, ev.Ts + ev.Dur})
+		if *ev.Args.Stage > maxStage {
+			maxStage = *ev.Args.Stage
+		}
+	}
+	if len(spans) == 0 {
+		var have []int
+		for pid := range pids {
+			have = append(have, pid)
+		}
+		sort.Ints(have)
+		return fmt.Errorf("no compute spans for replica %d (replicas in trace: %v)", replica, have)
+	}
+	lo, hi := spans[0].start, spans[0].end
+	for _, s := range spans[1:] {
+		lo, hi = min(lo, s.start), max(hi, s.end)
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	width := (hi - lo) / float64(buckets)
+	if width <= 0 {
+		width = 1
+	}
+
+	fmt.Fprintf(w, "recorded pipeline occupancy: replica %d, %d stage(s), %v traced over %d buckets of %v\n",
+		replica, maxStage+1, time.Duration((hi-lo)*1e3), buckets, time.Duration(width*1e3))
+	fmt.Fprintf(w, "cells show the microbatch whose F(orward)/B(ackward)/R(ecompute) span covers most of the bucket\n\n")
+
+	header := "stage |"
+	for t := 0; t < buckets; t++ {
+		header += fmt.Sprintf("%8d", t)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	busy := make(map[int]float64, maxStage+1)
+	for st := 0; st <= maxStage; st++ {
+		row := fmt.Sprintf("%5d |", st)
+		for t := 0; t < buckets; t++ {
+			bLo, bHi := lo+float64(t)*width, lo+float64(t+1)*width
+			// Pick the span with the largest overlap with this bucket;
+			// ties go to the earlier span so the rendering is stable.
+			best, bestOv := computeSpan{}, 0.0
+			for _, s := range spans {
+				if s.stage != st {
+					continue
+				}
+				ov := min(s.end, bHi) - max(s.start, bLo)
+				if ov > bestOv {
+					best, bestOv = s, ov
+				}
+			}
+			cell := "."
+			if bestOv > 0 {
+				cell = fmt.Sprintf("%c%d", best.kind, best.micro%100)
+			}
+			row += fmt.Sprintf("%8s", cell)
+		}
+		fmt.Fprintln(w, row)
+	}
+	for _, s := range spans {
+		busy[s.stage] += s.end - s.start
+	}
+	fmt.Fprintf(w, "\nper-stage busy time:\n")
+	for st := 0; st <= maxStage; st++ {
+		fmt.Fprintf(w, "  stage %d: %v (%.1f%% of the traced window)\n",
+			st, time.Duration(busy[st]*1e3), 100*busy[st]/(hi-lo))
+	}
+	return nil
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current rendering")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestRenderAnalyticGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderAnalytic(&buf, 4, 2, 12)
+	golden(t, "analytic.golden", buf.String())
+}
+
+// TestRenderAnalyticSchedule pins the schedule law independently of the
+// golden file: forward of microbatch s at stage i sits in slot s+i-1.
+func TestRenderAnalyticSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	renderAnalytic(&buf, 2, 2, 6)
+	out := buf.String()
+	if !strings.Contains(out, "P=2 stages") {
+		t.Errorf("missing header in:\n%s", out)
+	}
+	// Stage 2's first forward (s=0) lands in slot 1, its first backward
+	// (s=0) in slot 2P-i = 2 — the row must show F1:B0 at slot 3.
+	if !strings.Contains(out, "F1:B0") {
+		t.Errorf("stage-2 steady state F1:B0 missing in:\n%s", out)
+	}
+}
+
+func TestRenderTraceGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "sample_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	if err := renderTrace(&buf, f, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "trace.golden", buf.String())
+}
+
+func TestRenderTraceSelectsReplica(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "sample_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := renderTrace(&buf, bytes.NewReader(raw), 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "replica 1") || !strings.Contains(out, "F2") {
+		t.Errorf("replica 1 rendering missing its own span:\n%s", out)
+	}
+	if strings.Contains(out, "B0") {
+		t.Errorf("replica 1 rendering leaked replica 0 spans:\n%s", out)
+	}
+}
+
+func TestRenderTraceUnknownReplica(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "sample_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = renderTrace(&bytes.Buffer{}, bytes.NewReader(raw), 7, 4)
+	if err == nil || !strings.Contains(err.Error(), "replicas in trace: [0 1]") {
+		t.Errorf("want an error listing the available replicas, got %v", err)
+	}
+}
+
+func TestRenderTraceRejectsGarbage(t *testing.T) {
+	if err := renderTrace(&bytes.Buffer{}, strings.NewReader("not json"), 0, 4); err == nil {
+		t.Error("want a parse error for non-JSON input")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"pipemare/internal/replica"
 	"pipemare/internal/tensor"
+	"pipemare/internal/trace"
 	"pipemare/internal/transport"
 )
 
@@ -48,9 +49,11 @@ func (t *Trainer) maybeCheckpoint() error {
 		return nil
 	}
 	start := time.Now()
+	t0 := t.cfg.Trace.Now()
 	if _, err := t.WriteCheckpoint(t.cfg.CheckpointDir); err != nil {
 		return fmt.Errorf("core: checkpoint at step %d: %w", t.step, err)
 	}
+	t.ctlTrack().Span(trace.NameCkptWrite, t0, -1, -1, 0)
 	t.ckptWrites++
 	t.ckptNs += time.Since(start).Nanoseconds()
 	return nil
@@ -307,6 +310,7 @@ func (t *Trainer) RestoreFrom(path string) error {
 	if err := t.apply(st); err != nil {
 		return err
 	}
+	t.ctlTrack().Instant(trace.NameCkptRestore, -1, -1, 0)
 	return t.syncRestoredFollowers()
 }
 

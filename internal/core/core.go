@@ -43,6 +43,7 @@ import (
 	"pipemare/internal/pipeline"
 	"pipemare/internal/replica"
 	"pipemare/internal/tensor"
+	"pipemare/internal/trace"
 )
 
 // Method selects the pipeline-parallel training method.
@@ -211,6 +212,16 @@ type Config struct {
 	// (or pipemare.Restore). Followers never checkpoint.
 	CheckpointDir   string
 	CheckpointEvery int
+
+	// Trace, when non-nil, is the event recorder every layer under this
+	// trainer emits into (slot spans, commit phases, collectives, wire
+	// round-trips, fault instants). The recorder only reads clocks and
+	// appends to its own buffers, so curves stay bit-identical with
+	// tracing on or off. TraceReplica is the replica index events from
+	// this trainer are attributed to (0 = leader); New propagates the
+	// recorder and the right index to in-process followers.
+	Trace        *trace.Recorder
+	TraceReplica int
 }
 
 // ReplicaEnv is what a Config.Followers factory needs to connect a
@@ -685,6 +696,7 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	fcfg.Engine = engine.NewReference() // follower engines are never used
 	fcfg.Followers = nil
 	fcfg.CheckpointDir = "" // only the leader checkpoints
+	fcfg.TraceReplica = r   // the shared recorder attributes this follower's events to replica r
 	if fcfg.Partition != pipeline.PartitionEven {
 		// Followers must land on the leader's exact partition: reuse its
 		// (possibly measured) cost vector instead of re-estimating, so a
@@ -752,6 +764,7 @@ func NewFollower(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Confi
 	fcfg.Engine = engine.NewReference() // chunks run through the serve loop's engine
 	fcfg.Followers = nil
 	fcfg.CheckpointDir = "" // only the leader checkpoints
+	fcfg.TraceReplica = r   // a worker-process recorder labels its events with its replica index
 	fopt := optim.Optimizer(optim.NewSGDShard(ps, 0, 0, optim.Shard{}))
 	if cfg.FaultTolerant {
 		// The fault-tolerant stage-state layout aliases the live moment
@@ -941,6 +954,11 @@ func (t *Trainer) recompVersion(s, stage1, e1 int) int {
 // host adapts the trainer to engine.Host without exporting the slot
 // primitives on Trainer itself.
 type host struct{ t *Trainer }
+
+// Tracer implements trace.Carrier: engines, the replica layer and the
+// commit plan discover the run's recorder (and which replica they are
+// computing for) by type-asserting their Host against it.
+func (h host) Tracer() (*trace.Recorder, int) { return h.t.cfg.Trace, h.t.cfg.TraceReplica }
 
 // Stages returns P.
 func (h host) Stages() int { return h.t.clock.P }
@@ -1425,6 +1443,15 @@ func (t *Trainer) RunInto(ctx context.Context, epochs int, run *metrics.Run) (*m
 	return t.run(ctx, epochs, run)
 }
 
+// ctlTrack returns this trainer's control track (epoch marks, eval,
+// checkpoint and fault events) — nil, hence inert, when tracing is off.
+// Its single writer is the goroutine driving run(): the engines'
+// orchestration (including the replicated engine's fault instants) runs
+// on that same goroutine.
+func (t *Trainer) ctlTrack() *trace.Track {
+	return t.cfg.Trace.Track(t.cfg.TraceReplica, trace.TidControl, "control")
+}
+
 func (t *Trainer) run(ctx context.Context, epochs int, run *metrics.Run) (*metrics.Run, error) {
 	if run == nil {
 		run = &metrics.Run{}
@@ -1479,9 +1506,13 @@ func (t *Trainer) run(ctx context.Context, epochs int, run *metrics.Run) (*metri
 				return run, err
 			}
 		}
+		ctl := t.ctlTrack()
+		t0 := t.cfg.Trace.Now()
 		metric := t.task.EvalTest()
+		ctl.Span(trace.NameEval, t0, -1, -1, 0)
 		run.Record(epochLoss/float64(batches), metric, nn.ParamNorm(t.params))
 		t.epoch++
+		ctl.Instant(trace.NameEpoch, -1, -1, 0)
 		if t.observer != nil {
 			t.observer(run.Epochs(), run)
 		}

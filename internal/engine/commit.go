@@ -1,6 +1,10 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"pipemare/internal/trace"
+)
 
 // CommitPlan assigns the P stages of an optimizer commit to owners. It is
 // the one sharding rule every engine commits through: the Reference engine
@@ -77,20 +81,30 @@ func (pl CommitPlan) OwnerOf(stage int) int {
 // replica members with barriers between the phases.
 func (pl CommitPlan) Commit(h Host, nMicro int) {
 	p := pl.p
+	tr, rep := trace.FromCarrier(h)
+	tk := tr.Track(rep, trace.TidWorkerBase, "worker 0")
+	t0 := tr.Now()
 	sumSq := 0.0
 	for st := 0; st < p; st++ {
 		sumSq += h.PrepareStage(st, nMicro)
 	}
+	tk.Span(trace.NameCommitPrepare, t0, -1, -1, 0)
 	if scale := h.ClipScale(sumSq); scale != 1 {
+		t0 = tr.Now()
 		for st := 0; st < p; st++ {
 			h.ScaleStage(st, scale)
 		}
+		tk.Span(trace.NameCommitScale, t0, -1, -1, 0)
 	}
+	t0 = tr.Now()
 	h.BeginStep()
 	for st := 0; st < p; st++ {
 		h.StepStage(st)
 	}
+	tk.Span(trace.NameCommitStep, t0, -1, -1, 0)
+	t0 = tr.Now()
 	for st := 0; st < p; st++ {
 		h.FinishStage(st)
 	}
+	tk.Span(trace.NameCommitFinish, t0, -1, -1, 0)
 }

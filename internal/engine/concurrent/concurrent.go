@@ -40,11 +40,13 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"pipemare/internal/engine"
 	"pipemare/internal/tensor"
+	"pipemare/internal/trace"
 )
 
 type jobKind int
@@ -107,6 +109,14 @@ type Engine struct {
 
 	losses []float64 // per-minibatch scratch, reused across calls
 	sumSqs []float64
+
+	// rec and tracks carry the run's trace recorder (nil when tracing is
+	// off — every emission no-ops). tracks[w] is worker w's span buffer:
+	// exactly one goroutine (worker w) writes it, so appends need no
+	// locking, and the recorder never influences scheduling — curves are
+	// bit-identical with tracing on or off.
+	rec    *trace.Recorder
+	tracks []*trace.Track
 }
 
 // Option configures the engine.
@@ -185,9 +195,15 @@ func (e *Engine) Start(h engine.Host) {
 	e.acks = make(chan struct{}, e.p)
 	e.losses = make([]float64, 0, e.inflight)
 	e.sumSqs = make([]float64, e.p)
+	rec, rep := trace.FromCarrier(h)
+	e.rec = rec
+	e.tracks = make([]*trace.Track, e.nw)
+	for i := range e.tracks {
+		e.tracks[i] = rec.Track(rep, trace.TidWorkerBase+i, "worker "+strconv.Itoa(i))
+	}
 	e.wg.Add(e.nw)
 	for i := 0; i < e.nw; i++ {
-		go e.worker()
+		go e.worker(i)
 	}
 	tensor.RaiseWorkers(e.kernelWorkers)
 	e.running = true
@@ -206,6 +222,7 @@ func (e *Engine) Stop() {
 	tensor.LowerWorkers()
 	e.queues, e.ready, e.results, e.acks = nil, nil, nil, nil
 	e.losses, e.sumSqs = nil, nil
+	e.rec, e.tracks = nil, nil
 	e.h = nil
 	e.running = false
 }
@@ -228,11 +245,14 @@ func (e *Engine) enqueue(stage int, jb job) {
 	}
 }
 
-// worker claims ready stages and drains them until the engine stops.
-func (e *Engine) worker() {
+// worker claims ready stages and drains them until the engine stops. w
+// is the worker's index — its identity for commit-plan sharding stayed
+// implicit, but its trace track needs it explicitly (goroutines have no
+// usable id).
+func (e *Engine) worker(w int) {
 	defer e.wg.Done()
 	for i := range e.ready {
-		e.drain(i)
+		e.drain(w, i)
 	}
 }
 
@@ -242,7 +262,7 @@ func (e *Engine) worker() {
 // pointers, T2 accumulators, version ring and parameter gradients — the
 // same ownership the goroutine-per-stage design provided, held per burst
 // instead of per run.
-func (e *Engine) drain(i int) {
+func (e *Engine) drain(w, i int) {
 	q := &e.queues[i]
 	for {
 		q.mu.Lock()
@@ -256,39 +276,45 @@ func (e *Engine) drain(i int) {
 		jb := q.jobs[q.head]
 		q.head++
 		q.mu.Unlock()
-		e.process(i, jb)
+		e.process(w, i, jb)
 	}
 }
 
-// process executes one slot job of stage i.
-func (e *Engine) process(i int, jb job) {
+// process executes one slot job of stage i on worker w, emitting one
+// trace span per executed compute slot or commit shard phase.
+func (e *Engine) process(w, i int, jb job) {
 	last := e.p - 1
+	tk := e.tracks[w]
 	switch jb.kind {
 	case jobFwd:
 		if !e.aborted.Load() {
+			t0 := e.rec.Now()
 			if jb.async {
 				e.h.InstallForward(jb.s, i)
 				e.h.InstallBackward(jb.s, i)
 			}
 			jb.loss = e.h.StageForward(jb.s, i)
+			tk.Span(trace.NameFwd, t0, i, jb.s, 0)
 		}
 		if i < last {
 			e.enqueue(i+1, jb)
 			return
 		}
-		e.crest(i, jb)
+		e.crest(w, i, jb)
 	case jobRecomp:
 		if !e.aborted.Load() {
+			t0 := e.rec.Now()
 			e.h.InstallRecompute(jb.s, i)
 			e.h.StageForward(jb.s, i)
+			tk.Span(trace.NameRecompute, t0, i, jb.s, 0)
 		}
 		if i < last {
 			e.enqueue(i+1, jb)
 			return
 		}
-		e.bwd(i, jb)
+		e.bwd(w, i, jb)
 	case jobBwd:
-		e.bwd(i, jb)
+		e.bwd(w, i, jb)
 	case jobRestore:
 		e.h.Restore(i)
 		e.acks <- struct{}{}
@@ -296,24 +322,32 @@ func (e *Engine) process(i int, jb job) {
 		// Commit-shard jobs run on the claiming worker of their first
 		// stage but touch every stage of the shard: all chains have
 		// drained, so no other job can reference those stages.
+		t0 := e.rec.Now()
 		for st := jb.lo; st < jb.hi; st++ {
 			e.sumSqs[st] = e.h.PrepareStage(st, jb.nMicro)
 		}
+		tk.Span(trace.NameCommitPrepare, t0, jb.lo, -1, 0)
 		e.acks <- struct{}{}
 	case jobScale:
+		t0 := e.rec.Now()
 		for st := jb.lo; st < jb.hi; st++ {
 			e.h.ScaleStage(st, jb.scale)
 		}
+		tk.Span(trace.NameCommitScale, t0, jb.lo, -1, 0)
 		e.acks <- struct{}{}
 	case jobStep:
+		t0 := e.rec.Now()
 		for st := jb.lo; st < jb.hi; st++ {
 			e.h.StepStage(st)
 		}
+		tk.Span(trace.NameCommitStep, t0, jb.lo, -1, 0)
 		e.acks <- struct{}{}
 	case jobFinish:
+		t0 := e.rec.Now()
 		for st := jb.lo; st < jb.hi; st++ {
 			e.h.FinishStage(st)
 		}
+		tk.Span(trace.NameCommitFinish, t0, jb.lo, -1, 0)
 		e.acks <- struct{}{}
 	}
 }
@@ -321,7 +355,7 @@ func (e *Engine) process(i int, jb job) {
 // crest handles the top of a forward climb at the last stage: the loss
 // check, then either the divergence abort, the recompute climb, or the
 // start of the backward descent.
-func (e *Engine) crest(i int, jb job) {
+func (e *Engine) crest(w, i int, jb job) {
 	if e.aborted.Load() {
 		// A previous microbatch diverged: this chain ends without a
 		// backward pass; its loss is ignored by the collector.
@@ -339,24 +373,27 @@ func (e *Engine) crest(i int, jb job) {
 	if jb.async && jb.rec {
 		if e.p == 1 {
 			// Single stage: run the recompute slot inline, then backward.
+			t0 := e.rec.Now()
 			e.h.InstallRecompute(jb.s, 0)
 			e.h.StageForward(jb.s, 0)
-			e.bwd(0, jb)
+			e.tracks[w].Span(trace.NameRecompute, t0, 0, jb.s, 0)
+			e.bwd(w, 0, jb)
 			return
 		}
 		jb.kind = jobRecomp
 		e.enqueue(0, jb)
 		return
 	}
-	e.bwd(i, jb)
+	e.bwd(w, i, jb)
 }
 
 // bwd runs stage i's backward slot for the chain and passes it down; at
 // stage 0 the chain completes. Each slot re-installs the weights its
 // backward reads — other chains' forward slots may have re-pointed the
 // stage's parameters since this microbatch's forward ran.
-func (e *Engine) bwd(i int, jb job) {
+func (e *Engine) bwd(w, i int, jb job) {
 	if !e.aborted.Load() {
+		t0 := e.rec.Now()
 		if jb.async {
 			if jb.rec {
 				e.h.InstallRecompute(jb.s, i)
@@ -366,6 +403,7 @@ func (e *Engine) bwd(i int, jb job) {
 			e.h.InstallBackward(jb.s, i)
 		}
 		e.h.StageBackward(jb.s, i)
+		e.tracks[w].Span(trace.NameBwd, t0, i, jb.s, 0)
 	}
 	if i > 0 {
 		jb.kind = jobBwd

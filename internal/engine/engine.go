@@ -21,6 +21,8 @@ import (
 	"context"
 	"errors"
 	"math"
+
+	"pipemare/internal/trace"
 )
 
 // ErrDiverged is returned by Engine.Minibatch when a microbatch loss is
@@ -161,6 +163,8 @@ func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64
 	async := h.Async()
 	rec := h.Recompute()
 	base := h.MicroBase()
+	tr, rep := trace.FromCarrier(h)
+	tk := tr.Track(rep, trace.TidWorkerBase, "worker 0")
 	lossSum := 0.0
 	for k, mb := range micros {
 		if err := ctx.Err(); err != nil {
@@ -177,7 +181,9 @@ func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64
 		h.BeginMicro(s, mb)
 		loss := 0.0
 		for st := 0; st < p; st++ {
+			t0 := tr.Now()
 			l := h.StageForward(s, st)
+			tk.Span(trace.NameFwd, t0, st, s, 0)
 			if st == p-1 {
 				loss = l
 			}
@@ -195,11 +201,15 @@ func (Reference) Minibatch(ctx context.Context, h Host, micros [][]int) (float64
 			// Recompute climb: regenerate activations with the recompute-
 			// delayed weights before backprop (Appendix D).
 			for st := 0; st < p; st++ {
+				t0 := tr.Now()
 				h.StageForward(s, st)
+				tk.Span(trace.NameRecompute, t0, st, s, 0)
 			}
 		}
 		for st := p - 1; st >= 0; st-- {
+			t0 := tr.Now()
 			h.StageBackward(s, st)
+			tk.Span(trace.NameBwd, t0, st, s, 0)
 		}
 		h.EndMicro(s)
 		restoreAll(h, p)

@@ -31,6 +31,7 @@ import (
 
 	"pipemare/internal/engine"
 	"pipemare/internal/replica"
+	"pipemare/internal/trace"
 )
 
 // Engine is the replicated data-parallel engine. It implements
@@ -49,6 +50,11 @@ type Engine struct {
 
 	evictions  int   // members evicted over the engine's lifetime
 	recoveryNs int64 // wall time spent recovering from those failures
+
+	// ctl is the leader's control track (nil when tracing is off).
+	// Eviction and replay instants are emitted from Minibatch, which runs
+	// on the trainer's run goroutine — the control track's single writer.
+	ctl *trace.Track
 }
 
 // Option configures the engine.
@@ -87,6 +93,8 @@ func (e *Engine) Start(h engine.Host) {
 		e.Stop()
 	}
 	e.h = h
+	rec, rep := trace.FromCarrier(h)
+	e.ctl = rec.Track(rep, trace.TidControl, "control")
 	lead, ok := h.(replica.Leader)
 	r := 1
 	if ok {
@@ -128,7 +136,7 @@ func (e *Engine) Stop() {
 			lc.Stop()
 		}
 	}
-	e.engines, e.group, e.h = nil, nil, nil
+	e.engines, e.group, e.h, e.ctl = nil, nil, nil, nil
 	e.running = false
 }
 
@@ -167,6 +175,7 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 			recoverStart = time.Now()
 		}
 		e.evictions++
+		e.ctl.Instant(trace.NameEvict, -1, -1, 0)
 		e.evict(me.Replica)
 		if !me.Replay {
 			// The commit completed before the failure surfaced (serial
@@ -176,6 +185,7 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 			return loss, nil
 		}
 		e.group.ResetGrads()
+		e.ctl.Instant(trace.NameReplay, -1, -1, 0)
 	}
 }
 

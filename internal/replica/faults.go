@@ -97,6 +97,11 @@ func (g *Group) Evict(pos int) {
 		cl.Close()
 	}
 	g.members = append(g.members[:pos], g.members[pos+1:]...)
+	// The collectives tracks splice in lockstep so survivors keep writing
+	// the track created under their original replica index.
+	if g.ctracks != nil {
+		g.ctracks = append(g.ctracks[:pos], g.ctracks[pos+1:]...)
+	}
 	if ev, ok := g.lead.(Evictor); ok {
 		ev.EvictFollower(pos)
 	}

@@ -45,6 +45,7 @@ import (
 
 	"pipemare/internal/engine"
 	"pipemare/internal/tensor"
+	"pipemare/internal/trace"
 )
 
 // Member is one replica's trainer-side surface: the engine.Host that
@@ -153,6 +154,14 @@ type Group struct {
 
 	scatter [][]*tensor.Tensor // per-stage staging for the grad scatter
 	sumSqs  []float64          // per-stage clip-norm partials
+
+	// rec and ctracks carry the leader's trace recorder (nil when tracing
+	// is off). ctracks[i] is member i's collectives track: the orchestrator
+	// goroutine writes ctracks[0] (reduce, scatter, gather) and each
+	// eachMember/Broadcast goroutine writes only its own member's track,
+	// with the phases' WaitGroup barriers ordering the handoffs.
+	rec     *trace.Recorder
+	ctracks []*trace.Track
 }
 
 // NewGroup builds the coordination group for a leader and its followers.
@@ -169,7 +178,22 @@ func NewGroup(lead Leader) *Group {
 	if ftl, ok := lead.(FaultTolerer); ok {
 		g.ft = ftl.FaultTolerant()
 	}
+	g.rec, _ = trace.FromCarrier(lead)
+	g.ctracks = make([]*trace.Track, r)
+	for i := range g.ctracks {
+		g.ctracks[i] = g.rec.Track(i, trace.TidCollectives, "collectives")
+	}
 	return g
+}
+
+// tensorsBytes sums the payload size a tensor list moves (8 bytes per
+// float64 element) — called only when tracing is on.
+func tensorsBytes(ts []*tensor.Tensor) int64 {
+	var n int64
+	for _, t := range ts {
+		n += int64(len(t.Data)) * 8
+	}
+	return n
 }
 
 // Replicas returns R.
@@ -228,6 +252,7 @@ func (g *Group) Err() error {
 // result is bit-identical to serial single-replica accumulation.
 func (g *Group) Reduce() {
 	r := len(g.members)
+	t0 := g.rec.Now()
 	// Tree gather: at round d, member m (m ≡ 0 mod 2d) absorbs member
 	// m+d's ordered list. Chunks are contiguous, so concatenation in
 	// replica order preserves global microbatch order.
@@ -257,6 +282,15 @@ func (g *Group) Reduce() {
 		}()
 	}
 	wg.Wait()
+	if g.rec != nil {
+		var bytes int64
+		for _, micro := range lists[0] {
+			for _, stage := range micro {
+				bytes += tensorsBytes(stage)
+			}
+		}
+		g.ctracks[0].Span(trace.NameReduce, t0, -1, -1, bytes)
+	}
 }
 
 // Broadcast pushes the leader's post-step state to every follower
@@ -264,12 +298,14 @@ func (g *Group) Reduce() {
 // leader's). It returns the first follower I/O failure.
 func (g *Group) Broadcast() error {
 	var wg sync.WaitGroup
-	for _, m := range g.members[1:] {
-		m := m
+	for j, m := range g.members[1:] {
+		m, tk := m, g.ctracks[j+1]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			t0 := tk.Now()
 			m.member.SyncFromLeader()
+			tk.Span(trace.NameBroadcast, t0, -1, -1, 0)
 		}()
 	}
 	wg.Wait()
@@ -332,6 +368,8 @@ func (g *Group) shardedCommit(nMicro int) error {
 	// Scatter: move the leader's reduced gradients to their owners and
 	// align follower epoch clocks. TakeStageGrads zeroes the leader's
 	// accumulator, so gradient ownership moves wholesale.
+	t0 := g.rec.Now()
+	var scatterBytes int64
 	for _, m := range g.members[1:] {
 		m.member.SyncEpoch()
 	}
@@ -343,14 +381,20 @@ func (g *Group) shardedCommit(nMicro int) error {
 		if o := g.plan.OwnerOf(st); o != 0 {
 			g.scatter[st] = g.lead.TakeStageGrads(st, g.scatter[st])
 			g.members[o].member.SetStageGrads(st, g.scatter[st])
+			if g.rec != nil {
+				scatterBytes += tensorsBytes(g.scatter[st])
+			}
 		}
 	}
+	g.ctracks[0].Span(trace.NameScatter, t0, -1, -1, scatterBytes)
 	// Prepare: owners average their shard's gradients and report the
 	// per-stage clip partials.
 	g.eachMember(func(i int, m Member, lo, hi int) {
+		t0 := g.rec.Now()
 		for st := lo; st < hi; st++ {
 			g.sumSqs[st] = m.PrepareStage(st, nMicro)
 		}
+		g.ctracks[i].Span(trace.NameCommitPrepare, t0, lo, -1, 0)
 	})
 	if pos, err := g.firstFault(); pos >= 0 {
 		// No member has advanced its step clock yet, so an evictable
@@ -368,18 +412,25 @@ func (g *Group) shardedCommit(nMicro int) error {
 	// clocks in lockstep), then owners scale, step and finish their
 	// shards.
 	g.eachMember(func(i int, m Member, lo, hi int) {
+		tk := g.ctracks[i]
 		m.BeginStep()
 		if scale != 1 {
+			t0 := g.rec.Now()
 			for st := lo; st < hi; st++ {
 				m.ScaleStage(st, scale)
 			}
+			tk.Span(trace.NameCommitScale, t0, lo, -1, 0)
 		}
+		t0 := g.rec.Now()
 		for st := lo; st < hi; st++ {
 			m.StepStage(st)
 		}
+		tk.Span(trace.NameCommitStep, t0, lo, -1, 0)
+		t0 = g.rec.Now()
 		for st := lo; st < hi; st++ {
 			m.FinishStage(st)
 		}
+		tk.Span(trace.NameCommitFinish, t0, lo, -1, 0)
 	})
 	// Gather: the inverted broadcast — every member imports each stage
 	// from the owner's post-step state, in stage order, pushing its own
@@ -387,9 +438,14 @@ func (g *Group) shardedCommit(nMicro int) error {
 	// in-process owners that is the same live-tensor read as before, and
 	// for remote owners it fetches the stage exactly once into a stable
 	// buffer that the concurrent importers then only read.
+	t0 = g.rec.Now()
 	states := make([][]*tensor.Tensor, p)
+	var gatherBytes int64
 	for st := 0; st < p; st++ {
 		states[st] = g.members[g.plan.OwnerOf(st)].member.StageState(st)
+		if g.rec != nil {
+			gatherBytes += tensorsBytes(states[st])
+		}
 	}
 	g.eachMember(func(i int, m Member, _, _ int) {
 		for st := 0; st < p; st++ {
@@ -398,6 +454,7 @@ func (g *Group) shardedCommit(nMicro int) error {
 			}
 		}
 	})
+	g.ctracks[0].Span(trace.NameGather, t0, -1, -1, gatherBytes)
 	if pos, err := g.firstFault(); pos >= 0 {
 		// Step clocks have advanced and a dead owner's stepped shard is
 		// unrecoverable mid-commit: survivors hold a mix of pre- and
@@ -527,6 +584,15 @@ func (c *Compute) begin(start, n int, async bool) {
 			c.grads = append(c.grads, make([][]*tensor.Tensor, c.p))
 		}
 	}
+}
+
+// Tracer implements trace.Carrier by delegating to the wrapped member
+// (the follower trainer's host), so an inner engine driving this
+// replica's pipeline finds the shared recorder and the replica's index.
+// Remote members carry no local recorder — their compute happens in the
+// worker process.
+func (c *Compute) Tracer() (*trace.Recorder, int) {
+	return trace.FromCarrier(c.member)
 }
 
 // Stages returns P.

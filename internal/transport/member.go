@@ -10,6 +10,7 @@ import (
 	"pipemare/internal/engine"
 	"pipemare/internal/replica"
 	"pipemare/internal/tensor"
+	"pipemare/internal/trace"
 )
 
 // LeaderState is what RemoteMember reads from the local leader replica
@@ -51,6 +52,11 @@ type RemoteMember struct {
 	grads   [][][]*tensor.Tensor
 	states  [][]*tensor.Tensor // per-stage StageState decode buffers
 	scratch []byte
+
+	// tk is the member's wire track (nil when tracing is off). Every
+	// post-handshake round-trip runs under m.mu, so the track has a
+	// single writer by construction.
+	tk *trace.Track
 }
 
 // NewRemoteMember dials nothing — conn is already established — but runs
@@ -76,6 +82,51 @@ func NewRemoteMember(ctx context.Context, conn MsgConn, spec Spec, lead LeaderSt
 		return nil, fmt.Errorf("transport: handshake with replica %d: unexpected reply type %d", spec.Replica, resp.Type)
 	}
 	return m, nil
+}
+
+// SetTracer attaches a trace recorder: every subsequent round-trip is
+// recorded as a span on the member's wire track (with the message's
+// payload bytes both ways), transient-send retries and consumed
+// heartbeat pings as instants. Call it once, right after the handshake,
+// before the member is handed to the replica group.
+func (m *RemoteMember) SetTracer(rec *trace.Recorder) {
+	m.mu.Lock()
+	m.tk = rec.Track(m.replica, trace.TidWire, "wire")
+	m.mu.Unlock()
+}
+
+// wireName maps a request type to its interned wire-span name.
+func wireName(typ byte) string {
+	switch typ {
+	case MsgHello:
+		return "wire:hello"
+	case MsgRunChunk:
+		return "wire:chunk"
+	case MsgSetGrads:
+		return "wire:set-grads"
+	case MsgPrepare:
+		return "wire:prepare"
+	case MsgBeginStep:
+		return "wire:begin-step"
+	case MsgScale:
+		return "wire:scale"
+	case MsgStep:
+		return "wire:step"
+	case MsgFinish:
+		return "wire:finish"
+	case MsgGetState:
+		return "wire:get-state"
+	case MsgSetState:
+		return "wire:set-state"
+	case MsgSyncEpoch:
+		return "wire:sync-epoch"
+	case MsgSync:
+		return "wire:sync"
+	case MsgSetRing:
+		return "wire:set-ring"
+	default:
+		return "wire:other"
+	}
 }
 
 // BindContext binds the context every subsequent wire operation uses for
@@ -123,9 +174,11 @@ func (m *RemoteMember) Close() error {
 // untouched. Any failure after the request is on the wire is final: the
 // peer's state is unknown.
 func (m *RemoteMember) roundTrip(ctx context.Context, req Msg) (Msg, error) {
+	t0 := m.tk.Now()
 	for attempt := 0; ; attempt++ {
 		if err := m.conn.Send(ctx, req); err != nil {
 			if IsTransient(err) && attempt < retryAttempts {
+				m.tk.Instant(trace.NameRetry, int(req.Stage), -1, int64(len(req.Data)))
 				if serr := m.backoff(ctx, attempt); serr != nil {
 					return Msg{}, serr
 				}
@@ -140,6 +193,7 @@ func (m *RemoteMember) roundTrip(ctx context.Context, req Msg) (Msg, error) {
 		if resp.Type == MsgErr {
 			return Msg{}, decodeWireErr(resp.Data)
 		}
+		m.tk.Span(wireName(req.Type), t0, int(req.Stage), -1, int64(len(req.Data)+len(resp.Data)))
 		return resp, nil
 	}
 }
@@ -167,6 +221,7 @@ func (m *RemoteMember) recvReply(ctx context.Context) (Msg, error) {
 			return Msg{}, err
 		}
 		if resp.Type == MsgPing {
+			m.tk.Instant(trace.NameHeartbeat, -1, -1, 0)
 			continue
 		}
 		return resp, nil

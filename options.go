@@ -10,6 +10,7 @@ import (
 	"pipemare/internal/nn"
 	"pipemare/internal/optim"
 	"pipemare/internal/replica"
+	"pipemare/internal/trace"
 	"pipemare/internal/transport"
 )
 
@@ -374,6 +375,24 @@ func WithHeartbeat(d time.Duration) Option {
 	}
 }
 
+// WithTrace attaches a trace recorder to the trainer: every slot
+// execution, commit phase, replica collective, wire round-trip and
+// fault event of the run is recorded as a timestamped span or instant
+// (package internal/trace). Export the recording with WriteChromeTrace
+// (Chrome/Perfetto trace-event JSON) or summarize it with
+// BuildTraceReport. Tracing only reads the clock and appends into
+// buffers owned by the emitting goroutine, so the training curve is
+// bit-identical with tracing on or off.
+func WithTrace(rec *TraceRecorder) Option {
+	return func(s *settings) error {
+		if rec == nil {
+			return fmt.Errorf("pipemare: trace recorder must not be nil")
+		}
+		s.cfg.Trace = rec
+		return nil
+	}
+}
+
 // WithSeed sets the data-order RNG seed.
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
@@ -438,7 +457,7 @@ func New(task Task, opts ...Option) (*Trainer, error) {
 		if !s.heartbeatSet && s.cfg.FaultTolerant {
 			hb = transport.DefaultHeartbeat
 		}
-		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout, hb)
+		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout, hb, s.cfg.Trace)
 	}
 	tr, err := core.New(task, opt, s.sched, s.cfg)
 	if err != nil {
@@ -496,7 +515,7 @@ func resolveSettings(task Task, opts []Option) (*settings, Optimizer, error) {
 // dial worker r's endpoint (with the backoff the dialer implements),
 // announce the resolved replication spec, and wrap the connection as the
 // leader-side member proxy.
-func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat time.Duration) func(int, core.ReplicaEnv) (replica.Member, error) {
+func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat time.Duration, rec *trace.Recorder) func(int, core.ReplicaEnv) (replica.Member, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -525,6 +544,7 @@ func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat time.Duratio
 			conn.Close()
 			return nil, err
 		}
+		m.SetTracer(rec) // nil-safe: a nil recorder leaves the wire track off
 		return m, nil
 	}
 }

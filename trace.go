@@ -1,0 +1,39 @@
+package pipemare
+
+import (
+	"io"
+
+	"pipemare/internal/trace"
+)
+
+// TraceRecorder collects the timestamped spans and instants of a traced
+// run (pipemare.WithTrace): slot executions per stage/worker/microbatch,
+// commit phases, replica collectives with byte counts, wire round-trips,
+// and fault events. One recorder serves one run at a time; recording is
+// allocation-bounded and never perturbs the training curve.
+type TraceRecorder = trace.Recorder
+
+// TraceReport is the derived utilization summary of a traced run:
+// per-stage busy time, bubble fraction, overlap efficiency, and MFU
+// against the cost-model ideal. Build one with BuildTraceReport and
+// print it with its Format method.
+type TraceReport = trace.Report
+
+// NewTraceRecorder returns a trace recorder ready to hand to WithTrace.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// WriteChromeTrace exports a recording as Chrome trace-event JSON —
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing —
+// with one track per replica×worker, separate tracks for collectives,
+// wire traffic and control events, and instant markers for faults.
+func WriteChromeTrace(w io.Writer, rec *TraceRecorder) error {
+	return trace.WriteChrome(w, rec)
+}
+
+// BuildTraceReport derives the utilization report from a recording.
+// stageCosts, when non-nil, are the per-stage relative compute costs
+// (e.g. from the task's partition cost model) used for the MFU ideal;
+// nil assumes uniform stages.
+func BuildTraceReport(rec *TraceRecorder, stageCosts []float64) TraceReport {
+	return trace.BuildReport(rec, stageCosts)
+}

@@ -1,0 +1,112 @@
+package pipemare_test
+
+import (
+	"context"
+	"testing"
+
+	"pipemare"
+	"pipemare/internal/data"
+	"pipemare/internal/engine/concurrent"
+	"pipemare/internal/model"
+	"pipemare/internal/optim"
+)
+
+// traceBase is the all-techniques DNN recipe the equivalence suites pin
+// (same shape as TestReplicatedEngineMatchesReference), shared by the
+// traced-equivalence and trace-format tests.
+func traceBase() (func() pipemare.Task, []pipemare.Option) {
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 6})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 10, 4, 8) }
+	base := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	return build, base
+}
+
+// requireComputeTraced asserts the recorder actually observed the run —
+// a tracing hook that silently fell off would otherwise let these
+// equivalence tests pass vacuously.
+func requireComputeTraced(t *testing.T, name string, rec *pipemare.TraceRecorder, wantReplicas int) {
+	t.Helper()
+	rep := pipemare.BuildTraceReport(rec, nil)
+	if rep.ComputeNs <= 0 || rep.WorkerTracks == 0 {
+		t.Fatalf("%s: trace recorded no compute (%d ns over %d worker tracks)",
+			name, rep.ComputeNs, rep.WorkerTracks)
+	}
+	if rep.Replicas != wantReplicas {
+		t.Fatalf("%s: trace saw %d replicas computing, want %d", name, rep.Replicas, wantReplicas)
+	}
+	if rep.DroppedEvents != 0 {
+		t.Fatalf("%s: %d events dropped at track caps", name, rep.DroppedEvents)
+	}
+}
+
+// TestTracedRunsMatchReference pins the observability invariant: with
+// tracing enabled — across the concurrent engine, the replica-sharded
+// commit, and the loopback wire — every curve stays bit-identical to the
+// untraced single-replica Reference run. Tracing only reads clocks and
+// appends to goroutine-owned buffers; this is the test that keeps it so.
+func TestTracedRunsMatchReference(t *testing.T) {
+	build, base := traceBase()
+	ref := runCurve(t, build, 3, 1, base...)
+
+	t.Run("concurrent/W=2", func(t *testing.T) {
+		rec := pipemare.NewTraceRecorder()
+		opts := append(append([]pipemare.Option{}, base...),
+			pipemare.WithTrace(rec),
+			pipemare.WithEngine(concurrent.New(concurrent.WithWorkers(2))))
+		got := runCurve(t, build, 3, 1, opts...)
+		requireIdentical(t, "traced/concurrent", ref, got)
+		requireComputeTraced(t, "traced/concurrent", rec, 1)
+	})
+
+	t.Run("replicated/R=2/sharded", func(t *testing.T) {
+		rec := pipemare.NewTraceRecorder()
+		opts := append(append([]pipemare.Option{}, base...),
+			pipemare.WithTrace(rec),
+			pipemare.WithReplicas(2), pipemare.WithShardedStep(true),
+			pipemare.WithEngine(replicatedEngine("reference")))
+		got := runCurve(t, build, 3, 2, opts...)
+		requireIdentical(t, "traced/replicated", ref, got)
+		requireComputeTraced(t, "traced/replicated", rec, 2)
+	})
+
+	t.Run("loopback/R=2", func(t *testing.T) {
+		dialers, kill, wait := startWorkers(t, 1, build, func() []pipemare.Option {
+			return append([]pipemare.Option{}, base...)
+		})
+		rec := pipemare.NewTraceRecorder()
+		leaderOpts := append(append([]pipemare.Option{}, base...),
+			pipemare.WithTrace(rec),
+			pipemare.WithReplicas(2), pipemare.WithShardedStep(true),
+			pipemare.WithEngine(replicatedEngine("reference")),
+			pipemare.WithTransport(dialers...))
+		tr, err := pipemare.New(build(), leaderOpts...)
+		if err != nil {
+			kill()
+			t.Fatal(err)
+		}
+		got, err := tr.Run(context.Background(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		for i, werr := range wait() {
+			if werr != nil {
+				t.Fatalf("worker %d: %v", i+1, werr)
+			}
+		}
+		requireIdentical(t, "traced/loopback", ref, got)
+		// Only the leader computes in the recorder's process; the remote
+		// replica shows up as wire traffic instead.
+		requireComputeTraced(t, "traced/loopback", rec, 1)
+		rep := pipemare.BuildTraceReport(rec, nil)
+		if rep.WireNs <= 0 || rep.BytesMoved <= 0 {
+			t.Fatalf("loopback trace recorded no wire traffic (%d ns, %d bytes)", rep.WireNs, rep.BytesMoved)
+		}
+	})
+}

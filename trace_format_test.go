@@ -1,0 +1,147 @@
+package pipemare_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"pipemare"
+	"pipemare/internal/data"
+	"pipemare/internal/model"
+	"pipemare/internal/optim"
+)
+
+// TestChromeTraceFormat runs a real R=2 × P=4 sharded-commit training
+// run with tracing on and asserts the exported JSON is a well-formed
+// Chrome trace: every event carries pid/tid/ph/name, timestamps are
+// monotonic within each (pid, tid) track, durations are non-negative,
+// and the compute/collective/metadata event classes are all present.
+func TestChromeTraceFormat(t *testing.T) {
+	build, base := traceBase()
+	rec := pipemare.NewTraceRecorder()
+	opts := append(append([]pipemare.Option{}, base...),
+		pipemare.WithTrace(rec),
+		pipemare.WithReplicas(2), pipemare.WithShardedStep(true),
+		pipemare.WithEngine(replicatedEngine("reference")))
+	runCurve(t, build, 2, 2, opts...)
+
+	var buf bytes.Buffer
+	if err := pipemare.WriteChromeTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("export holds no events")
+	}
+	lastTs := map[[2]int]float64{}
+	spans, instants, metas := 0, 0, 0
+	names := map[string]bool{}
+	for i, ev := range file.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d lacks a required field: %+v", i, ev)
+		}
+		names[ev.Name] = true
+		switch ev.Ph {
+		case "M":
+			metas++
+			continue
+		case "X":
+			spans++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("span %d (%s) has no non-negative dur", i, ev.Name)
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Ts == nil {
+			t.Fatalf("event %d (%s) has no timestamp", i, ev.Name)
+		}
+		key := [2]int{*ev.Pid, *ev.Tid}
+		if *ev.Ts < lastTs[key] {
+			t.Fatalf("track (%d,%d): ts went backwards at event %d (%s): %v < %v",
+				key[0], key[1], i, ev.Name, *ev.Ts, lastTs[key])
+		}
+		lastTs[key] = *ev.Ts
+	}
+	if spans == 0 || metas == 0 {
+		t.Fatalf("want spans and track metadata, got %d spans, %d instants, %d metas", spans, instants, metas)
+	}
+	for _, want := range []string{"fwd", "bwd", "commit:step", "reduce", "process_name", "thread_name"} {
+		if !names[want] {
+			t.Errorf("export is missing %q events", want)
+		}
+	}
+}
+
+// TestTraceOverhead gates the <5% ns/epoch overhead bound behind
+// PIPEMARE_TRACE_OVERHEAD=1: it is a timing assertion, meaningful only
+// on the dedicated CI observability job (and far too flaky for ordinary
+// developer machines running a parallel test load).
+func TestTraceOverhead(t *testing.T) {
+	if os.Getenv("PIPEMARE_TRACE_OVERHEAD") != "1" {
+		t.Skip("set PIPEMARE_TRACE_OVERHEAD=1 to measure tracing overhead")
+	}
+	// A realistically-sized model: the event count per epoch is fixed by
+	// the schedule (stages × microbatches × minibatches), so per-slot
+	// compute must dominate the ~100ns event cost for the bound to
+	// measure recording overhead rather than the workload's smallness.
+	images := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 4, W: 4,
+		Train: 96, Test: 32, Noise: 0.4, Seed: 6})
+	build := func() pipemare.Task { return model.NewResNetMLP(images, 128, 4, 8) }
+	base := append(methodOpts(pipemare.PipeMare),
+		pipemare.WithStages(4),
+		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
+		pipemare.WithSchedule(optim.Constant(0.05)))
+	epoch := func(extra ...pipemare.Option) time.Duration {
+		tr, err := pipemare.New(build(), append(append([]pipemare.Option{}, base...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Run(context.Background(), 1); err != nil { // warm
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := tr.Run(context.Background(), 4); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start) / 4
+	}
+	// Best-of-3 per arm damps scheduler noise without hiding a real
+	// per-event cost, which would hit every run equally.
+	best := func(f func() time.Duration) time.Duration {
+		d := f()
+		for i := 0; i < 2; i++ {
+			if n := f(); n < d {
+				d = n
+			}
+		}
+		return d
+	}
+	off := best(func() time.Duration { return epoch() })
+	on := best(func() time.Duration {
+		return epoch(pipemare.WithTrace(pipemare.NewTraceRecorder()))
+	})
+	overhead := float64(on-off) / float64(off)
+	t.Logf("trace off %v/epoch, on %v/epoch: overhead %.2f%%", off, on, 100*overhead)
+	if overhead > 0.05 {
+		t.Fatalf("tracing overhead %.2f%% exceeds the 5%% bound (off %v, on %v)", 100*overhead, off, on)
+	}
+}
