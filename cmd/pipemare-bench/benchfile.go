@@ -32,6 +32,7 @@ type benchRecord struct {
 	Commit            string  `json:"commit,omitempty"`    // replicated rows: serial | sharded
 	Transport         string  `json:"transport,omitempty"` // inproc | loopback | tcp
 	Faults            string  `json:"faults,omitempty"`    // injected fault script (-faults), "" = fault-free
+	Join              string  `json:"join,omitempty"`      // injected churn script (-join), "" = static membership
 	NsPerEpoch        int64   `json:"ns_per_epoch"`
 	Speedup           float64 `json:"speedup,omitempty"`            // vs reference at the same P, R=1
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"` // speedup / P
@@ -40,6 +41,9 @@ type benchRecord struct {
 	Evictions         int     `json:"evictions,omitempty"`          // replicas evicted during the faulted run
 	RecoveryNs        int64   `json:"recovery_ns,omitempty"`        // wall time spent in eviction + replay
 	CheckpointNs      int64   `json:"checkpoint_ns,omitempty"`      // wall time spent writing checkpoints
+	Joins             int     `json:"joins,omitempty"`              // members admitted mid-run (joins + rejoins)
+	Demotions         int     `json:"demotions,omitempty"`          // stragglers demoted to standby
+	HandoffNs         int64   `json:"handoff_ns,omitempty"`         // wall time spent in live state handoffs
 	BubbleFraction    float64 `json:"bubble_fraction,omitempty"`    // traced idle share of worker-track time (1 epoch)
 	MFU               float64 `json:"mfu,omitempty"`                // traced cost-model-ideal wall / measured wall
 }
@@ -58,10 +62,11 @@ type benchKey struct {
 	commit    string
 	transport string
 	faults    string
+	join      string
 }
 
 func (r benchRecord) key() benchKey {
-	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport, r.Faults}
+	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport, r.Faults, r.Join}
 }
 
 // benchFile is the BENCH_engine.json schema, one record per merge key.

@@ -12,11 +12,12 @@ import (
 
 // TestUpsertKeyKeepsAllVariantRows is the merge regression test: records
 // differing in ANY key dimension — engine, stages, replicas, partition,
-// workers, commit, transport, faults — must coexist, and re-measuring one
-// key must replace exactly that row. Before PR 4 the workers dimension
-// was missing from the key and W-variant rows clobbered each other; the
-// commit, transport and faults dimensions get the same guard here (a
-// fault-injected recovery row must never overwrite the fault-free
+// workers, commit, transport, faults, join — must coexist, and
+// re-measuring one key must replace exactly that row. Before PR 4 the
+// workers dimension was missing from the key and W-variant rows
+// clobbered each other; the commit, transport, faults and join
+// dimensions get the same guard here (a fault-injected recovery row or
+// a churn row must never overwrite the fault-free static-membership
 // baseline at the same configuration, and vice versa).
 func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 	base := benchRecord{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "even", Workers: 4, NsPerEpoch: 100}
@@ -33,6 +34,8 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "tcp", NsPerEpoch: 109},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Faults: "kill@3", NsPerEpoch: 110, Evictions: 1},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Faults: "drop@2", NsPerEpoch: 111},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Join: "join@2", NsPerEpoch: 112, Joins: 1, HandoffNs: 5},
+		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Join: "join@4", NsPerEpoch: 113, Joins: 1, HandoffNs: 6},
 	}
 	var b benchFile
 	for _, r := range variants {
@@ -136,6 +139,23 @@ func TestParseFaults(t *testing.T) {
 	for _, spec := range []string{"", "kill", "kill@0", "kill@-1", "kill@x", "explode@3", "kill@3:5ms", "delay@2:xx"} {
 		if _, err := parseFaults(spec); err == nil {
 			t.Errorf("parseFaults(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestParseJoin pins the -join spec grammar: a single join@N rule where
+// N is a leader step leaving the joiner room to train inside the
+// one-epoch (8-step) workload.
+func TestParseJoin(t *testing.T) {
+	for spec, want := range map[string]int{"join@1": 1, "join@2": 2, " join@6 ": 6} {
+		n, err := parseJoin(spec)
+		if err != nil || n != want {
+			t.Errorf("parseJoin(%q) = %d, %v, want %d, nil", spec, n, err, want)
+		}
+	}
+	for _, spec := range []string{"", "join", "join@0", "join@-1", "join@x", "join@7", "demote@2", "join@2,join@4"} {
+		if _, err := parseJoin(spec); err == nil {
+			t.Errorf("parseJoin(%q) succeeded, want error", spec)
 		}
 	}
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"pipemare"
+	"pipemare/internal/engine/replicated"
+	"pipemare/internal/experiments"
+)
+
+// parseJoin validates a -join spec: a single join@N rule, where N is the
+// leader optimizer step the joiner asks to be admitted at (it dials
+// immediately and is parked until the first minibatch boundary at or
+// after step N). The workload runs 8 steps per epoch, so N must leave
+// room for the joiner to actually train.
+func parseJoin(spec string) (int, error) {
+	op, rest, ok := strings.Cut(strings.TrimSpace(spec), "@")
+	if !ok || op != "join" {
+		return 0, fmt.Errorf("join rule %q: want join@N", spec)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("join rule %q: N must be a positive leader step", spec)
+	}
+	if n > 6 {
+		return 0, fmt.Errorf("join rule %q: the one-epoch workload runs 8 steps; join at 6 or earlier so the joiner trains", spec)
+	}
+	return n, nil
+}
+
+// benchJoin measures what elastic scale-up costs: one epoch of the
+// benchmark workload starting at P=4, R=2 with a third replica joining
+// mid-run at the spec's step over the chosen transport ("loopback" runs
+// the joiner as an in-process goroutine, "tcp" spawns a `pipemare-worker
+// -join` process). The resulting row records the epoch wall time
+// alongside how many members were admitted and the wall time spent
+// inside live state handoffs — the admission overhead the
+// static-membership rows at the same key don't pay.
+func benchJoin(out *benchFile, spec, transportName, workerBin string) error {
+	const p, r = 4, 2
+	joinStep, err := parseJoin(spec)
+	if err != nil {
+		return err
+	}
+	dialers, release, err := startFollowers(transportName, workerBin, p, r-1)
+	if err != nil {
+		return err
+	}
+	if len(dialers) == 0 {
+		release()
+		return fmt.Errorf("-join needs a wire transport (loopback or tcp) for the joiner")
+	}
+	jctx, jcancel := context.WithCancel(context.Background())
+	defer jcancel()
+	var jlis pipemare.Listener
+	joinDone := make(chan error, 1)
+	switch transportName {
+	case "loopback":
+		lis, dial := pipemare.Loopback()
+		jlis = lis
+		go func() {
+			opts := append(experiments.EngineBenchOptions(p), pipemare.WithJoinAt(joinStep))
+			joinDone <- pipemare.JoinFollower(jctx, dial, experiments.EngineBenchTask(), opts...)
+		}()
+	case "tcp":
+		lis, err := pipemare.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			release()
+			return err
+		}
+		jlis = lis
+		cmd := exec.Command(workerBin,
+			"-join", lis.Addr(), "-join-at", strconv.Itoa(joinStep), "-stages", strconv.Itoa(p))
+		cmd.Stdout = io.Discard
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			release()
+			return fmt.Errorf("spawning %s -join: %w", workerBin, err)
+		}
+		go func() { joinDone <- cmd.Wait() }()
+	}
+	rep := replicated.New()
+	tr, err := experiments.NewReplicatedBenchTrainer(p, r, rep,
+		pipemare.WithTransport(dialers...),
+		pipemare.WithShardedStep(false),
+		pipemare.WithElastic())
+	if err != nil {
+		release()
+		return err
+	}
+	if err := tr.AcceptJoins(jlis); err != nil {
+		tr.Close()
+		release()
+		return err
+	}
+	start := time.Now()
+	_, runErr := tr.Run(context.Background(), 1)
+	ns := time.Since(start).Nanoseconds()
+	joins, demotions, handoffNs := tr.ElasticStats()
+	grown := tr.Replicas()
+	closeErr := tr.Close()
+	jcancel()
+	jerr := <-joinDone
+	relErr := release()
+	if runErr != nil {
+		return fmt.Errorf("elastic run (%s): %w", spec, runErr)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if relErr != nil {
+		return fmt.Errorf("%s follower: %w", transportName, relErr)
+	}
+	if joins < 1 || grown != r+1 {
+		return fmt.Errorf("elastic run (%s): %d joins grew membership to %d replicas, want 1 join growing to %d",
+			spec, joins, grown, r+1)
+	}
+	if jerr != nil && !errors.Is(jerr, context.Canceled) {
+		return fmt.Errorf("%s joiner: %w", transportName, jerr)
+	}
+	out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
+		Partition: "even", Commit: "serial", Transport: transportName, Join: spec,
+		NsPerEpoch: ns, Joins: joins, Demotions: demotions, HandoffNs: handoffNs})
+	fmt.Printf("P=%d R=%d join=%s (%s): %.2fs/epoch, %d joined (now R=%d), handoff %.1fms\n",
+		p, r, spec, transportName, float64(ns)/1e9, joins, grown, float64(handoffNs)/1e6)
+	return nil
+}

@@ -13,6 +13,7 @@
 //	pipemare-bench -json         # engine perf record, merged into BENCH_engine.json
 //	pipemare-bench -json -transport loopback   # replicated rows over the wire protocol
 //	pipemare-bench -json -transport tcp        # spawn pipemare-worker processes, real sockets
+//	pipemare-bench -json -transport loopback -join join@2  # mid-run replica join, handoff-cost row
 //	pipemare-bench -trace out.json -engine concurrent -replicas 2  # record a traced epoch, report bubble fraction + MFU
 package main
 
@@ -45,7 +46,10 @@ func main() {
 	smoke := flag.Bool("smoke", false, "train the benchmark workload R=2 for one epoch over -transport and exit (CI distributed smoke test)")
 	traceOut := flag.String("trace", "", "record one traced training epoch, write Chrome trace-event JSON (Perfetto-loadable) to this file, and print the bubble-fraction/MFU report; honors -engine, -workers, -replicas and -transport")
 	faultsSpec := flag.String("faults", "", `inject scripted faults into a -json replicated row and record the recovery overhead: comma-separated op@N[:dur] rules, e.g. "drop@2,kill@5" (see parseFaults); needs -transport loopback or tcp`)
+	joinSpec := flag.String("join", "", `admit a replica mid-run into a -json replicated row and record the handoff overhead: a join@N rule, e.g. "join@2" joins at leader step 2 (see parseJoin); needs -transport loopback or tcp`)
 	crashWorker := flag.Int("crash-worker", 0, "with -smoke -transport tcp: spawn the worker with -crash-after N so it exit(137)s at its Nth chunk, and require the leader to evict it and finish (0 disables)")
+	joinWorker := flag.Bool("join-worker", false, "with -smoke -transport tcp -crash-worker N: also spawn a replacement pipemare-worker -join; the killed replica must be evicted, the replacement admitted mid-epoch via the live handoff, and the final loss must match an uninterrupted in-process run")
+	joinListen := flag.String("join-listen", "", "with -smoke: accept mid-run joiners on this TCP address and train long enough to join by hand — run 'pipemare-worker -join <addr>' from another terminal while the smoke trains")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -workers must be >= 0, got %d\n", *workers)
@@ -65,12 +69,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -faults applies to -json with -transport loopback or tcp\n")
 		os.Exit(2)
 	}
+	if *joinSpec != "" && (!*jsonOut || *transportName == "inproc") {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -join applies to -json with -transport loopback or tcp\n")
+		os.Exit(2)
+	}
 	if *crashWorker != 0 && (!*smoke || *transportName != "tcp" || *crashWorker < 0) {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -crash-worker takes a positive chunk ordinal and applies to -smoke -transport tcp\n")
 		os.Exit(2)
 	}
+	if *joinWorker && *crashWorker == 0 {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -join-worker applies to -smoke -transport tcp with -crash-worker N\n")
+		os.Exit(2)
+	}
+	if *joinListen != "" && (!*smoke || *joinWorker) {
+		fmt.Fprintf(os.Stderr, "pipemare-bench: -join-listen applies to -smoke, without -join-worker\n")
+		os.Exit(2)
+	}
 	if *smoke {
-		if err := smokeRun(*transportName, *workerBin, *crashWorker); err != nil {
+		if err := smokeRun(*transportName, *workerBin, *crashWorker, *joinWorker, *joinListen); err != nil {
 			fmt.Fprintf(os.Stderr, "pipemare-bench: smoke: %v\n", err)
 			os.Exit(1)
 		}
@@ -117,7 +133,7 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		if err := benchEngines("BENCH_engine.json", *workers, *transportName, *workerBin, *faultsSpec); err != nil {
+		if err := benchEngines("BENCH_engine.json", *workers, *transportName, *workerBin, *faultsSpec, *joinSpec); err != nil {
 			fmt.Fprintf(os.Stderr, "pipemare-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -175,8 +191,9 @@ func main() {
 // per follower and dials real sockets — what the wire costs shows up as
 // the gap between the inproc and loopback/tcp rows at the same key.
 // A non-empty faultsSpec adds one fault-injected recovery row (see
-// benchFaults) under its own merge key.
-func benchEngines(path string, workers int, transportName, workerBin, faultsSpec string) error {
+// benchFaults) under its own merge key, and a non-empty joinSpec adds
+// one mid-run-join churn row (see benchJoin) likewise.
+func benchEngines(path string, workers int, transportName, workerBin, faultsSpec, joinSpec string) error {
 	out := loadBenchFile(path)
 	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 	out.NumCPU = runtime.NumCPU()
@@ -267,6 +284,11 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 	}
 	if faultsSpec != "" {
 		if err := benchFaults(&out, faultsSpec, transportName, workerBin); err != nil {
+			return err
+		}
+	}
+	if joinSpec != "" {
+		if err := benchJoin(&out, joinSpec, transportName, workerBin); err != nil {
 			return err
 		}
 	}
@@ -369,7 +391,52 @@ func tracedMetrics(stages, replicas int, eng pipemare.Engine, mode pipemare.Part
 // (status 137, no goodbye, no TCP FIN courtesy) upon receiving its
 // crashWorker'th chunk request, and the run only passes if the leader
 // detects the death, evicts the replica and finishes the epoch solo.
-func smokeRun(transportName, workerBin string, crashWorker int) error {
+//
+// joinWorker composes the crash smoke with elastic recovery: a
+// replacement pipemare-worker -join process dials the leader's join
+// listener and is admitted — no earlier than two steps past the crash,
+// so the run demonstrably shrinks to R=1 first — via the live state
+// handoff. The run passes only if the replacement is serving at exit
+// (R=2 again) and the final loss bit-matches an uninterrupted
+// in-process run: kill, eviction and rejoin cost zero curve deviation.
+//
+// joinListen is the interactive variant: the leader accepts joiners on
+// the given TCP address and trains long enough (10 epochs) to run
+// "pipemare-worker -join <addr>" by hand from another terminal; the
+// exit line reports how many joined.
+func smokeRun(transportName, workerBin string, crashWorker int, joinWorker bool, joinListen string) error {
+	// The replacement joiner spawns first — it has a task to build and a
+	// dial-with-backoff to win before it can park — and the run trains two
+	// epochs (16 minibatch boundaries), so even a heavily loaded runner
+	// admits it well before the run ends.
+	epochs := 1
+	var jlis pipemare.Listener
+	joinDone := make(chan error, 1)
+	if joinWorker {
+		epochs = 2
+		l, err := pipemare.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		jlis = l
+		cmd := exec.Command(workerBin,
+			"-join", jlis.Addr(), "-join-at", fmt.Sprint(crashWorker+2), "-stages", "4")
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawning join worker: %w", err)
+		}
+		go func() { joinDone <- cmd.Wait() }()
+	}
+	if joinListen != "" {
+		epochs = 10
+		l, err := pipemare.ListenTCP(joinListen)
+		if err != nil {
+			return err
+		}
+		jlis = l
+		fmt.Printf("accepting joiners on %s (pipemare-worker -join %s)\n", l.Addr(), l.Addr())
+	}
 	var workerArgs []string
 	if crashWorker > 0 {
 		workerArgs = append(workerArgs, "-crash-after", fmt.Sprint(crashWorker))
@@ -385,11 +452,19 @@ func smokeRun(transportName, workerBin string, crashWorker int) error {
 	if crashWorker > 0 {
 		extra = append(extra, pipemare.WithShardedStep(false), pipemare.WithFaultTolerance())
 	}
+	if jlis != nil {
+		extra = append(extra, pipemare.WithElastic())
+	}
 	tr, err := experiments.NewReplicatedBenchTrainer(4, 2, nil, extra...)
 	if err != nil {
 		return err
 	}
-	run, err := tr.Run(context.Background(), 1)
+	if jlis != nil {
+		if err := tr.AcceptJoins(jlis); err != nil {
+			return err
+		}
+	}
+	run, err := tr.Run(context.Background(), epochs)
 	if err != nil {
 		return err
 	}
@@ -397,6 +472,46 @@ func smokeRun(transportName, workerBin string, crashWorker int) error {
 		return err
 	}
 	relErr := release()
+	if joinListen != "" {
+		if relErr != nil {
+			return fmt.Errorf("%s follower: %w", transportName, relErr)
+		}
+		joins, demotions, handoffNs := tr.ElasticStats()
+		fmt.Printf("smoke ok: R=%d at exit over %s (%d joined mid-run, %d demoted, handoff %.1fms), train loss %.6f\n",
+			tr.Replicas(), transportName, joins, demotions, float64(handoffNs)/1e6, run.Loss[run.Epochs()-1])
+		return nil
+	}
+	if joinWorker {
+		if got := tr.Replicas(); got != 2 {
+			return fmt.Errorf("replacement did not restore R=2: %d replicas at exit", got)
+		}
+		joins, _, _ := tr.ElasticStats()
+		if joins != 1 {
+			return fmt.Errorf("leader admitted %d joiners, want 1", joins)
+		}
+		if err := <-joinDone; err != nil {
+			return fmt.Errorf("join worker: %w", err)
+		}
+		ref, err := experiments.NewReplicatedBenchTrainer(4, 2, nil,
+			pipemare.WithShardedStep(false), pipemare.WithFaultTolerance())
+		if err != nil {
+			return err
+		}
+		refRun, err := ref.Run(context.Background(), epochs)
+		if err != nil {
+			return err
+		}
+		if err := ref.Close(); err != nil {
+			return err
+		}
+		got, want := run.Loss[run.Epochs()-1], refRun.Loss[refRun.Epochs()-1]
+		if got != want {
+			return fmt.Errorf("elastic run loss %.17g != uninterrupted loss %.17g", got, want)
+		}
+		fmt.Printf("smoke ok: R=2 over %s, worker killed at chunk %d, evicted to R=1, replacement joined, loss matches uninterrupted run (%.6f)\n",
+			transportName, crashWorker, got)
+		return nil
+	}
 	if crashWorker > 0 {
 		// The killed worker's exit(137) is the point of the exercise; what
 		// must hold is that the leader evicted it and trained on.

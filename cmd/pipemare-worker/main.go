@@ -8,6 +8,7 @@
 //	pipemare-worker -addr :9400        # fixed port
 //	pipemare-worker -engine concurrent # work-stealing chunk engine
 //	pipemare-worker -crash-after 3     # kill -9 itself at its 3rd chunk
+//	pipemare-worker -join :9500        # join a running elastic leader
 //
 // The worker prints "listening <addr>" once it accepts connections, so a
 // spawning leader can scrape the resolved port, serves exactly one
@@ -17,6 +18,14 @@
 // error. -crash-after N exits with status 137 (the kill -9 status) upon
 // receiving the Nth chunk request — the reproducible mid-training crash
 // the leader's fault-tolerance layer is tested against.
+//
+// With -join <addr> the worker dials instead of listening: it connects
+// to a running WithElastic leader's join listener (retrying with
+// backoff for up to -dial-timeout, so launch order does not matter),
+// waits to be admitted at a minibatch boundary — no earlier than the
+// leader step given by -join-at — receives the live state handoff, and
+// serves as the new follower replica from there on. -addr and
+// -crash-after are ignored when joining.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pipemare"
 	"pipemare/internal/engine/concurrent"
@@ -41,6 +51,9 @@ func main() {
 	engineName := flag.String("engine", "reference", "chunk execution engine: reference | concurrent")
 	workers := flag.Int("workers", 0, "scheduler workers for the concurrent engine (0 = min(P, GOMAXPROCS))")
 	crashAfter := flag.Int("crash-after", 0, "exit(137) upon receiving the Nth chunk request (fault-injection testing; 0 disables)")
+	joinAddr := flag.String("join", "", "dial a running elastic leader's join listener at this address instead of serving (mid-run join)")
+	joinAt := flag.Int("join-at", 0, "earliest leader optimizer step to be admitted at (-join only; 0 = next minibatch boundary)")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "dial retry/backoff budget for -join")
 	flag.Parse()
 
 	opts := experiments.EngineBenchOptions(*stages)
@@ -51,6 +64,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pipemare-worker: unknown engine %q (want reference or concurrent)\n", *engineName)
 		os.Exit(2)
+	}
+
+	if *joinAddr != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		opts = append(opts,
+			pipemare.WithJoinAt(*joinAt),
+			pipemare.WithDialTimeout(*dialTimeout))
+		fmt.Printf("joining %s\n", *joinAddr)
+		err := pipemare.JoinFollower(ctx, pipemare.DialTCP(*joinAddr), experiments.EngineBenchTask(), opts...)
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+				fmt.Println("drained (signal)")
+				return
+			}
+			fmt.Fprintf(os.Stderr, "pipemare-worker: join: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	lis, err := pipemare.ListenTCP(*addr)

@@ -33,6 +33,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"pipemare/internal/data"
 	"pipemare/internal/engine"
@@ -204,6 +205,33 @@ type Config struct {
 	// commit (the restore path needs the mirrored moments).
 	FaultTolerant bool
 
+	// Elastic enables mid-run scale-up: the leader accepts joining worker
+	// connections (Trainer.AcceptJoins), parks each until the next
+	// minibatch boundary — the only point with no collective in flight —
+	// and admits it with a live state handoff (masters, T2 state,
+	// optimizer moments, version rings, clocks), growing the reduce tree
+	// and commit plan to R+1. Requires Replicas >= 2 (a running replica
+	// group to grow). Under the sharded commit it implies FaultTolerant,
+	// exactly as eviction does: admission reshuffles stage ownership.
+	Elastic bool
+
+	// StragglerDeadline and StragglerMisses configure straggler demotion
+	// for remote followers: a follower whose collective reply misses
+	// StragglerDeadline for StragglerMisses consecutive deadline windows
+	// is demoted to standby — kept alive, excluded from the reduce tree
+	// and commit plan, its microbatches redistributed — and automatically
+	// readmitted through the join handoff path once its late reply drains.
+	// Zero values disable demotion (the default: wait indefinitely, bar
+	// heartbeat liveness).
+	StragglerDeadline time.Duration
+	StragglerMisses   int
+
+	// Heartbeat is the resolved remote-follower liveness cadence
+	// (pipemare.WithHeartbeat); the join path reuses it when welcoming
+	// admitted members so joiners get the same liveness contract as
+	// dial-time followers.
+	Heartbeat time.Duration
+
 	// CheckpointDir, when non-empty, makes the leader serialize its full
 	// training state (masters, optimizer moments, T2 accumulators, the
 	// per-stage weight-version rings, and the step/epoch/microbatch
@@ -338,6 +366,18 @@ type Trainer struct {
 
 	ckptWrites int   // checkpoints written
 	ckptNs     int64 // cumulative wall time spent writing them
+
+	// Elastic-membership state: parked joiner connections awaiting the
+	// next minibatch boundary (fed by AcceptJoins goroutines, drained on
+	// the run goroutine), the listeners and cancel that release them, and
+	// the admission counters.
+	joinMu     sync.Mutex
+	pending    []pendingJoin
+	joinLis    []io.Closer
+	joinCtx    context.Context
+	joinCancel context.CancelFunc
+	joins      int   // members admitted mid-run (fresh joins and rejoins)
+	handoffNs  int64 // cumulative wall time spent in state handoffs
 }
 
 // flight is one in-flight microbatch: its sample indices and, for
@@ -423,6 +463,18 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 	if cfg.CheckpointDir != "" && sharded {
 		// Restoring a sharded run redistributes the leader's full state to
 		// the followers, which needs the mirrored-moment layout.
+		cfg.FaultTolerant = true
+	}
+	if cfg.StragglerMisses > 0 && cfg.StragglerDeadline <= 0 {
+		return nil, fmt.Errorf("core: straggler demotion needs a positive deadline (got %v for %d misses)", cfg.StragglerDeadline, cfg.StragglerMisses)
+	}
+	if cfg.Elastic && replicas < 2 {
+		return nil, fmt.Errorf("core: elastic membership needs a running replica group to grow (Replicas >= 2), got %d", replicas)
+	}
+	if sharded && (cfg.Elastic || cfg.StragglerMisses > 0) {
+		// Admitting a joiner — or re-admitting a demoted straggler — under
+		// the sharded commit reshuffles stage ownership, which needs the
+		// mirrored-moment layout exactly as eviction does.
 		cfg.FaultTolerant = true
 	}
 	// The fault-tolerant layout needs the full moment state resident on
@@ -696,7 +748,9 @@ func (t *Trainer) newFollower(rep Replicable, r int) (*Trainer, error) {
 	fcfg.Engine = engine.NewReference() // follower engines are never used
 	fcfg.Followers = nil
 	fcfg.CheckpointDir = "" // only the leader checkpoints
-	fcfg.TraceReplica = r   // the shared recorder attributes this follower's events to replica r
+	fcfg.Elastic = false    // only the leader admits joiners
+	fcfg.StragglerDeadline, fcfg.StragglerMisses = 0, 0
+	fcfg.TraceReplica = r // the shared recorder attributes this follower's events to replica r
 	if fcfg.Partition != pipeline.PartitionEven {
 		// Followers must land on the leader's exact partition: reuse its
 		// (possibly measured) cost vector instead of re-estimating, so a
@@ -764,7 +818,9 @@ func NewFollower(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Confi
 	fcfg.Engine = engine.NewReference() // chunks run through the serve loop's engine
 	fcfg.Followers = nil
 	fcfg.CheckpointDir = "" // only the leader checkpoints
-	fcfg.TraceReplica = r   // a worker-process recorder labels its events with its replica index
+	fcfg.Elastic = false    // only the leader admits joiners
+	fcfg.StragglerDeadline, fcfg.StragglerMisses = 0, 0
+	fcfg.TraceReplica = r // a worker-process recorder labels its events with its replica index
 	fopt := optim.Optimizer(optim.NewSGDShard(ps, 0, 0, optim.Shard{}))
 	if cfg.FaultTolerant {
 		// The fault-tolerant stage-state layout aliases the live moment
@@ -871,15 +927,37 @@ func (t *Trainer) Replicas() int { return len(t.followers) + 1 }
 
 // Close releases the trainer's follower members: a remote transport
 // proxy says goodbye to its worker process and closes the connection;
-// in-process followers hold nothing to release. Close is idempotent —
-// the second and later calls return nil — and joins every member's
-// close error rather than stopping at the first.
+// in-process followers hold nothing to release. It also stops the join
+// accept loops, releases parked joiners, and closes any demoted
+// standbys the engine still holds. Close is idempotent — the second and
+// later calls return nil — and joins every member's close error rather
+// than stopping at the first.
 func (t *Trainer) Close() error {
 	if t.closed {
 		return nil
 	}
 	t.closed = true
 	var errs []error
+	if t.joinCancel != nil {
+		t.joinCancel()
+	}
+	for _, lis := range t.joinLis {
+		if err := lis.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	t.joinMu.Lock()
+	pend := t.pending
+	t.pending = nil
+	t.joinMu.Unlock()
+	for _, pj := range pend {
+		pj.conn.Close()
+	}
+	if cs, ok := t.eng.(standbyCloser); ok {
+		if err := cs.CloseStandbys(); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	for _, m := range t.followers {
 		if c, ok := m.(io.Closer); ok {
 			if err := c.Close(); err != nil {
@@ -1412,6 +1490,16 @@ func (h host) EvictFollower(r int) {
 	t.plan = engine.NewCommitPlan(t.clock.P, len(t.followers)+1)
 }
 
+// JoinFollower appends an admitted member as the last follower and
+// rebuilds the commit plan over R+1 replicas (replica.Joiner) — the
+// exact mirror of EvictFollower. The replica group drives this from its
+// Admit, growing its member list in lockstep.
+func (h host) JoinFollower(m replica.Member) {
+	t := h.t
+	t.followers = append(t.followers, m)
+	t.plan = engine.NewCommitPlan(t.clock.P, len(t.followers)+1)
+}
+
 // RestoreVersions replaces a stage's weight-version ring
 // (replica.VersionRestorer) — the restore path for the historical
 // versions the asynchronous methods read.
@@ -1425,6 +1513,7 @@ var _ replica.Leader = host{}
 var (
 	_ replica.FaultTolerer    = host{}
 	_ replica.Evictor         = host{}
+	_ replica.Joiner          = host{}
 	_ replica.VersionRestorer = host{}
 )
 
@@ -1503,6 +1592,14 @@ func (t *Trainer) run(ctx context.Context, epochs int, run *metrics.Run) (*metri
 			epochLoss += loss
 			batches++
 			if err := t.maybeCheckpoint(); err != nil {
+				return run, err
+			}
+			// Minibatch-boundary admission: rejoin drained standbys and
+			// admit parked joiners here, on the run goroutine, after the
+			// checkpoint hook — so membership changes never race a
+			// collective or a checkpoint write, and a post-join curve is a
+			// pure function of the handed-off state.
+			if err := t.admitBoundary(); err != nil {
 				return run, err
 			}
 		}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -50,6 +51,14 @@ type Engine struct {
 
 	evictions  int   // members evicted over the engine's lifetime
 	recoveryNs int64 // wall time spent recovering from those failures
+	joins      int   // members admitted mid-run (joins and standby rejoins)
+	demotions  int   // stragglers demoted to standby
+
+	// standbys holds demoted stragglers: alive, out of the group, each
+	// draining its late in-flight reply. The list survives Stop — a
+	// standby's connection outlives the run that demoted it — and is
+	// released only by CloseStandbys (Trainer.Close) or readmission.
+	standbys []replica.Member
 
 	// ctl is the leader's control track (nil when tracing is off).
 	// Eviction and replay instants are emitted from Minibatch, which runs
@@ -167,6 +176,22 @@ func (e *Engine) Minibatch(ctx context.Context, h engine.Host, micros [][]int) (
 		if err == nil && !recoverStart.IsZero() {
 			e.recoveryNs += time.Since(recoverStart).Nanoseconds()
 		}
+		var se *replica.StragglerError
+		if errors.As(err, &se) {
+			// The member is alive but too slow: demote it to standby —
+			// same group surgery as eviction, but the connection stays
+			// open and the member drains its late reply so it can rejoin
+			// through the admission path once it catches up.
+			if recoverStart.IsZero() {
+				recoverStart = time.Now()
+			}
+			e.demotions++
+			e.ctl.Instant(trace.NameDemote, -1, -1, 0)
+			e.demote(se.Replica)
+			e.group.ResetGrads()
+			e.ctl.Instant(trace.NameReplay, -1, -1, 0)
+			continue
+		}
 		var me *replica.MemberError
 		if !errors.As(err, &me) {
 			return loss, err
@@ -221,11 +246,21 @@ func (e *Engine) runOnce(ctx context.Context, micros [][]int) (float64, error) {
 	// member failure is only evictable when no other member failed
 	// non-evictably (a cancel or leader failure always aborts).
 	var ctxErr error
-	evictPos := -1
+	var straggleErr error
+	evictPos, stragglePos := -1, -1
 	for i, err := range errs {
 		switch {
 		case errors.Is(err, engine.ErrDiverged):
 			return math.Inf(1), engine.ErrDiverged
+		case err != nil && errors.Is(err, replica.ErrStraggler) && e.group.CanEvict(i, err):
+			// Demotable, not evictable: the member did not latch a fault
+			// — its late reply is still in flight. The eligibility
+			// conditions are eviction's (never the leader, never without
+			// fault tolerance under a sharded commit), because a demoted
+			// member leaves the commit plan exactly like an evicted one.
+			if stragglePos < 0 {
+				stragglePos, straggleErr = i, err
+			}
 		case err != nil && e.group.CanEvict(i, err):
 			if evictPos < 0 {
 				evictPos = i
@@ -236,6 +271,14 @@ func (e *Engine) runOnce(ctx context.Context, micros [][]int) (float64, error) {
 	}
 	if ctxErr != nil {
 		return 0, ctxErr
+	}
+	if stragglePos >= 0 {
+		// Demotions are handled one per attempt: a second straggler's
+		// RunChunk fails fast (ErrStraggler again, no I/O — the drain
+		// guard) on the replay and demotes then. A concurrent evictable
+		// fatal likewise resurfaces on the replay through its sticky
+		// error and evicts then.
+		return 0, &replica.StragglerError{Replica: stragglePos, Err: straggleErr}
 	}
 	if evictPos >= 0 {
 		// The member died with its chunk: its losses and gradient exports
@@ -269,4 +312,90 @@ func (e *Engine) evict(pos int) {
 // minibatch replays until training resumed).
 func (e *Engine) FaultStats() (evictions int, recoveryNs int64) {
 	return e.evictions, e.recoveryNs
+}
+
+// ElasticStats reports how many members this engine has admitted mid-run
+// (joins plus standby rejoins) and how many stragglers it has demoted.
+func (e *Engine) ElasticStats() (joins, demotions int) {
+	return e.joins, e.demotions
+}
+
+// demote moves group member pos to the standby pool: same splice as
+// evict, but the member is not closed — it keeps draining its late
+// reply and can rejoin via Admit once Ready.
+func (e *Engine) demote(pos int) {
+	m, ok := e.group.Demote(pos)
+	if !ok {
+		return
+	}
+	if in := e.engines[pos]; in != nil {
+		if lc, ok := in.(engine.Lifecycle); ok {
+			lc.Stop()
+		}
+	}
+	e.engines = append(e.engines[:pos], e.engines[pos+1:]...)
+	e.standbys = append(e.standbys, m)
+}
+
+// Admit grows the running group by one member at a minibatch boundary.
+// The member must already hold the leader's full state (the trainer
+// performs the handoff first) and must run its chunks out of process
+// (replica.Runner) — no local inner engine drives it. The trainer calls
+// Admit between minibatches, on the run goroutine, so no collective is
+// in flight.
+func (e *Engine) Admit(m replica.Member) error {
+	if !e.running || e.group == nil {
+		return errors.New("replicated: admit: no running replica group")
+	}
+	if _, ok := m.(replica.Runner); !ok {
+		return fmt.Errorf("replicated: admit: member %T cannot run chunks remotely", m)
+	}
+	e.engines = append(e.engines, nil)
+	e.group.Admit(m)
+	e.joins++
+	return nil
+}
+
+// TakeReadyStandbys removes and returns the demoted members that have
+// finished draining and can rejoin. Standbys whose drain failed are
+// closed and dropped — their connection is broken, so readmission is
+// impossible.
+func (e *Engine) TakeReadyStandbys() []replica.Member {
+	var ready []replica.Member
+	kept := e.standbys[:0]
+	for _, m := range e.standbys {
+		if er, ok := m.(replica.Erring); ok && er.Err() != nil {
+			if cl, ok := m.(io.Closer); ok {
+				cl.Close()
+			}
+			continue
+		}
+		if sb, ok := m.(replica.Standby); ok && sb.Ready() {
+			ready = append(ready, m)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	e.standbys = kept
+	if len(kept) == 0 {
+		e.standbys = nil
+	}
+	return ready
+}
+
+// CloseStandbys closes every parked standby — the demoted members no
+// longer reachable through the leader's follower list. Trainer.Close
+// calls it so a run that ends with members still in standby leaks no
+// connections.
+func (e *Engine) CloseStandbys() error {
+	var errs []error
+	for _, m := range e.standbys {
+		if cl, ok := m.(io.Closer); ok {
+			if err := cl.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	e.standbys = nil
+	return errors.Join(errs...)
 }

@@ -57,11 +57,14 @@ const (
 
 // Rule is one scripted fault: on the Nth message in direction Dir whose
 // type matches Type (0 = any type), apply Op. Each rule counts its own
-// matches and triggers exactly once.
+// matches and triggers once by default; Count widens the trigger to a
+// run of consecutive matches — the shape of a straggling peer, which is
+// slow for a stretch of collectives, not exactly one.
 type Rule struct {
 	Dir   Dir
 	Type  byte // message type to match; 0 matches every type
 	Nth   int  // 1-based count of matching messages; 0 means 1
+	Count int  // matches to fire on, starting at Nth: 0 or 1 = once, n = Nth..Nth+n-1, -1 = every match from Nth on
 	Op    Op
 	Delay time.Duration // Delay op only
 	Hook  func()        // Hook op only
@@ -100,10 +103,17 @@ func (s *Script) match(dir Dir, typ byte) *Rule {
 		if nth <= 0 {
 			nth = 1
 		}
-		if s.seen[i] == nth {
-			s.fired[i] = true
-			return r
+		if s.seen[i] < nth {
+			continue
 		}
+		switch {
+		case r.Count < 0:
+			// Unbounded: fires on every match from Nth on, never latches.
+		case s.seen[i] >= nth+max(r.Count, 1)-1:
+			// Last firing of the run: latch so later matches pass through.
+			s.fired[i] = true
+		}
+		return r
 	}
 	return nil
 }

@@ -76,6 +76,10 @@ const (
 	NameCkptRestore = "checkpoint:restore"
 	NameEpoch       = "epoch"
 	NameEval        = "eval"
+	NameJoin        = "join"
+	NameDemote      = "demote"
+	NameRejoin      = "rejoin"
+	NameHandoff     = "handoff"
 )
 
 // Event is one recorded span ('X') or instant ('i'). Timestamps are

@@ -97,6 +97,9 @@ const (
 	MsgBye       = 19 // leader→worker: clean shutdown
 	MsgPing      = 20 // worker→leader: heartbeat while a chunk computes (no reply)
 	MsgSetRing   = 21 // leader→worker: restore a stage's weight-version ring
+	MsgJoin      = 22 // joiner→leader: mid-run join request (capability spec)
+	MsgWelcome   = 23 // leader→joiner: admission Spec, sent at a minibatch boundary
+	MsgJoinOK    = 24 // joiner→leader: admission spec accepted, entering the serve loop
 )
 
 // Error codes carried by MsgErr.

@@ -48,6 +48,18 @@ type RemoteMember struct {
 	closed bool
 	jit    uint64 // deterministic retry-jitter state (per-member LCG)
 
+	// Straggler accounting (WithStragglerPolicy). sdl is the per-chunk
+	// collective deadline and sk the consecutive-miss budget; misses
+	// counts expired deadline windows across chunks, resetting whenever a
+	// chunk replies within its first window. ready reports that a demoted
+	// member's late in-flight reply has been drained and discarded, so
+	// the standby can rejoin (replica.Standby).
+	sdl      time.Duration
+	sk       int
+	misses   int
+	ready    bool
+	draining bool
+
 	losses  []float64
 	grads   [][][]*tensor.Tensor
 	states  [][]*tensor.Tensor // per-stage StageState decode buffers
@@ -64,7 +76,22 @@ type RemoteMember struct {
 // returns the proxy on MsgHelloOK. lead is the local leader replica the
 // proxy reads when serving SyncEpoch/SyncFromLeader.
 func NewRemoteMember(ctx context.Context, conn MsgConn, spec Spec, lead LeaderState) (*RemoteMember, error) {
-	m := &RemoteMember{
+	m := newMember(conn, spec, lead)
+	resp, err := m.roundTrip(ctx, Msg{Type: MsgHello, Replica: uint16(spec.Replica), Stage: -1, Data: spec.encode()})
+	if err != nil {
+		return nil, fmt.Errorf("transport: handshake with replica %d: %w", spec.Replica, err)
+	}
+	if resp.Type != MsgHelloOK {
+		return nil, fmt.Errorf("transport: handshake with replica %d: unexpected reply type %d", spec.Replica, resp.Type)
+	}
+	return m, nil
+}
+
+// newMember builds the proxy without running any handshake — shared by
+// NewRemoteMember (the MsgHello path) and the join admission path, whose
+// handshake (MsgWelcome/MsgJoinOK) the caller runs itself.
+func newMember(conn MsgConn, spec Spec, lead LeaderState) *RemoteMember {
+	return &RemoteMember{
 		conn:    conn,
 		replica: spec.Replica,
 		stages:  spec.Stages,
@@ -74,14 +101,33 @@ func NewRemoteMember(ctx context.Context, conn MsgConn, spec Spec, lead LeaderSt
 		jit:     uint64(spec.Replica)*0x9E3779B97F4A7C15 + 1,
 		states:  make([][]*tensor.Tensor, spec.Stages),
 	}
-	resp, err := m.roundTrip(ctx, Msg{Type: MsgHello, Replica: uint16(spec.Replica), Stage: -1, Data: spec.encode()})
-	if err != nil {
-		return nil, fmt.Errorf("transport: handshake with replica %d: %w", spec.Replica, err)
-	}
-	if resp.Type != MsgHelloOK {
-		return nil, fmt.Errorf("transport: handshake with replica %d: unexpected reply type %d", spec.Replica, resp.Type)
-	}
-	return m, nil
+}
+
+// SetStragglerDeadline arms the straggler policy on this member: a chunk
+// whose reply misses k consecutive deadline windows of d demotes the
+// member (RunChunk returns an error wrapping replica.ErrStraggler
+// without poisoning it). d ≤ 0 or k ≤ 0 disables the policy.
+func (m *RemoteMember) SetStragglerDeadline(d time.Duration, k int) {
+	m.mu.Lock()
+	m.sdl, m.sk = d, k
+	m.mu.Unlock()
+}
+
+// Ready reports that a demoted member has drained its late in-flight
+// reply and can rejoin (replica.Standby). A member whose drain failed is
+// never ready; its sticky error tells the standby pool to drop it.
+func (m *RemoteMember) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ready && !m.draining && m.err == nil
+}
+
+// Rearm resets the straggler accounting before readmission
+// (replica.Standby).
+func (m *RemoteMember) Rearm() {
+	m.mu.Lock()
+	m.misses, m.ready = 0, false
+	m.mu.Unlock()
 }
 
 // SetTracer attaches a trace recorder: every subsequent round-trip is
@@ -124,6 +170,8 @@ func wireName(typ byte) string {
 		return "wire:sync"
 	case MsgSetRing:
 		return "wire:set-ring"
+	case MsgWelcome:
+		return "wire:welcome"
 	default:
 		return "wire:other"
 	}
@@ -149,9 +197,21 @@ func (m *RemoteMember) Err() error {
 }
 
 // Close says goodbye (best effort) and closes the connection. Further
-// Closes are no-ops.
+// Closes are no-ops. When an in-flight collective holds the member lock
+// — blocked on a slow or hung peer — Close does not wait behind it: it
+// closes the connection first, which unblocks the collective's read or
+// write with an I/O error, then latches the closed state.
 func (m *RemoteMember) Close() error {
-	m.mu.Lock()
+	if !m.mu.TryLock() {
+		err := m.conn.Close()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.closed = true
+		if m.err == nil {
+			m.err = errors.New("transport: member closed")
+		}
+		return err
+	}
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil
@@ -295,6 +355,13 @@ func (m *RemoteMember) RunChunk(ctx context.Context, start int, async bool, micr
 	if m.err != nil {
 		return nil, nil, m.err
 	}
+	if m.draining || m.ready {
+		// A late reply from a previous demotion is (or was) still on the
+		// wire and the drainer owns the connection's read side: fail fast
+		// with another straggle instead of racing it. Rearm clears this
+		// state at readmission.
+		return nil, nil, fmt.Errorf("%w: replica %d still draining a late chunk", replica.ErrStraggler, m.replica)
+	}
 	b := appendU32(m.scratch[:0], uint32(start))
 	b = appendBool(b, async)
 	b = appendU32(b, uint32(len(micros)))
@@ -305,9 +372,9 @@ func (m *RemoteMember) RunChunk(ctx context.Context, start int, async bool, micr
 		}
 	}
 	m.scratch = b
-	resp, err := m.roundTrip(ctx, Msg{Type: MsgRunChunk, Replica: uint16(m.replica), Stage: -1, Data: b})
+	resp, err := m.chunkRoundTrip(ctx, Msg{Type: MsgRunChunk, Replica: uint16(m.replica), Stage: -1, Data: b})
 	if err != nil {
-		if errors.Is(err, engine.ErrDiverged) {
+		if errors.Is(err, engine.ErrDiverged) || errors.Is(err, replica.ErrStraggler) {
 			return nil, nil, err
 		}
 		m.err = fmt.Errorf("transport: replica %d: run chunk: %w", m.replica, err)
@@ -323,6 +390,100 @@ func (m *RemoteMember) RunChunk(ctx context.Context, start int, async bool, micr
 		return nil, nil, m.err
 	}
 	return losses, grads, nil
+}
+
+// chunkRoundTrip is roundTrip for the one long-running request. Without
+// a straggler deadline it is roundTrip exactly. With one, the reply wait
+// runs in a helper goroutine and the main flow watches deadline windows
+// of sdl: each expired window counts one miss (cumulative across chunks;
+// a reply inside its chunk's first window resets the count), and when
+// the count reaches sk the member is handed back to the engine for
+// demotion — the error wraps replica.ErrStraggler and does NOT poison
+// the member, because the peer is alive and its late reply still
+// arrives. The helper goroutine stays behind as the drainer: it consumes
+// that late reply, discards it (the minibatch replays without this
+// member), and marks the standby ready to rejoin.
+//
+// The deadline deliberately never cancels the underlying Recv: a
+// cancelled read could lose an already-framed late reply, making both
+// "late but correct" delivery and the drain impossible.
+func (m *RemoteMember) chunkRoundTrip(ctx context.Context, req Msg) (Msg, error) {
+	if m.sdl <= 0 || m.sk <= 0 {
+		return m.roundTrip(ctx, req)
+	}
+	t0 := m.tk.Now()
+	for attempt := 0; ; attempt++ {
+		err := m.conn.Send(ctx, req)
+		if err == nil {
+			break
+		}
+		if IsTransient(err) && attempt < retryAttempts {
+			m.tk.Instant(trace.NameRetry, int(req.Stage), -1, int64(len(req.Data)))
+			if serr := m.backoff(ctx, attempt); serr != nil {
+				return Msg{}, serr
+			}
+			continue
+		}
+		return Msg{}, err
+	}
+	ch := make(chan wireReply, 1)
+	go func() {
+		msg, err := m.recvReply(ctx)
+		ch <- wireReply{msg, err}
+	}()
+	late := false
+	for {
+		t := time.NewTimer(m.sdl)
+		select {
+		case r := <-ch:
+			t.Stop()
+			if r.err != nil {
+				return Msg{}, r.err
+			}
+			if !late {
+				m.misses = 0
+			}
+			if r.msg.Type == MsgErr {
+				return Msg{}, decodeWireErr(r.msg.Data)
+			}
+			m.tk.Span(wireName(req.Type), t0, int(req.Stage), -1, int64(len(req.Data)+len(r.msg.Data)))
+			return r.msg, nil
+		case <-t.C:
+			late = true
+			m.misses++
+			if m.misses >= m.sk {
+				m.ready = false
+				m.draining = true
+				go m.drain(ch)
+				return Msg{}, fmt.Errorf("%w: replica %d missed %d consecutive %v deadlines", replica.ErrStraggler, m.replica, m.sk, m.sdl)
+			}
+		}
+	}
+}
+
+type wireReply struct {
+	msg Msg
+	err error
+}
+
+// drain runs after a demotion: it waits out the straggler's in-flight
+// reply (the recvReply goroutine chunkRoundTrip left behind), discards
+// the payload — the interrupted minibatch replays over the survivors, so
+// the late result must not be used — and marks the standby ready. A
+// drain that ends in a transport error latches it instead, so the
+// standby pool drops the member.
+func (m *RemoteMember) drain(ch chan wireReply) {
+	r := <-ch
+	m.mu.Lock()
+	m.draining = false
+	if r.err != nil {
+		if m.err == nil {
+			m.err = fmt.Errorf("transport: replica %d: drain: %w", m.replica, r.err)
+		}
+	} else {
+		m.ready = true
+	}
+	m.mu.Unlock()
 }
 
 func (m *RemoteMember) decodeChunkDone(data []byte, wantK int) ([]float64, [][][]*tensor.Tensor, error) {
@@ -540,4 +701,5 @@ var (
 	_ replica.Runner          = (*RemoteMember)(nil)
 	_ replica.Erring          = (*RemoteMember)(nil)
 	_ replica.VersionRestorer = (*RemoteMember)(nil)
+	_ replica.Standby         = (*RemoteMember)(nil)
 )

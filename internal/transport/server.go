@@ -52,9 +52,17 @@ func ServeConn(ctx context.Context, conn MsgConn, build Builder, inner engine.En
 	if err != nil {
 		return err
 	}
+	return s.serve(ctx, member)
+}
+
+// serve runs the post-handshake session body — shared by the MsgHello
+// path (ServeConn) and the join path (ServeJoin): wrap the member for
+// chunk execution, start the inner engine's lifecycle, and enter the
+// request loop.
+func (s *server) serve(ctx context.Context, member replica.Member) error {
 	s.member = member
 	s.comp = replica.NewCompute(member)
-	if lc, ok := inner.(engine.Lifecycle); ok {
+	if lc, ok := s.inner.(engine.Lifecycle); ok {
 		lc.Start(s.comp)
 		defer lc.Stop()
 	}

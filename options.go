@@ -35,6 +35,7 @@ type settings struct {
 	dialTimeout  time.Duration
 	heartbeat    time.Duration // remote-follower liveness cadence
 	heartbeatSet bool
+	joinAt       int // earliest leader step to join at (JoinFollower)
 }
 
 // Option configures New. Options validate eagerly: the first failing
@@ -329,6 +330,87 @@ func WithFaultTolerance() Option {
 	}
 }
 
+// WithElastic enables mid-run scale-up on a leader: call
+// Trainer.AcceptJoins with a listener and fresh workers can dial in
+// while training runs (JoinFollower, or pipemare-worker -join). Each
+// joiner is parked until the next minibatch boundary, admitted with a
+// live state handoff — masters, T2 state, optimizer moments, the
+// weight-version rings, and the clocks, the same push a checkpoint
+// restore uses — and the reduce tree and commit plan grow to R+1.
+// Because the handed-off member is indistinguishable from one that
+// trained from the start, the post-join curve is bit-identical to a
+// fresh (R+1)-replica run from the handoff state. Requires
+// WithReplicas/WithTransport >= 2 (a running group to grow); under the
+// sharded commit it implies WithFaultTolerance, exactly as eviction
+// does.
+func WithElastic() Option {
+	return func(s *settings) error {
+		s.cfg.Elastic = true
+		return nil
+	}
+}
+
+// StragglerPolicy selects how the leader treats a remote follower that
+// repeatedly misses its per-collective deadline (WithStragglerPolicy).
+type StragglerPolicy int
+
+const (
+	// StragglerWait waits indefinitely (bar heartbeat liveness) — the
+	// default: a slow follower stalls the minibatch but stays a member.
+	StragglerWait StragglerPolicy = iota
+	// StragglerDemote demotes a follower that misses the deadline K
+	// consecutive times to standby: it stays alive and connected but is
+	// excluded from the reduce tree and commit plan (its microbatches
+	// redistribute over the survivors), and it automatically rejoins
+	// through the live-handoff path once its late reply drains.
+	StragglerDemote
+)
+
+// WithStragglerPolicy bounds how long the leader waits on a remote
+// follower's collective reply: under StragglerDemote, a follower that
+// misses `deadline` for `misses` consecutive deadline windows is
+// demoted to standby and later readmitted via the same state handoff a
+// mid-run joiner receives — so a transient slowdown costs bounded wall
+// time instead of stalling every minibatch, while curves stay
+// bit-identical to a run over the momentarily-smaller membership.
+// StragglerWait (the default) ignores deadline and misses and disables
+// demotion. Under the sharded commit, demotion implies
+// WithFaultTolerance, exactly as eviction does.
+func WithStragglerPolicy(p StragglerPolicy, deadline time.Duration, misses int) Option {
+	return func(s *settings) error {
+		switch p {
+		case StragglerWait:
+			s.cfg.StragglerDeadline = 0
+			s.cfg.StragglerMisses = 0
+			return nil
+		case StragglerDemote:
+			if deadline <= 0 {
+				return fmt.Errorf("pipemare: straggler deadline must be positive, got %v", deadline)
+			}
+			if misses < 1 {
+				return fmt.Errorf("pipemare: straggler miss count must be >= 1, got %d", misses)
+			}
+			s.cfg.StragglerDeadline = deadline
+			s.cfg.StragglerMisses = misses
+			return nil
+		}
+		return fmt.Errorf("pipemare: unknown straggler policy %d", int(p))
+	}
+}
+
+// WithJoinAt asks the leader to park this joiner until its optimizer
+// step clock reaches step (JoinFollower only; 0, the default, admits at
+// the next minibatch boundary). A leader option list ignores it.
+func WithJoinAt(step int) Option {
+	return func(s *settings) error {
+		if step < 0 {
+			return fmt.Errorf("pipemare: join step must be >= 0, got %d", step)
+		}
+		s.joinAt = step
+		return nil
+	}
+}
+
 // WithCheckpoint makes the leader serialize its complete training state
 // — master weights, optimizer moments, T2 accumulators, the per-stage
 // weight-version rings, and the step/epoch/microbatch clocks — to a
@@ -457,7 +539,11 @@ func New(task Task, opts ...Option) (*Trainer, error) {
 		if !s.heartbeatSet && s.cfg.FaultTolerant {
 			hb = transport.DefaultHeartbeat
 		}
-		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout, hb, s.cfg.Trace)
+		// The core join path reuses the resolved cadence when welcoming
+		// mid-run joiners (WithElastic), so record it on the config.
+		s.cfg.Heartbeat = hb
+		s.cfg.Followers = remoteFollowers(s.dialers, s.dialTimeout, hb,
+			s.cfg.StragglerDeadline, s.cfg.StragglerMisses, s.cfg.Trace)
 	}
 	tr, err := core.New(task, opt, s.sched, s.cfg)
 	if err != nil {
@@ -515,7 +601,7 @@ func resolveSettings(task Task, opts []Option) (*settings, Optimizer, error) {
 // dial worker r's endpoint (with the backoff the dialer implements),
 // announce the resolved replication spec, and wrap the connection as the
 // leader-side member proxy.
-func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat time.Duration, rec *trace.Recorder) func(int, core.ReplicaEnv) (replica.Member, error) {
+func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat, stragglerDeadline time.Duration, stragglerMisses int, rec *trace.Recorder) func(int, core.ReplicaEnv) (replica.Member, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -545,6 +631,9 @@ func remoteFollowers(dialers []transport.Dialer, timeout, heartbeat time.Duratio
 			return nil, err
 		}
 		m.SetTracer(rec) // nil-safe: a nil recorder leaves the wire track off
+		if stragglerMisses > 0 {
+			m.SetStragglerDeadline(stragglerDeadline, stragglerMisses)
+		}
 		return m, nil
 	}
 }

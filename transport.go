@@ -3,6 +3,7 @@ package pipemare
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pipemare/internal/core"
 	"pipemare/internal/engine"
@@ -64,7 +65,15 @@ func ServeFollower(ctx context.Context, lis Listener, task Task, opts ...Option)
 	if inner == nil {
 		inner = engine.NewReference()
 	}
-	build := func(spec transport.Spec) (replica.Member, error) {
+	return transport.Serve(ctx, lis, followerBuilder(task, s, opt), inner)
+}
+
+// followerBuilder is the transport.Builder ServeFollower and
+// JoinFollower share: rebuild the local follower trainer from the
+// leader's announced spec, adopting the leader's resolved fault
+// tolerance, commit mode and partition costs.
+func followerBuilder(task Task, s *settings, opt Optimizer) transport.Builder {
+	return func(spec transport.Spec) (replica.Member, error) {
 		fcfg := s.cfg
 		fcfg.Engine = nil
 		fcfg.Replicas = spec.Replicas
@@ -73,6 +82,7 @@ func ServeFollower(ctx context.Context, lis Listener, task Task, opts ...Option)
 		// agree), and a follower never writes checkpoints of its own.
 		fcfg.FaultTolerant = spec.FT
 		fcfg.CheckpointDir = ""
+		fcfg.Elastic = false // joining and accepting joins are disjoint roles
 		if spec.Sharded {
 			fcfg.ShardedStep = core.ShardedStepOn
 		} else {
@@ -92,5 +102,53 @@ func ServeFollower(ctx context.Context, lis Listener, task Task, opts ...Option)
 		}
 		return core.NewFollower(task, opt, s.sched, fcfg, spec.Replica)
 	}
-	return transport.Serve(ctx, lis, build, inner)
+}
+
+// JoinFollower joins a *running* leader mid-run as a fresh follower
+// replica: it dials the leader's join listener (Trainer.AcceptJoins on
+// a WithElastic leader), announces the task shape it was built for, and
+// waits — arbitrarily long; admission happens at a minibatch boundary
+// of the leader's choosing, or at the WithJoinAt step — for the
+// leader's Welcome. It then builds the local follower from the Welcome
+// spec, receives the live state handoff, and serves the leader's
+// collectives until the leader says goodbye (a clean goodbye returns
+// nil), the connection drops, or ctx ends. Unlike ServeFollower, no
+// initial-state agreement is required: every tensor the follower trains
+// from arrives in the handoff, so only the task architecture and
+// options must match. The dial (with the dialer's backoff) is bounded
+// by WithDialTimeout; the wait for admission is bounded only by ctx.
+func JoinFollower(ctx context.Context, d Dialer, task Task, opts ...Option) error {
+	s, opt, err := resolveSettings(task, opts)
+	if err != nil {
+		return err
+	}
+	if len(s.dialers) > 0 {
+		return fmt.Errorf("pipemare: WithTransport is a leader option; a joiner dials its leader directly")
+	}
+	p := s.cfg.Stages
+	if p == 0 {
+		p = len(task.Groups())
+	}
+	cap := transport.JoinSpec{
+		Stages: p,
+		Method: int(s.cfg.Method),
+		T2:     s.cfg.T2D > 0,
+		JoinAt: s.joinAt,
+	}
+	timeout := s.dialTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	conn, err := d.Dial(dctx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	inner := s.cfg.Engine
+	if inner == nil {
+		inner = engine.NewReference()
+	}
+	return transport.ServeJoin(ctx, conn, cap, followerBuilder(task, s, opt), inner)
 }
