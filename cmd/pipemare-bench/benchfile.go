@@ -31,6 +31,7 @@ type benchRecord struct {
 	Workers           int     `json:"workers,omitempty"`   // scheduler workers (concurrent engine)
 	Commit            string  `json:"commit,omitempty"`    // replicated rows: serial | sharded
 	Transport         string  `json:"transport,omitempty"` // inproc | loopback | tcp
+	Dtype             string  `json:"dtype,omitempty"`     // float64 | float32 (element type of model state)
 	Faults            string  `json:"faults,omitempty"`    // injected fault script (-faults), "" = fault-free
 	Join              string  `json:"join,omitempty"`      // injected churn script (-join), "" = static membership
 	NsPerEpoch        int64   `json:"ns_per_epoch"`
@@ -61,12 +62,13 @@ type benchKey struct {
 	workers   int
 	commit    string
 	transport string
+	dtype     string
 	faults    string
 	join      string
 }
 
 func (r benchRecord) key() benchKey {
-	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport, r.Faults, r.Join}
+	return benchKey{r.Engine, r.Stages, r.Replicas, r.Partition, r.Workers, r.Commit, r.Transport, r.Dtype, r.Faults, r.Join}
 }
 
 // benchFile is the BENCH_engine.json schema, one record per merge key.
@@ -84,8 +86,11 @@ type benchFile struct {
 // concurrent rows without a workers count come from the
 // goroutine-per-stage era, which pinned one worker to every stage; and
 // replicated rows without a commit mode predate the sharded step, which
-// only ever ran leader-serial; and rows without a transport predate the
-// wire subsystem, when every replica lived in the leader's process.
+// only ever ran leader-serial; rows without a transport predate the
+// wire subsystem, when every replica lived in the leader's process; and
+// rows without a dtype predate the generic-dtype tensors, when every
+// run trained float64 — so a float32 measurement lands on its own key
+// and never clobbers the float64 history.
 func normalize(recs []benchRecord) {
 	for i := range recs {
 		r := &recs[i]
@@ -103,6 +108,9 @@ func normalize(recs []benchRecord) {
 		}
 		if r.Transport == "" {
 			r.Transport = "inproc"
+		}
+		if r.Dtype == "" {
+			r.Dtype = "float64"
 		}
 	}
 }

@@ -12,7 +12,7 @@ import (
 
 // TestUpsertKeyKeepsAllVariantRows is the merge regression test: records
 // differing in ANY key dimension — engine, stages, replicas, partition,
-// workers, commit, transport, faults, join — must coexist, and
+// workers, commit, transport, dtype, faults, join — must coexist, and
 // re-measuring one key must replace exactly that row. Before PR 4 the
 // workers dimension was missing from the key and W-variant rows
 // clobbered each other; the commit, transport, faults and join
@@ -36,6 +36,7 @@ func TestUpsertKeyKeepsAllVariantRows(t *testing.T) {
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Faults: "drop@2", NsPerEpoch: 111},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Join: "join@2", NsPerEpoch: 112, Joins: 1, HandoffNs: 5},
 		{Engine: "replicated(reference)", Stages: 8, Replicas: 2, Partition: "even", Commit: "serial", Transport: "loopback", Join: "join@4", NsPerEpoch: 113, Joins: 1, HandoffNs: 6},
+		{Engine: "concurrent", Stages: 8, Replicas: 1, Partition: "even", Workers: 4, Dtype: "float32", NsPerEpoch: 114},
 	}
 	var b benchFile
 	for _, r := range variants {
@@ -186,6 +187,71 @@ func TestNormalizeUpgradesLegacyRows(t *testing.T) {
 		if r.Transport != "inproc" {
 			t.Fatalf("legacy row %d transport = %q, want inproc", i, r.Transport)
 		}
+		if r.Dtype != "float64" {
+			t.Fatalf("legacy row %d dtype = %q, want float64", i, r.Dtype)
+		}
+	}
+}
+
+// TestFloat32RowsNeverClobberFloat64 pins the dtype merge dimension: a
+// float32 measurement of a configuration must coexist with the float64
+// history at the otherwise-identical key — including legacy rows written
+// before dtype existed, which normalize to "float64" — and re-measuring
+// either dtype must replace exactly its own row. Without dtype in the
+// key, the first `pipemare-bench -json -dtype float32` run would wipe
+// every float64 baseline it re-measured.
+func TestFloat32RowsNeverClobberFloat64(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	legacy := benchFile{Workload: experiments.EngineBenchWorkload, GoMaxProcs: 1, NumCPU: 1}
+	// Pre-dtype rows: no dtype field on disk.
+	legacy.Records = []benchRecord{
+		{Engine: "reference", Stages: 4, Replicas: 1, Partition: "even", Transport: "inproc", NsPerEpoch: 3400},
+		{Engine: "concurrent", Stages: 4, Replicas: 1, Partition: "even", Workers: 4, Transport: "inproc", NsPerEpoch: 2400},
+	}
+	if err := legacy.write(path); err != nil {
+		t.Fatal(err)
+	}
+	b := loadBenchFile(path)
+	// A -dtype float32 run measures the same configurations.
+	b.upsert(benchRecord{Engine: "reference", Stages: 4, Replicas: 1,
+		Partition: "even", Transport: "inproc", Dtype: "float32", NsPerEpoch: 1500})
+	b.upsert(benchRecord{Engine: "concurrent", Stages: 4, Replicas: 1,
+		Partition: "even", Workers: 4, Transport: "inproc", Dtype: "float32", NsPerEpoch: 1100})
+	if len(b.Records) != 4 {
+		t.Fatalf("float32 run left %d records, want 4 — it clobbered the float64 history", len(b.Records))
+	}
+	if b.Records[0].NsPerEpoch != 3400 || b.Records[1].NsPerEpoch != 2400 {
+		t.Fatalf("float64 baselines changed: %+v", b.Records[:2])
+	}
+	// Re-measuring float32 replaces only the float32 row.
+	b.upsert(benchRecord{Engine: "reference", Stages: 4, Replicas: 1,
+		Partition: "even", Transport: "inproc", Dtype: "float32", NsPerEpoch: 1400})
+	if len(b.Records) != 4 {
+		t.Fatalf("float32 re-measurement forked to %d records, want 4", len(b.Records))
+	}
+	if b.Records[2].NsPerEpoch != 1400 || b.Records[0].NsPerEpoch != 3400 {
+		t.Fatalf("float32 re-measurement landed wrong: %+v", b.Records)
+	}
+	// And a float64 re-measurement lands on the upgraded legacy row.
+	b.upsert(benchRecord{Engine: "reference", Stages: 4, Replicas: 1,
+		Partition: "even", Transport: "inproc", Dtype: "float64", NsPerEpoch: 3300})
+	if len(b.Records) != 4 || b.Records[0].NsPerEpoch != 3300 {
+		t.Fatalf("float64 re-measurement did not replace the legacy row: %+v", b.Records)
+	}
+	// Round-trip: both dtypes survive on disk.
+	if err := b.write(path); err != nil {
+		t.Fatal(err)
+	}
+	reread := loadBenchFile(path)
+	if len(reread.Records) != 4 {
+		t.Fatalf("file round-trip holds %d records, want 4", len(reread.Records))
+	}
+	dtypes := map[string]int{}
+	for _, r := range reread.Records {
+		dtypes[r.Dtype]++
+	}
+	if dtypes["float64"] != 2 || dtypes["float32"] != 2 {
+		t.Fatalf("round-trip dtype split %v, want 2 float64 + 2 float32", dtypes)
 	}
 }
 
@@ -211,9 +277,9 @@ func TestLoadBenchFileMergesAcrossRuns(t *testing.T) {
 	// adds a sharded row: the serial measurement must land on the upgraded
 	// legacy row, the sharded one must be new.
 	second.upsert(benchRecord{Engine: "replicated(reference)", Stages: 4, Replicas: 2,
-		Partition: "even", Commit: "serial", Transport: "inproc", NsPerEpoch: 20})
+		Partition: "even", Commit: "serial", Transport: "inproc", Dtype: "float64", NsPerEpoch: 20})
 	second.upsert(benchRecord{Engine: "replicated(reference)", Stages: 4, Replicas: 2,
-		Partition: "even", Commit: "sharded", Transport: "inproc", NsPerEpoch: 21})
+		Partition: "even", Commit: "sharded", Transport: "inproc", Dtype: "float64", NsPerEpoch: 21})
 	if len(second.Records) != 3 {
 		t.Fatalf("merge produced %d records, want 3 (serial replaced, sharded appended)", len(second.Records))
 	}

@@ -126,7 +126,7 @@ func benchFaults(out *benchFile, spec, transportName, workerBin string) error {
 		return fmt.Errorf("%s follower: %w", transportName, relErr)
 	}
 	out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
-		Partition: "even", Commit: "serial", Transport: transportName, Faults: spec,
+		Partition: "even", Commit: "serial", Transport: transportName, Dtype: dtypeName, Faults: spec,
 		NsPerEpoch: ns, Evictions: evictions, RecoveryNs: recoveryNs, CheckpointNs: checkpointNs})
 	fmt.Printf("P=%d R=%d faults=%s (%s): %.2fs/epoch, %d evicted, recovery %.1fms, checkpoints %.1fms\n",
 		p, r, spec, transportName, float64(ns)/1e9, evictions,

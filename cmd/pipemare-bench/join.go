@@ -78,7 +78,8 @@ func benchJoin(out *benchFile, spec, transportName, workerBin string) error {
 		}
 		jlis = lis
 		cmd := exec.Command(workerBin,
-			"-join", lis.Addr(), "-join-at", strconv.Itoa(joinStep), "-stages", strconv.Itoa(p))
+			"-join", lis.Addr(), "-join-at", strconv.Itoa(joinStep), "-stages", strconv.Itoa(p),
+			"-dtype", dtypeName)
 		cmd.Stdout = io.Discard
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -127,7 +128,7 @@ func benchJoin(out *benchFile, spec, transportName, workerBin string) error {
 		return fmt.Errorf("%s joiner: %w", transportName, jerr)
 	}
 	out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
-		Partition: "even", Commit: "serial", Transport: transportName, Join: spec,
+		Partition: "even", Commit: "serial", Transport: transportName, Dtype: dtypeName, Join: spec,
 		NsPerEpoch: ns, Joins: joins, Demotions: demotions, HandoffNs: handoffNs})
 	fmt.Printf("P=%d R=%d join=%s (%s): %.2fs/epoch, %d joined (now R=%d), handoff %.1fms\n",
 		p, r, spec, transportName, float64(ns)/1e9, joins, grown, float64(handoffNs)/1e6)

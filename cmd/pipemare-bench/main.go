@@ -34,6 +34,11 @@ import (
 	"pipemare/internal/experiments"
 )
 
+// dtypeName is the resolved -dtype flag value, threaded into every
+// benchRecord and every spawned worker process so the recorded rows and
+// the remote followers agree on the element type the run trained in.
+var dtypeName = "float64"
+
 func main() {
 	full := flag.Bool("full", false, "run at reference (paper) scale instead of quick scale")
 	engineName := flag.String("engine", "reference", "execution engine for training runs: reference | concurrent")
@@ -45,6 +50,7 @@ func main() {
 	workerBin := flag.String("worker", "pipemare-worker", "pipemare-worker binary for -transport tcp (resolved via PATH)")
 	smoke := flag.Bool("smoke", false, "train the benchmark workload R=2 for one epoch over -transport and exit (CI distributed smoke test)")
 	traceOut := flag.String("trace", "", "record one traced training epoch, write Chrome trace-event JSON (Perfetto-loadable) to this file, and print the bubble-fraction/MFU report; honors -engine, -workers, -replicas and -transport")
+	dtypeFlag := flag.String("dtype", "float64", "element type model state trains in: float64 | float32; each dtype records under its own BENCH_engine.json merge key")
 	faultsSpec := flag.String("faults", "", `inject scripted faults into a -json replicated row and record the recovery overhead: comma-separated op@N[:dur] rules, e.g. "drop@2,kill@5" (see parseFaults); needs -transport loopback or tcp`)
 	joinSpec := flag.String("join", "", `admit a replica mid-run into a -json replicated row and record the handoff overhead: a join@N rule, e.g. "join@2" joins at leader step 2 (see parseJoin); needs -transport loopback or tcp`)
 	crashWorker := flag.Int("crash-worker", 0, "with -smoke -transport tcp: spawn the worker with -crash-after N so it exit(137)s at its Nth chunk, and require the leader to evict it and finish (0 disables)")
@@ -61,6 +67,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown transport %q (want inproc, loopback or tcp)\n", *transportName)
 		os.Exit(2)
 	}
+	switch *dtypeFlag {
+	case "float64":
+	case "float32":
+		experiments.DType = pipemare.Float32
+	default:
+		fmt.Fprintf(os.Stderr, "pipemare-bench: unknown dtype %q (want float64 or float32)\n", *dtypeFlag)
+		os.Exit(2)
+	}
+	dtypeName = *dtypeFlag
 	if *transportName != "inproc" && !*jsonOut && !*smoke && *traceOut == "" {
 		fmt.Fprintf(os.Stderr, "pipemare-bench: -transport %s applies to -json, -smoke or -trace\n", *transportName)
 		os.Exit(2)
@@ -216,7 +231,7 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 			return err
 		}
 		out.upsert(benchRecord{Engine: "reference", Stages: p, Replicas: 1,
-			Partition: "even", Transport: "inproc", NsPerEpoch: refNs,
+			Partition: "even", Transport: "inproc", Dtype: dtypeName, NsPerEpoch: refNs,
 			BubbleFraction: bubble, MFU: mfu})
 		for _, mode := range []pipemare.PartitionMode{pipemare.PartitionEven, pipemare.PartitionCost} {
 			eng := concurrent.New(concurrent.WithWorkers(workers))
@@ -230,7 +245,7 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 			}
 			speedup := float64(refNs) / float64(ns)
 			out.upsert(benchRecord{Engine: "concurrent", Stages: p, Replicas: 1,
-				Partition: mode.String(), Workers: w, Transport: "inproc", NsPerEpoch: ns,
+				Partition: mode.String(), Workers: w, Transport: "inproc", Dtype: dtypeName, NsPerEpoch: ns,
 				Speedup: speedup, OverlapEfficiency: speedup / float64(p),
 				StageImbalance: imbalance, BubbleFraction: bubble, MFU: mfu})
 			fmt.Printf("P=%d %s W=%d: reference %.2fs/epoch, concurrent %.2fs/epoch (speedup %.2fx, overlap efficiency %.2f, stage imbalance %.2f)\n",
@@ -275,7 +290,7 @@ func benchEngines(path string, workers int, transportName, workerBin, faultsSpec
 			}
 			speedup := float64(refNsAt[p]) / float64(ns)
 			out.upsert(benchRecord{Engine: "replicated(reference)", Stages: p, Replicas: r,
-				Partition: "even", Commit: commit, Transport: transportName, NsPerEpoch: ns,
+				Partition: "even", Commit: commit, Transport: transportName, Dtype: dtypeName, NsPerEpoch: ns,
 				Speedup: speedup, ScalingEfficiency: speedup / float64(r),
 				BubbleFraction: bubble, MFU: mfu})
 			fmt.Printf("P=%d R=%d %s commit (%s): replicated %.2fs/epoch (speedup %.2fx, scaling efficiency %.2f)\n",
@@ -575,7 +590,7 @@ func startFollowers(transportName, workerBin string, stages, n int, workerArgs .
 			return first
 		}
 		for i := 0; i < n; i++ {
-			args := append([]string{"-addr", "127.0.0.1:0", "-stages", fmt.Sprint(stages)}, workerArgs...)
+			args := append([]string{"-addr", "127.0.0.1:0", "-stages", fmt.Sprint(stages), "-dtype", dtypeName}, workerArgs...)
 			cmd := exec.Command(workerBin, args...)
 			cmd.Stderr = os.Stderr
 			stdout, err := cmd.StdoutPipe()

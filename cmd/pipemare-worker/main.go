@@ -54,7 +54,17 @@ func main() {
 	joinAddr := flag.String("join", "", "dial a running elastic leader's join listener at this address instead of serving (mid-run join)")
 	joinAt := flag.Int("join-at", 0, "earliest leader optimizer step to be admitted at (-join only; 0 = next minibatch boundary)")
 	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "dial retry/backoff budget for -join")
+	dtypeName := flag.String("dtype", "float64", "element type model state trains in: float64 | float32; must match the leader's -dtype (the handshake checksum rejects a mismatch)")
 	flag.Parse()
+
+	switch *dtypeName {
+	case "float64":
+	case "float32":
+		experiments.DType = pipemare.Float32
+	default:
+		fmt.Fprintf(os.Stderr, "pipemare-worker: unknown dtype %q (want float64 or float32)\n", *dtypeName)
+		os.Exit(2)
+	}
 
 	opts := experiments.EngineBenchOptions(*stages)
 	switch *engineName {

@@ -34,8 +34,10 @@ const (
 	ckptEnd   = 4 // end marker: the file was written completely
 )
 
-// ckptFormat is the checkpoint format version.
-const ckptFormat = 1
+// ckptFormat is the checkpoint format version. Version 2 switched the
+// tensor encoding to carry a per-tensor dtype tag (float32 support), so
+// version-1 files are rejected rather than mis-decoded.
+const ckptFormat = 2
 
 // ckptPattern matches checkpoint files in a directory; the step number
 // is zero-padded so lexical order is step order.
@@ -253,6 +255,9 @@ func (t *Trainer) apply(st *ckptState) error {
 			k++
 			if !dst.SameShape(src) {
 				return fmt.Errorf("core: checkpoint stage %d tensor %d shape %v, want %v", s, k-1, src.Shape, dst.Shape)
+			}
+			if dst.DType() != src.DType() {
+				return fmt.Errorf("core: checkpoint stage %d tensor %d dtype %v, want %v", s, k-1, src.DType(), dst.DType())
 			}
 			dst.CopyFrom(src)
 			return nil

@@ -527,7 +527,7 @@ func New(task Task, opt optim.Optimizer, sched optim.Schedule, cfg Config) (*Tra
 		t.gamma = make([]float64, len(t.params))
 		t.prev = make([]*tensor.Tensor, len(t.params))
 		for i, pm := range t.params {
-			t.delta[i] = tensor.New(pm.Data.Shape...)
+			t.delta[i] = tensor.NewLike(pm.Data)
 			t.corrected[i] = pm.Data.Clone()
 			t.prev[i] = pm.Data.Clone()
 			// τ_bkwd = 0 for PipeMare, so γ_i = D^{1/τ_fwd,i}.
@@ -692,6 +692,9 @@ func measuredGroupCosts(st StageTask, groups []pipeline.ParamGroup, microbatchSi
 	const profileRuns = 3
 	prog := st.Program()
 	m := nn.NewMachine(prog.NumRegs)
+	if len(groups) > 0 && len(groups[0].Params) > 0 {
+		m.Tape.SetDType(groups[0].Params[0].Data.DType())
+	}
 	idx := make([]int, microbatchSize)
 	for i := range idx {
 		idx[i] = i
@@ -1095,9 +1098,11 @@ func (h host) InstallRecompute(s, stage int) {
 			// u_recomp = w_{t−τr} − (τ_fwd − τ_recomp)·δ.
 			tauR := float64(2*(e1-st1)+1) / float64(t.clock.N)
 			coef := t.taus[i] - tauR
-			buf := tensor.New(snap[j].Shape...)
-			for k := range buf.Data {
-				buf.Data[k] = snap[j].Data[k] - coef*t.delta[i].Data[k]
+			buf := tensor.NewLike(snap[j])
+			if buf.DType() == tensor.Float32 {
+				recompCorrect(tensor.F32(buf), tensor.F32(snap[j]), tensor.F32(t.delta[i]), coef)
+			} else {
+				recompCorrect(tensor.F64(buf), tensor.F64(snap[j]), tensor.F64(t.delta[i]), coef)
 			}
 			pm.Data = buf
 		} else {
@@ -1132,6 +1137,11 @@ func (h host) BeginMicro(s int, mb []int) {
 		fl = &flight{}
 		if t.prog != nil {
 			fl.m = nn.NewMachine(t.prog.NumRegs)
+			// Slot machines allocate activations from their own tape
+			// arena, which must match the model dtype.
+			if len(t.params) > 0 {
+				fl.m.Tape.SetDType(t.params[0].Data.DType())
+			}
 		}
 	}
 	fl.mb = mb
@@ -1219,10 +1229,8 @@ func (h host) PrepareStage(stage, nMicro int) float64 {
 	sumSq := 0.0
 	for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
 		g := t.params[i].Grad
-		for j := range g.Data {
-			g.Data[j] /= n
-			sumSq += g.Data[j] * g.Data[j]
-		}
+		g.DivScalar(n)
+		sumSq += g.SumSq()
 		if t.prev != nil {
 			t.prev[i].CopyFrom(t.params[i].Data)
 		}
@@ -1245,10 +1253,7 @@ func (h host) ClipScale(sumSq float64) float64 {
 func (h host) ScaleStage(stage int, scale float64) {
 	t := h.t
 	for i := t.stageLo[stage]; i < t.stageHi[stage]; i++ {
-		g := t.params[i].Grad
-		for j := range g.Data {
-			g.Data[j] *= scale
-		}
+		t.params[i].Grad.ScaleInPlace(scale)
 	}
 }
 
@@ -1283,20 +1288,39 @@ func (h host) FinishStage(stage int) {
 		t.params[i].ZeroGrad()
 		if t.delta != nil {
 			pm := t.params[i]
-			g := t.gamma[i]
-			d := t.delta[i]
-			for j := range d.Data {
-				d.Data[j] = g*d.Data[j] + (1-g)*(pm.Data.Data[j]-t.prev[i].Data[j])
-			}
-			// Corrected backward weights: u_bkwd = w − (τ_fwd − τ_bkwd)·δ.
-			c := t.corrected[i]
-			tau := t.taus[i]
-			for j := range c.Data {
-				c.Data[j] = pm.Data.Data[j] - tau*d.Data[j]
+			if pm.Data.DType() == tensor.Float32 {
+				t2Update(tensor.F32(t.delta[i]), tensor.F32(t.corrected[i]),
+					tensor.F32(pm.Data), tensor.F32(t.prev[i]), t.gamma[i], t.taus[i])
+			} else {
+				t2Update(tensor.F64(t.delta[i]), tensor.F64(t.corrected[i]),
+					tensor.F64(pm.Data), tensor.F64(t.prev[i]), t.gamma[i], t.taus[i])
 			}
 		}
 	}
 	t.store.PushStage(stage)
+}
+
+// t2Update advances one parameter's T2 discrepancy accumulator in the
+// parameter's own dtype, then refreshes the corrected backward weights:
+// δ ← γδ + (1−γ)(w − w_prev) and u_bkwd = w − (τ_fwd − τ_bkwd)·δ.
+func t2Update[T tensor.Elem](d, c, cur, prev []T, gamma, tau float64) {
+	g := T(gamma)
+	tt := T(tau)
+	for j := range d {
+		d[j] = g*d[j] + (1-g)*(cur[j]-prev[j])
+	}
+	for j := range c {
+		c[j] = cur[j] - tt*d[j]
+	}
+}
+
+// recompCorrect forms the recompute-corrected weights u_recomp =
+// w_snap − coef·δ in the parameter's dtype.
+func recompCorrect[T tensor.Elem](buf, snap, delta []T, coef float64) {
+	cf := T(coef)
+	for k := range buf {
+		buf[k] = snap[k] - cf*delta[k]
+	}
 }
 
 // --- replica surface (replica.Leader / replica.Member) ---
@@ -1351,7 +1375,7 @@ func (h host) TakeStageGrads(stage int, bufs []*tensor.Tensor) []*tensor.Tensor 
 	if bufs == nil {
 		bufs = make([]*tensor.Tensor, hi-lo)
 		for j := range bufs {
-			bufs[j] = tensor.New(t.params[lo+j].Grad.Shape...)
+			bufs[j] = tensor.NewLike(t.params[lo+j].Grad)
 		}
 	}
 	for j, i := 0, lo; i < hi; i, j = i+1, j+1 {

@@ -34,6 +34,13 @@ var Replicas int
 // techniques behave under cost-balanced pipeline geometry.
 var Partition pipemare.PartitionMode
 
+// DType, when Float32, trains every workload run (and the engine
+// benchmark) in float32 (pipemare.WithDType). It is set by
+// pipemare-bench's -dtype flag. Each dtype is its own deterministic
+// ground truth, so float32 results are comparable across engines and
+// replica counts but not bit-comparable to float64 runs.
+var DType pipemare.DType
+
 // Workload bundles a task constructor with its training recipe, mirroring
 // the paper's Appendix C.1 hyperparameter tables for the substituted
 // tasks.
@@ -240,6 +247,9 @@ func (w Workload) Run(spec RunSpec) RunResult {
 	if Partition != pipemare.PartitionEven {
 		opts = append(opts, pipemare.WithPartition(Partition))
 	}
+	if DType != pipemare.Float64 {
+		opts = append(opts, pipemare.WithDType(DType))
+	}
 	tr, err := pipemare.New(task, opts...)
 	if err != nil {
 		panic(err)
@@ -321,7 +331,7 @@ func EngineBenchTask() core.Task {
 // the option set shared by the leader trainer and `pipemare-worker`
 // follower processes (which pass it to ServeFollower).
 func EngineBenchOptions(stages int) []pipemare.Option {
-	return []pipemare.Option{
+	opts := []pipemare.Option{
 		pipemare.WithMethod(pipemare.PipeMare),
 		pipemare.WithStages(stages),
 		pipemare.WithBatchSize(32), pipemare.WithMicrobatches(8),
@@ -332,6 +342,10 @@ func EngineBenchOptions(stages int) []pipemare.Option {
 		}),
 		pipemare.WithSchedule(optim.WarmupInvSqrt{Peak: 3e-3, Init: 1e-7, Warmup: 100}),
 	}
+	if DType != pipemare.Float64 {
+		opts = append(opts, pipemare.WithDType(DType))
+	}
+	return opts
 }
 
 // NewReplicatedBenchTrainer is NewEngineBenchTrainer with a data-parallel

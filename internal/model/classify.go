@@ -39,6 +39,8 @@ type Classification struct {
 	trainY, testY []int
 
 	clone func() *Classification // rebuild for data-parallel replication
+
+	dt tensor.DType
 }
 
 func newClassification(b *progBuilder, rIn, rLogits nn.Reg, ce *nn.CrossEntropy, d *data.Images, flat bool) *Classification {
@@ -136,8 +138,25 @@ func NewConvNet(d *data.Images, channels, blocks, groupsPerNorm int, seed int64)
 func (c *Classification) Groups() []pipeline.ParamGroup { return c.groups }
 
 // CloneTask rebuilds an architecturally identical task over the same
-// dataset (core.Replicable, for WithReplicas data parallelism).
-func (c *Classification) CloneTask() core.Task { return c.clone() }
+// dataset (core.Replicable, for WithReplicas data parallelism). The
+// clone re-applies the dtype so every replica rounds the same float64
+// initialization identically.
+func (c *Classification) CloneTask() core.Task {
+	nc := c.clone()
+	if c.dt != tensor.Float64 {
+		nc.SetDType(c.dt)
+	}
+	return nc
+}
+
+// SetDType casts the model to dt. Parameters become the rounded image of
+// their float64 initialization (the rng draw sequence is unchanged), and
+// all tape-allocated activations follow. Call before training starts —
+// the optimizer sizes its moments off the parameter dtype.
+func (c *Classification) SetDType(dt tensor.DType) {
+	c.dt = dt
+	setProgDType(dt, c.groups, c.prog, c.trainM, c.evalM)
+}
 
 // Program returns the compiled op program (core.StageTask).
 func (c *Classification) Program() *nn.Program { return c.prog }

@@ -69,14 +69,45 @@ func (b *progBuilder) build() *nn.Program {
 	return &nn.Program{Ops: b.ops, GroupOf: b.groupOf, NumRegs: b.nreg}
 }
 
+// setProgDType casts a compiled model to dt: every weight group's
+// parameters (master, gradient, and decoupled backward weights), the
+// machines' tape arenas so activations come out in dt, and the weightless
+// attention cores' analytic cost-model element width.
+func setProgDType(dt tensor.DType, groups []pipeline.ParamGroup, prog *nn.Program, machines ...*nn.Machine) {
+	for _, g := range groups {
+		for _, p := range g.Params {
+			p.CastTo(dt)
+		}
+	}
+	for _, op := range prog.Ops {
+		if a, ok := op.(*nn.AttnCoreOp); ok {
+			a.Core.ElemBytes = dt.Size()
+		}
+	}
+	for _, m := range machines {
+		m.Tape.SetDType(dt)
+	}
+}
+
 // gatherRowsTape selects rows (first axis) of x at the given indices into
-// a tensor from the machine tape's arena.
+// a tensor from the machine tape's arena. Datasets stay float64 whatever
+// the model dtype; when the tape allocates float32, each gathered element
+// is cast here — the single rounding that defines the float32 ground
+// truth for inputs (token ids are small integers, so they cast exactly).
 func gatherRowsTape(t *nn.Tape, x *tensor.Tensor, idx []int) *tensor.Tensor {
 	rowLen := x.Size() / x.Shape[0]
 	shape := append([]int{len(idx)}, x.Shape[1:]...)
 	out := t.NewTensor(shape...)
+	if out.DType() == x.DType() {
+		for i, ix := range idx {
+			tensor.CopyRange(out, i*rowLen, x, ix*rowLen, rowLen)
+		}
+		return out
+	}
 	for i, ix := range idx {
-		copy(out.Data[i*rowLen:(i+1)*rowLen], x.Data[ix*rowLen:(ix+1)*rowLen])
+		for j := 0; j < rowLen; j++ {
+			out.SetFlat(i*rowLen+j, x.FlatAt(ix*rowLen+j))
+		}
 	}
 	return out
 }

@@ -34,7 +34,8 @@ type Translation struct {
 
 	trainM, encM, decM *nn.Machine
 
-	d int
+	d  int
+	dt tensor.DType
 }
 
 // TransformerConfig sizes the Translation model.
@@ -159,8 +160,25 @@ func (t *Translation) buildFFBlockNamed(b *progBuilder, rng *rand.Rand, lnName, 
 func (t *Translation) Groups() []pipeline.ParamGroup { return t.groups }
 
 // CloneTask rebuilds an architecturally identical task over the same
-// dataset (core.Replicable, for WithReplicas data parallelism).
-func (t *Translation) CloneTask() core.Task { return NewTranslation(t.ds, t.cfg) }
+// dataset (core.Replicable, for WithReplicas data parallelism). The
+// clone re-applies the dtype so every replica rounds the same float64
+// initialization identically.
+func (t *Translation) CloneTask() core.Task {
+	nt := NewTranslation(t.ds, t.cfg)
+	if t.dt != tensor.Float64 {
+		nt.SetDType(t.dt)
+	}
+	return nt
+}
+
+// SetDType casts the model to dt. Parameters become the rounded image of
+// their float64 initialization (the rng draw sequence is unchanged), and
+// all tape-allocated activations follow. Call before training starts —
+// the optimizer sizes its moments off the parameter dtype.
+func (t *Translation) SetDType(dt tensor.DType) {
+	t.dt = dt
+	setProgDType(dt, t.groups, t.prog, t.trainM, t.encM, t.decM)
+}
 
 // Program returns the compiled op program (core.StageTask).
 func (t *Translation) Program() *nn.Program { return t.prog }

@@ -17,6 +17,7 @@ type AttnCore struct {
 	Heads, D   int
 	QLen, KLen int  // sequence lengths on the query and key/value sides
 	Causal     bool // mask future positions (QLen must equal KLen)
+	ElemBytes  int  // cost-model element size in bytes; 0 means float64
 }
 
 type attnState struct {
@@ -77,15 +78,10 @@ func (a *AttnCore) Forward(t *Tape, q, k, v *tensor.Tensor) *tensor.Tensor {
 			a.sliceHead(kh, k, b, h, a.KLen)
 			a.sliceHead(vh, v, b, h, a.KLen)
 			tensor.MatMulT2Into(s, qh, kh)
-			for i := range s.Data {
-				s.Data[i] *= scale
-			}
-			if a.Causal {
-				for i := 0; i < a.QLen; i++ {
-					for j := i + 1; j < a.KLen; j++ {
-						s.Data[i*a.KLen+j] = math.Inf(-1)
-					}
-				}
+			if s.DType() == tensor.Float32 {
+				attnScaleMask(tensor.F32(s), scale, a.Causal, a.QLen, a.KLen)
+			} else {
+				attnScaleMask(tensor.F64(s), scale, a.Causal, a.QLen, a.KLen)
 			}
 			p := probs.RowView(idx, a.QLen, a.KLen)
 			tensor.SoftmaxRowsInto(p, s)
@@ -96,6 +92,23 @@ func (a *AttnCore) Forward(t *Tape, q, k, v *tensor.Tensor) *tensor.Tensor {
 	})
 	t.Push(attnState{batch, q, k, v, probs})
 	return y
+}
+
+// attnScaleMask scales the score matrix in the dtype's native precision
+// and applies the causal mask.
+func attnScaleMask[T tensor.Elem](s []T, scale float64, causal bool, qLen, kLen int) {
+	sc := T(scale)
+	for i := range s {
+		s[i] *= sc
+	}
+	if causal {
+		ninf := T(math.Inf(-1))
+		for i := 0; i < qLen; i++ {
+			for j := i + 1; j < kLen; j++ {
+				s[i*kLen+j] = ninf
+			}
+		}
+	}
 }
 
 // Backward backpropagates dy through the attention core, returning the
@@ -139,14 +152,10 @@ func (a *AttnCore) Backward(t *Tape, dy *tensor.Tensor) (dq, dk, dv *tensor.Tens
 			tensor.MatMulT1Into(s.dvh, p, s.dyh)
 			tensor.MatMulT2Into(s.dp, s.dyh, s.vh)
 			// Softmax backward: ds = p ⊙ (dp − rowsum(dp ⊙ p)).
-			for i := 0; i < a.QLen; i++ {
-				dot := 0.0
-				for j := 0; j < a.KLen; j++ {
-					dot += s.dp.Data[i*a.KLen+j] * p.Data[i*a.KLen+j]
-				}
-				for j := 0; j < a.KLen; j++ {
-					s.ds.Data[i*a.KLen+j] = p.Data[i*a.KLen+j] * (s.dp.Data[i*a.KLen+j] - dot) * scale
-				}
+			if p.DType() == tensor.Float32 {
+				attnSoftmaxBwd(tensor.F32(s.ds), tensor.F32(s.dp), tensor.F32(p), a.QLen, a.KLen, scale)
+			} else {
+				attnSoftmaxBwd(tensor.F64(s.ds), tensor.F64(s.dp), tensor.F64(p), a.QLen, a.KLen, scale)
 			}
 			s.dqh.Zero()
 			tensor.MatMulInto(s.dqh, s.ds, s.kh)
@@ -160,25 +169,53 @@ func (a *AttnCore) Backward(t *Tape, dy *tensor.Tensor) (dq, dk, dv *tensor.Tens
 	return dQ, dK, dV
 }
 
+// attnSoftmaxBwd computes ds = p ⊙ (dp − rowsum(dp ⊙ p))·scale with the
+// row dot accumulated in float64 for both dtypes.
+func attnSoftmaxBwd[T tensor.Elem](ds, dp, p []T, qLen, kLen int, scale float64) {
+	for i := 0; i < qLen; i++ {
+		dot := 0.0
+		for j := 0; j < kLen; j++ {
+			dot += float64(dp[i*kLen+j]) * float64(p[i*kLen+j])
+		}
+		for j := 0; j < kLen; j++ {
+			ds[i*kLen+j] = T(float64(p[i*kLen+j]) * (float64(dp[i*kLen+j]) - dot) * scale)
+		}
+	}
+}
+
 // sliceHead copies the (seqLen, dk) block for batch b and head h out of a
 // (B*seqLen, D) activation.
 func (a *AttnCore) sliceHead(dst, x *tensor.Tensor, b, h, seqLen int) {
-	dk := a.D / a.Heads
+	if x.DType() == tensor.Float32 {
+		sliceHead(tensor.F32(dst), tensor.F32(x), b, h, seqLen, a.D, a.D/a.Heads)
+	} else {
+		sliceHead(tensor.F64(dst), tensor.F64(x), b, h, seqLen, a.D, a.D/a.Heads)
+	}
+}
+
+func sliceHead[T tensor.Elem](dst, x []T, b, h, seqLen, d, dk int) {
 	for ti := 0; ti < seqLen; ti++ {
-		src := x.Data[(b*seqLen+ti)*a.D+h*dk:]
-		copy(dst.Data[ti*dk:(ti+1)*dk], src[:dk])
+		src := x[(b*seqLen+ti)*d+h*dk:]
+		copy(dst[ti*dk:(ti+1)*dk], src[:dk])
 	}
 }
 
 // scatterHead adds the (seqLen, dk) block for batch b and head h into a
 // (B*seqLen, D) activation.
 func (a *AttnCore) scatterHead(dst, src *tensor.Tensor, b, h, seqLen int) {
-	dk := a.D / a.Heads
+	if dst.DType() == tensor.Float32 {
+		scatterHead(tensor.F32(dst), tensor.F32(src), b, h, seqLen, a.D, a.D/a.Heads)
+	} else {
+		scatterHead(tensor.F64(dst), tensor.F64(src), b, h, seqLen, a.D, a.D/a.Heads)
+	}
+}
+
+func scatterHead[T tensor.Elem](dst, src []T, b, h, seqLen, d, dk int) {
 	for ti := 0; ti < seqLen; ti++ {
-		d := dst.Data[(b*seqLen+ti)*a.D+h*dk:]
-		s := src.Data[ti*dk : (ti+1)*dk]
-		for j := range s {
-			d[j] += s[j]
+		drow := dst[(b*seqLen+ti)*d+h*dk:]
+		srow := src[ti*dk : (ti+1)*dk]
+		for j := range srow {
+			drow[j] += srow[j]
 		}
 	}
 }

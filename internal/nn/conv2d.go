@@ -50,20 +50,38 @@ func (c *Conv2d) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulT2Into(res, cols, wm)
 	out := t.NewTensor(b, c.OutC, oh, ow)
 	hw := oh * ow
-	for n := 0; n < b; n++ {
-		for p := 0; p < hw; p++ {
-			row := res.Data[(n*hw+p)*c.OutC : (n*hw+p+1)*c.OutC]
-			for o := 0; o < c.OutC; o++ {
-				v := row[o]
-				if c.B != nil {
-					v += c.B.Data.Data[o]
-				}
-				out.Data[(n*c.OutC+o)*hw+p] = v
-			}
+	if out.DType() == tensor.Float32 {
+		var bias []float32
+		if c.B != nil {
+			bias = tensor.F32(c.B.Data)
 		}
+		convScatter(tensor.F32(out), tensor.F32(res), bias, b, c.OutC, hw)
+	} else {
+		var bias []float64
+		if c.B != nil {
+			bias = tensor.F64(c.B.Data)
+		}
+		convScatter(tensor.F64(out), tensor.F64(res), bias, b, c.OutC, hw)
 	}
 	t.Push(convState{cols, b, h, w, oh, ow})
 	return out
+}
+
+// convScatter transposes (B*OH*OW, outC) matmul rows into (B, outC, OH, OW)
+// image layout, adding the per-channel bias when present.
+func convScatter[T tensor.Elem](out, res, bias []T, b, outC, hw int) {
+	for n := 0; n < b; n++ {
+		for p := 0; p < hw; p++ {
+			row := res[(n*hw+p)*outC : (n*hw+p+1)*outC]
+			for o := 0; o < outC; o++ {
+				v := row[o]
+				if bias != nil {
+					v += bias[o]
+				}
+				out[(n*outC+o)*hw+p] = v
+			}
+		}
+	}
 }
 
 // Backward accumulates kernel/bias gradients from the saved lowered input
@@ -73,13 +91,10 @@ func (c *Conv2d) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	hw := st.oh * st.ow
 	// Rearrange dy (B, outC, OH, OW) into (B*OH*OW, outC) matching cols rows.
 	dyr := t.NewTensor(st.b*hw, c.OutC)
-	for n := 0; n < st.b; n++ {
-		for o := 0; o < c.OutC; o++ {
-			base := (n*c.OutC + o) * hw
-			for p := 0; p < hw; p++ {
-				dyr.Data[(n*hw+p)*c.OutC+o] = dy.Data[base+p]
-			}
-		}
+	if dy.DType() == tensor.Float32 {
+		convGather(tensor.F32(dyr), tensor.F32(dy), st.b, c.OutC, hw)
+	} else {
+		convGather(tensor.F64(dyr), tensor.F64(dy), st.b, c.OutC, hw)
 	}
 	// dW = dyrᵀ @ cols, shape (outC, inC*K*K).
 	dW := t.NewTensor(c.OutC, c.kCols)
@@ -89,11 +104,10 @@ func (c *Conv2d) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 		// Bias gradient in a temporary, folded with one AddInto per call
 		// (the one-add-per-element accumulation contract, see Param.Grad).
 		db := t.NewTensor(c.OutC)
-		for r := 0; r < dyr.Shape[0]; r++ {
-			row := dyr.Data[r*c.OutC : (r+1)*c.OutC]
-			for o := 0; o < c.OutC; o++ {
-				db.Data[o] += row[o]
-			}
+		if db.DType() == tensor.Float32 {
+			colSum(tensor.F32(db), tensor.F32(dyr), dyr.Shape[0], c.OutC)
+		} else {
+			colSum(tensor.F64(db), tensor.F64(dyr), dyr.Shape[0], c.OutC)
 		}
 		tensor.AddInto(c.B.Grad, db)
 	}
@@ -102,6 +116,19 @@ func (c *Conv2d) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	dcols := t.NewTensor(st.b*hw, c.kCols)
 	tensor.MatMulInto(dcols, dyr, wb)
 	return tensor.Col2Im(dcols, st.b, c.InC, st.h, st.w, c.K, c.K, c.Stride, c.Pad)
+}
+
+// convGather transposes (B, outC, OH, OW) image-layout gradients into the
+// (B*OH*OW, outC) row layout the weight-gradient matmuls expect.
+func convGather[T tensor.Elem](dyr, dy []T, b, outC, hw int) {
+	for n := 0; n < b; n++ {
+		for o := 0; o < outC; o++ {
+			base := (n*outC + o) * hw
+			for p := 0; p < hw; p++ {
+				dyr[(n*hw+p)*outC+o] = dy[base+p]
+			}
+		}
+	}
 }
 
 // Params returns the kernel and, if present, the bias.

@@ -36,6 +36,11 @@ type Coster interface {
 	EstimateCost() Cost
 }
 
+// elemBytes returns the byte size of a parameter's element type, so the
+// analytic byte estimates track the model dtype (3 matrices of float32
+// move half the bytes of their float64 twins).
+func elemBytes(p *Param) float64 { return float64(p.Data.DType().Size()) }
+
 // glueCost is the fallback per-row estimate for dimensionless elementwise
 // ops (ReLU, GELU, pooling, residual adds, the loss): a handful of FLOPs
 // and two row reads. It only needs to be small relative to real layers.
@@ -47,7 +52,8 @@ var glueCost = Cost{FLOPs: 8, Bytes: 16}
 func (l *Linear) EstimateCost() Cost {
 	out := float64(l.W.Data.Shape[0])
 	in := float64(l.W.Data.Shape[1])
-	c := Cost{FLOPs: 6 * in * out, Bytes: 24 * in * out}
+	es := elemBytes(l.W)
+	c := Cost{FLOPs: 6 * in * out, Bytes: 3 * es * in * out}
 	if l.B != nil {
 		c.FLOPs += 2 * out
 	}
@@ -64,34 +70,35 @@ func (l *Linear) EstimateCost() Cost {
 // mode, which measures real wall time.
 func (c *Conv2d) EstimateCost() Cost {
 	k := float64(c.kCols) * float64(c.OutC)
-	return Cost{FLOPs: 6 * k, Bytes: 24 * k}
+	es := elemBytes(c.W)
+	return Cost{FLOPs: 6 * k, Bytes: 3 * es * k}
 }
 
 // EstimateCost of a LayerNorm covers the mean/variance reductions, the
 // normalization and the dγ/dβ/dx backward over one row of width d.
 func (ln *LayerNorm) EstimateCost() Cost {
 	d := float64(ln.Gain.Data.Shape[0])
-	return Cost{FLOPs: 24 * d, Bytes: 48 * d}
+	return Cost{FLOPs: 24 * d, Bytes: 6 * elemBytes(ln.Gain) * d}
 }
 
 // EstimateCost of a GroupNorm mirrors LayerNorm per pixel over c channels.
 func (gn *GroupNorm) EstimateCost() Cost {
 	c := float64(gn.Gain.Data.Shape[0])
-	return Cost{FLOPs: 24 * c, Bytes: 48 * c}
+	return Cost{FLOPs: 24 * c, Bytes: 6 * elemBytes(gn.Gain) * c}
 }
 
 // EstimateCost of an Embedding is one table-row gather (bandwidth) plus
 // the scatter-add backward.
 func (e *Embedding) EstimateCost() Cost {
 	d := float64(e.W.Data.Shape[1])
-	return Cost{FLOPs: d, Bytes: 24 * d}
+	return Cost{FLOPs: d, Bytes: 3 * elemBytes(e.W) * d}
 }
 
 // EstimateCost of a PositionalEncoding is one elementwise add per row and
 // the pass-through/accumulate backward.
 func (p *PositionalEncoding) EstimateCost() Cost {
 	d := float64(p.W.Data.Shape[1])
-	return Cost{FLOPs: 3 * d, Bytes: 40 * d}
+	return Cost{FLOPs: 3 * d, Bytes: 5 * elemBytes(p.W) * d}
 }
 
 // EstimateCost of an AttnCore is per query row: the QKᵀ and probs·V GEMMs
@@ -100,9 +107,13 @@ func (p *PositionalEncoding) EstimateCost() Cost {
 func (a *AttnCore) EstimateCost() Cost {
 	k := float64(a.KLen)
 	d := float64(a.D)
+	es := float64(a.ElemBytes)
+	if es == 0 {
+		es = 8
+	}
 	return Cost{
 		FLOPs: 12*k*d + 10*k*float64(a.Heads),
-		Bytes: 48 * k * d,
+		Bytes: 6 * es * k * d,
 	}
 }
 

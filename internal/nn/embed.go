@@ -33,10 +33,13 @@ func (e *Embedding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	inShp := t.Ints(len(x.Shape))
 	copy(inShp, x.Shape)
 	out := t.NewTensor(n, d)
+	// Token ids arrive as float64 regardless of the model dtype (FlatAt
+	// converts); the gathered rows copy raw since out and the table share
+	// the model dtype.
 	for i := 0; i < n; i++ {
-		id := int(x.Data[i])
+		id := int(x.FlatAt(i))
 		ids[i] = id
-		copy(out.Data[i*d:(i+1)*d], e.W.Data.Data[id*d:(id+1)*d])
+		tensor.CopyRange(out, i*d, e.W.Data, id*d, d)
 	}
 	t.Push(embState{ids, inShp})
 	return out
@@ -58,8 +61,21 @@ func (e *Embedding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	}
 	uniq := t.Ints(n)
 	dW := t.NewTensor(n, d)
+	if dy.DType() == tensor.Float32 {
+		k := embScatter(tensor.F32(dW), tensor.F32(dy), st.ids, rowOf, uniq, d)
+		embFold(tensor.F32(e.W.Grad), tensor.F32(dW), uniq, k, d)
+	} else {
+		k := embScatter(tensor.F64(dW), tensor.F64(dy), st.ids, rowOf, uniq, d)
+		embFold(tensor.F64(e.W.Grad), tensor.F64(dW), uniq, k, d)
+	}
+	return t.NewTensor(st.inShp...)
+}
+
+// embScatter compacts dy rows onto per-unique-token rows of dW, returning
+// the number of unique tokens seen.
+func embScatter[T tensor.Elem](dW, dy []T, ids, rowOf, uniq []int, d int) int {
 	k := 0
-	for i, id := range st.ids {
+	for i, id := range ids {
 		r := rowOf[id]
 		if r < 0 {
 			r = k
@@ -67,20 +83,25 @@ func (e *Embedding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 			uniq[k] = id
 			k++
 		}
-		row := dy.Data[i*d : (i+1)*d]
-		g := dW.Data[r*d : (r+1)*d]
+		row := dy[i*d : (i+1)*d]
+		g := dW[r*d : (r+1)*d]
 		for j := range row {
 			g[j] += row[j]
 		}
 	}
+	return k
+}
+
+// embFold adds each compacted row into the table gradient: one add per
+// touched element per call.
+func embFold[T tensor.Elem](grad, dW []T, uniq []int, k, d int) {
 	for r := 0; r < k; r++ {
-		g := e.W.Grad.Data[uniq[r]*d : (uniq[r]+1)*d]
-		src := dW.Data[r*d : (r+1)*d]
+		g := grad[uniq[r]*d : (uniq[r]+1)*d]
+		src := dW[r*d : (r+1)*d]
 		for j := range src {
 			g[j] += src[j]
 		}
 	}
-	return t.NewTensor(st.inShp...)
 }
 
 // Params returns the embedding table.
@@ -104,13 +125,21 @@ func NewPositionalEncoding(name string, seqLen, d int, rng *rand.Rand) *Position
 func (p *PositionalEncoding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	n, d := x.Shape[0], x.Shape[1]
 	out := t.NewTensor(n, d)
-	for i := 0; i < n; i++ {
-		ti := i % p.SeqLen
-		for j := 0; j < d; j++ {
-			out.Data[i*d+j] = x.Data[i*d+j] + p.W.Data.Data[ti*d+j]
-		}
+	if x.DType() == tensor.Float32 {
+		peFwd(tensor.F32(out), tensor.F32(x), tensor.F32(p.W.Data), n, d, p.SeqLen)
+	} else {
+		peFwd(tensor.F64(out), tensor.F64(x), tensor.F64(p.W.Data), n, d, p.SeqLen)
 	}
 	return out
+}
+
+func peFwd[T tensor.Elem](out, x, w []T, n, d, seqLen int) {
+	for i := 0; i < n; i++ {
+		ti := i % seqLen
+		for j := 0; j < d; j++ {
+			out[i*d+j] = x[i*d+j] + w[ti*d+j]
+		}
+	}
 }
 
 // Backward accumulates the position gradient (via a temporary and a single
@@ -118,14 +147,22 @@ func (p *PositionalEncoding) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 func (p *PositionalEncoding) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	n, d := dy.Shape[0], dy.Shape[1]
 	dW := t.NewTensor(p.W.Data.Shape...)
-	for i := 0; i < n; i++ {
-		ti := i % p.SeqLen
-		for j := 0; j < d; j++ {
-			dW.Data[ti*d+j] += dy.Data[i*d+j]
-		}
+	if dy.DType() == tensor.Float32 {
+		peBwd(tensor.F32(dW), tensor.F32(dy), n, d, p.SeqLen)
+	} else {
+		peBwd(tensor.F64(dW), tensor.F64(dy), n, d, p.SeqLen)
 	}
 	tensor.AddInto(p.W.Grad, dW)
 	return dy
+}
+
+func peBwd[T tensor.Elem](dW, dy []T, n, d, seqLen int) {
+	for i := 0; i < n; i++ {
+		ti := i % seqLen
+		for j := 0; j < d; j++ {
+			dW[ti*d+j] += dy[i*d+j]
+		}
+	}
 }
 
 // Params returns the position table.

@@ -28,16 +28,34 @@ func (l *Linear) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	out := t.NewTensor(x.Shape[0], l.W.Data.Shape[0])
 	tensor.MatMulT2Into(out, x, l.W.Data)
 	if l.B != nil {
-		rows, cols := out.Shape[0], out.Shape[1]
-		for i := 0; i < rows; i++ {
-			row := out.Data[i*cols : (i+1)*cols]
-			for j := 0; j < cols; j++ {
-				row[j] += l.B.Data.Data[j]
-			}
+		if out.DType() == tensor.Float32 {
+			addBiasRows(tensor.F32(out), tensor.F32(l.B.Data), out.Shape[0], out.Shape[1])
+		} else {
+			addBiasRows(tensor.F64(out), tensor.F64(l.B.Data), out.Shape[0], out.Shape[1])
 		}
 	}
 	t.Push(x)
 	return out
+}
+
+// colSum accumulates the column sums of a (rows, cols) matrix into db,
+// row by row in index order (shared by the Linear and Conv2d bias grads).
+func colSum[T tensor.Elem](db, dy []T, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		row := dy[i*cols : (i+1)*cols]
+		for j := 0; j < cols; j++ {
+			db[j] += row[j]
+		}
+	}
+}
+
+func addBiasRows[T tensor.Elem](out, b []T, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		row := out[i*cols : (i+1)*cols]
+		for j := 0; j < cols; j++ {
+			row[j] += b[j]
+		}
+	}
 }
 
 // Backward accumulates dW = dyᵀ·x and db = Σrows(dy) into the gradients and
@@ -53,11 +71,10 @@ func (l *Linear) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	if l.B != nil {
 		rows, cols := dy.Shape[0], dy.Shape[1]
 		db := t.NewTensor(cols)
-		for i := 0; i < rows; i++ {
-			row := dy.Data[i*cols : (i+1)*cols]
-			for j := 0; j < cols; j++ {
-				db.Data[j] += row[j]
-			}
+		if db.DType() == tensor.Float32 {
+			colSum(tensor.F32(db), tensor.F32(dy), rows, cols)
+		} else {
+			colSum(tensor.F64(db), tensor.F64(dy), rows, cols)
 		}
 		tensor.AddInto(l.B.Grad, db)
 	}

@@ -40,7 +40,7 @@ func (c *CrossEntropy) Forward(t *Tape, logits *tensor.Tensor, labels []int) flo
 		if labels[i] == c.Ignore {
 			continue
 		}
-		loss += lse[i] - logits.Data[i*cl+labels[i]]
+		loss += lse[i] - logits.FlatAt(i*cl+labels[i])
 		cnt++
 	}
 	t.Push(ceState{probs, labels, cnt})
@@ -60,16 +60,24 @@ func (c *CrossEntropy) Backward(t *Tape) *tensor.Tensor {
 		return out
 	}
 	inv := 1 / float64(st.count)
-	for i := 0; i < n; i++ {
-		if st.labels[i] == c.Ignore {
+	if out.DType() == tensor.Float32 {
+		ceBwd(tensor.F32(out), tensor.F32(st.probs), st.labels, c.Ignore, cl, inv)
+	} else {
+		ceBwd(tensor.F64(out), tensor.F64(st.probs), st.labels, c.Ignore, cl, inv)
+	}
+	return out
+}
+
+func ceBwd[T tensor.Elem](out, probs []T, labels []int, ignore, cl int, inv float64) {
+	for i := range labels {
+		if labels[i] == ignore {
 			continue
 		}
 		for j := 0; j < cl; j++ {
-			out.Data[i*cl+j] = st.probs.Data[i*cl+j] * inv
+			out[i*cl+j] = T(float64(probs[i*cl+j]) * inv)
 		}
-		out.Data[i*cl+st.labels[i]] -= inv
+		out[i*cl+labels[i]] -= T(inv)
 	}
-	return out
 }
 
 // MSE computes mean squared error over all elements of (N, D) predictions.
@@ -83,16 +91,12 @@ func NewMSE() *MSE { return &MSE{} }
 // Forward returns mean((pred − target)²)/2.
 func (m *MSE) Forward(pred, target *tensor.Tensor) float64 {
 	m.diff = tensor.Sub(pred, target)
-	s := 0.0
-	for _, v := range m.diff.Data {
-		s += v * v
-	}
-	return s / (2 * float64(len(m.diff.Data)))
+	return m.diff.SumSq() / (2 * float64(m.diff.Size()))
 }
 
 // Backward returns dLoss/dpred = diff/N.
 func (m *MSE) Backward() *tensor.Tensor {
-	return tensor.Scale(m.diff, 1/float64(len(m.diff.Data)))
+	return tensor.Scale(m.diff, 1/float64(m.diff.Size()))
 }
 
 // ClipGradNorm rescales all gradients so their global L2 norm is at most
@@ -104,9 +108,7 @@ func ClipGradNorm(params []*Param, maxNorm float64) float64 {
 	}
 	scale := maxNorm / norm
 	for _, p := range params {
-		for i := range p.Grad.Data {
-			p.Grad.Data[i] *= scale
-		}
+		p.Grad.ScaleInPlace(scale)
 	}
 	return norm
 }

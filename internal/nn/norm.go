@@ -35,37 +35,47 @@ const lnFlopsPerElem = 8
 
 // Forward normalizes each row and applies the affine transform. Rows are
 // independent, so they are split across goroutines bit-identically when
-// kernel parallelism is enabled.
+// kernel parallelism is enabled. Statistics accumulate in float64 for both
+// dtypes; float32 rounds once at each store.
 func (ln *LayerNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	n, d := x.Shape[0], x.Shape[1]
 	xhat := t.NewTensor(n, d)
 	invStd := t.Floats(n)
 	out := t.NewTensor(n, d)
-	gain, bias := ln.Gain.Data.Data, ln.Bias.Data.Data
+	if x.DType() == tensor.Float32 {
+		lnFwd(tensor.F32(out), tensor.F32(xhat), tensor.F32(x),
+			tensor.F32(ln.Gain.Data), tensor.F32(ln.Bias.Data), invStd, n, d, ln.Eps)
+	} else {
+		lnFwd(tensor.F64(out), tensor.F64(xhat), tensor.F64(x),
+			tensor.F64(ln.Gain.Data), tensor.F64(ln.Bias.Data), invStd, n, d, ln.Eps)
+	}
+	t.Push(lnState{xhat, invStd})
+	return out
+}
+
+func lnFwd[T tensor.Elem](out, xhat, x, gain, bias []T, invStd []float64, n, d int, eps float64) {
 	tensor.ParallelRows(n, lnFlopsPerElem*n*d, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := x.Data[i*d : (i+1)*d]
+			row := x[i*d : (i+1)*d]
 			mu := 0.0
 			for _, v := range row {
-				mu += v
+				mu += float64(v)
 			}
 			mu /= float64(d)
 			va := 0.0
 			for _, v := range row {
-				va += (v - mu) * (v - mu)
+				va += (float64(v) - mu) * (float64(v) - mu)
 			}
 			va /= float64(d)
-			is := 1 / math.Sqrt(va+ln.Eps)
+			is := 1 / math.Sqrt(va+eps)
 			invStd[i] = is
 			for j, v := range row {
-				xh := (v - mu) * is
-				xhat.Data[i*d+j] = xh
-				out.Data[i*d+j] = gain[j]*xh + bias[j]
+				xh := (float64(v) - mu) * is
+				xhat[i*d+j] = T(xh)
+				out[i*d+j] = T(float64(gain[j])*xh + float64(bias[j]))
 			}
 		}
 	})
-	t.Push(lnState{xhat, invStd})
-	return out
 }
 
 // Backward accumulates dγ, dβ and returns dx using the backward gain. The
@@ -75,43 +85,53 @@ func (ln *LayerNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 func (ln *LayerNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	st := t.Pop().(lnState)
 	n, d := dy.Shape[0], dy.Shape[1]
-	xhat, invStd := st.xhat, st.invStd
-	gainB := ln.Gain.BwdData().Data
-	gGrad, bGrad := ln.Gain.Grad.Data, ln.Bias.Grad.Data
+	out := t.NewTensor(n, d)
+	if dy.DType() == tensor.Float32 {
+		lnBwd(tensor.F32(out), tensor.F32(dy), tensor.F32(st.xhat),
+			tensor.F32(ln.Gain.BwdData()), tensor.F32(ln.Gain.Grad), tensor.F32(ln.Bias.Grad),
+			st.invStd, n, d)
+	} else {
+		lnBwd(tensor.F64(out), tensor.F64(dy), tensor.F64(st.xhat),
+			tensor.F64(ln.Gain.BwdData()), tensor.F64(ln.Gain.Grad), tensor.F64(ln.Bias.Grad),
+			st.invStd, n, d)
+	}
+	return out
+}
+
+func lnBwd[T tensor.Elem](out, dy, xhat, gainB, gGrad, bGrad []T, invStd []float64, n, d int) {
 	// dγ_j = Σ_i dy_ij·xhat_ij and dβ_j = Σ_i dy_ij: columns are
-	// independent, rows accumulate in ascending order per column.
+	// independent, rows accumulate in ascending order per column. The sums
+	// form in float64 and land on the gradient with one add per element.
 	tensor.ParallelRows(d, 4*n*d, func(jLo, jHi int) {
 		for j := jLo; j < jHi; j++ {
 			sg, sb := 0.0, 0.0
 			for i := 0; i < n; i++ {
-				g := dy.Data[i*d+j]
-				sg += g * xhat.Data[i*d+j]
+				g := float64(dy[i*d+j])
+				sg += g * float64(xhat[i*d+j])
 				sb += g
 			}
-			gGrad[j] += sg
-			bGrad[j] += sb
+			gGrad[j] += T(sg)
+			bGrad[j] += T(sb)
 		}
 	})
-	out := t.NewTensor(n, d)
 	tensor.ParallelRows(n, lnFlopsPerElem*n*d, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			m1, m2 := 0.0, 0.0
 			for j := 0; j < d; j++ {
-				dx := dy.Data[i*d+j] * gainB[j]
+				dx := float64(dy[i*d+j]) * float64(gainB[j])
 				m1 += dx
-				m2 += dx * xhat.Data[i*d+j]
+				m2 += dx * float64(xhat[i*d+j])
 			}
 			m1 /= float64(d)
 			m2 /= float64(d)
 			is := invStd[i]
 			for j := 0; j < d; j++ {
-				xh := xhat.Data[i*d+j]
-				dx := dy.Data[i*d+j] * gainB[j]
-				out.Data[i*d+j] = is * (dx - m1 - xh*m2)
+				xh := float64(xhat[i*d+j])
+				dx := float64(dy[i*d+j]) * float64(gainB[j])
+				out[i*d+j] = T(is * (dx - m1 - xh*m2))
 			}
 		}
 	})
-	return out
 }
 
 // Params returns the gain and bias.
@@ -150,44 +170,55 @@ func NewGroupNorm(name string, c, groups int) *GroupNorm {
 // parallelism is enabled.
 func (gn *GroupNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	cg := c / gn.Groups
-	blk := cg * h * w
 	xhat := t.NewTensor(b, c, h, w)
 	invStd := t.Floats(b * gn.Groups)
 	out := t.NewTensor(b, c, h, w)
-	gain, bias := gn.Gain.Data.Data, gn.Bias.Data.Data
+	if x.DType() == tensor.Float32 {
+		gnFwd(tensor.F32(out), tensor.F32(xhat), tensor.F32(x),
+			tensor.F32(gn.Gain.Data), tensor.F32(gn.Bias.Data), invStd,
+			b, c, h, w, gn.Groups, gn.Eps)
+	} else {
+		gnFwd(tensor.F64(out), tensor.F64(xhat), tensor.F64(x),
+			tensor.F64(gn.Gain.Data), tensor.F64(gn.Bias.Data), invStd,
+			b, c, h, w, gn.Groups, gn.Eps)
+	}
+	t.Push(gnState{xhat, invStd, c, h, w})
+	return out
+}
+
+func gnFwd[T tensor.Elem](out, xhat, x, gain, bias []T, invStd []float64, b, c, h, w, groups int, eps float64) {
+	cg := c / groups
+	blk := cg * h * w
 	tensor.ParallelRows(b, lnFlopsPerElem*b*c*h*w, func(nLo, nHi int) {
 		for n := nLo; n < nHi; n++ {
-			for g := 0; g < gn.Groups; g++ {
+			for g := 0; g < groups; g++ {
 				base := (n*c + g*cg) * h * w
 				mu := 0.0
 				for i := 0; i < blk; i++ {
-					mu += x.Data[base+i]
+					mu += float64(x[base+i])
 				}
 				mu /= float64(blk)
 				va := 0.0
 				for i := 0; i < blk; i++ {
-					d := x.Data[base+i] - mu
+					d := float64(x[base+i]) - mu
 					va += d * d
 				}
 				va /= float64(blk)
-				is := 1 / math.Sqrt(va+gn.Eps)
-				invStd[n*gn.Groups+g] = is
+				is := 1 / math.Sqrt(va+eps)
+				invStd[n*groups+g] = is
 				for ch := 0; ch < cg; ch++ {
-					gamma := gain[g*cg+ch]
-					beta := bias[g*cg+ch]
+					gamma := float64(gain[g*cg+ch])
+					beta := float64(bias[g*cg+ch])
 					cbase := base + ch*h*w
 					for i := 0; i < h*w; i++ {
-						xh := (x.Data[cbase+i] - mu) * is
-						xhat.Data[cbase+i] = xh
-						out.Data[cbase+i] = gamma*xh + beta
+						xh := (float64(x[cbase+i]) - mu) * is
+						xhat[cbase+i] = T(xh)
+						out[cbase+i] = T(gamma*xh + beta)
 					}
 				}
 			}
 		}
 	})
-	t.Push(gnState{xhat, invStd, c, h, w})
-	return out
 }
 
 // Backward accumulates dγ, dβ and returns dx using the backward gain. The
@@ -197,24 +228,38 @@ func (gn *GroupNorm) Forward(t *Tape, x *tensor.Tensor) *tensor.Tensor {
 func (gn *GroupNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 	st := t.Pop().(gnState)
 	b, c, h, w := dy.Shape[0], st.c, st.h, st.w
-	cg := c / gn.Groups
-	blk := cg * h * w
-	gainB := gn.Gain.BwdData().Data
 	dGain := t.NewTensor(c)
 	dBias := t.NewTensor(c)
 	out := t.NewTensor(b, c, h, w)
+	if dy.DType() == tensor.Float32 {
+		gnBwd(tensor.F32(out), tensor.F32(dy), tensor.F32(st.xhat),
+			tensor.F32(gn.Gain.BwdData()), tensor.F32(dGain), tensor.F32(dBias),
+			st.invStd, b, c, h, w, gn.Groups)
+	} else {
+		gnBwd(tensor.F64(out), tensor.F64(dy), tensor.F64(st.xhat),
+			tensor.F64(gn.Gain.BwdData()), tensor.F64(dGain), tensor.F64(dBias),
+			st.invStd, b, c, h, w, gn.Groups)
+	}
+	tensor.AddInto(gn.Gain.Grad, dGain)
+	tensor.AddInto(gn.Bias.Grad, dBias)
+	return out
+}
+
+func gnBwd[T tensor.Elem](out, dy, xhat, gainB, dGain, dBias []T, invStd []float64, b, c, h, w, groups int) {
+	cg := c / groups
+	blk := cg * h * w
 	for n := 0; n < b; n++ {
-		for g := 0; g < gn.Groups; g++ {
+		for g := 0; g < groups; g++ {
 			base := (n*c + g*cg) * h * w
 			m1, m2 := 0.0, 0.0
 			for ch := 0; ch < cg; ch++ {
-				gamma := gainB[g*cg+ch]
+				gamma := float64(gainB[g*cg+ch])
 				cbase := base + ch*h*w
 				for i := 0; i < h*w; i++ {
-					gv := dy.Data[cbase+i]
-					xh := st.xhat.Data[cbase+i]
-					dGain.Data[g*cg+ch] += gv * xh
-					dBias.Data[g*cg+ch] += gv
+					gv := float64(dy[cbase+i])
+					xh := float64(xhat[cbase+i])
+					dGain[g*cg+ch] += T(gv * xh)
+					dBias[g*cg+ch] += T(gv)
 					dx := gv * gamma
 					m1 += dx
 					m2 += dx * xh
@@ -222,21 +267,18 @@ func (gn *GroupNorm) Backward(t *Tape, dy *tensor.Tensor) *tensor.Tensor {
 			}
 			m1 /= float64(blk)
 			m2 /= float64(blk)
-			is := st.invStd[n*gn.Groups+g]
+			is := invStd[n*groups+g]
 			for ch := 0; ch < cg; ch++ {
-				gamma := gainB[g*cg+ch]
+				gamma := float64(gainB[g*cg+ch])
 				cbase := base + ch*h*w
 				for i := 0; i < h*w; i++ {
-					xh := st.xhat.Data[cbase+i]
-					dx := dy.Data[cbase+i] * gamma
-					out.Data[cbase+i] = is * (dx - m1 - xh*m2)
+					xh := float64(xhat[cbase+i])
+					dx := float64(dy[cbase+i]) * gamma
+					out[cbase+i] = T(is * (dx - m1 - xh*m2))
 				}
 			}
 		}
 	}
-	tensor.AddInto(gn.Gain.Grad, dGain)
-	tensor.AddInto(gn.Bias.Grad, dBias)
-	return out
 }
 
 // Params returns the gain and bias.

@@ -51,6 +51,19 @@ func (p *Param) BwdData() *tensor.Tensor {
 	return p.Data
 }
 
+// CastTo converts the parameter's weights, backward weights and gradient
+// accumulator to dt in place (no-op when already that dtype). Casting
+// float64→float32 rounds each element once, so a float32 model is the
+// rounded image of the float64 initialization — the rng draw sequence is
+// shared across dtypes.
+func (p *Param) CastTo(dt tensor.DType) {
+	p.Data.CastTo(dt)
+	p.Grad.CastTo(dt)
+	if p.Bwd != nil {
+		p.Bwd.CastTo(dt)
+	}
+}
+
 // Size returns the number of scalar elements in the parameter.
 func (p *Param) Size() int { return p.Data.Size() }
 
@@ -64,8 +77,8 @@ func (p *Param) String() string { return fmt.Sprintf("%s%v", p.Name, p.Data.Shap
 // fan-in and fan-out.
 func (p *Param) InitXavier(rng *rand.Rand, fanIn, fanOut int) {
 	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
-	for i := range p.Data.Data {
-		p.Data.Data[i] = (2*rng.Float64() - 1) * limit
+	for i, n := 0, p.Data.Size(); i < n; i++ {
+		p.Data.SetFlat(i, (2*rng.Float64()-1)*limit)
 	}
 }
 
@@ -73,15 +86,15 @@ func (p *Param) InitXavier(rng *rand.Rand, fanIn, fanOut int) {
 // appropriate before ReLU nonlinearities.
 func (p *Param) InitHe(rng *rand.Rand, fanIn int) {
 	std := math.Sqrt(2.0 / float64(fanIn))
-	for i := range p.Data.Data {
-		p.Data.Data[i] = rng.NormFloat64() * std
+	for i, n := 0, p.Data.Size(); i < n; i++ {
+		p.Data.SetFlat(i, rng.NormFloat64()*std)
 	}
 }
 
 // InitNormal fills p.Data with N(0, std²) values.
 func (p *Param) InitNormal(rng *rand.Rand, std float64) {
-	for i := range p.Data.Data {
-		p.Data.Data[i] = rng.NormFloat64() * std
+	for i, n := 0, p.Data.Size(); i < n; i++ {
+		p.Data.SetFlat(i, rng.NormFloat64()*std)
 	}
 }
 
@@ -92,13 +105,12 @@ func ZeroGrads(params []*Param) {
 	}
 }
 
-// GradNorm returns the global L2 norm of all parameter gradients.
+// GradNorm returns the global L2 norm of all parameter gradients,
+// accumulated in float64 for both dtypes.
 func GradNorm(params []*Param) float64 {
 	s := 0.0
 	for _, p := range params {
-		for _, g := range p.Grad.Data {
-			s += g * g
-		}
+		s += p.Grad.SumSq()
 	}
 	return math.Sqrt(s)
 }
@@ -108,9 +120,7 @@ func GradNorm(params []*Param) float64 {
 func ParamNorm(params []*Param) float64 {
 	s := 0.0
 	for _, p := range params {
-		for _, v := range p.Data.Data {
-			s += v * v
-		}
+		s += p.Data.SumSq()
 	}
 	return math.Sqrt(s)
 }

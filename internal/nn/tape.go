@@ -23,6 +23,7 @@ import (
 type Tape struct {
 	stack []any
 
+	dt   tensor.DType
 	tens []*tensor.Tensor
 	tpos int
 	flts [][]float64
@@ -31,8 +32,15 @@ type Tape struct {
 	ipos int
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape (float64 arena by default).
 func NewTape() *Tape { return &Tape{} }
+
+// SetDType switches the dtype of tensors handed out by NewTensor. Arena
+// tensors of the other dtype are dropped on their next positional reuse.
+func (t *Tape) SetDType(dt tensor.DType) { t.dt = dt }
+
+// DType returns the arena element type.
+func (t *Tape) DType() tensor.DType { return t.dt }
 
 // Push saves v for the matching Pop in the layer's Backward.
 func (t *Tape) Push(v any) { t.stack = append(t.stack, v) }
@@ -55,17 +63,17 @@ func (t *Tape) Depth() int { return len(t.stack) }
 func (t *Tape) NewTensor(shape ...int) *tensor.Tensor {
 	if t.tpos < len(t.tens) {
 		c := t.tens[t.tpos]
-		if sameShape(c.Shape, shape) {
+		if c.DType() == t.dt && sameShape(c.Shape, shape) {
 			t.tpos++
 			c.Zero()
 			return c
 		}
-		c = tensor.New(shape...)
+		c = tensor.NewOf(t.dt, shape...)
 		t.tens[t.tpos] = c
 		t.tpos++
 		return c
 	}
-	c := tensor.New(shape...)
+	c := tensor.NewOf(t.dt, shape...)
 	t.tens = append(t.tens, c)
 	t.tpos = len(t.tens)
 	return c
@@ -75,10 +83,18 @@ func (t *Tape) NewTensor(shape ...int) *tensor.Tensor {
 // kernel shared by layers and ops).
 func (t *Tape) Add(a, b *tensor.Tensor) *tensor.Tensor {
 	out := t.NewTensor(a.Shape...)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+	if out.DType() == tensor.Float32 {
+		addRows(tensor.F32(out), tensor.F32(a), tensor.F32(b))
+	} else {
+		addRows(tensor.F64(out), tensor.F64(a), tensor.F64(b))
 	}
 	return out
+}
+
+func addRows[T tensor.Elem](out, a, b []T) {
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
 }
 
 // Floats returns a zeroed float scratch slice of length n from the arena.

@@ -132,7 +132,7 @@ func NewSGDShard(params []*nn.Param, momentum, weightDecay float64, sh Shard) *S
 	s := &SGD{ps: params, Momentum: momentum, WeightDecay: weightDecay, shard: sh}
 	s.vel = make([]*tensor.Tensor, sh.Len())
 	for i := range s.vel {
-		s.vel[i] = tensor.New(params[sh.Lo+i].Data.Shape...)
+		s.vel[i] = tensor.NewLike(params[sh.Lo+i].Data)
 	}
 	return s
 }
@@ -166,11 +166,23 @@ func (s *SGD) StepRange(lo, hi int, lrs []float64) {
 		p := s.ps[i]
 		v := s.vel[i-s.shard.Lo]
 		lr := lrs[i-lo]
-		for j := range p.Data.Data {
-			g := p.Grad.Data[j] + s.WeightDecay*p.Data.Data[j]
-			v.Data[j] = s.Momentum*v.Data[j] - lr*g
-			p.Data.Data[j] += v.Data[j]
+		if p.Data.DType() == tensor.Float32 {
+			sgdStep(tensor.F32(p.Data), tensor.F32(p.Grad), tensor.F32(v), s.Momentum, s.WeightDecay, lr)
+		} else {
+			sgdStep(tensor.F64(p.Data), tensor.F64(p.Grad), tensor.F64(v), s.Momentum, s.WeightDecay, lr)
 		}
+	}
+}
+
+// sgdStep applies the momentum update to one parameter. The arithmetic
+// runs in float64 for both dtypes (hyperparameters stay exact); float32
+// rounds once at each store.
+func sgdStep[T tensor.Elem](w, g, v []T, momentum, wd, lr float64) {
+	for j := range w {
+		gr := float64(g[j]) + wd*float64(w[j])
+		vj := momentum*float64(v[j]) - lr*gr
+		v[j] = T(vj)
+		w[j] = T(float64(w[j]) + vj)
 	}
 }
 
@@ -225,8 +237,8 @@ func NewAdamWShard(params []*nn.Param, beta1, beta2, eps, weightDecay float64, s
 	a.m = make([]*tensor.Tensor, sh.Len())
 	a.v = make([]*tensor.Tensor, sh.Len())
 	for i := range a.m {
-		a.m[i] = tensor.New(params[sh.Lo+i].Data.Shape...)
-		a.v[i] = tensor.New(params[sh.Lo+i].Data.Shape...)
+		a.m[i] = tensor.NewLike(params[sh.Lo+i].Data)
+		a.v[i] = tensor.NewLike(params[sh.Lo+i].Data)
 	}
 	return a
 }
@@ -265,14 +277,29 @@ func (a *AdamW) StepRange(lo, hi int, lrs []float64) {
 		p := a.ps[i]
 		lr := lrs[i-lo]
 		m, v := a.m[i-a.shard.Lo], a.v[i-a.shard.Lo]
-		for j := range p.Data.Data {
-			g := p.Grad.Data[j]
-			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
-			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
-			mh := m.Data[j] / bc1
-			vh := v.Data[j] / bc2
-			p.Data.Data[j] -= lr * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*p.Data.Data[j])
+		if p.Data.DType() == tensor.Float32 {
+			adamwStep(tensor.F32(p.Data), tensor.F32(p.Grad), tensor.F32(m), tensor.F32(v),
+				a.Beta1, a.Beta2, a.Eps, a.WeightDecay, lr, bc1, bc2)
+		} else {
+			adamwStep(tensor.F64(p.Data), tensor.F64(p.Grad), tensor.F64(m), tensor.F64(v),
+				a.Beta1, a.Beta2, a.Eps, a.WeightDecay, lr, bc1, bc2)
 		}
+	}
+}
+
+// adamwStep applies the bias-corrected AdamW update to one parameter. The
+// per-element arithmetic (including the square root) runs in float64 for
+// both dtypes; float32 rounds once at each moment/weight store.
+func adamwStep[T tensor.Elem](w, g, m, v []T, b1, b2, eps, wd, lr, bc1, bc2 float64) {
+	for j := range w {
+		gr := float64(g[j])
+		mj := b1*float64(m[j]) + (1-b1)*gr
+		vj := b2*float64(v[j]) + (1-b2)*gr*gr
+		m[j] = T(mj)
+		v[j] = T(vj)
+		mh := mj / bc1
+		vh := vj / bc2
+		w[j] = T(float64(w[j]) - lr*(mh/(math.Sqrt(vh)+eps)+wd*float64(w[j])))
 	}
 }
 

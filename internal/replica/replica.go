@@ -186,12 +186,12 @@ func NewGroup(lead Leader) *Group {
 	return g
 }
 
-// tensorsBytes sums the payload size a tensor list moves (8 bytes per
-// float64 element) — called only when tracing is on.
+// tensorsBytes sums the payload size a tensor list moves (element count
+// times the dtype's width) — called only when tracing is on.
 func tensorsBytes(ts []*tensor.Tensor) int64 {
 	var n int64
 	for _, t := range ts {
-		n += int64(len(t.Data)) * 8
+		n += int64(t.Bytes())
 	}
 	return n
 }

@@ -7,7 +7,7 @@ import "fmt"
 // field, so that convolution becomes a single MatMul with the reshaped
 // kernel. Stride and same-style zero padding are supported. Output rows
 // are independent, so they are split across goroutines (bit-identically)
-// when kernel parallelism is enabled.
+// when kernel parallelism is enabled. The output has x's dtype.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic("tensor: Im2Col requires a rank-4 (B,C,H,W) tensor")
@@ -18,14 +18,23 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
 	}
-	out := New(b*oh*ow, c*kh*kw)
+	out := NewOf(x.dt, b*oh*ow, c*kh*kw)
+	if x.dt == Float32 {
+		im2col(out.Data32, x.Data32, b, c, h, w, kh, kw, oh, ow, stride, pad)
+	} else {
+		im2col(out.Data, x.Data, b, c, h, w, kh, kw, oh, ow, stride, pad)
+	}
+	return out
+}
+
+func im2col[T Elem](out, x []T, b, c, h, w, kh, kw, oh, ow, stride, pad int) {
 	rows := b * oh * ow
 	parallelRows(rows, rows*c*kh*kw, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
 			n := row / (oh * ow)
 			oy := (row / ow) % oh
 			ox := row % ow
-			dst := out.Data[row*c*kh*kw : (row+1)*c*kh*kw]
+			dst := out[row*c*kh*kw : (row+1)*c*kh*kw]
 			col := 0
 			for ch := 0; ch < c; ch++ {
 				for ky := 0; ky < kh; ky++ {
@@ -33,7 +42,7 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 					for kx := 0; kx < kw; kx++ {
 						ix := ox*stride - pad + kx
 						if iy >= 0 && iy < h && ix >= 0 && ix < w {
-							dst[col] = x.Data[((n*c+ch)*h+iy)*w+ix]
+							dst[col] = x[((n*c+ch)*h+iy)*w+ix]
 						} else {
 							dst[col] = 0
 						}
@@ -43,7 +52,6 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters the lowered matrix cols of
@@ -52,20 +60,29 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // input gradient. Overlapping patches of one image accumulate into shared
 // pixels, so the deterministic parallel split is per image: each goroutine
 // owns a contiguous range of batch indices and scatters its images in the
-// exact serial patch order.
+// exact serial patch order. The output has cols's dtype.
 func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
 	if cols.Rank() != 2 || cols.Shape[0] != b*oh*ow || cols.Shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Col2Im shape mismatch: cols %v, expect (%d,%d)", cols.Shape, b*oh*ow, c*kh*kw))
 	}
-	out := New(b, c, h, w)
+	out := NewOf(cols.dt, b, c, h, w)
+	if cols.dt == Float32 {
+		col2im(out.Data32, cols.Data32, b, c, h, w, kh, kw, oh, ow, stride, pad)
+	} else {
+		col2im(out.Data, cols.Data, b, c, h, w, kh, kw, oh, ow, stride, pad)
+	}
+	return out
+}
+
+func col2im[T Elem](out, cols []T, b, c, h, w, kh, kw, oh, ow, stride, pad int) {
 	parallelRows(b, b*oh*ow*c*kh*kw, func(nLo, nHi int) {
 		for n := nLo; n < nHi; n++ {
 			row := n * oh * ow
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					src := cols.Data[row*c*kh*kw : (row+1)*c*kh*kw]
+					src := cols[row*c*kh*kw : (row+1)*c*kh*kw]
 					col := 0
 					for ch := 0; ch < c; ch++ {
 						for ky := 0; ky < kh; ky++ {
@@ -73,7 +90,7 @@ func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
 							for kx := 0; kx < kw; kx++ {
 								ix := ox*stride - pad + kx
 								if iy >= 0 && iy < h && ix >= 0 && ix < w {
-									out.Data[((n*c+ch)*h+iy)*w+ix] += src[col]
+									out[((n*c+ch)*h+iy)*w+ix] += src[col]
 								}
 								col++
 							}
@@ -84,7 +101,6 @@ func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // ConvOutSize returns the spatial output size of a convolution along one axis.

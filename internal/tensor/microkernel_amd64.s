@@ -1,0 +1,155 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(op, op2 uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL op2+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func kern4x8f64(c unsafe.Pointer, ldc int, ap, bp unsafe.Pointer, kc int)
+//
+// 4×8 float64 register tile: accumulators Y0–Y7 (two 4-wide vectors per
+// row), B panel vectors Y8/Y9, broadcast A value Y10, product Y11.
+// Multiply and add are separate instructions (no FMA) so every element
+// sees exactly the scalar rounding sequence, in ascending-p order.
+TEXT ·kern4x8f64(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	SHLQ $3, SI            // row stride in bytes
+
+	// Load the 4×8 c tile.
+	MOVQ DI, DX
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+	ADDQ SI, DX
+	VMOVUPD (DX), Y2
+	VMOVUPD 32(DX), Y3
+	ADDQ SI, DX
+	VMOVUPD (DX), Y4
+	VMOVUPD 32(DX), Y5
+	ADDQ SI, DX
+	VMOVUPD (DX), Y6
+	VMOVUPD 32(DX), Y7
+
+f64loop:
+	VMOVUPD (BX), Y8
+	VMOVUPD 32(BX), Y9
+
+	VBROADCASTSD (AX), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y1, Y1
+
+	VBROADCASTSD 8(AX), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y2, Y2
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y3, Y3
+
+	VBROADCASTSD 16(AX), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y4, Y4
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y5, Y5
+
+	VBROADCASTSD 24(AX), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y6, Y6
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y7, Y7
+
+	ADDQ $32, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  f64loop
+
+	// Store the tile back.
+	MOVQ DI, DX
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	ADDQ SI, DX
+	VMOVUPD Y2, (DX)
+	VMOVUPD Y3, 32(DX)
+	ADDQ SI, DX
+	VMOVUPD Y4, (DX)
+	VMOVUPD Y5, 32(DX)
+	ADDQ SI, DX
+	VMOVUPD Y6, (DX)
+	VMOVUPD Y7, 32(DX)
+	VZEROUPPER
+	RET
+
+// func kern4x8f32(c unsafe.Pointer, ldc int, ap, bp unsafe.Pointer, kc int)
+//
+// 4×8 float32 tile: one 8-wide vector per row (Y0–Y3), B panel Y8,
+// broadcast A Y10, product Y11.
+TEXT ·kern4x8f32(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	SHLQ $2, SI            // row stride in bytes
+
+	MOVQ DI, DX
+	VMOVUPS (DX), Y0
+	ADDQ SI, DX
+	VMOVUPS (DX), Y1
+	ADDQ SI, DX
+	VMOVUPS (DX), Y2
+	ADDQ SI, DX
+	VMOVUPS (DX), Y3
+
+f32loop:
+	VMOVUPS (BX), Y8
+
+	VBROADCASTSS (AX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+
+	VBROADCASTSS 4(AX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y1, Y1
+
+	VBROADCASTSS 8(AX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y2, Y2
+
+	VBROADCASTSS 12(AX), Y10
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y3, Y3
+
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  f32loop
+
+	MOVQ DI, DX
+	VMOVUPS Y0, (DX)
+	ADDQ SI, DX
+	VMOVUPS Y1, (DX)
+	ADDQ SI, DX
+	VMOVUPS Y2, (DX)
+	ADDQ SI, DX
+	VMOVUPS Y3, (DX)
+	VZEROUPPER
+	RET

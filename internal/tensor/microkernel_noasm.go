@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+import "unsafe"
+
+// Non-amd64 builds always take the generic microkernel; results are
+// bit-identical, only slower.
+const haveSIMD = false
+
+func kern4x8f64(c unsafe.Pointer, ldc int, ap, bp unsafe.Pointer, kc int) {
+	panic("tensor: SIMD kernel unavailable")
+}
+
+func kern4x8f32(c unsafe.Pointer, ldc int, ap, bp unsafe.Pointer, kc int) {
+	panic("tensor: SIMD kernel unavailable")
+}
+
+func ptr[T Elem](s []T) unsafe.Pointer { return unsafe.Pointer(&s[0]) }

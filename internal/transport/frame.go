@@ -15,7 +15,7 @@
 //
 //	offset  size  field
 //	0       2     magic "PM" (0x50 0x4D)
-//	2       1     protocol version (1)
+//	2       1     protocol version (2)
 //	3       1     message type
 //	4       1     flags (bit 0: more chunks of this message follow)
 //	5       1     reserved (0)
@@ -33,8 +33,10 @@
 //
 // # Determinism across serialization
 //
-// Payload floats are raw IEEE-754 bit patterns (math.Float64bits), so a
-// tensor round-trips bit-exactly: no formatting, no rounding. Every
+// Payload floats are raw IEEE-754 bit patterns at the tensor's dtype
+// width (math.Float64bits or Float32bits, selected by a per-tensor dtype
+// tag), so a tensor round-trips bit-exactly: no formatting, no rounding,
+// no widening. Every
 // collective that moves floats — gradient export, scatter, state gather,
 // broadcast — is therefore the same pure copy it is in process, and the
 // replica layer's determinism argument (all arithmetic at the tree root,
@@ -50,8 +52,10 @@ const (
 	// frameMagic starts every frame: "PM".
 	frameMagic0 = 0x50
 	frameMagic1 = 0x4D
-	// Version is the protocol version this package speaks.
-	Version = 1
+	// Version is the protocol version this package speaks. Version 2
+	// added a dtype tag byte to every tensor payload (float32 support);
+	// version-1 peers are rejected rather than mis-decoded.
+	Version = 2
 
 	headerLen  = 16
 	trailerLen = 4 // CRC-32

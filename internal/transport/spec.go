@@ -94,10 +94,12 @@ type StateSource interface {
 	StageState(stage int) []*tensor.Tensor
 }
 
-// StateChecksum hashes a member's per-stage state — shapes and raw
-// float bits, stage by stage — with CRC-32. Leader and worker compute it
-// over their respective initial states during the handshake; equality
-// means the two processes built bitwise-identical replicas.
+// StateChecksum hashes a member's per-stage state — dtype, shapes and
+// raw float bits, stage by stage — with CRC-32. Leader and worker compute
+// it over their respective initial states during the handshake; equality
+// means the two processes built bitwise-identical replicas. The dtype tag
+// is part of the hash, so a float32 leader paired with a float64 worker
+// (or vice versa) fails the handshake before any state flows.
 func StateChecksum(m StateSource, stages int) uint32 {
 	crc := uint32(0)
 	var scratch [8]byte
@@ -109,16 +111,24 @@ func StateChecksum(m StateSource, stages int) uint32 {
 		ts := m.StageState(st)
 		u32(uint32(len(ts)))
 		for _, t := range ts {
+			scratch[0] = byte(t.DType())
+			crc = crc32.Update(crc, crcTable, scratch[:1])
 			u32(uint32(len(t.Shape)))
 			for _, d := range t.Shape {
 				u32(uint32(d))
 			}
-			for _, v := range t.Data {
-				bits := math.Float64bits(v)
-				for i := 0; i < 8; i++ {
-					scratch[i] = byte(bits >> (56 - 8*i))
+			if t.DType() == tensor.Float32 {
+				for _, v := range t.Data32 {
+					u32(math.Float32bits(v))
 				}
-				crc = crc32.Update(crc, crcTable, scratch[:8])
+			} else {
+				for _, v := range t.Data {
+					bits := math.Float64bits(v)
+					for i := 0; i < 8; i++ {
+						scratch[i] = byte(bits >> (56 - 8*i))
+					}
+					crc = crc32.Update(crc, crcTable, scratch[:8])
+				}
 			}
 		}
 	}

@@ -117,22 +117,42 @@ func (c *cursor) done() error {
 	return nil
 }
 
-// appendTensor encodes a tensor: rank, dims, then the raw float64 bits of
-// the contiguous data.
+// appendTensor encodes a tensor: a dtype tag byte, rank, dims, then the
+// raw IEEE-754 bits of the contiguous data at the dtype's width. The tag
+// is what lets a float32 run checkpoint and all-reduce without ever
+// widening to float64 on the wire.
 func appendTensor(dst []byte, t *tensor.Tensor) []byte {
+	dt := t.DType()
+	dst = append(dst, byte(dt))
 	dst = appendU32(dst, uint32(len(t.Shape)))
 	for _, d := range t.Shape {
 		dst = appendU32(dst, uint32(d))
 	}
-	for _, v := range t.Data {
-		dst = appendF64(dst, v)
+	if dt == tensor.Float32 {
+		for _, v := range t.Data32 {
+			dst = appendU32(dst, math.Float32bits(v))
+		}
+	} else {
+		for _, v := range t.Data {
+			dst = appendF64(dst, v)
+		}
 	}
 	return dst
 }
 
-// tensorInto decodes one tensor, reusing buf when its shape matches
-// (the steady-state path for per-stage gradient and state traffic).
+// tensorInto decodes one tensor, reusing buf when its shape and dtype
+// match (the steady-state path for per-stage gradient and state traffic).
 func (c *cursor) tensorInto(buf *tensor.Tensor) *tensor.Tensor {
+	tag := c.u8()
+	if c.err != nil {
+		return nil
+	}
+	if tag > uint8(tensor.Float32) {
+		c.fail("tensor dtype tag %d unknown", tag)
+		return nil
+	}
+	dt := tensor.DType(tag)
+	es := dt.Size()
 	rank := c.count(4)
 	shape := make([]int, rank)
 	size := 1
@@ -141,23 +161,29 @@ func (c *cursor) tensorInto(buf *tensor.Tensor) *tensor.Tensor {
 		if c.err != nil {
 			return nil
 		}
-		if d <= 0 || (size > 0 && d > len(c.b)/(8*size)+1) {
+		if d <= 0 || (size > 0 && d > len(c.b)/(es*size)+1) {
 			c.fail("tensor dim %d out of range", d)
 			return nil
 		}
 		shape[i] = d
 		size *= d
 	}
-	if size > len(c.b)/8 {
+	if size > len(c.b)/es {
 		c.fail("tensor size %d exceeds remaining payload", size)
 		return nil
 	}
 	dst := buf
-	if dst == nil || !sameShape(dst.Shape, shape) {
-		dst = tensor.New(shape...)
+	if dst == nil || dst.DType() != dt || !sameShape(dst.Shape, shape) {
+		dst = tensor.NewOf(dt, shape...)
 	}
-	for i := 0; i < size; i++ {
-		dst.Data[i] = c.f64()
+	if dt == tensor.Float32 {
+		for i := 0; i < size; i++ {
+			dst.Data32[i] = math.Float32frombits(c.u32())
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			dst.Data[i] = c.f64()
+		}
 	}
 	if c.err != nil {
 		return nil

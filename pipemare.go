@@ -51,6 +51,7 @@ import (
 	"pipemare/internal/optim"
 	"pipemare/internal/pipeline"
 	"pipemare/internal/quad"
+	"pipemare/internal/tensor"
 )
 
 // Re-exported core types: see the internal packages for full
@@ -79,6 +80,8 @@ type (
 	// Engine schedules a trainer's per-microbatch-slot operations onto
 	// goroutines; see internal/engine.
 	Engine = engine.Engine
+	// DType selects the element type model state trains in (WithDType).
+	DType = tensor.DType
 )
 
 // Training methods (Table 1).
@@ -93,6 +96,12 @@ const (
 	PartitionEven    = pipeline.PartitionEven
 	PartitionCost    = pipeline.PartitionCost
 	PartitionProfile = pipeline.PartitionProfile
+)
+
+// Element dtypes (WithDType).
+const (
+	Float64 = tensor.Float64
+	Float32 = tensor.Float32
 )
 
 // NewReferenceEngine returns the default single-goroutine engine, the
